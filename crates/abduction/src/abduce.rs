@@ -1,0 +1,260 @@
+//! Abductive inference over Presburger formulas.
+//!
+//! Given a precondition `P` and a goal `C`, abduction looks for a formula `ψ`
+//! such that `P ∧ ψ ⊨ C` and `P ∧ ψ` is satisfiable (Equation 3 of the
+//! paper). Following Dillig & Dillig's approach, candidates are obtained by
+//! universally quantifying the implication `P ⇒ C` over all but a small set
+//! of "kept" variables and eliminating the quantifiers; iterating over kept
+//! variable sets of increasing size yields the simplest explanations first.
+
+use expresso_logic::{simplify, Formula, Ident, Subst};
+use expresso_smt::Solver;
+use std::collections::BTreeSet;
+
+/// Tunables for [`abduce`].
+#[derive(Debug, Clone)]
+pub struct AbductionConfig {
+    /// Maximum number of variables a candidate may mention.
+    pub max_kept_vars: usize,
+    /// Maximum number of candidate subsets explored.
+    pub max_subsets: usize,
+    /// Maximum number of candidates returned.
+    pub max_results: usize,
+}
+
+impl Default for AbductionConfig {
+    fn default() -> Self {
+        AbductionConfig {
+            max_kept_vars: 2,
+            max_subsets: 48,
+            max_results: 4,
+        }
+    }
+}
+
+/// Computes abductive explanations `ψ` with `pre ∧ ψ ⊨ goal` and `pre ∧ ψ`
+/// satisfiable.
+///
+/// Returns candidates ordered from most to least preferred (fewer variables
+/// first, then smaller formulas). The trivially true candidate is never
+/// returned; if `pre ⇒ goal` is already valid the result is empty because no
+/// strengthening is needed.
+pub fn abduce(
+    solver: &Solver,
+    pre: &Formula,
+    goal: &Formula,
+    config: &AbductionConfig,
+) -> Vec<Formula> {
+    let implication = Formula::implies(pre.clone(), goal.clone());
+    if solver.check_valid(&implication).is_valid() {
+        return Vec::new();
+    }
+    let mut int_vars: Vec<Ident> = implication.int_vars().into_iter().collect();
+    let mut bool_vars: Vec<Ident> = implication.bool_vars().into_iter().collect();
+    int_vars.sort();
+    bool_vars.sort();
+    let all_vars: Vec<Ident> = int_vars.iter().chain(bool_vars.iter()).cloned().collect();
+
+    let mut results: Vec<Formula> = Vec::new();
+    let mut explored = 0usize;
+    for size in 1..=config.max_kept_vars.min(all_vars.len()) {
+        for kept in subsets_of_size(&all_vars, size) {
+            explored += 1;
+            if explored > config.max_subsets || results.len() >= config.max_results {
+                return finalize(results);
+            }
+            let eliminate: Vec<Ident> = all_vars
+                .iter()
+                .filter(|v| !kept.contains(*v))
+                .cloned()
+                .collect();
+            let Some(candidate) =
+                universally_eliminate(solver, &implication, &eliminate, &bool_vars)
+            else {
+                continue;
+            };
+            let candidate = simplify(&candidate);
+            if candidate.is_true() || candidate.is_false() {
+                continue;
+            }
+            // ψ must be consistent with the precondition.
+            if !solver
+                .check_sat(&Formula::and(vec![pre.clone(), candidate.clone()]))
+                .is_sat()
+            {
+                continue;
+            }
+            // ψ must actually make the triple go through.
+            if !solver
+                .check_implies(
+                    &Formula::and(vec![pre.clone(), candidate.clone()]),
+                    goal,
+                )
+                .is_valid()
+            {
+                continue;
+            }
+            if !results.iter().any(|r| r == &candidate) {
+                results.push(candidate);
+            }
+        }
+    }
+    finalize(results)
+}
+
+fn finalize(mut results: Vec<Formula>) -> Vec<Formula> {
+    results.sort_by_key(|f| (f.free_vars().len(), f.size()));
+    results
+}
+
+/// Computes `∀ eliminate. formula`, eliminating boolean variables by Shannon
+/// expansion and integer variables by Cooper's procedure. Returns `None` when
+/// the formula leaves the decidable fragment.
+fn universally_eliminate(
+    solver: &Solver,
+    formula: &Formula,
+    eliminate: &[Ident],
+    bool_vars: &[Ident],
+) -> Option<Formula> {
+    let mut current = formula.clone();
+    // Shannon-expand the boolean variables to be eliminated.
+    for b in eliminate.iter().filter(|v| bool_vars.contains(v)) {
+        let mut true_case = Subst::new();
+        true_case.boolean(b.clone(), Formula::True);
+        let mut false_case = Subst::new();
+        false_case.boolean(b.clone(), Formula::False);
+        current = Formula::and(vec![true_case.apply(&current), false_case.apply(&current)]);
+    }
+    let int_binders: Vec<Ident> = eliminate
+        .iter()
+        .filter(|v| !bool_vars.contains(v))
+        .cloned()
+        .collect();
+    let quantified = Formula::forall(int_binders, current);
+    solver.eliminate_quantifiers(&quantified).ok()
+}
+
+/// Enumerates all subsets of `items` with exactly `size` elements.
+fn subsets_of_size(items: &[Ident], size: usize) -> Vec<BTreeSet<Ident>> {
+    let mut out = Vec::new();
+    let mut indices: Vec<usize> = (0..size).collect();
+    if size == 0 || size > items.len() {
+        return out;
+    }
+    loop {
+        out.push(indices.iter().map(|&i| items[i].clone()).collect());
+        // Advance the combination.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if indices[i] != i + items.len() - size {
+                indices[i] += 1;
+                for j in i + 1..size {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_logic::Term;
+
+    fn solver() -> Solver {
+        Solver::new()
+    }
+
+    #[test]
+    fn subsets_enumeration_is_complete() {
+        let items: Vec<Ident> = vec!["a".into(), "b".into(), "c".into()];
+        assert_eq!(subsets_of_size(&items, 1).len(), 3);
+        assert_eq!(subsets_of_size(&items, 2).len(), 3);
+        assert_eq!(subsets_of_size(&items, 3).len(), 1);
+        assert!(subsets_of_size(&items, 4).is_empty());
+    }
+
+    #[test]
+    fn no_candidates_when_goal_already_follows() {
+        let s = solver();
+        let pre = Term::var("x").ge(Term::int(1));
+        let goal = Term::var("x").ge(Term::int(0));
+        assert!(abduce(&s, &pre, &goal, &AbductionConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn finds_strengthening_for_readers_writers() {
+        // The paper's enterReader triple with I = true:
+        //   pre  = !writerIn && !(readers == 0 && !writerIn)
+        //   goal = !(readers + 1 == 0 && !writerIn)
+        // A correct abductive strengthening constrains `readers` (e.g.
+        // readers >= 0 or readers != -1).
+        let s = solver();
+        let pw = Formula::and(vec![
+            Term::var("readers").eq(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+        ]);
+        let pw_after = Formula::and(vec![
+            Term::var("readers").add(Term::int(1)).eq(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+        ]);
+        let pre = Formula::and(vec![
+            Formula::not(Formula::bool_var("writerIn")),
+            Formula::not(pw),
+        ]);
+        let goal = Formula::not(pw_after);
+        let candidates = abduce(&s, &pre, &goal, &AbductionConfig::default());
+        assert!(!candidates.is_empty(), "expected at least one candidate");
+        // Every candidate must make the triple valid and be consistent.
+        for c in &candidates {
+            assert!(s
+                .check_implies(&Formula::and(vec![pre.clone(), c.clone()]), &goal)
+                .is_valid());
+        }
+        // At least one candidate follows from readers >= 0 — i.e. it is the
+        // kind of fact the constructor establishes.
+        let readers_nonneg = Term::var("readers").ge(Term::int(0));
+        assert!(candidates
+            .iter()
+            .any(|c| s.check_implies(&readers_nonneg, c).is_valid()));
+    }
+
+    #[test]
+    fn candidates_are_consistent_with_precondition() {
+        let s = solver();
+        // pre: x <= 5, goal: x <= 3. A naive "false" strengthening is rejected;
+        // an acceptable candidate is x <= 3 (or stronger but consistent).
+        let pre = Term::var("x").le(Term::int(5));
+        let goal = Term::var("x").le(Term::int(3));
+        let candidates = abduce(&s, &pre, &goal, &AbductionConfig::default());
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(s
+                .check_sat(&Formula::and(vec![pre.clone(), c.clone()]))
+                .is_sat());
+            assert!(s
+                .check_implies(&Formula::and(vec![pre.clone(), c.clone()]), &goal)
+                .is_valid());
+        }
+    }
+
+    #[test]
+    fn prefers_candidates_with_fewer_variables() {
+        let s = solver();
+        // pre: true, goal: x >= 0 || y > 10. The single-variable candidate
+        // x >= 0 (or y > 10) should be ranked before any two-variable one.
+        let pre = Formula::True;
+        let goal = Formula::or(vec![
+            Term::var("x").ge(Term::int(0)),
+            Term::var("y").gt(Term::int(10)),
+        ]);
+        let candidates = abduce(&s, &pre, &goal, &AbductionConfig::default());
+        assert!(!candidates.is_empty());
+        assert!(candidates[0].free_vars().len() <= 1);
+    }
+}

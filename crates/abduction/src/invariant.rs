@@ -1,0 +1,334 @@
+//! Monitor-invariant inference (paper Algorithm 2).
+
+use crate::abduce::{abduce, AbductionConfig};
+use expresso_logic::{simplify, Formula};
+use expresso_monitor_lang::{expr_to_formula, Monitor, VarTable};
+use expresso_smt::Solver;
+use expresso_vcgen::{HoareTriple, VcGen};
+use std::collections::HashSet;
+
+/// The result of invariant inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantOutcome {
+    /// The inferred monitor invariant (a conjunction of surviving candidates).
+    pub invariant: Formula,
+    /// Number of candidate predicates produced by abduction.
+    pub candidates: usize,
+    /// Number of candidates that survived the fixpoint.
+    pub kept: usize,
+    /// Number of fixpoint rounds executed.
+    pub rounds: usize,
+}
+
+/// Infers a monitor invariant for `monitor`, generating the property-directed
+/// triple set Θ from the signal-placement algorithm with `I = true`.
+pub fn infer_monitor_invariant(
+    monitor: &Monitor,
+    table: &VarTable,
+    solver: &Solver,
+) -> InvariantOutcome {
+    let triples = placement_triples(monitor, table, solver);
+    infer_with_triples(monitor, table, solver, &triples)
+}
+
+/// Infers a monitor invariant using an explicit triple set Θ (Algorithm 2).
+///
+/// The algorithm abduces candidate strengthenings for every triple, then runs
+/// a monomial predicate-abstraction fixpoint keeping only candidates that
+/// (a) hold after the constructor (with the `requires` clause assumed) and
+/// (b) are preserved by every CCR under the conjunction of the survivors.
+pub fn infer_with_triples(
+    monitor: &Monitor,
+    table: &VarTable,
+    solver: &Solver,
+    triples: &[HoareTriple],
+) -> InvariantOutcome {
+    let vcgen = VcGen::new(monitor, table, solver);
+    let config = AbductionConfig::default();
+
+    // Phase 1: abduce candidate predicates.
+    let mut candidates: Vec<Formula> = Vec::new();
+    for triple in triples {
+        let goal = match vcgen.wp(&triple.stmt, &triple.post) {
+            Ok(g) => g,
+            Err(_) => continue,
+        };
+        for psi in abduce(solver, &triple.pre, &goal, &config) {
+            for candidate in expand_candidates(&psi) {
+                if !candidates.contains(&candidate) {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        // Keep the fixpoint tractable for large monitors: the invariant is a
+        // best-effort strengthening, and extra candidates only cost analysis
+        // time, never correctness.
+        if candidates.len() > 32 {
+            candidates.truncate(32);
+            break;
+        }
+    }
+    let total_candidates = candidates.len();
+
+    // Phase 2: monomial predicate abstraction fixpoint.
+    let requires = requires_formula(monitor, table);
+    let constructor = monitor.constructor_body();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let before = candidates.len();
+
+        // (a) Initiation: {requires} Ctr(M) {ψ}.
+        candidates.retain(|psi| {
+            vcgen
+                .check_triple(&requires, &constructor, psi)
+                .is_valid()
+        });
+
+        // (b) Consecution: {I ∧ Guard(w)} Body(w) {ψ} for every CCR.
+        let invariant = Formula::and(candidates.clone());
+        candidates.retain(|psi| {
+            monitor.all_ccrs().all(|ccr| {
+                let guard = expr_to_formula(&ccr.guard, table).unwrap_or(Formula::True);
+                let pre = Formula::and(vec![invariant.clone(), guard]);
+                vcgen.check_triple(&pre, &ccr.body, psi).is_valid()
+            })
+        });
+
+        if candidates.len() == before || candidates.is_empty() {
+            break;
+        }
+        if rounds > total_candidates + 1 {
+            break;
+        }
+    }
+
+    let kept = candidates.len();
+    InvariantOutcome {
+        invariant: simplify(&Formula::and(candidates)),
+        candidates: total_candidates,
+        kept,
+        rounds,
+    }
+}
+
+/// Builds the triple set Θ: the Hoare triples Algorithm 1 would try to prove
+/// with `I = true` — the "no signal needed" triples and the "no broadcast
+/// needed" triples, with thread-local variables renamed per §4.2.
+pub fn placement_triples(
+    monitor: &Monitor,
+    table: &VarTable,
+    solver: &Solver,
+) -> Vec<HoareTriple> {
+    let vcgen = VcGen::new(monitor, table, solver);
+    let mut triples = Vec::new();
+    let guards = monitor.guards();
+    for ccr in monitor.all_ccrs() {
+        let guard = match expr_to_formula(&ccr.guard, table) {
+            Ok(g) => g,
+            Err(_) => Formula::True,
+        };
+        for p in &guards {
+            let Ok(p_formula) = expr_to_formula(p, table) else {
+                continue;
+            };
+            let avoid: HashSet<String> = guard.free_vars();
+            let p_renamed = vcgen.rename_locals(&p_formula, &avoid);
+            // No-signal triple: {Guard(w) && !p} Body(w) {!p}.
+            triples.push(HoareTriple {
+                pre: Formula::and(vec![guard.clone(), Formula::not(p_renamed.clone())]),
+                stmt: ccr.body.clone(),
+                post: Formula::not(p_renamed.clone()),
+                description: format!(
+                    "no-signal({}, {})",
+                    monitor.ccr_label(ccr.id),
+                    p
+                ),
+            });
+        }
+        // No-broadcast triple for the CCR's own guard: {p} Body(w) {!p}.
+        if !ccr.never_blocks() {
+            if let Ok(own_guard) = expr_to_formula(&ccr.guard, table) {
+                triples.push(HoareTriple {
+                    pre: own_guard.clone(),
+                    stmt: ccr.body.clone(),
+                    post: Formula::not(own_guard),
+                    description: format!("no-broadcast({})", monitor.ccr_label(ccr.id)),
+                });
+            }
+        }
+    }
+    triples
+}
+
+/// Expands an abduced candidate into itself plus its sub-formulas (conjuncts,
+/// disjuncts and atoms in negation normal form).
+///
+/// Abduction returns the *weakest* strengthening over the chosen variables,
+/// which is frequently not inductive (e.g. `readers != -1` for the
+/// readers-writers monitor). Its strengthenings — individual disjuncts such as
+/// `readers > -1` — often are, and the Algorithm 2 fixpoint safely discards
+/// whichever candidates are not invariants, so offering more candidates never
+/// hurts soundness.
+fn expand_candidates(psi: &Formula) -> Vec<Formula> {
+    let nnf = expresso_logic::to_nnf(psi);
+    let mut out = Vec::new();
+    collect_subformulas(&nnf, &mut out);
+    out
+}
+
+fn collect_subformulas(f: &Formula, out: &mut Vec<Formula>) {
+    let simplified = simplify(f);
+    if !simplified.is_true() && !simplified.is_false() && !out.contains(&simplified) {
+        out.push(simplified);
+    }
+    match f {
+        Formula::And(parts) | Formula::Or(parts) => {
+            for p in parts {
+                collect_subformulas(p, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn requires_formula(monitor: &Monitor, table: &VarTable) -> Formula {
+    monitor
+        .requires
+        .as_ref()
+        .and_then(|r| expr_to_formula(r, table).ok())
+        .unwrap_or(Formula::True)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_logic::Term;
+    use expresso_monitor_lang::{check_monitor, parse_monitor};
+
+    fn infer(src: &str) -> (Formula, Solver) {
+        let monitor = parse_monitor(src).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let solver = Solver::new();
+        let outcome = infer_monitor_invariant(&monitor, &table, &solver);
+        (outcome.invariant, solver)
+    }
+
+    #[test]
+    fn readers_writers_invariant_implies_nonnegative_readers() {
+        let (inv, solver) = infer(
+            r#"
+            monitor RWLock {
+                int readers = 0;
+                bool writerIn = false;
+                atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+                atomic void exitReader() { if (readers > 0) readers--; }
+                atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+                atomic void exitWriter() { writerIn = false; }
+            }
+            "#,
+        );
+        assert!(
+            solver
+                .check_implies(&inv, &Formula::not(Term::var("readers").eq(Term::int(-1))))
+                .is_valid(),
+            "invariant {inv} should rule out readers == -1"
+        );
+    }
+
+    #[test]
+    fn inferred_invariant_is_actually_inductive() {
+        let src = r#"
+            monitor Counter {
+                int count = 0;
+                atomic void inc() { count++; }
+                atomic void dec() { waituntil (count > 0) { count--; } }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let solver = Solver::new();
+        let outcome = infer_monitor_invariant(&monitor, &table, &solver);
+        let vcgen = VcGen::new(&monitor, &table, &solver);
+        // Initiation.
+        assert!(vcgen
+            .check_triple(&Formula::True, &monitor.constructor_body(), &outcome.invariant)
+            .is_valid());
+        // Consecution for every CCR.
+        for ccr in monitor.all_ccrs() {
+            let guard = expr_to_formula(&ccr.guard, &table).unwrap();
+            let pre = Formula::and(vec![outcome.invariant.clone(), guard]);
+            assert!(
+                vcgen.check_triple(&pre, &ccr.body, &outcome.invariant).is_valid(),
+                "invariant {} not preserved by {}",
+                outcome.invariant,
+                monitor.ccr_label(ccr.id)
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_invariant_is_inductive_and_consistent() {
+        let src = r#"
+            monitor BoundedBuffer(int capacity) requires capacity > 0 {
+                int count = 0;
+                atomic void put() { waituntil (count < capacity) { count++; } }
+                atomic void take() { waituntil (count > 0) { count--; } }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let solver = Solver::new();
+        let outcome = infer_monitor_invariant(&monitor, &table, &solver);
+        assert!(!outcome.invariant.is_false());
+        let vcgen = VcGen::new(&monitor, &table, &solver);
+        let requires = expr_to_formula(monitor.requires.as_ref().unwrap(), &table).unwrap();
+        assert!(vcgen
+            .check_triple(&requires, &monitor.constructor_body(), &outcome.invariant)
+            .is_valid());
+        for ccr in monitor.all_ccrs() {
+            let guard = expr_to_formula(&ccr.guard, &table).unwrap();
+            let pre = Formula::and(vec![outcome.invariant.clone(), guard]);
+            assert!(vcgen
+                .check_triple(&pre, &ccr.body, &outcome.invariant)
+                .is_valid());
+        }
+    }
+
+    #[test]
+    fn triple_set_includes_no_signal_and_no_broadcast_goals() {
+        let monitor = parse_monitor(
+            r#"
+            monitor M {
+                int x = 0;
+                atomic void inc() { x++; }
+                atomic void wait() { waituntil (x > 0) { x--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let solver = Solver::new();
+        let triples = placement_triples(&monitor, &table, &solver);
+        assert!(triples.iter().any(|t| t.description.starts_with("no-signal")));
+        assert!(triples
+            .iter()
+            .any(|t| t.description.starts_with("no-broadcast")));
+    }
+
+    #[test]
+    fn invariant_without_useful_candidates_is_true() {
+        // A monitor whose triples are all already provable (or hopeless)
+        // yields the trivial invariant.
+        let (inv, _) = infer(
+            r#"
+            monitor Flag {
+                bool up = false;
+                atomic void raise() { up = true; }
+                atomic void await_up() { waituntil (up) { skip; } }
+            }
+            "#,
+        );
+        assert!(inv.is_true() || !inv.is_false());
+    }
+}

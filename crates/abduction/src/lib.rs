@@ -1,0 +1,42 @@
+//! Abductive inference and monitor-invariant inference (paper §5).
+//!
+//! The paper infers *monitor invariants* — assertions that hold whenever a
+//! thread enters or leaves the monitor — by (1) using abduction to propose
+//! candidate predicates that would make failing Hoare triples provable and
+//! (2) running a monomial predicate-abstraction fixpoint that keeps only the
+//! candidates that are genuine invariants (they hold after the constructor and
+//! are preserved by every CCR).
+//!
+//! # Example
+//!
+//! ```
+//! use expresso_abduction::infer_monitor_invariant;
+//! use expresso_monitor_lang::{check_monitor, parse_monitor};
+//! use expresso_smt::Solver;
+//!
+//! let monitor = parse_monitor(r#"
+//!     monitor RWLock {
+//!         int readers = 0;
+//!         bool writerIn = false;
+//!         atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+//!         atomic void exitReader()  { if (readers > 0) readers--; }
+//!         atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+//!         atomic void exitWriter()  { writerIn = false; }
+//!     }
+//! "#).unwrap();
+//! let table = check_monitor(&monitor).unwrap();
+//! let solver = Solver::new();
+//! let outcome = infer_monitor_invariant(&monitor, &table, &solver);
+//! // The inferred invariant must at least imply readers >= 0, the fact the
+//! // paper highlights as essential for the readers-writers example.
+//! use expresso_logic::{Formula, Term};
+//! assert!(solver
+//!     .check_implies(&outcome.invariant, &Term::var("readers").ge(Term::int(0)))
+//!     .is_valid());
+//! ```
+
+pub mod abduce;
+pub mod invariant;
+
+pub use abduce::{abduce, AbductionConfig};
+pub use invariant::{infer_monitor_invariant, infer_with_triples, InvariantOutcome};

@@ -1,0 +1,23 @@
+//! Criterion benchmark regenerating Table 1: the wall-clock time Expresso
+//! needs to synthesize the explicit-signal monitor for every benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use expresso_core::Expresso;
+use expresso_suite::all;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_analysis_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for benchmark in all() {
+        let monitor = benchmark.monitor();
+        group.bench_function(benchmark.name, |b| {
+            b.iter(|| Expresso::new().analyze(&monitor).expect("analysis succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

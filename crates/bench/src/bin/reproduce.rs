@@ -1,0 +1,106 @@
+//! Regenerates the paper's evaluation artefacts as text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p expresso-bench --bin reproduce -- fig8
+//! cargo run --release -p expresso-bench --bin reproduce -- fig9
+//! cargo run --release -p expresso-bench --bin reproduce -- table1
+//! cargo run --release -p expresso-bench --bin reproduce -- summary
+//! cargo run --release -p expresso-bench --bin reproduce -- all
+//! ```
+//!
+//! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
+//! (default 200) scale the sweep; the paper uses up to 128 threads on a
+//! 16-way Xeon, which is also valid here but takes correspondingly longer.
+
+use expresso_bench::{
+    analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
+    Series,
+};
+use expresso_suite::{autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_figure(benchmarks: &[Benchmark], title: &str) -> Vec<Measurement> {
+    let max_threads = env_usize("REPRO_MAX_THREADS", 16);
+    let ops = env_usize("REPRO_OPS", 200);
+    println!("=== {title} (saturation tests, {ops} ops/thread) ===\n");
+    let mut all = Vec::new();
+    for benchmark in benchmarks {
+        let outcome = analyze(benchmark);
+        let mut measurements = Vec::new();
+        for threads in scaled_thread_counts(max_threads) {
+            for series in Series::all() {
+                measurements.push(measure_benchmark(
+                    benchmark,
+                    &outcome.explicit,
+                    series,
+                    threads,
+                    ops,
+                ));
+            }
+        }
+        println!("{}", format_figure(benchmark.name, &measurements));
+        all.extend(measurements);
+    }
+    all
+}
+
+fn run_table1() {
+    println!("=== Table 1: analysis time per benchmark ===\n");
+    println!(
+        "{:<28} {:>12} {:>10} {:>12}",
+        "Benchmark", "time (s)", "triples", "invariant"
+    );
+    let mut benchmarks = autosynch_benchmarks();
+    benchmarks.extend(github_benchmarks());
+    for benchmark in &benchmarks {
+        let (duration, outcome) = analysis_time(benchmark);
+        println!(
+            "{:<28} {:>12.2} {:>10} {:>12}",
+            benchmark.name,
+            duration.as_secs_f64(),
+            outcome.stats.triples_checked,
+            outcome.stats.invariant_conjuncts,
+        );
+    }
+}
+
+fn summarise(measurements: &[Measurement]) {
+    let vs_autosynch = geometric_speedup(measurements, Series::Expresso, Series::AutoSynch);
+    let vs_explicit = geometric_speedup(measurements, Series::Expresso, Series::Explicit);
+    println!("=== Summary ===");
+    println!("Expresso speed-up over AutoSynch (geomean): {vs_autosynch:.2}x (paper: 1.56x)");
+    println!("Expresso vs hand-written explicit (geomean): {vs_explicit:.2}x (paper: ~1.0x)");
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match mode.as_str() {
+        "fig8" => {
+            let m = run_figure(&autosynch_benchmarks(), "Figure 8: AutoSynch benchmarks");
+            summarise(&m);
+        }
+        "fig9" => {
+            let m = run_figure(&github_benchmarks(), "Figure 9: GitHub monitors");
+            summarise(&m);
+        }
+        "table1" => run_table1(),
+        "summary" | "all" => {
+            let mut m = run_figure(&autosynch_benchmarks(), "Figure 8: AutoSynch benchmarks");
+            m.extend(run_figure(&github_benchmarks(), "Figure 9: GitHub monitors"));
+            run_table1();
+            summarise(&m);
+        }
+        other => {
+            eprintln!("unknown mode `{other}`; expected fig8 | fig9 | table1 | summary | all");
+            std::process::exit(2);
+        }
+    }
+}

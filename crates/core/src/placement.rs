@@ -1,0 +1,400 @@
+//! The signal-placement algorithm (paper Algorithm 1, §4.2 and §4.3).
+
+use expresso_logic::Formula;
+use expresso_monitor_lang::{
+    expr_to_formula, CcrId, ExplicitMonitor, Expr, Monitor, Notification, NotificationKind,
+    SignalCondition, VarTable,
+};
+use expresso_smt::Solver;
+use expresso_vcgen::VcGen;
+use std::collections::{HashMap, HashSet};
+
+/// The decision taken for one `(CCR, predicate)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecision {
+    /// The CCR that may have to notify.
+    pub ccr: CcrId,
+    /// The blocked predicate under consideration (a guard of the monitor).
+    pub predicate: Expr,
+    /// Whether any notification is needed at all.
+    pub needed: bool,
+    /// Conditional (`?`) vs. unconditional (`✓`) notification (meaningful only
+    /// when `needed`).
+    pub condition: SignalCondition,
+    /// Signal one waiter vs. broadcast to all (meaningful only when `needed`).
+    pub kind: NotificationKind,
+    /// `true` when the broadcast-avoidance proof needed the §4.3
+    /// commutativity-based strengthening.
+    pub used_commutativity: bool,
+    /// `true` when the decision fell back to the conservative default because
+    /// the predicate or body left the decidable fragment (arrays, non-linear
+    /// arithmetic) — the "fixed strategy" of §6.
+    pub conservative_fallback: bool,
+}
+
+/// The full decision table plus bookkeeping counters.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementReport {
+    /// One decision per `(CCR, guard)` pair considered.
+    pub decisions: Vec<SignalDecision>,
+    /// Number of Hoare triples discharged.
+    pub triples_checked: usize,
+    /// Number of `(CCR, guard)` pairs proven to need no notification.
+    pub skipped: usize,
+}
+
+impl PlacementReport {
+    /// Looks up the decision for a `(CCR, predicate)` pair.
+    pub fn decision(&self, ccr: CcrId, predicate: &Expr) -> Option<&SignalDecision> {
+        self.decisions
+            .iter()
+            .find(|d| d.ccr == ccr && &d.predicate == predicate)
+    }
+}
+
+/// Runs the signal-placement algorithm with a given monitor invariant,
+/// producing the explicit-signal monitor and a decision report.
+///
+/// `use_commutativity` enables the §4.3 improvement that can downgrade a
+/// broadcast to a signal when the signalled CCR's body commutes with every
+/// other CCR.
+pub fn place_signals(
+    monitor: &Monitor,
+    table: &VarTable,
+    solver: &Solver,
+    invariant: &Formula,
+    use_commutativity: bool,
+) -> (ExplicitMonitor, PlacementReport) {
+    let vcgen = VcGen::new(monitor, table, solver);
+    let mut report = PlacementReport::default();
+    let mut notifications: HashMap<CcrId, Vec<Notification>> = monitor
+        .ccrs
+        .iter()
+        .map(|c| (c.id, Vec::new()))
+        .collect();
+
+    // Pre-compute commutativity of every CCR's body with all others (used by
+    // the §4.3 improvement); only needed when the option is on.
+    let commutes_all: HashMap<CcrId, bool> = if use_commutativity {
+        monitor
+            .ccrs
+            .iter()
+            .map(|c| (c.id, vcgen.commutes_with_all(c.id)))
+            .collect()
+    } else {
+        HashMap::new()
+    };
+
+    let guards = monitor.guards();
+    for ccr in monitor.all_ccrs() {
+        for predicate in &guards {
+            let decision = decide(
+                &vcgen,
+                monitor,
+                table,
+                invariant,
+                ccr.id,
+                predicate,
+                use_commutativity,
+                &commutes_all,
+                &mut report.triples_checked,
+            );
+            if decision.needed {
+                notifications
+                    .entry(ccr.id)
+                    .or_default()
+                    .push(Notification {
+                        predicate: predicate.clone(),
+                        condition: decision.condition,
+                        kind: decision.kind,
+                    });
+            } else {
+                report.skipped += 1;
+            }
+            report.decisions.push(decision);
+        }
+    }
+
+    let explicit = ExplicitMonitor {
+        monitor: monitor.clone(),
+        notifications,
+    };
+    (explicit, report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decide(
+    vcgen: &VcGen<'_>,
+    monitor: &Monitor,
+    table: &VarTable,
+    invariant: &Formula,
+    ccr_id: CcrId,
+    predicate: &Expr,
+    use_commutativity: bool,
+    commutes_all: &HashMap<CcrId, bool>,
+    triples_checked: &mut usize,
+) -> SignalDecision {
+    let ccr = monitor.ccr(ccr_id);
+    let conservative = SignalDecision {
+        ccr: ccr_id,
+        predicate: predicate.clone(),
+        needed: true,
+        condition: SignalCondition::Conditional,
+        kind: NotificationKind::Broadcast,
+        used_commutativity: false,
+        conservative_fallback: true,
+    };
+
+    // Lower the guard of the signalling CCR and the blocked predicate. If the
+    // blocked predicate cannot be lowered (e.g. it reads an array), fall back
+    // to the always-correct conditional broadcast.
+    let Ok(own_guard) = expr_to_formula(&ccr.guard, table) else {
+        return conservative;
+    };
+    let Ok(p_formula) = expr_to_formula(predicate, table) else {
+        return conservative;
+    };
+
+    // §4.2: rename the *other* thread's locals so they are not conflated with
+    // ours. Predicates over thread-local state additionally force the
+    // conservative per-waiter strategy of §6 for the signal/broadcast choice.
+    let predicate_has_locals = predicate.vars().iter().any(|v| table.is_local(v));
+    let avoid: HashSet<String> = own_guard.free_vars();
+    let p_other = vcgen.rename_locals(&p_formula, &avoid);
+
+    // Line 7 of Algorithm 1: is signalling ever necessary?
+    *triples_checked += 1;
+    let no_signal_pre = Formula::and(vec![
+        invariant.clone(),
+        own_guard.clone(),
+        Formula::not(p_other.clone()),
+    ]);
+    if vcgen
+        .check_triple(&no_signal_pre, &ccr.body, &Formula::not(p_other.clone()))
+        .is_valid()
+    {
+        return SignalDecision {
+            needed: false,
+            conservative_fallback: false,
+            ..conservative
+        };
+    }
+
+    // Lines 9–12: conditional vs. unconditional.
+    *triples_checked += 1;
+    let condition = if vcgen
+        .check_triple(&no_signal_pre, &ccr.body, &p_other)
+        .is_valid()
+    {
+        SignalCondition::Unconditional
+    } else {
+        SignalCondition::Conditional
+    };
+
+    // Lines 13–16 (+ §4.3): signal vs. broadcast.
+    let mut used_commutativity = false;
+    let kind = if predicate_has_locals {
+        // §6 fixed strategy: waiters snapshot their locals, the runtime checks
+        // each waiter's predicate, so the analysis conservatively broadcasts.
+        NotificationKind::Broadcast
+    } else {
+        let mut can_signal = true;
+        for other in monitor.all_ccrs().filter(|c| c.guard == *predicate) {
+            *triples_checked += 1;
+            let pre = Formula::and(vec![invariant.clone(), p_formula.clone()]);
+            if vcgen
+                .check_triple(&pre, &other.body, &Formula::not(p_formula.clone()))
+                .is_valid()
+            {
+                continue;
+            }
+            // §4.3 improvement: if the waiter's body commutes with every other
+            // CCR, check the sequential composition Body(w); Body(w').
+            if use_commutativity && commutes_all.get(&other.id).copied().unwrap_or(false) {
+                *triples_checked += 1;
+                let seq = expresso_monitor_lang::Stmt::seq(vec![
+                    ccr.body.clone(),
+                    other.body.clone(),
+                ]);
+                let pre = Formula::and(vec![
+                    invariant.clone(),
+                    own_guard.clone(),
+                    Formula::not(p_formula.clone()),
+                ]);
+                if vcgen
+                    .check_triple(&pre, &seq, &Formula::not(p_formula.clone()))
+                    .is_valid()
+                {
+                    used_commutativity = true;
+                    continue;
+                }
+            }
+            can_signal = false;
+            break;
+        }
+        if can_signal {
+            NotificationKind::Signal
+        } else {
+            NotificationKind::Broadcast
+        }
+    };
+
+    SignalDecision {
+        ccr: ccr_id,
+        predicate: predicate.clone(),
+        needed: true,
+        condition,
+        kind,
+        used_commutativity,
+        conservative_fallback: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_abduction::infer_monitor_invariant;
+    use expresso_monitor_lang::{check_monitor, parse_expr, parse_monitor};
+
+    fn analyze(src: &str) -> (Monitor, ExplicitMonitor, PlacementReport) {
+        let monitor = parse_monitor(src).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let solver = Solver::new();
+        let inv = infer_monitor_invariant(&monitor, &table, &solver).invariant;
+        let (explicit, report) = place_signals(&monitor, &table, &solver, &inv, true);
+        (monitor, explicit, report)
+    }
+
+    const RW: &str = r#"
+        monitor RWLock {
+            int readers = 0;
+            bool writerIn = false;
+            atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+            atomic void exitReader() { if (readers > 0) readers--; }
+            atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+            atomic void exitWriter() { writerIn = false; }
+        }
+    "#;
+
+    #[test]
+    fn readers_writers_matches_the_paper_walkthrough() {
+        let (monitor, explicit, _) = analyze(RW);
+        let ccr_of = |m: &str| monitor.method(m).unwrap().ccrs[0];
+        let writer_guard = parse_expr("readers == 0 && !writerIn").unwrap();
+        let reader_guard = parse_expr("!writerIn").unwrap();
+
+        // enterReader and enterWriter do not signal at all (paper §2).
+        assert!(explicit.notifications_for(ccr_of("enterReader")).is_empty());
+        assert!(explicit.notifications_for(ccr_of("enterWriter")).is_empty());
+
+        // exitReader conditionally signals (not broadcasts) one writer.
+        let exit_reader = explicit.notifications_for(ccr_of("exitReader"));
+        assert_eq!(exit_reader.len(), 1);
+        assert_eq!(exit_reader[0].predicate, writer_guard);
+        assert_eq!(exit_reader[0].kind, NotificationKind::Signal);
+        assert_eq!(exit_reader[0].condition, SignalCondition::Conditional);
+
+        // exitWriter signals a writer conditionally and broadcasts readers
+        // unconditionally (paper §2 / Fig. 2).
+        let exit_writer = explicit.notifications_for(ccr_of("exitWriter"));
+        assert_eq!(exit_writer.len(), 2);
+        let to_writers = exit_writer.iter().find(|n| n.predicate == writer_guard).unwrap();
+        assert_eq!(to_writers.kind, NotificationKind::Signal);
+        assert_eq!(to_writers.condition, SignalCondition::Conditional);
+        let to_readers = exit_writer.iter().find(|n| n.predicate == reader_guard).unwrap();
+        assert_eq!(to_readers.kind, NotificationKind::Broadcast);
+        assert_eq!(to_readers.condition, SignalCondition::Unconditional);
+    }
+
+    #[test]
+    fn counter_uses_commutativity_to_avoid_broadcast() {
+        let src = r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+        "#;
+        let (monitor, explicit, report) = analyze(src);
+        let release = monitor.method("release").unwrap().ccrs[0];
+        let notes = explicit.notifications_for(release);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].kind, NotificationKind::Signal);
+        // The basic algorithm alone cannot prove the signal suffices; the
+        // commutativity improvement must have been used.
+        let guard = parse_expr("count > 0").unwrap();
+        let decision = report.decision(release, &guard).unwrap();
+        assert!(decision.used_commutativity);
+    }
+
+    #[test]
+    fn commutativity_improvement_is_optional() {
+        let src = r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let solver = Solver::new();
+        let inv = infer_monitor_invariant(&monitor, &table, &solver).invariant;
+        let (with, _) = place_signals(&monitor, &table, &solver, &inv, true);
+        let (without, _) = place_signals(&monitor, &table, &solver, &inv, false);
+        assert!(with.broadcast_count() <= without.broadcast_count());
+        assert!(without.broadcast_count() >= 1);
+    }
+
+    #[test]
+    fn local_variable_guards_force_conservative_broadcast() {
+        // Example 4.2: the guard mentions the waiter's local variable, so the
+        // signaller must broadcast.
+        let src = r#"
+            monitor M {
+                int y = 0;
+                atomic void m1(int x) { waituntil (x < y) { x = y + 1; } }
+                atomic void m2() { y = y + 2; }
+            }
+        "#;
+        let (monitor, explicit, _) = analyze(src);
+        let m2 = monitor.method("m2").unwrap().ccrs[0];
+        let notes = explicit.notifications_for(m2);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].kind, NotificationKind::Broadcast);
+    }
+
+    #[test]
+    fn array_guards_fall_back_to_conditional_broadcast() {
+        let src = r#"
+            monitor M(int n) {
+                int[] state = new int[n];
+                int turn = 0;
+                atomic void step(int id) { waituntil (state[id] > 0) { state[id] = 0; } }
+                atomic void grant(int which) { state[which] = 1; }
+            }
+        "#;
+        let (monitor, explicit, report) = analyze(src);
+        let grant = monitor.method("grant").unwrap().ccrs[0];
+        let notes = explicit.notifications_for(grant);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].kind, NotificationKind::Broadcast);
+        assert_eq!(notes[0].condition, SignalCondition::Conditional);
+        let decision = report
+            .decisions
+            .iter()
+            .find(|d| d.ccr == grant && d.needed)
+            .expect("grant has a recorded decision");
+        assert!(!decision.used_commutativity);
+    }
+
+    #[test]
+    fn skipped_pairs_are_counted() {
+        let (_, _, report) = analyze(RW);
+        // 4 CCRs × 2 guards = 8 pairs; the walk-through shows 3 notifications,
+        // so 5 pairs are skipped.
+        assert_eq!(report.decisions.len(), 8);
+        assert_eq!(report.skipped, 5);
+        assert!(report.triples_checked > 8);
+    }
+}

@@ -1,0 +1,498 @@
+//! Boolean formulas over linear integer arithmetic and boolean variables.
+
+use crate::term::Term;
+use crate::Ident;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Comparison operators between integer terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Returns the operator that expresses the negation of this comparison.
+    ///
+    /// ```
+    /// use expresso_logic::CmpOp;
+    /// assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+    /// ```
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Returns the operator with its arguments swapped (`a op b` ⇔ `b op' a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Quantifier kinds appearing in [`Formula::Quant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Quantifier {
+    /// Universal quantification.
+    Forall,
+    /// Existential quantification.
+    Exists,
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Forall => f.write_str("forall"),
+            Quantifier::Exists => f.write_str("exists"),
+        }
+    }
+}
+
+/// A boolean formula.
+///
+/// The fragment is Presburger arithmetic (quantified linear integer
+/// arithmetic) extended with free boolean variables, divisibility atoms
+/// (needed by Cooper's quantifier elimination in `expresso-smt`) and opaque
+/// array reads inside terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A boolean-sorted variable.
+    BoolVar(Ident),
+    /// Comparison of two integer terms.
+    Cmp(CmpOp, Term, Term),
+    /// Divisibility atom `divisor | term` (`divisor` is positive).
+    Divides(u64, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Quantified formula over integer variables.
+    Quant(Quantifier, Vec<Ident>, Box<Formula>),
+}
+
+impl Formula {
+    /// Boolean variable constructor.
+    pub fn bool_var(name: impl Into<Ident>) -> Self {
+        Formula::BoolVar(name.into())
+    }
+
+    /// Comparison constructor.
+    pub fn cmp(op: CmpOp, lhs: Term, rhs: Term) -> Self {
+        Formula::Cmp(op, lhs, rhs)
+    }
+
+    /// Divisibility constructor, `divisor | term`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divides(divisor: u64, term: Term) -> Self {
+        assert!(divisor > 0, "divisor must be positive");
+        Formula::Divides(divisor, term)
+    }
+
+    /// Negation that performs the obvious constant simplifications.
+    pub fn not(f: Formula) -> Self {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// N-ary conjunction that flattens nested conjunctions and drops `true`.
+    pub fn and(parts: Vec<Formula>) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::And(flat),
+        }
+    }
+
+    /// N-ary disjunction that flattens nested disjunctions and drops `false`.
+    pub fn or(parts: Vec<Formula>) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::Or(flat),
+        }
+    }
+
+    /// Implication constructor.
+    pub fn implies(lhs: Formula, rhs: Formula) -> Self {
+        match (&lhs, &rhs) {
+            (Formula::True, _) => rhs,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            _ => Formula::Implies(Box::new(lhs), Box::new(rhs)),
+        }
+    }
+
+    /// Bi-implication constructor.
+    pub fn iff(lhs: Formula, rhs: Formula) -> Self {
+        Formula::Iff(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Universal quantification over integer variables; collapses empty binders.
+    pub fn forall(vars: Vec<Ident>, body: Formula) -> Self {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Quant(Quantifier::Forall, vars, Box::new(body))
+        }
+    }
+
+    /// Existential quantification over integer variables; collapses empty binders.
+    pub fn exists(vars: Vec<Ident>, body: Formula) -> Self {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Quant(Quantifier::Exists, vars, Box::new(body))
+        }
+    }
+
+    /// Returns `true` when this formula is syntactically the constant `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Formula::True)
+    }
+
+    /// Returns `true` when this formula is syntactically the constant `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Formula::False)
+    }
+
+    /// Collects free integer variables into `ints` and free boolean variables
+    /// into `bools`, honouring quantifier binders.
+    pub fn collect_free_vars(&self, ints: &mut HashSet<Ident>, bools: &mut HashSet<Ident>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::BoolVar(b) => {
+                bools.insert(b.clone());
+            }
+            Formula::Cmp(_, lhs, rhs) => {
+                lhs.collect_vars(ints);
+                rhs.collect_vars(ints);
+            }
+            Formula::Divides(_, t) => t.collect_vars(ints),
+            Formula::Not(inner) => inner.collect_free_vars(ints, bools),
+            Formula::And(parts) | Formula::Or(parts) => {
+                for p in parts {
+                    p.collect_free_vars(ints, bools);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_free_vars(ints, bools);
+                b.collect_free_vars(ints, bools);
+            }
+            Formula::Quant(_, binders, body) => {
+                let mut inner_ints = HashSet::new();
+                body.collect_free_vars(&mut inner_ints, bools);
+                for v in inner_ints {
+                    if !binders.contains(&v) {
+                        ints.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the free integer variables of this formula.
+    pub fn int_vars(&self) -> HashSet<Ident> {
+        let mut ints = HashSet::new();
+        let mut bools = HashSet::new();
+        self.collect_free_vars(&mut ints, &mut bools);
+        ints
+    }
+
+    /// Returns the free boolean variables of this formula.
+    pub fn bool_vars(&self) -> HashSet<Ident> {
+        let mut ints = HashSet::new();
+        let mut bools = HashSet::new();
+        self.collect_free_vars(&mut ints, &mut bools);
+        bools
+    }
+
+    /// Returns all free variables (integer and boolean) of this formula.
+    pub fn free_vars(&self) -> HashSet<Ident> {
+        let mut ints = HashSet::new();
+        let mut bools = HashSet::new();
+        self.collect_free_vars(&mut ints, &mut bools);
+        ints.extend(bools);
+        ints
+    }
+
+    /// Collects the names of arrays read anywhere in the formula.
+    pub fn collect_arrays(&self, out: &mut HashSet<Ident>) {
+        match self {
+            Formula::True | Formula::False | Formula::BoolVar(_) => {}
+            Formula::Cmp(_, lhs, rhs) => {
+                lhs.collect_arrays(out);
+                rhs.collect_arrays(out);
+            }
+            Formula::Divides(_, t) => t.collect_arrays(out),
+            Formula::Not(inner) => inner.collect_arrays(out),
+            Formula::And(parts) | Formula::Or(parts) => {
+                for p in parts {
+                    p.collect_arrays(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_arrays(out);
+                b.collect_arrays(out);
+            }
+            Formula::Quant(_, _, body) => body.collect_arrays(out),
+        }
+    }
+
+    /// Returns the names of arrays read anywhere in the formula.
+    pub fn arrays(&self) -> HashSet<Ident> {
+        let mut out = HashSet::new();
+        self.collect_arrays(&mut out);
+        out
+    }
+
+    /// Returns `true` when the formula reads from any array.
+    pub fn mentions_array(&self) -> bool {
+        !self.arrays().is_empty()
+    }
+
+    /// Returns `true` when the formula contains a quantifier.
+    pub fn has_quantifier(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::BoolVar(_) | Formula::Cmp(..) | Formula::Divides(..) => false,
+            Formula::Not(inner) => inner.has_quantifier(),
+            Formula::And(parts) | Formula::Or(parts) => parts.iter().any(Formula::has_quantifier),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.has_quantifier() || b.has_quantifier(),
+            Formula::Quant(..) => true,
+        }
+    }
+
+    /// Structural size of the formula (number of nodes), a rough complexity
+    /// measure used by tests and by abduction's preference for simple results.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::BoolVar(_) | Formula::Cmp(..) | Formula::Divides(..) => 1,
+            Formula::Not(inner) => 1 + inner.size(),
+            Formula::And(parts) | Formula::Or(parts) => {
+                1 + parts.iter().map(Formula::size).sum::<usize>()
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
+            Formula::Quant(_, _, body) => 1 + body.size(),
+        }
+    }
+
+    /// Splits a conjunction into its conjuncts (a non-conjunction is returned
+    /// as a single-element vector).
+    pub fn conjuncts(&self) -> Vec<Formula> {
+        match self {
+            Formula::And(parts) => parts.clone(),
+            Formula::True => Vec::new(),
+            other => vec![other.clone()],
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => f.write_str("true"),
+            Formula::False => f.write_str("false"),
+            Formula::BoolVar(b) => f.write_str(b),
+            Formula::Cmp(op, lhs, rhs) => write!(f, "{lhs} {op} {rhs}"),
+            Formula::Divides(d, t) => write!(f, "{d} | {t}"),
+            Formula::Not(inner) => write!(f, "!{inner}"),
+            Formula::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} ==> {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} <=> {b})"),
+            Formula::Quant(q, vars, body) => {
+                write!(f, "({q} {} . {body})", vars.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens_and_short_circuits() {
+        let f = Formula::and(vec![
+            Formula::True,
+            Formula::bool_var("a"),
+            Formula::and(vec![Formula::bool_var("b"), Formula::bool_var("c")]),
+        ]);
+        assert_eq!(
+            f,
+            Formula::And(vec![
+                Formula::bool_var("a"),
+                Formula::bool_var("b"),
+                Formula::bool_var("c")
+            ])
+        );
+        assert_eq!(
+            Formula::and(vec![Formula::bool_var("a"), Formula::False]),
+            Formula::False
+        );
+    }
+
+    #[test]
+    fn or_flattens_and_short_circuits() {
+        assert_eq!(
+            Formula::or(vec![Formula::False, Formula::bool_var("a")]),
+            Formula::bool_var("a")
+        );
+        assert_eq!(
+            Formula::or(vec![Formula::bool_var("a"), Formula::True]),
+            Formula::True
+        );
+        assert_eq!(Formula::or(vec![]), Formula::False);
+    }
+
+    #[test]
+    fn not_simplifies_constants_and_double_negation() {
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+        assert_eq!(
+            Formula::not(Formula::not(Formula::bool_var("x"))),
+            Formula::bool_var("x")
+        );
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let body = Term::var("x").lt(Term::var("y"));
+        let f = Formula::exists(vec!["x".into()], body);
+        let vars = f.int_vars();
+        assert!(vars.contains("y"));
+        assert!(!vars.contains("x"));
+    }
+
+    #[test]
+    fn cmp_negate_roundtrip() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let f = Formula::and(vec![
+            Term::var("readers").ge(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+        ]);
+        assert_eq!(f.to_string(), "(readers >= 0 && !writerIn)");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = Formula::and(vec![
+            Formula::bool_var("a"),
+            Formula::not(Formula::bool_var("b")),
+        ]);
+        assert_eq!(f.size(), 4);
+    }
+
+    #[test]
+    fn quantifier_detection() {
+        let f = Formula::forall(vec!["x".into()], Term::var("x").ge(Term::int(0)));
+        assert!(f.has_quantifier());
+        assert!(!Formula::bool_var("p").has_quantifier());
+    }
+}

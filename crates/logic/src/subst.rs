@@ -1,0 +1,176 @@
+//! Substitution of integer and boolean variables.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use crate::Ident;
+use std::collections::HashMap;
+
+/// A simultaneous substitution mapping integer variables to terms and boolean
+/// variables to formulas.
+///
+/// Substitutions drive weakest-precondition computation (assignment replaces a
+/// variable by the assigned expression) and the thread-local renaming of
+/// paper §4.2 (local variables are replaced by fresh primed copies).
+///
+/// # Example
+///
+/// ```
+/// use expresso_logic::{Formula, Subst, Term};
+///
+/// let mut subst = Subst::new();
+/// subst.int("readers", Term::var("readers").add(Term::int(1)));
+/// let guard = Term::var("readers").eq(Term::int(0));
+/// assert_eq!(subst.apply(&guard).to_string(), "(readers + 1) == 0");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    int_map: HashMap<Ident, Term>,
+    bool_map: HashMap<Ident, Formula>,
+}
+
+impl Subst {
+    /// Creates an empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Returns `true` when the substitution maps no variable.
+    pub fn is_empty(&self) -> bool {
+        self.int_map.is_empty() && self.bool_map.is_empty()
+    }
+
+    /// Adds a mapping for an integer variable, returning `&mut self` for chaining.
+    pub fn int(&mut self, var: impl Into<Ident>, replacement: Term) -> &mut Self {
+        self.int_map.insert(var.into(), replacement);
+        self
+    }
+
+    /// Adds a mapping for a boolean variable, returning `&mut self` for chaining.
+    pub fn boolean(&mut self, var: impl Into<Ident>, replacement: Formula) -> &mut Self {
+        self.bool_map.insert(var.into(), replacement);
+        self
+    }
+
+    /// Builds a pure renaming from old names to new names. The `kind` of each
+    /// variable (integer vs. boolean) is taken from `bool_vars`: names listed
+    /// there are renamed as boolean variables, all others as integer variables.
+    pub fn renaming<'a>(
+        pairs: impl IntoIterator<Item = (&'a Ident, &'a Ident)>,
+        bool_vars: &std::collections::HashSet<Ident>,
+    ) -> Self {
+        let mut subst = Subst::new();
+        for (old, new) in pairs {
+            if bool_vars.contains(old) {
+                subst.boolean(old.clone(), Formula::bool_var(new.clone()));
+            } else {
+                subst.int(old.clone(), Term::var(new.clone()));
+            }
+        }
+        subst
+    }
+
+    /// Applies the substitution to a term.
+    pub fn apply_term(&self, term: &Term) -> Term {
+        match term {
+            Term::Int(_) => term.clone(),
+            Term::Var(v) => self.int_map.get(v).cloned().unwrap_or_else(|| term.clone()),
+            Term::Add(parts) => Term::Add(parts.iter().map(|p| self.apply_term(p)).collect()),
+            Term::Sub(a, b) => Term::Sub(
+                Box::new(self.apply_term(a)),
+                Box::new(self.apply_term(b)),
+            ),
+            Term::Neg(a) => Term::Neg(Box::new(self.apply_term(a))),
+            Term::Mul(a, b) => Term::Mul(
+                Box::new(self.apply_term(a)),
+                Box::new(self.apply_term(b)),
+            ),
+            Term::Select(arr, idx) => Term::Select(arr.clone(), Box::new(self.apply_term(idx))),
+        }
+    }
+
+    /// Applies the substitution to a formula.
+    ///
+    /// Quantified variables shadow the substitution: bound occurrences are not
+    /// replaced. Capture is not an issue for the workspace's uses because
+    /// quantified variables are always freshly generated.
+    pub fn apply(&self, formula: &Formula) -> Formula {
+        match formula {
+            Formula::True | Formula::False => formula.clone(),
+            Formula::BoolVar(b) => self
+                .bool_map
+                .get(b)
+                .cloned()
+                .unwrap_or_else(|| formula.clone()),
+            Formula::Cmp(op, lhs, rhs) => {
+                Formula::Cmp(*op, self.apply_term(lhs), self.apply_term(rhs))
+            }
+            Formula::Divides(d, t) => Formula::Divides(*d, self.apply_term(t)),
+            Formula::Not(inner) => Formula::not(self.apply(inner)),
+            Formula::And(parts) => Formula::and(parts.iter().map(|p| self.apply(p)).collect()),
+            Formula::Or(parts) => Formula::or(parts.iter().map(|p| self.apply(p)).collect()),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(self.apply(a)), Box::new(self.apply(b)))
+            }
+            Formula::Iff(a, b) => Formula::Iff(Box::new(self.apply(a)), Box::new(self.apply(b))),
+            Formula::Quant(q, binders, body) => {
+                let mut narrowed = self.clone();
+                for b in binders {
+                    narrowed.int_map.remove(b);
+                    narrowed.bool_map.remove(b);
+                }
+                Formula::Quant(*q, binders.clone(), Box::new(narrowed.apply(body)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn substitutes_int_variable() {
+        let mut s = Subst::new();
+        s.int("x", Term::var("x").add(Term::int(1)));
+        let f = Term::var("x").gt(Term::int(0));
+        assert_eq!(s.apply(&f), Term::var("x").add(Term::int(1)).gt(Term::int(0)));
+    }
+
+    #[test]
+    fn substitutes_bool_variable() {
+        let mut s = Subst::new();
+        s.boolean("writerIn", Formula::False);
+        let f = Formula::not(Formula::bool_var("writerIn"));
+        assert_eq!(s.apply(&f), Formula::True);
+    }
+
+    #[test]
+    fn bound_variables_are_not_substituted() {
+        let mut s = Subst::new();
+        s.int("x", Term::int(7));
+        let f = Formula::forall(vec!["x".into()], Term::var("x").ge(Term::int(0)));
+        assert_eq!(s.apply(&f), f);
+    }
+
+    #[test]
+    fn renaming_respects_variable_kinds() {
+        let old = "flag".to_string();
+        let new = "flag!1".to_string();
+        let mut bools = HashSet::new();
+        bools.insert("flag".to_string());
+        let s = Subst::renaming([(&old, &new)], &bools);
+        assert_eq!(
+            s.apply(&Formula::bool_var("flag")),
+            Formula::bool_var("flag!1")
+        );
+    }
+
+    #[test]
+    fn substitution_descends_into_array_index() {
+        let mut s = Subst::new();
+        s.int("i", Term::int(2));
+        let t = Term::select("forks", Term::var("i"));
+        assert_eq!(s.apply_term(&t), Term::select("forks", Term::int(2)));
+    }
+}

@@ -1,0 +1,316 @@
+//! Integer-sorted terms.
+
+use crate::formula::{CmpOp, Formula};
+use crate::Ident;
+use std::collections::HashSet;
+use std::fmt;
+
+/// An integer-sorted term.
+///
+/// Terms are the arithmetic side of the logic: integer constants, integer
+/// variables, sums, differences, products and opaque array reads. Every
+/// verification condition the signal-placement algorithm produces compares two
+/// terms or combines such comparisons with boolean connectives.
+///
+/// Multiplication is kept syntactically general; the SMT layer rejects
+/// non-linear products (products where neither factor is a constant) by
+/// reporting an *unknown* result, which the placement algorithm treats
+/// conservatively.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An integer literal.
+    Int(i64),
+    /// An integer-sorted variable.
+    Var(Ident),
+    /// Sum of two or more terms.
+    Add(Vec<Term>),
+    /// `lhs - rhs`.
+    Sub(Box<Term>, Box<Term>),
+    /// Arithmetic negation.
+    Neg(Box<Term>),
+    /// Product of two terms. Only linear products (one side constant) are
+    /// decidable by the workspace SMT solver.
+    Mul(Box<Term>, Box<Term>),
+    /// An opaque array read `array[index]`.
+    ///
+    /// Array reads are treated as uninterpreted values by the symbolic layer;
+    /// the concrete interpreter in `expresso-monitor-lang` evaluates them.
+    Select(Ident, Box<Term>),
+}
+
+impl Term {
+    /// Integer literal constructor.
+    ///
+    /// ```
+    /// use expresso_logic::Term;
+    /// assert_eq!(Term::int(3).to_string(), "3");
+    /// ```
+    pub fn int(value: i64) -> Self {
+        Term::Int(value)
+    }
+
+    /// Integer variable constructor.
+    ///
+    /// ```
+    /// use expresso_logic::Term;
+    /// assert_eq!(Term::var("count").to_string(), "count");
+    /// ```
+    pub fn var(name: impl Into<Ident>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Array read constructor, `array[index]`.
+    ///
+    /// ```
+    /// use expresso_logic::Term;
+    /// let t = Term::select("forks", Term::var("i"));
+    /// assert_eq!(t.to_string(), "forks[i]");
+    /// ```
+    pub fn select(array: impl Into<Ident>, index: Term) -> Self {
+        Term::Select(array.into(), Box::new(index))
+    }
+
+    /// Builds `self + other`, flattening nested sums.
+    pub fn add(self, other: Term) -> Self {
+        let mut parts = Vec::new();
+        match self {
+            Term::Add(xs) => parts.extend(xs),
+            t => parts.push(t),
+        }
+        match other {
+            Term::Add(xs) => parts.extend(xs),
+            t => parts.push(t),
+        }
+        Term::Add(parts)
+    }
+
+    /// Builds `self - other`.
+    pub fn sub(self, other: Term) -> Self {
+        Term::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// Builds `self * other`.
+    pub fn mul(self, other: Term) -> Self {
+        Term::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// Builds `-self`.
+    pub fn neg(self) -> Self {
+        Term::Neg(Box::new(self))
+    }
+
+    /// Comparison `self == other`.
+    pub fn eq(self, other: Term) -> Formula {
+        Formula::cmp(CmpOp::Eq, self, other)
+    }
+
+    /// Comparison `self != other`.
+    pub fn ne(self, other: Term) -> Formula {
+        Formula::cmp(CmpOp::Ne, self, other)
+    }
+
+    /// Comparison `self < other`.
+    pub fn lt(self, other: Term) -> Formula {
+        Formula::cmp(CmpOp::Lt, self, other)
+    }
+
+    /// Comparison `self <= other`.
+    pub fn le(self, other: Term) -> Formula {
+        Formula::cmp(CmpOp::Le, self, other)
+    }
+
+    /// Comparison `self > other`.
+    pub fn gt(self, other: Term) -> Formula {
+        Formula::cmp(CmpOp::Gt, self, other)
+    }
+
+    /// Comparison `self >= other`.
+    pub fn ge(self, other: Term) -> Formula {
+        Formula::cmp(CmpOp::Ge, self, other)
+    }
+
+    /// Returns the constant value of this term when it is a literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Term::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Collects the free integer variables of this term into `out`.
+    pub fn collect_vars(&self, out: &mut HashSet<Ident>) {
+        match self {
+            Term::Int(_) => {}
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Add(parts) => {
+                for p in parts {
+                    p.collect_vars(out);
+                }
+            }
+            Term::Sub(a, b) | Term::Mul(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Neg(a) => a.collect_vars(out),
+            Term::Select(_, idx) => idx.collect_vars(out),
+        }
+    }
+
+    /// Returns the free integer variables of this term.
+    pub fn vars(&self) -> HashSet<Ident> {
+        let mut out = HashSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Collects the names of arrays read by this term.
+    pub fn collect_arrays(&self, out: &mut HashSet<Ident>) {
+        match self {
+            Term::Int(_) | Term::Var(_) => {}
+            Term::Add(parts) => {
+                for p in parts {
+                    p.collect_arrays(out);
+                }
+            }
+            Term::Sub(a, b) | Term::Mul(a, b) => {
+                a.collect_arrays(out);
+                b.collect_arrays(out);
+            }
+            Term::Neg(a) => a.collect_arrays(out),
+            Term::Select(arr, idx) => {
+                out.insert(arr.clone());
+                idx.collect_arrays(out);
+            }
+        }
+    }
+
+    /// Returns `true` when the term contains an array read.
+    pub fn mentions_array(&self) -> bool {
+        let mut arrays = HashSet::new();
+        self.collect_arrays(&mut arrays);
+        !arrays.is_empty()
+    }
+
+    /// Folds constant sub-terms; e.g. `1 + 2` becomes `3`.
+    pub fn const_fold(&self) -> Term {
+        match self {
+            Term::Int(_) | Term::Var(_) => self.clone(),
+            Term::Add(parts) => {
+                let mut constant = 0i64;
+                let mut rest: Vec<Term> = Vec::new();
+                for p in parts {
+                    match p.const_fold() {
+                        Term::Int(v) => constant = constant.saturating_add(v),
+                        Term::Add(inner) => rest.extend(inner),
+                        other => rest.push(other),
+                    }
+                }
+                if rest.is_empty() {
+                    Term::Int(constant)
+                } else {
+                    if constant != 0 {
+                        rest.push(Term::Int(constant));
+                    }
+                    if rest.len() == 1 {
+                        rest.pop().expect("len checked")
+                    } else {
+                        Term::Add(rest)
+                    }
+                }
+            }
+            Term::Sub(a, b) => match (a.const_fold(), b.const_fold()) {
+                (Term::Int(x), Term::Int(y)) => Term::Int(x.saturating_sub(y)),
+                (x, Term::Int(0)) => x,
+                (x, y) => Term::Sub(Box::new(x), Box::new(y)),
+            },
+            Term::Neg(a) => match a.const_fold() {
+                Term::Int(x) => Term::Int(-x),
+                Term::Neg(inner) => *inner,
+                x => Term::Neg(Box::new(x)),
+            },
+            Term::Mul(a, b) => match (a.const_fold(), b.const_fold()) {
+                (Term::Int(x), Term::Int(y)) => Term::Int(x.saturating_mul(y)),
+                (Term::Int(0), _) | (_, Term::Int(0)) => Term::Int(0),
+                (Term::Int(1), y) => y,
+                (x, Term::Int(1)) => x,
+                (x, y) => Term::Mul(Box::new(x), Box::new(y)),
+            },
+            Term::Select(arr, idx) => Term::Select(arr.clone(), Box::new(idx.const_fold())),
+        }
+    }
+}
+
+impl From<i64> for Term {
+    fn from(value: i64) -> Self {
+        Term::Int(value)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(v) => write!(f, "{v}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Add(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::Neg(a) => write!(f, "(-{a})"),
+            Term::Mul(a, b) => write!(f, "({a} * {b})"),
+            Term::Select(arr, idx) => write!(f, "{arr}[{idx}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_flattens() {
+        let t = Term::var("a").add(Term::var("b")).add(Term::int(1));
+        assert_eq!(
+            t,
+            Term::Add(vec![Term::var("a"), Term::var("b"), Term::int(1)])
+        );
+    }
+
+    #[test]
+    fn const_fold_sums_constants() {
+        let t = Term::int(1).add(Term::int(2)).add(Term::var("x"));
+        assert_eq!(t.const_fold(), Term::Add(vec![Term::var("x"), Term::int(3)]));
+    }
+
+    #[test]
+    fn const_fold_collapses_pure_constants() {
+        let t = Term::int(4).sub(Term::int(1));
+        assert_eq!(t.const_fold(), Term::int(3));
+        let t = Term::int(2).mul(Term::int(5));
+        assert_eq!(t.const_fold(), Term::int(10));
+    }
+
+    #[test]
+    fn vars_are_collected() {
+        let t = Term::var("x").add(Term::select("buf", Term::var("i")));
+        let vars = t.vars();
+        assert!(vars.contains("x"));
+        assert!(vars.contains("i"));
+        assert!(!vars.contains("buf"));
+        assert!(t.mentions_array());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Term::var("count").add(Term::int(1));
+        assert_eq!(t.to_string(), "(count + 1)");
+    }
+}

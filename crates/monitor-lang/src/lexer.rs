@@ -1,0 +1,302 @@
+//! Lexer for the monitor language.
+
+use std::fmt;
+
+/// Tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier (may contain `.` to model simple member accesses like `queue.size`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// A keyword.
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Monitor,
+    Atomic,
+    Void,
+    Int,
+    Bool,
+    If,
+    Else,
+    While,
+    Waituntil,
+    True,
+    False,
+    Requires,
+    New,
+    Skip,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Percent,
+    Bang,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    PlusPlus,
+    MinusMinus,
+    PlusAssign,
+    MinusAssign,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(v) => write!(f, "integer `{v}`"),
+            Token::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            Token::Punct(p) => write!(f, "`{p:?}`"),
+        }
+    }
+}
+
+/// A token together with the line it starts on (1-based), for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Errors produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises monitor source text.
+///
+/// Line comments (`// ...`) and block comments (`/* ... */`) are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unrecognised characters or malformed literals.
+pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= chars.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        line,
+                    });
+                }
+                i += 2;
+                continue;
+            }
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let value = text.parse::<i64>().map_err(|_| LexError {
+                message: format!("integer literal `{text}` is out of range"),
+                line,
+            })?;
+            tokens.push(SpannedToken {
+                token: Token::Int(value),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let token = match text.as_str() {
+                "monitor" => Token::Keyword(Keyword::Monitor),
+                "atomic" => Token::Keyword(Keyword::Atomic),
+                "void" => Token::Keyword(Keyword::Void),
+                "int" => Token::Keyword(Keyword::Int),
+                "bool" | "boolean" => Token::Keyword(Keyword::Bool),
+                "if" => Token::Keyword(Keyword::If),
+                "else" => Token::Keyword(Keyword::Else),
+                "while" => Token::Keyword(Keyword::While),
+                "waituntil" => Token::Keyword(Keyword::Waituntil),
+                "true" => Token::Keyword(Keyword::True),
+                "false" => Token::Keyword(Keyword::False),
+                "requires" => Token::Keyword(Keyword::Requires),
+                "new" => Token::Keyword(Keyword::New),
+                "skip" => Token::Keyword(Keyword::Skip),
+                _ => Token::Ident(text),
+            };
+            tokens.push(SpannedToken { token, line });
+            continue;
+        }
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let (punct, len) = match two.as_str() {
+            "==" => (Punct::EqEq, 2),
+            "!=" => (Punct::NotEq, 2),
+            "<=" => (Punct::Le, 2),
+            ">=" => (Punct::Ge, 2),
+            "&&" => (Punct::AndAnd, 2),
+            "||" => (Punct::OrOr, 2),
+            "++" => (Punct::PlusPlus, 2),
+            "--" => (Punct::MinusMinus, 2),
+            "+=" => (Punct::PlusAssign, 2),
+            "-=" => (Punct::MinusAssign, 2),
+            _ => match c {
+                '(' => (Punct::LParen, 1),
+                ')' => (Punct::RParen, 1),
+                '{' => (Punct::LBrace, 1),
+                '}' => (Punct::RBrace, 1),
+                '[' => (Punct::LBracket, 1),
+                ']' => (Punct::RBracket, 1),
+                ';' => (Punct::Semi, 1),
+                ',' => (Punct::Comma, 1),
+                '=' => (Punct::Assign, 1),
+                '+' => (Punct::Plus, 1),
+                '-' => (Punct::Minus, 1),
+                '*' => (Punct::Star, 1),
+                '%' => (Punct::Percent, 1),
+                '!' => (Punct::Bang, 1),
+                '<' => (Punct::Lt, 1),
+                '>' => (Punct::Gt, 1),
+                other => {
+                    return Err(LexError {
+                        message: format!("unexpected character `{other}`"),
+                        line,
+                    })
+                }
+            },
+        };
+        tokens.push(SpannedToken {
+            token: Token::Punct(punct),
+            line,
+        });
+        i += len;
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_readers_writers_header() {
+        let tokens = tokenize("monitor RWLock { int readers = 0; }").unwrap();
+        assert_eq!(tokens[0].token, Token::Keyword(Keyword::Monitor));
+        assert_eq!(tokens[1].token, Token::Ident("RWLock".into()));
+        assert_eq!(tokens[3].token, Token::Keyword(Keyword::Int));
+        assert_eq!(tokens[5].token, Token::Punct(Punct::Assign));
+        assert_eq!(tokens[6].token, Token::Int(0));
+    }
+
+    #[test]
+    fn two_character_operators() {
+        let tokens = tokenize("a <= b && c != d || e++ >= 3").unwrap();
+        let puncts: Vec<Punct> = tokens
+            .iter()
+            .filter_map(|t| match t.token {
+                Token::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![Punct::Le, Punct::AndAnd, Punct::NotEq, Punct::OrOr, Punct::PlusPlus, Punct::Ge]
+        );
+    }
+
+    #[test]
+    fn dotted_identifiers_are_single_tokens() {
+        let tokens = tokenize("queue.size < maxQueueSize").unwrap();
+        assert_eq!(tokens[0].token, Token::Ident("queue.size".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let src = "// line comment\nint x; /* block\ncomment */ bool y;";
+        let tokens = tokenize(src).unwrap();
+        assert_eq!(tokens[0].token, Token::Keyword(Keyword::Int));
+        assert_eq!(tokens[0].line, 2);
+        let y_decl = tokens.iter().find(|t| t.token == Token::Keyword(Keyword::Bool)).unwrap();
+        assert_eq!(y_decl.line, 3);
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("int x = #;").unwrap_err();
+        assert!(err.message.contains('#'));
+    }
+
+    #[test]
+    fn boolean_keyword_alias() {
+        let tokens = tokenize("boolean writerIn = false;").unwrap();
+        assert_eq!(tokens[0].token, Token::Keyword(Keyword::Bool));
+        assert_eq!(tokens[3].token, Token::Keyword(Keyword::False));
+    }
+}

@@ -1,0 +1,813 @@
+//! Recursive-descent parser for the monitor language.
+
+use crate::ast::{BinOp, Ccr, CcrId, Expr, Field, Method, Monitor, Param, Stmt, Type, UnOp};
+use crate::lexer::{tokenize, Keyword, LexError, Punct, SpannedToken, Token};
+use std::fmt;
+
+/// Errors produced while parsing monitor source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation of the problem.
+    pub message: String,
+    /// 1-based source line (0 when the input ended unexpectedly).
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses the source text of an implicit-signal monitor.
+///
+/// Consecutive non-blocking statements at the top level of a method are folded
+/// into a single conditional critical region with guard `true`, matching the
+/// paper's convention that a plain statement is a degenerate `waituntil`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+///     monitor RWLock {
+///         int readers = 0;
+///         bool writerIn = false;
+///         atomic void enterReader() {
+///             waituntil (!writerIn) { readers++; }
+///         }
+///     }
+/// "#;
+/// let monitor = expresso_monitor_lang::parse_monitor(src).unwrap();
+/// assert_eq!(monitor.name, "RWLock");
+/// assert_eq!(monitor.methods.len(), 1);
+/// ```
+pub fn parse_monitor(source: &str) -> Result<Monitor, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let monitor = parser.monitor()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("trailing input after monitor declaration"));
+    }
+    Ok(monitor)
+}
+
+/// Parses a single expression (useful in tests and in the suite's expected
+/// signalling tables).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|t| &t.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Punct(found)) if *found == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(other) => Err(self.error(format!("expected `{p:?}`, found {other}"))),
+            None => Err(self.error(format!("expected `{p:?}`, found end of input"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Keyword(found)) if *found == k => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(other) => Err(self.error(format!("expected keyword `{k:?}`, found {other}"))),
+            None => Err(self.error(format!("expected keyword `{k:?}`, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                Ok(name)
+            }
+            Some(other) => Err(self.error(format!("expected identifier, found {other}"))),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    fn at_punct(&self, p: Punct) -> bool {
+        matches!(self.peek(), Some(Token::Punct(found)) if *found == p)
+    }
+
+    fn at_keyword(&self, k: Keyword) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(found)) if *found == k)
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.at_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.at_keyword(k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Monitor structure
+    // ------------------------------------------------------------------
+
+    fn monitor(&mut self) -> Result<Monitor, ParseError> {
+        self.expect_keyword(Keyword::Monitor)?;
+        let name = self.expect_ident()?;
+        let params = if self.at_punct(Punct::LParen) {
+            self.param_list()?
+        } else {
+            Vec::new()
+        };
+        let requires = if self.eat_keyword(Keyword::Requires) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_punct(Punct::LBrace)?;
+        let mut monitor = Monitor {
+            name,
+            params,
+            requires,
+            fields: Vec::new(),
+            methods: Vec::new(),
+            ccrs: Vec::new(),
+        };
+        while !self.at_punct(Punct::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("unexpected end of input inside monitor body"));
+            }
+            self.item(&mut monitor)?;
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(monitor)
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, ParseError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.at_punct(Punct::RParen) {
+            loop {
+                let ty = self.scalar_type()?;
+                let name = self.expect_ident()?;
+                params.push(Param { name, ty });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        Ok(params)
+    }
+
+    fn scalar_type(&mut self) -> Result<Type, ParseError> {
+        if self.eat_keyword(Keyword::Int) {
+            Ok(Type::Int)
+        } else if self.eat_keyword(Keyword::Bool) {
+            Ok(Type::Bool)
+        } else {
+            Err(self.error("expected a parameter type (`int` or `bool`)"))
+        }
+    }
+
+    /// Parses either a field declaration or a method.
+    fn item(&mut self, monitor: &mut Monitor) -> Result<(), ParseError> {
+        // A method starts with optional `atomic` then `void`/type then ident then `(`.
+        let start = self.pos;
+        let is_method = {
+            let mut probe = self.pos;
+            if matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Keyword(Keyword::Atomic))) {
+                probe += 1;
+            }
+            // Skip a type keyword (void/int/bool).
+            if matches!(
+                self.tokens.get(probe).map(|t| &t.token),
+                Some(Token::Keyword(Keyword::Void | Keyword::Int | Keyword::Bool))
+            ) {
+                probe += 1;
+            }
+            // Possible array marker `[]` — only for fields.
+            let mut is_field_array = false;
+            if matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Punct(Punct::LBracket))) {
+                is_field_array = true;
+            }
+            if !is_field_array
+                && matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Ident(_)))
+            {
+                probe += 1;
+                matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Punct(Punct::LParen)))
+            } else {
+                false
+            }
+        };
+        self.pos = start;
+        if is_method {
+            self.method(monitor)
+        } else {
+            let field = self.field()?;
+            monitor.fields.push(field);
+            Ok(())
+        }
+    }
+
+    fn field(&mut self) -> Result<Field, ParseError> {
+        if self.eat_keyword(Keyword::Int) {
+            if self.eat_punct(Punct::LBracket) {
+                self.expect_punct(Punct::RBracket)?;
+                let name = self.expect_ident()?;
+                self.expect_punct(Punct::Assign)?;
+                self.expect_keyword(Keyword::New)?;
+                self.expect_keyword(Keyword::Int)?;
+                self.expect_punct(Punct::LBracket)?;
+                let len = self.expr()?;
+                self.expect_punct(Punct::RBracket)?;
+                self.expect_punct(Punct::Semi)?;
+                return Ok(Field {
+                    name,
+                    ty: Type::IntArray,
+                    init: None,
+                    array_len: Some(len),
+                });
+            }
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Field {
+                name,
+                ty: Type::Int,
+                init,
+                array_len: None,
+            });
+        }
+        if self.eat_keyword(Keyword::Bool) {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Field {
+                name,
+                ty: Type::Bool,
+                init,
+                array_len: None,
+            });
+        }
+        Err(self.error("expected a field declaration (`int`, `bool` or `int[]`)"))
+    }
+
+    fn method(&mut self, monitor: &mut Monitor) -> Result<(), ParseError> {
+        self.eat_keyword(Keyword::Atomic);
+        // Return types are accepted but ignored; the language models procedures.
+        if !self.eat_keyword(Keyword::Void) {
+            let _ = self.eat_keyword(Keyword::Int) || self.eat_keyword(Keyword::Bool);
+        }
+        let name = self.expect_ident()?;
+        let params = self.param_list()?;
+        self.expect_punct(Punct::LBrace)?;
+        let method_index = monitor.methods.len();
+        let mut method = Method {
+            name,
+            params,
+            ccrs: Vec::new(),
+        };
+        let mut pending: Vec<Stmt> = Vec::new();
+        let mut position = 0usize;
+        while !self.at_punct(Punct::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("unexpected end of input inside method body"));
+            }
+            if self.at_keyword(Keyword::Waituntil) {
+                if !pending.is_empty() {
+                    let id = CcrId(monitor.ccrs.len());
+                    monitor.ccrs.push(Ccr {
+                        id,
+                        method: method_index,
+                        position,
+                        guard: Expr::Bool(true),
+                        body: Stmt::seq(std::mem::take(&mut pending)),
+                    });
+                    method.ccrs.push(id);
+                    position += 1;
+                }
+                self.expect_keyword(Keyword::Waituntil)?;
+                self.expect_punct(Punct::LParen)?;
+                let guard = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = if self.at_punct(Punct::LBrace) {
+                    self.block()?
+                } else if self.eat_punct(Punct::Semi) {
+                    Stmt::Skip
+                } else {
+                    self.stmt()?
+                };
+                let id = CcrId(monitor.ccrs.len());
+                monitor.ccrs.push(Ccr {
+                    id,
+                    method: method_index,
+                    position,
+                    guard,
+                    body,
+                });
+                method.ccrs.push(id);
+                position += 1;
+            } else {
+                pending.push(self.stmt()?);
+            }
+        }
+        self.expect_punct(Punct::RBrace)?;
+        if !pending.is_empty() || method.ccrs.is_empty() {
+            let id = CcrId(monitor.ccrs.len());
+            monitor.ccrs.push(Ccr {
+                id,
+                method: method_index,
+                position,
+                guard: Expr::Bool(true),
+                body: Stmt::seq(pending),
+            });
+            method.ccrs.push(id);
+        }
+        monitor.methods.push(method);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at_punct(Punct::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(Stmt::seq(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_punct(Punct::LBrace) {
+            return self.block();
+        }
+        if self.eat_keyword(Keyword::Skip) {
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Skip);
+        }
+        if self.eat_keyword(Keyword::If) {
+            self.expect_punct(Punct::LParen)?;
+            let cond = self.expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let then_branch = self.stmt()?;
+            let else_branch = if self.eat_keyword(Keyword::Else) {
+                self.stmt()?
+            } else {
+                Stmt::Skip
+            };
+            return Ok(Stmt::If(cond, Box::new(then_branch), Box::new(else_branch)));
+        }
+        if self.eat_keyword(Keyword::While) {
+            self.expect_punct(Punct::LParen)?;
+            let cond = self.expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let body = self.stmt()?;
+            return Ok(Stmt::While(cond, Box::new(body)));
+        }
+        // Local declaration.
+        if self.at_keyword(Keyword::Int) || self.at_keyword(Keyword::Bool) {
+            let ty = self.scalar_type()?;
+            let name = self.expect_ident()?;
+            self.expect_punct(Punct::Assign)?;
+            let init = self.expr()?;
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Local(name, ty, init));
+        }
+        // Assignment forms starting with an identifier.
+        let name = self.expect_ident()?;
+        if self.eat_punct(Punct::LBracket) {
+            let index = self.expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            self.expect_punct(Punct::Assign)?;
+            let value = self.expr()?;
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::ArrayAssign(name, index, value));
+        }
+        if self.eat_punct(Punct::PlusPlus) {
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Assign(
+                name.clone(),
+                Expr::binary(BinOp::Add, Expr::Var(name), Expr::Int(1)),
+            ));
+        }
+        if self.eat_punct(Punct::MinusMinus) {
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Assign(
+                name.clone(),
+                Expr::binary(BinOp::Sub, Expr::Var(name), Expr::Int(1)),
+            ));
+        }
+        if self.eat_punct(Punct::PlusAssign) {
+            let rhs = self.expr()?;
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Assign(
+                name.clone(),
+                Expr::binary(BinOp::Add, Expr::Var(name), rhs),
+            ));
+        }
+        if self.eat_punct(Punct::MinusAssign) {
+            let rhs = self.expr()?;
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Assign(
+                name.clone(),
+                Expr::binary(BinOp::Sub, Expr::Var(name), rhs),
+            ));
+        }
+        self.expect_punct(Punct::Assign)?;
+        let value = self.expr()?;
+        self.expect_punct(Punct::Semi)?;
+        Ok(Stmt::Assign(name, value))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct(Punct::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat_punct(Punct::AndAnd) {
+            let rhs = self.equality_expr()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::EqEq) {
+                BinOp::Eq
+            } else if self.eat_punct(Punct::NotEq) {
+                BinOp::Ne
+            } else {
+                break;
+            };
+            let rhs = self.relational_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Lt) {
+                BinOp::Lt
+            } else if self.eat_punct(Punct::Le) {
+                BinOp::Le
+            } else if self.eat_punct(Punct::Gt) {
+                BinOp::Gt
+            } else if self.eat_punct(Punct::Ge) {
+                BinOp::Ge
+            } else {
+                break;
+            };
+            let rhs = self.additive_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Plus) {
+                BinOp::Add
+            } else if self.eat_punct(Punct::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Star) {
+                BinOp::Mul
+            } else if self.eat_punct(Punct::Percent) {
+                BinOp::Rem
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct(Punct::Bang) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        if self.eat_punct(Punct::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Int(v))
+            }
+            Some(Token::Keyword(Keyword::True)) => {
+                self.pos += 1;
+                Ok(Expr::Bool(true))
+            }
+            Some(Token::Keyword(Keyword::False)) => {
+                self.pos += 1;
+                Ok(Expr::Bool(false))
+            }
+            Some(Token::Punct(Punct::LParen)) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                if self.at_punct(Punct::LBracket)
+                    && !matches!(self.peek2(), Some(Token::Punct(Punct::RBracket)))
+                {
+                    self.expect_punct(Punct::LBracket)?;
+                    let index = self.expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(index)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(other) => Err(self.error(format!("expected an expression, found {other}"))),
+            None => Err(self.error("expected an expression, found end of input")),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const READERS_WRITERS: &str = r#"
+        monitor RWLock {
+            int readers = 0;
+            bool writerIn = false;
+
+            atomic void enterReader() {
+                waituntil (!writerIn) { readers++; }
+            }
+            atomic void exitReader() {
+                if (readers > 0) readers--;
+            }
+            atomic void enterWriter() {
+                waituntil (readers == 0 && !writerIn) { writerIn = true; }
+            }
+            atomic void exitWriter() {
+                writerIn = false;
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_readers_writers() {
+        let m = parse_monitor(READERS_WRITERS).unwrap();
+        assert_eq!(m.name, "RWLock");
+        assert_eq!(m.fields.len(), 2);
+        assert_eq!(m.methods.len(), 4);
+        assert_eq!(m.ccrs.len(), 4);
+        let enter_reader = m.method("enterReader").unwrap();
+        let ccr = m.ccr(enter_reader.ccrs[0]);
+        assert_eq!(ccr.guard.to_string(), "!writerIn");
+        assert!(!ccr.never_blocks());
+        let exit_reader = m.method("exitReader").unwrap();
+        assert!(m.ccr(exit_reader.ccrs[0]).never_blocks());
+    }
+
+    #[test]
+    fn guards_excludes_trivial_true() {
+        let m = parse_monitor(READERS_WRITERS).unwrap();
+        let guards = m.guards();
+        assert_eq!(guards.len(), 2);
+    }
+
+    #[test]
+    fn consecutive_plain_statements_form_one_ccr() {
+        let src = r#"
+            monitor M {
+                int x = 0;
+                int y = 0;
+                atomic void both() {
+                    x = x + 1;
+                    y = y + 1;
+                }
+            }
+        "#;
+        let m = parse_monitor(src).unwrap();
+        let both = m.method("both").unwrap();
+        assert_eq!(both.ccrs.len(), 1);
+        match &m.ccr(both.ccrs[0]).body {
+            Stmt::Seq(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected a sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_run_before_waituntil_becomes_its_own_ccr() {
+        let src = r#"
+            monitor M {
+                int x = 0;
+                atomic void f(int n) {
+                    x = x + n;
+                    waituntil (x > 0) { x = x - 1; }
+                    x = x + 1;
+                }
+            }
+        "#;
+        let m = parse_monitor(src).unwrap();
+        let f = m.method("f").unwrap();
+        assert_eq!(f.ccrs.len(), 3);
+        assert!(m.ccr(f.ccrs[0]).never_blocks());
+        assert!(!m.ccr(f.ccrs[1]).never_blocks());
+        assert!(m.ccr(f.ccrs[2]).never_blocks());
+    }
+
+    #[test]
+    fn constructor_params_requires_and_arrays() {
+        let src = r#"
+            monitor BoundedBuffer(int capacity) requires capacity > 0 {
+                int[] buffer = new int[capacity];
+                int count = 0;
+                atomic void put(int item) {
+                    waituntil (count < capacity) {
+                        buffer[count] = item;
+                        count++;
+                    }
+                }
+                atomic void take() {
+                    waituntil (count > 0) { count--; }
+                }
+            }
+        "#;
+        let m = parse_monitor(src).unwrap();
+        assert_eq!(m.params.len(), 1);
+        assert!(m.requires.is_some());
+        assert_eq!(m.fields[0].ty, Type::IntArray);
+        assert!(m.fields[0].array_len.is_some());
+        let put = m.method("put").unwrap();
+        assert_eq!(put.params.len(), 1);
+        let body = &m.ccr(put.ccrs[0]).body;
+        assert!(matches!(body, Stmt::Seq(_)));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("a + b * 2 < c && !d || e == 1").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "((((a + (b * 2)) < c) && !d) || (e == 1))"
+        );
+    }
+
+    #[test]
+    fn compound_assignment_sugar() {
+        let src = r#"
+            monitor M {
+                int x = 0;
+                atomic void f() { x += 2; x -= 1; x++; x--; }
+            }
+        "#;
+        let m = parse_monitor(src).unwrap();
+        let body = &m.ccr(m.method("f").unwrap().ccrs[0]).body;
+        match body {
+            Stmt::Seq(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert!(parts.iter().all(|s| matches!(s, Stmt::Assign(v, _) if v == "x")));
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let src = "monitor M {\n  int x = ;\n}";
+        let err = parse_monitor(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_method_gets_a_trivial_ccr() {
+        let src = "monitor M { int x = 0; atomic void nop() { } }";
+        let m = parse_monitor(src).unwrap();
+        let nop = m.method("nop").unwrap();
+        assert_eq!(nop.ccrs.len(), 1);
+        assert!(m.ccr(nop.ccrs[0]).never_blocks());
+        assert_eq!(m.ccr(nop.ccrs[0]).body, Stmt::Skip);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let m = parse_monitor(READERS_WRITERS).unwrap();
+        let printed = m.to_string();
+        let reparsed = parse_monitor(&printed).unwrap();
+        assert_eq!(m, reparsed);
+    }
+}

@@ -1,0 +1,232 @@
+//! The explicit-signal target language (paper §3.3).
+//!
+//! An explicit-signal monitor has the same fields, methods and CCR bodies as
+//! its implicit-signal source; the difference is that every CCR carries a set
+//! of *notifications* — `signal(S₁); broadcast(S₂)` in the paper — describing
+//! which blocked predicates must be woken after the body executes.
+
+use crate::ast::{Ccr, CcrId, Expr, Monitor};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Whether a notification is guarded by a run-time check of the predicate.
+///
+/// The paper writes `?` for conditional notifications (the predicate is
+/// evaluated before waking anyone) and `✓` for unconditional ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalCondition {
+    /// `✓` — the analysis proved the predicate must hold, so no run-time check
+    /// is needed.
+    Unconditional,
+    /// `?` — evaluate the predicate at run time and only notify when it holds.
+    Conditional,
+}
+
+impl fmt::Display for SignalCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalCondition::Unconditional => f.write_str("unconditional"),
+            SignalCondition::Conditional => f.write_str("conditional"),
+        }
+    }
+}
+
+/// Whether one thread or every thread blocked on the predicate is woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NotificationKind {
+    /// Wake a single waiter (`signal` / `Condition.signal()`).
+    Signal,
+    /// Wake every waiter (`broadcast` / `Condition.signalAll()`).
+    Broadcast,
+}
+
+impl fmt::Display for NotificationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotificationKind::Signal => f.write_str("signal"),
+            NotificationKind::Broadcast => f.write_str("broadcast"),
+        }
+    }
+}
+
+/// One entry of the Σ map of Algorithm 1: after executing a CCR body, the
+/// runtime must notify threads blocked on `predicate`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// The blocked predicate being notified (a guard of the monitor).
+    pub predicate: Expr,
+    /// Conditional (`?`) or unconditional (`✓`).
+    pub condition: SignalCondition,
+    /// Signal one waiter or broadcast to all of them.
+    pub kind: NotificationKind,
+}
+
+impl fmt::Display for Notification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.kind, self.predicate, self.condition)
+    }
+}
+
+/// An explicit-signal monitor: the source monitor plus a notification set per CCR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitMonitor {
+    /// The underlying monitor (fields, methods, guards and bodies are unchanged).
+    pub monitor: Monitor,
+    /// Σ: the notifications to perform after each CCR body.
+    pub notifications: HashMap<CcrId, Vec<Notification>>,
+}
+
+impl ExplicitMonitor {
+    /// Creates an explicit monitor with an empty notification map (no CCR
+    /// signals anything). Useful as a baseline and in tests.
+    pub fn without_signals(monitor: Monitor) -> Self {
+        let notifications = monitor.ccrs.iter().map(|c| (c.id, Vec::new())).collect();
+        ExplicitMonitor {
+            monitor,
+            notifications,
+        }
+    }
+
+    /// Creates an explicit monitor that conservatively broadcasts every guard
+    /// after every CCR (always correct, maximally inefficient). This models
+    /// the naive baseline the paper's run-time systems improve upon.
+    pub fn broadcast_all(monitor: Monitor) -> Self {
+        let guards = monitor.guards();
+        let notifications = monitor
+            .ccrs
+            .iter()
+            .map(|c| {
+                let notes = guards
+                    .iter()
+                    .cloned()
+                    .map(|predicate| Notification {
+                        predicate,
+                        condition: SignalCondition::Conditional,
+                        kind: NotificationKind::Broadcast,
+                    })
+                    .collect();
+                (c.id, notes)
+            })
+            .collect();
+        ExplicitMonitor {
+            monitor,
+            notifications,
+        }
+    }
+
+    /// The notifications attached to a CCR (empty when none).
+    pub fn notifications_for(&self, id: CcrId) -> &[Notification] {
+        self.notifications
+            .get(&id)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The paper's `Signals(w)`: notifications of kind [`NotificationKind::Signal`].
+    pub fn signals(&self, id: CcrId) -> Vec<&Notification> {
+        self.notifications_for(id)
+            .iter()
+            .filter(|n| n.kind == NotificationKind::Signal)
+            .collect()
+    }
+
+    /// The paper's `Broadcasts(w)`: notifications of kind [`NotificationKind::Broadcast`].
+    pub fn broadcasts(&self, id: CcrId) -> Vec<&Notification> {
+        self.notifications_for(id)
+            .iter()
+            .filter(|n| n.kind == NotificationKind::Broadcast)
+            .collect()
+    }
+
+    /// Convenience accessor for the underlying CCR.
+    pub fn ccr(&self, id: CcrId) -> &Ccr {
+        self.monitor.ccr(id)
+    }
+
+    /// Total number of notifications across all CCRs (a coarse cost metric
+    /// used by tests and the ablation benchmarks).
+    pub fn notification_count(&self) -> usize {
+        self.notifications.values().map(|v| v.len()).sum()
+    }
+
+    /// Number of broadcast notifications across all CCRs.
+    pub fn broadcast_count(&self) -> usize {
+        self.notifications
+            .values()
+            .flatten()
+            .filter(|n| n.kind == NotificationKind::Broadcast)
+            .count()
+    }
+
+    /// Number of conditional notifications across all CCRs.
+    pub fn conditional_count(&self) -> usize {
+        self.notifications
+            .values()
+            .flatten()
+            .filter(|n| n.condition == SignalCondition::Conditional)
+            .count()
+    }
+}
+
+impl fmt::Display for ExplicitMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "explicit monitor {} {{", self.monitor.name)?;
+        for ccr in self.monitor.all_ccrs() {
+            let label = self.monitor.ccr_label(ccr.id);
+            writeln!(f, "  {label}: waituntil ({})", ccr.guard)?;
+            for n in self.notifications_for(ccr.id) {
+                writeln!(f, "    -> {n}")?;
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_monitor;
+
+    fn rw() -> Monitor {
+        parse_monitor(
+            r#"
+            monitor RWLock {
+                int readers = 0;
+                bool writerIn = false;
+                atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+                atomic void exitReader() { if (readers > 0) readers--; }
+                atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+                atomic void exitWriter() { writerIn = false; }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn without_signals_has_no_notifications() {
+        let em = ExplicitMonitor::without_signals(rw());
+        assert_eq!(em.notification_count(), 0);
+        for ccr in em.monitor.all_ccrs() {
+            assert!(em.signals(ccr.id).is_empty());
+            assert!(em.broadcasts(ccr.id).is_empty());
+        }
+    }
+
+    #[test]
+    fn broadcast_all_notifies_every_guard_everywhere() {
+        let em = ExplicitMonitor::broadcast_all(rw());
+        // 4 CCRs × 2 guards.
+        assert_eq!(em.notification_count(), 8);
+        assert_eq!(em.broadcast_count(), 8);
+        assert_eq!(em.conditional_count(), 8);
+    }
+
+    #[test]
+    fn display_lists_notifications() {
+        let em = ExplicitMonitor::broadcast_all(rw());
+        let text = em.to_string();
+        assert!(text.contains("broadcast"));
+        assert!(text.contains("enterWriter[0]"));
+    }
+}

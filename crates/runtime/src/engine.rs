@@ -1,0 +1,444 @@
+//! The concurrent monitor engines.
+
+use expresso_logic::Valuation;
+use expresso_monitor_lang::{
+    Ccr, CcrId, ExplicitMonitor, Expr, Interpreter, Monitor, NotificationKind, RuntimeError,
+    SignalCondition, VarTable,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Errors raised while constructing a runtime instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeBuildError {
+    /// The monitor failed static checking.
+    Check(String),
+    /// The initial state could not be built (missing constructor argument …).
+    Init(RuntimeError),
+}
+
+impl fmt::Display for RuntimeBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeBuildError::Check(m) => write!(f, "monitor failed checking: {m}"),
+            RuntimeBuildError::Init(e) => write!(f, "could not build initial state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeBuildError {}
+
+/// A monitor engine callable from many threads.
+pub trait MonitorRuntime: Sync + Send {
+    /// Executes one monitor method to completion on behalf of the calling
+    /// thread, blocking on `waituntil` guards as required.
+    fn call(&self, method: &str, locals: &Valuation);
+
+    /// A snapshot of the shared monitor state (for assertions in tests).
+    fn snapshot(&self) -> Valuation;
+
+    /// Number of times any thread was woken from a wait (context-switch
+    /// proxy).
+    fn wakeups(&self) -> usize;
+
+    /// Number of guard-predicate evaluations performed while deciding whom to
+    /// notify (run-time reasoning overhead; zero for unconditional signals).
+    fn predicate_evaluations(&self) -> usize;
+}
+
+struct Shared {
+    state: Mutex<Valuation>,
+    wakeups: AtomicUsize,
+    predicate_evaluations: AtomicUsize,
+}
+
+/// Executes an [`ExplicitMonitor`]: one condition variable per distinct guard,
+/// `while (!guard) wait()` at every CCR, and the statically-decided
+/// notifications after each body.
+pub struct ExplicitRuntime {
+    explicit: ExplicitMonitor,
+    table: VarTable,
+    shared: Shared,
+    /// Condition variable per distinct guard text.
+    conditions: HashMap<String, Condvar>,
+}
+
+impl ExplicitRuntime {
+    /// Builds a runtime for `explicit`, constructing the initial shared state
+    /// from `ctor_args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeBuildError`] when the monitor is ill-formed or the
+    /// constructor arguments are incomplete.
+    pub fn new(explicit: ExplicitMonitor, ctor_args: &Valuation) -> Result<Self, RuntimeBuildError> {
+        let table = expresso_monitor_lang::check_monitor(&explicit.monitor)
+            .map_err(|e| RuntimeBuildError::Check(format!("{} error(s)", e.len())))?;
+        let initial = expresso_monitor_lang::initial_state(&explicit.monitor, &table, ctor_args)
+            .map_err(RuntimeBuildError::Init)?;
+        let conditions = explicit
+            .monitor
+            .guards()
+            .into_iter()
+            .map(|g| (g.to_string(), Condvar::new()))
+            .collect();
+        Ok(ExplicitRuntime {
+            explicit,
+            table,
+            shared: Shared {
+                state: Mutex::new(initial),
+                wakeups: AtomicUsize::new(0),
+                predicate_evaluations: AtomicUsize::new(0),
+            },
+            conditions,
+        })
+    }
+
+    fn condition(&self, guard: &Expr) -> &Condvar {
+        self.conditions
+            .get(&guard.to_string())
+            .expect("every blocking guard has a condition variable")
+    }
+
+    fn eval_guard(&self, interp: &Interpreter<'_>, guard: &Expr, state: &Valuation, locals: &Valuation) -> bool {
+        let mut view = state.clone();
+        view.extend_with(locals);
+        interp.eval_bool(guard, &view).unwrap_or(false)
+    }
+
+    fn run_ccr(&self, interp: &Interpreter<'_>, ccr: &Ccr, locals: &mut Valuation) {
+        let mut state = self.shared.state.lock();
+        while !ccr.never_blocks() && !self.eval_guard(interp, &ccr.guard, &state, locals) {
+            self.condition(&ccr.guard).wait(&mut state);
+            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+        // Execute the body on a merged view, then split shared/local updates.
+        let mut view = state.clone();
+        view.extend_with(locals);
+        let _ = interp.exec(&ccr.body, &mut view);
+        split_back(&self.table, &view, &mut state, locals);
+
+        // Perform the statically-decided notifications.
+        for notification in self.explicit.notifications_for(ccr.id) {
+            let fire = match notification.condition {
+                SignalCondition::Unconditional => true,
+                SignalCondition::Conditional => {
+                    self.shared
+                        .predicate_evaluations
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Predicates over waiter-local state cannot be decided here;
+                    // the woken waiters re-check their own guard (§6 strategy).
+                    let mentions_local = notification
+                        .predicate
+                        .vars()
+                        .iter()
+                        .any(|v| self.table.is_local(v));
+                    mentions_local
+                        || self.eval_guard(interp, &notification.predicate, &state, locals)
+                }
+            };
+            if fire {
+                if let Some(cv) = self.conditions.get(&notification.predicate.to_string()) {
+                    match notification.kind {
+                        NotificationKind::Signal => {
+                            cv.notify_one();
+                        }
+                        NotificationKind::Broadcast => {
+                            cv.notify_all();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MonitorRuntime for ExplicitRuntime {
+    fn call(&self, method: &str, locals: &Valuation) {
+        let interp = Interpreter::new(&self.table);
+        let mut locals = locals.clone();
+        let method = self
+            .explicit
+            .monitor
+            .method(method)
+            .unwrap_or_else(|| panic!("unknown method `{method}`"));
+        let ccr_ids: Vec<CcrId> = method.ccrs.clone();
+        for id in ccr_ids {
+            let ccr = self.explicit.monitor.ccr(id).clone();
+            self.run_ccr(&interp, &ccr, &mut locals);
+        }
+    }
+
+    fn snapshot(&self) -> Valuation {
+        self.shared.state.lock().clone()
+    }
+
+    fn wakeups(&self) -> usize {
+        self.shared.wakeups.load(Ordering::Relaxed)
+    }
+
+    fn predicate_evaluations(&self) -> usize {
+        self.shared.predicate_evaluations.load(Ordering::Relaxed)
+    }
+}
+
+/// A waiting thread registered with the AutoSynch-style engine.
+struct Waiter {
+    guard: Expr,
+    locals: Valuation,
+    ready: AtomicBool,
+    condvar: Condvar,
+}
+
+/// Executes the implicit-signal monitor directly, in the style of AutoSynch:
+/// every waiter registers its predicate plus a snapshot of its local
+/// variables, and after every CCR body the runtime evaluates the predicates of
+/// *all* waiters and wakes those that became true.
+pub struct AutoSynchRuntime {
+    monitor: Monitor,
+    table: VarTable,
+    shared: Shared,
+    waiters: Mutex<Vec<Arc<Waiter>>>,
+}
+
+impl AutoSynchRuntime {
+    /// Builds a runtime for the implicit monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeBuildError`] when the monitor is ill-formed or the
+    /// constructor arguments are incomplete.
+    pub fn new(monitor: Monitor, ctor_args: &Valuation) -> Result<Self, RuntimeBuildError> {
+        let table = expresso_monitor_lang::check_monitor(&monitor)
+            .map_err(|e| RuntimeBuildError::Check(format!("{} error(s)", e.len())))?;
+        let initial = expresso_monitor_lang::initial_state(&monitor, &table, ctor_args)
+            .map_err(RuntimeBuildError::Init)?;
+        Ok(AutoSynchRuntime {
+            monitor,
+            table,
+            shared: Shared {
+                state: Mutex::new(initial),
+                wakeups: AtomicUsize::new(0),
+                predicate_evaluations: AtomicUsize::new(0),
+            },
+            waiters: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn eval_with(&self, interp: &Interpreter<'_>, guard: &Expr, state: &Valuation, locals: &Valuation) -> bool {
+        let mut view = state.clone();
+        view.extend_with(locals);
+        interp.eval_bool(guard, &view).unwrap_or(false)
+    }
+
+    fn run_ccr(&self, interp: &Interpreter<'_>, ccr: &Ccr, locals: &mut Valuation) {
+        let mut state = self.shared.state.lock();
+        if !ccr.never_blocks() && !self.eval_with(interp, &ccr.guard, &state, locals) {
+            // Register as a waiter with a snapshot of the local variables.
+            let waiter = Arc::new(Waiter {
+                guard: ccr.guard.clone(),
+                locals: locals.clone(),
+                ready: AtomicBool::new(false),
+                condvar: Condvar::new(),
+            });
+            self.waiters.lock().push(Arc::clone(&waiter));
+            loop {
+                waiter.condvar.wait(&mut state);
+                self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                if waiter.ready.load(Ordering::SeqCst)
+                    && self.eval_with(interp, &ccr.guard, &state, locals)
+                {
+                    break;
+                }
+                waiter.ready.store(false, Ordering::SeqCst);
+            }
+            let mut registry = self.waiters.lock();
+            registry.retain(|w| !Arc::ptr_eq(w, &waiter));
+        }
+        let mut view = state.clone();
+        view.extend_with(locals);
+        let _ = interp.exec(&ccr.body, &mut view);
+        split_back(&self.table, &view, &mut state, locals);
+
+        // AutoSynch's post-CCR work: evaluate every waiter's predicate with its
+        // snapshot and wake exactly those whose predicate is now true.
+        let registry = self.waiters.lock();
+        for waiter in registry.iter() {
+            self.shared
+                .predicate_evaluations
+                .fetch_add(1, Ordering::Relaxed);
+            if self.eval_with(interp, &waiter.guard, &state, &waiter.locals) {
+                waiter.ready.store(true, Ordering::SeqCst);
+                waiter.condvar.notify_one();
+            }
+        }
+    }
+}
+
+impl MonitorRuntime for AutoSynchRuntime {
+    fn call(&self, method: &str, locals: &Valuation) {
+        let interp = Interpreter::new(&self.table);
+        let mut locals = locals.clone();
+        let method = self
+            .monitor
+            .method(method)
+            .unwrap_or_else(|| panic!("unknown method `{method}`"));
+        let ccr_ids: Vec<CcrId> = method.ccrs.clone();
+        for id in ccr_ids {
+            let ccr = self.monitor.ccr(id).clone();
+            self.run_ccr(&interp, &ccr, &mut locals);
+        }
+    }
+
+    fn snapshot(&self) -> Valuation {
+        self.shared.state.lock().clone()
+    }
+
+    fn wakeups(&self) -> usize {
+        self.shared.wakeups.load(Ordering::Relaxed)
+    }
+
+    fn predicate_evaluations(&self) -> usize {
+        self.shared.predicate_evaluations.load(Ordering::Relaxed)
+    }
+}
+
+/// Writes the post-execution view back into the shared state and the caller's
+/// locals according to the variable table.
+fn split_back(table: &VarTable, view: &Valuation, state: &mut Valuation, locals: &mut Valuation) {
+    for (name, value) in view.ints() {
+        if table.is_shared(name) {
+            state.set_int(name.clone(), *value);
+        } else {
+            locals.set_int(name.clone(), *value);
+        }
+    }
+    for (name, value) in view.bools() {
+        if table.is_shared(name) {
+            state.set_bool(name.clone(), *value);
+        } else {
+            locals.set_bool(name.clone(), *value);
+        }
+    }
+    for (name, value) in view.arrays() {
+        if table.is_shared(name) {
+            state.set_array(name.clone(), value.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_core::Expresso;
+    use expresso_monitor_lang::parse_monitor;
+
+    const COUNTER: &str = r#"
+        monitor Counter {
+            int count = 0;
+            atomic void release() { count++; }
+            atomic void acquire() { waituntil (count > 0) { count--; } }
+        }
+    "#;
+
+    fn explicit_counter() -> ExplicitMonitor {
+        let monitor = parse_monitor(COUNTER).unwrap();
+        Expresso::new().analyze(&monitor).unwrap().explicit
+    }
+
+    #[test]
+    fn explicit_runtime_handles_blocking_producer_consumer() {
+        let rt = ExplicitRuntime::new(explicit_counter(), &Valuation::new()).unwrap();
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..50 {
+                        rt.call("acquire", &Valuation::new());
+                    }
+                });
+            }
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..50 {
+                        rt.call("release", &Valuation::new());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(rt.snapshot().int("count"), Some(0));
+    }
+
+    #[test]
+    fn autosynch_runtime_reaches_the_same_final_state() {
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let rt = AutoSynchRuntime::new(monitor, &Valuation::new()).unwrap();
+        crossbeam::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|_| {
+                    for _ in 0..40 {
+                        rt.call("acquire", &Valuation::new());
+                    }
+                });
+            }
+            for _ in 0..3 {
+                scope.spawn(|_| {
+                    for _ in 0..40 {
+                        rt.call("release", &Valuation::new());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(rt.snapshot().int("count"), Some(0));
+        // The AutoSynch engine must have paid for run-time predicate
+        // evaluations whenever consumers had to wait.
+        assert!(rt.predicate_evaluations() > 0 || rt.wakeups() == 0);
+    }
+
+    #[test]
+    fn locals_are_isolated_between_threads() {
+        let src = r#"
+            monitor Adder {
+                int total = 0;
+                atomic void add(int amount) { total += amount; }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let explicit = Expresso::new().analyze(&monitor).unwrap().explicit;
+        let rt = ExplicitRuntime::new(explicit, &Valuation::new()).unwrap();
+        crossbeam::scope(|scope| {
+            for amount in 1..=4i64 {
+                let rt = &rt;
+                scope.spawn(move |_| {
+                    let mut locals = Valuation::new();
+                    locals.set_int("amount", amount);
+                    for _ in 0..10 {
+                        rt.call("add", &locals);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(rt.snapshot().int("total"), Some(10 * (1 + 2 + 3 + 4)));
+    }
+
+    #[test]
+    fn constructor_arguments_are_required() {
+        let src = r#"
+            monitor Buf(int capacity) {
+                int count = 0;
+                atomic void put() { waituntil (count < capacity) { count++; } }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor);
+        assert!(matches!(
+            ExplicitRuntime::new(explicit, &Valuation::new()),
+            Err(RuntimeBuildError::Init(_))
+        ));
+    }
+}

@@ -1,0 +1,28 @@
+//! Concurrent monitor runtime used by the performance evaluation.
+//!
+//! The paper's evaluation compares three implementations of every benchmark
+//! monitor under JMH saturation tests: Expresso-generated explicit-signal
+//! code, the AutoSynch run-time system, and hand-written explicit-signal code.
+//! This crate provides the equivalent three engines over a shared interpreter
+//! so that the *only* difference between the series is the signalling
+//! strategy:
+//!
+//! * [`ExplicitRuntime`] executes an [`ExplicitMonitor`] (either synthesized
+//!   by `expresso-core` or hand-written by the suite) with one condition
+//!   variable per guard and the `signal` / `broadcast` annotations decided
+//!   statically.
+//! * [`AutoSynchRuntime`] executes the implicit-signal monitor directly: every
+//!   waiter registers its predicate and a snapshot of its local variables, and
+//!   after every CCR the runtime evaluates the predicates of all waiters and
+//!   wakes exactly those whose predicate became true — the AutoSynch model.
+//!
+//! [`workload`] drives either engine with saturation workloads (threads do
+//! nothing but call monitor operations) and reports time per operation.
+
+pub mod engine;
+pub mod workload;
+
+pub use engine::{AutoSynchRuntime, ExplicitRuntime, MonitorRuntime, RuntimeBuildError};
+pub use workload::{run_saturation, Operation, SaturationResult, ThreadPlan};
+
+pub use expresso_monitor_lang::ExplicitMonitor;

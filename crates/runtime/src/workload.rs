@@ -1,0 +1,129 @@
+//! Saturation workloads: threads that do nothing but call monitor operations.
+
+use crate::engine::MonitorRuntime;
+use expresso_logic::Valuation;
+use std::time::{Duration, Instant};
+
+/// A single monitor call: method name plus the caller's local variables.
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// The monitor method to invoke.
+    pub method: String,
+    /// Values for the method's parameters.
+    pub locals: Valuation,
+}
+
+impl Operation {
+    /// Creates an operation with no parameters.
+    pub fn new(method: impl Into<String>) -> Self {
+        Operation {
+            method: method.into(),
+            locals: Valuation::new(),
+        }
+    }
+
+    /// Creates an operation with explicit parameter values.
+    pub fn with_locals(method: impl Into<String>, locals: Valuation) -> Self {
+        Operation {
+            method: method.into(),
+            locals,
+        }
+    }
+}
+
+/// The sequence of operations one thread performs.
+pub type ThreadPlan = Vec<Operation>;
+
+/// The result of a saturation run.
+#[derive(Debug, Clone)]
+pub struct SaturationResult {
+    /// Total wall-clock time for the run.
+    pub elapsed: Duration,
+    /// Total number of monitor operations performed across all threads.
+    pub operations: usize,
+    /// Number of wake-ups observed by the engine (context-switch proxy).
+    pub wakeups: usize,
+    /// Number of run-time predicate evaluations performed by the engine.
+    pub predicate_evaluations: usize,
+}
+
+impl SaturationResult {
+    /// Average time per monitor operation.
+    pub fn time_per_op(&self) -> Duration {
+        if self.operations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.operations as u32
+        }
+    }
+
+    /// Average time per operation in microseconds (the unit used by the
+    /// reproduce binaries; the paper's figures use milliseconds per operation
+    /// on a much slower per-operation path).
+    pub fn micros_per_op(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.elapsed.as_secs_f64() * 1e6 / self.operations as f64
+        }
+    }
+}
+
+/// Runs a saturation test: spawns one OS thread per plan and measures the
+/// wall-clock time for all of them to finish their operations.
+///
+/// The caller is responsible for providing plans that terminate (balanced
+/// producers/consumers, matching enter/exit pairs, …).
+pub fn run_saturation(runtime: &dyn MonitorRuntime, plans: &[ThreadPlan]) -> SaturationResult {
+    let operations: usize = plans.iter().map(|p| p.len()).sum();
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for plan in plans {
+            scope.spawn(move |_| {
+                for op in plan {
+                    runtime.call(&op.method, &op.locals);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    SaturationResult {
+        elapsed: start.elapsed(),
+        operations,
+        wakeups: runtime.wakeups(),
+        predicate_evaluations: runtime.predicate_evaluations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExplicitRuntime;
+    use expresso_core::Expresso;
+    use expresso_monitor_lang::parse_monitor;
+
+    #[test]
+    fn saturation_counts_operations_and_finishes() {
+        let monitor = parse_monitor(
+            r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let explicit = Expresso::new().analyze(&monitor).unwrap().explicit;
+        let rt = ExplicitRuntime::new(explicit, &Valuation::new()).unwrap();
+        let producer: ThreadPlan = (0..100).map(|_| Operation::new("release")).collect();
+        let consumer: ThreadPlan = (0..100).map(|_| Operation::new("acquire")).collect();
+        let result = run_saturation(&rt, &[producer.clone(), consumer, producer.clone(), {
+            (0..100).map(|_| Operation::new("acquire")).collect()
+        }]);
+        assert_eq!(result.operations, 400);
+        assert!(result.time_per_op() > Duration::ZERO);
+        assert!(result.micros_per_op() > 0.0);
+        assert_eq!(rt.snapshot().int("count"), Some(0));
+    }
+}

@@ -1,0 +1,209 @@
+//! Sampling-based check of the Definition 3.4 equivalence between an
+//! implicit-signal monitor and a synthesized explicit-signal monitor.
+
+use crate::trace::{run_explicit, run_implicit, ExecError, Simulator, ThreadSpec};
+use expresso_logic::Valuation;
+use expresso_monitor_lang::{ExplicitMonitor, Monitor, VarTable};
+
+/// Configuration for [`check_equivalence`].
+#[derive(Debug, Clone)]
+pub struct EquivalenceConfig {
+    /// Number of random traces sampled per direction.
+    pub samples: usize,
+    /// Maximum number of events per sampled trace.
+    pub max_events: usize,
+    /// Base RNG seed (each sample uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for EquivalenceConfig {
+    fn default() -> Self {
+        EquivalenceConfig {
+            samples: 25,
+            max_events: 60,
+            seed: 0xE59,
+        }
+    }
+}
+
+/// The outcome of the sampled equivalence check.
+#[derive(Debug, Clone, Default)]
+pub struct EquivalenceReport {
+    /// Normalized implicit traces successfully replayed under the explicit
+    /// semantics with the same final state (Definition 3.4, condition 2).
+    pub implicit_to_explicit_ok: usize,
+    /// Explicit traces successfully replayed under the implicit semantics with
+    /// the same final state (Definition 3.4, condition 1).
+    pub explicit_to_implicit_ok: usize,
+    /// Human-readable descriptions of every violation found.
+    pub violations: Vec<String>,
+}
+
+impl EquivalenceReport {
+    /// `true` when no violation was found.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Samples traces of both semantics and checks both directions of
+/// Definition 3.4 on them.
+///
+/// # Errors
+///
+/// Propagates interpreter failures (which indicate a malformed benchmark
+/// rather than an equivalence violation).
+pub fn check_equivalence(
+    monitor: &Monitor,
+    explicit: &ExplicitMonitor,
+    table: &VarTable,
+    initial: &Valuation,
+    threads: &[ThreadSpec],
+    config: &EquivalenceConfig,
+) -> Result<EquivalenceReport, ExecError> {
+    let mut report = EquivalenceReport::default();
+
+    for i in 0..config.samples {
+        // Direction 2: normalized implicit trace must be explicit-feasible.
+        let mut sim = Simulator::new(
+            monitor,
+            table,
+            initial.clone(),
+            threads.to_vec(),
+            config.seed + i as u64,
+        );
+        let trace = sim.random_implicit_trace(config.max_events)?;
+        let implicit = run_implicit(monitor, table, initial, threads, &trace)?;
+        match run_explicit(explicit, table, initial, threads, &trace) {
+            Ok(outcome) if outcome.final_state == implicit.final_state => {
+                report.implicit_to_explicit_ok += 1;
+            }
+            Ok(outcome) => report.violations.push(format!(
+                "sample {i}: final states differ (implicit {:?} vs explicit {:?})",
+                implicit.final_state, outcome.final_state
+            )),
+            Err(ExecError::Infeasible(reason)) => report.violations.push(format!(
+                "sample {i}: normalized implicit trace is not explicit-feasible: {reason}"
+            )),
+            Err(other) => return Err(other),
+        }
+
+        // Direction 1: explicit trace must be implicit-feasible.
+        let mut sim = Simulator::new(
+            monitor,
+            table,
+            initial.clone(),
+            threads.to_vec(),
+            config.seed + 10_000 + i as u64,
+        );
+        let trace = sim.random_explicit_trace(explicit, config.max_events)?;
+        let explicit_outcome = run_explicit(explicit, table, initial, threads, &trace)?;
+        match run_implicit(monitor, table, initial, threads, &trace) {
+            Ok(outcome) if outcome.final_state == explicit_outcome.final_state => {
+                report.explicit_to_implicit_ok += 1;
+            }
+            Ok(outcome) => report.violations.push(format!(
+                "sample {i}: final states differ (explicit {:?} vs implicit {:?})",
+                explicit_outcome.final_state, outcome.final_state
+            )),
+            Err(ExecError::Infeasible(reason)) => report.violations.push(format!(
+                "sample {i}: explicit trace is not implicit-feasible: {reason}"
+            )),
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_core::Expresso;
+    use expresso_monitor_lang::{check_monitor, initial_state, parse_monitor};
+
+    fn threads_for_rw() -> Vec<ThreadSpec> {
+        vec![
+            ThreadSpec::new("enterReader"),
+            ThreadSpec::new("exitReader"),
+            ThreadSpec::new("enterWriter"),
+            ThreadSpec::new("exitWriter"),
+            ThreadSpec::new("enterReader"),
+            ThreadSpec::new("enterWriter"),
+        ]
+    }
+
+    const RW: &str = r#"
+        monitor RWLock {
+            int readers = 0;
+            bool writerIn = false;
+            atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+            atomic void exitReader() { if (readers > 0) readers--; }
+            atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+            atomic void exitWriter() { writerIn = false; }
+        }
+    "#;
+
+    #[test]
+    fn synthesized_readers_writers_is_equivalent_on_samples() {
+        let monitor = parse_monitor(RW).unwrap();
+        let outcome = Expresso::new().analyze(&monitor).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let initial = initial_state(&monitor, &table, &Valuation::new()).unwrap();
+        let report = check_equivalence(
+            &monitor,
+            &outcome.explicit,
+            &table,
+            &initial,
+            &threads_for_rw(),
+            &EquivalenceConfig {
+                samples: 10,
+                max_events: 40,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert!(report.holds(), "violations: {:?}", report.violations);
+        assert!(report.implicit_to_explicit_ok > 0);
+        assert!(report.explicit_to_implicit_ok > 0);
+    }
+
+    #[test]
+    fn missing_signals_are_caught_by_the_check() {
+        let monitor = parse_monitor(
+            r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let initial = initial_state(&monitor, &table, &Valuation::new()).unwrap();
+        let silent = ExplicitMonitor::without_signals(monitor.clone());
+        let threads = vec![
+            ThreadSpec::new("acquire"),
+            ThreadSpec::new("release"),
+            ThreadSpec::new("acquire"),
+            ThreadSpec::new("release"),
+        ];
+        let report = check_equivalence(
+            &monitor,
+            &silent,
+            &table,
+            &initial,
+            &threads,
+            &EquivalenceConfig {
+                samples: 20,
+                max_events: 40,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert!(
+            !report.holds(),
+            "an explicit monitor that never signals must violate equivalence"
+        );
+    }
+}

@@ -1,0 +1,682 @@
+//! Monitor traces and the implicit / explicit transition relations.
+
+use expresso_logic::Valuation;
+use expresso_monitor_lang::{
+    CcrId, ExplicitMonitor, Interpreter, Monitor, NotificationKind, RuntimeError, SignalCondition,
+    VarTable,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A monitor event: thread `thread` attempted CCR `ccr`; `fired` tells whether
+/// the guard held (body executed) or the thread blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Thread identifier (index into the simulator's thread list).
+    pub thread: usize,
+    /// The CCR attempted.
+    pub ccr: CcrId,
+    /// `true` when the body executed, `false` when the thread blocked.
+    pub fired: bool,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            self.thread,
+            self.ccr,
+            if self.fired { "true" } else { "false" }
+        )
+    }
+}
+
+/// A sequence of events.
+pub type Trace = Vec<Event>;
+
+/// Describes one simulated thread: the monitor method it runs and its
+/// thread-local variables (method parameters).
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// Name of the monitor method the thread executes.
+    pub method: String,
+    /// Values of the method's parameters (thread-local state).
+    pub locals: Valuation,
+}
+
+impl ThreadSpec {
+    /// Creates a thread spec with no parameters.
+    pub fn new(method: impl Into<String>) -> Self {
+        ThreadSpec {
+            method: method.into(),
+            locals: Valuation::new(),
+        }
+    }
+
+    /// Creates a thread spec with explicit parameter values.
+    pub fn with_locals(method: impl Into<String>, locals: Valuation) -> Self {
+        ThreadSpec {
+            method: method.into(),
+            locals,
+        }
+    }
+}
+
+/// Errors from trace replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The trace is not feasible under the given transition relation.
+    Infeasible(String),
+    /// The interpreter failed (unbound variable, bad array access, …).
+    Runtime(RuntimeError),
+    /// A trace event referenced an unknown thread or a CCR outside the
+    /// thread's method.
+    MalformedTrace(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Infeasible(m) => write!(f, "trace is infeasible: {m}"),
+            ExecError::Runtime(e) => write!(f, "runtime error during replay: {e}"),
+            ExecError::MalformedTrace(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<RuntimeError> for ExecError {
+    fn from(e: RuntimeError) -> Self {
+        ExecError::Runtime(e)
+    }
+}
+
+/// The result of replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOutcome {
+    /// The shared monitor state after the trace.
+    pub final_state: Valuation,
+    /// Whether rule (1b) was used, i.e. whether the trace relied on a spurious
+    /// wake-up (a non-normalized trace).
+    pub used_spurious_wakeup: bool,
+}
+
+/// A blocked/notified entry: `(thread, ccr)` as in the paper's B and N sets.
+type Entry = (usize, CcrId);
+
+fn eval_guard(
+    interp: &Interpreter<'_>,
+    monitor: &Monitor,
+    shared: &Valuation,
+    threads: &[ThreadSpec],
+    entry: Entry,
+) -> Result<bool, ExecError> {
+    let mut view = shared.clone();
+    view.extend_with(&threads[entry.0].locals);
+    Ok(interp.eval_bool(&monitor.ccr(entry.1).guard, &view)?)
+}
+
+fn exec_body(
+    interp: &Interpreter<'_>,
+    monitor: &Monitor,
+    table: &VarTable,
+    shared: &mut Valuation,
+    threads: &mut [ThreadSpec],
+    entry: Entry,
+) -> Result<(), ExecError> {
+    let mut view = shared.clone();
+    view.extend_with(&threads[entry.0].locals);
+    interp.exec(&monitor.ccr(entry.1).body, &mut view)?;
+    // Write back shared variables and the thread's locals.
+    for (name, value) in view.ints() {
+        if table.is_shared(name) {
+            shared.set_int(name.clone(), *value);
+        } else {
+            threads[entry.0].locals.set_int(name.clone(), *value);
+        }
+    }
+    for (name, value) in view.bools() {
+        if table.is_shared(name) {
+            shared.set_bool(name.clone(), *value);
+        } else {
+            threads[entry.0].locals.set_bool(name.clone(), *value);
+        }
+    }
+    for (name, value) in view.arrays() {
+        if table.is_shared(name) {
+            shared.set_array(name.clone(), value.clone());
+        }
+    }
+    Ok(())
+}
+
+fn validate_event(
+    monitor: &Monitor,
+    threads: &[ThreadSpec],
+    event: &Event,
+) -> Result<(), ExecError> {
+    let spec = threads
+        .get(event.thread)
+        .ok_or_else(|| ExecError::MalformedTrace(format!("unknown thread {}", event.thread)))?;
+    let method = monitor
+        .method(&spec.method)
+        .ok_or_else(|| ExecError::MalformedTrace(format!("unknown method `{}`", spec.method)))?;
+    if !method.ccrs.contains(&event.ccr) {
+        return Err(ExecError::MalformedTrace(format!(
+            "{} does not belong to method `{}`",
+            event.ccr, spec.method
+        )));
+    }
+    Ok(())
+}
+
+/// Replays a trace under the implicit-signal transition relation (Fig. 4).
+///
+/// # Errors
+///
+/// Returns [`ExecError::Infeasible`] when the trace cannot be derived, and
+/// other variants for malformed traces or interpreter failures.
+pub fn run_implicit(
+    monitor: &Monitor,
+    table: &VarTable,
+    initial: &Valuation,
+    threads: &[ThreadSpec],
+    trace: &[Event],
+) -> Result<TraceOutcome, ExecError> {
+    let interp = Interpreter::new(table);
+    let mut shared = initial.clone();
+    let mut threads = threads.to_vec();
+    let mut blocked: BTreeSet<Entry> = BTreeSet::new();
+    let mut notified: BTreeSet<Entry> = BTreeSet::new();
+    let mut used_spurious = false;
+
+    for event in trace {
+        validate_event(monitor, &threads, event)?;
+        let entry = (event.thread, event.ccr);
+        let guard_true = eval_guard(&interp, monitor, &shared, &threads, entry)?;
+        if !event.fired {
+            if guard_true {
+                return Err(ExecError::Infeasible(format!(
+                    "{event}: guard is true but the event records blocking"
+                )));
+            }
+            if blocked.contains(&entry) {
+                // Rule (1b): a notified thread re-checks and goes back to sleep.
+                if !notified.remove(&entry) {
+                    return Err(ExecError::Infeasible(format!(
+                        "{event}: thread is blocked but was never notified"
+                    )));
+                }
+                used_spurious = true;
+            } else {
+                blocked.insert(entry);
+            }
+        } else {
+            if !guard_true {
+                return Err(ExecError::Infeasible(format!(
+                    "{event}: guard is false but the event records firing"
+                )));
+            }
+            if blocked.contains(&entry) {
+                // Rule (2b): only the minimum notified entry may run.
+                match notified.iter().next() {
+                    Some(min) if *min == entry => {}
+                    _ => {
+                        return Err(ExecError::Infeasible(format!(
+                            "{event}: a blocked thread fired without being the minimum notified entry"
+                        )))
+                    }
+                }
+                blocked.remove(&entry);
+                notified.remove(&entry);
+            }
+            exec_body(&interp, monitor, table, &mut shared, &mut threads, entry)?;
+            // Wake everything whose predicate became true.
+            for other in blocked.iter().copied().collect::<Vec<_>>() {
+                if eval_guard(&interp, monitor, &shared, &threads, other)? {
+                    notified.insert(other);
+                }
+            }
+        }
+    }
+    Ok(TraceOutcome {
+        final_state: shared,
+        used_spurious_wakeup: used_spurious,
+    })
+}
+
+/// Replays a trace under the explicit-signal transition relation (Figs. 5–6).
+///
+/// # Errors
+///
+/// Returns [`ExecError::Infeasible`] when the trace cannot be derived under
+/// the monitor's signal/broadcast annotations.
+pub fn run_explicit(
+    explicit: &ExplicitMonitor,
+    table: &VarTable,
+    initial: &Valuation,
+    threads: &[ThreadSpec],
+    trace: &[Event],
+) -> Result<TraceOutcome, ExecError> {
+    let monitor = &explicit.monitor;
+    let interp = Interpreter::new(table);
+    let mut shared = initial.clone();
+    let mut threads = threads.to_vec();
+    let mut blocked: BTreeSet<Entry> = BTreeSet::new();
+    let mut notified: BTreeSet<Entry> = BTreeSet::new();
+    let mut used_spurious = false;
+
+    for event in trace {
+        validate_event(monitor, &threads, event)?;
+        let entry = (event.thread, event.ccr);
+        let guard_true = eval_guard(&interp, monitor, &shared, &threads, entry)?;
+        if !event.fired {
+            if guard_true {
+                return Err(ExecError::Infeasible(format!(
+                    "{event}: guard is true but the event records blocking"
+                )));
+            }
+            if blocked.contains(&entry) {
+                if !notified.remove(&entry) {
+                    return Err(ExecError::Infeasible(format!(
+                        "{event}: thread is blocked but was never notified"
+                    )));
+                }
+                used_spurious = true;
+            } else {
+                blocked.insert(entry);
+            }
+        } else {
+            if !guard_true {
+                return Err(ExecError::Infeasible(format!(
+                    "{event}: guard is false but the event records firing"
+                )));
+            }
+            if blocked.contains(&entry) {
+                match notified.iter().next() {
+                    Some(min) if *min == entry => {}
+                    _ => {
+                        return Err(ExecError::Infeasible(format!(
+                            "{event}: a blocked thread fired without being the minimum notified entry"
+                        )))
+                    }
+                }
+                blocked.remove(&entry);
+                notified.remove(&entry);
+            }
+            exec_body(&interp, monitor, table, &mut shared, &mut threads, entry)?;
+            // GetSignals / GetBroadcasts (Fig. 6).
+            for notification in explicit.notifications_for(event.ccr) {
+                let candidates: Vec<Entry> = blocked
+                    .iter()
+                    .copied()
+                    .filter(|e| monitor.ccr(e.1).guard == notification.predicate)
+                    .collect();
+                let eligible: Vec<Entry> = match notification.condition {
+                    SignalCondition::Unconditional => candidates,
+                    SignalCondition::Conditional => {
+                        let mut kept = Vec::new();
+                        for c in candidates {
+                            if eval_guard(&interp, monitor, &shared, &threads, c)? {
+                                kept.push(c);
+                            }
+                        }
+                        kept
+                    }
+                };
+                match notification.kind {
+                    NotificationKind::Signal => {
+                        // A signalled waiter leaves the condition queue (as with
+                        // real condition variables), so signals go to waiters
+                        // that have not been notified yet.
+                        if let Some(first) =
+                            eligible.into_iter().filter(|e| !notified.contains(e)).min()
+                        {
+                            notified.insert(first);
+                        }
+                    }
+                    NotificationKind::Broadcast => {
+                        notified.extend(eligible);
+                    }
+                }
+            }
+        }
+    }
+    Ok(TraceOutcome {
+        final_state: shared,
+        used_spurious_wakeup: used_spurious,
+    })
+}
+
+/// A random-scheduler simulator that produces feasible traces of either
+/// semantics for a set of threads, each running one monitor method.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    monitor: &'a Monitor,
+    table: &'a VarTable,
+    initial: Valuation,
+    threads: Vec<ThreadSpec>,
+    rng: StdRng,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over `threads`, starting from `initial` shared state.
+    pub fn new(
+        monitor: &'a Monitor,
+        table: &'a VarTable,
+        initial: Valuation,
+        threads: Vec<ThreadSpec>,
+        seed: u64,
+    ) -> Self {
+        Simulator {
+            monitor,
+            table,
+            initial,
+            threads,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The thread specifications used by this simulator.
+    pub fn threads(&self) -> &[ThreadSpec] {
+        &self.threads
+    }
+
+    /// The initial shared state.
+    pub fn initial(&self) -> &Valuation {
+        &self.initial
+    }
+
+    /// Generates one feasible, normalized trace of the *implicit* semantics by
+    /// running a random scheduler for at most `max_events` events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures; scheduling deadlocks simply end the
+    /// trace early (the trace stays feasible).
+    pub fn random_implicit_trace(&mut self, max_events: usize) -> Result<Trace, ExecError> {
+        let interp = Interpreter::new(self.table);
+        let mut shared = self.initial.clone();
+        let mut threads = self.threads.clone();
+        let mut pc: Vec<usize> = vec![0; threads.len()];
+        let mut blocked: BTreeSet<Entry> = BTreeSet::new();
+        let mut notified: BTreeSet<Entry> = BTreeSet::new();
+        let mut trace = Vec::new();
+
+        for _ in 0..max_events {
+            // Collect enabled actions.
+            let mut actions: Vec<Event> = Vec::new();
+            for (t, spec) in threads.iter().enumerate() {
+                let method = self
+                    .monitor
+                    .method(&spec.method)
+                    .ok_or_else(|| ExecError::MalformedTrace(spec.method.clone()))?;
+                if pc[t] >= method.ccrs.len() {
+                    continue;
+                }
+                let ccr = method.ccrs[pc[t]];
+                let entry = (t, ccr);
+                let guard = eval_guard(&interp, self.monitor, &shared, &threads, entry)?;
+                if blocked.contains(&entry) {
+                    // Only the minimum notified entry may resume (rule 2b); we
+                    // never schedule rule 1b so traces stay normalized.
+                    if guard && notified.iter().next() == Some(&entry) {
+                        actions.push(Event {
+                            thread: t,
+                            ccr,
+                            fired: true,
+                        });
+                    }
+                } else if guard {
+                    actions.push(Event {
+                        thread: t,
+                        ccr,
+                        fired: true,
+                    });
+                } else {
+                    actions.push(Event {
+                        thread: t,
+                        ccr,
+                        fired: false,
+                    });
+                }
+            }
+            if actions.is_empty() {
+                break;
+            }
+            let event = *actions.choose(&mut self.rng).expect("non-empty");
+            let entry = (event.thread, event.ccr);
+            if event.fired {
+                if blocked.contains(&entry) {
+                    blocked.remove(&entry);
+                    notified.remove(&entry);
+                }
+                exec_body(&interp, self.monitor, self.table, &mut shared, &mut threads, entry)?;
+                for other in blocked.iter().copied().collect::<Vec<_>>() {
+                    if eval_guard(&interp, self.monitor, &shared, &threads, other)? {
+                        notified.insert(other);
+                    }
+                }
+                pc[event.thread] += 1;
+            } else {
+                blocked.insert(entry);
+            }
+            trace.push(event);
+        }
+        Ok(trace)
+    }
+
+    /// Generates one feasible trace of the *explicit* semantics for the given
+    /// explicit monitor (same fields/methods as the simulator's monitor).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures.
+    pub fn random_explicit_trace(
+        &mut self,
+        explicit: &ExplicitMonitor,
+        max_events: usize,
+    ) -> Result<Trace, ExecError> {
+        let interp = Interpreter::new(self.table);
+        let mut shared = self.initial.clone();
+        let mut threads = self.threads.clone();
+        let mut pc: Vec<usize> = vec![0; threads.len()];
+        let mut blocked: BTreeSet<Entry> = BTreeSet::new();
+        let mut notified: BTreeSet<Entry> = BTreeSet::new();
+        let mut trace = Vec::new();
+
+        for _ in 0..max_events {
+            let mut actions: Vec<Event> = Vec::new();
+            for (t, spec) in threads.iter().enumerate() {
+                let method = self
+                    .monitor
+                    .method(&spec.method)
+                    .ok_or_else(|| ExecError::MalformedTrace(spec.method.clone()))?;
+                if pc[t] >= method.ccrs.len() {
+                    continue;
+                }
+                let ccr = method.ccrs[pc[t]];
+                let entry = (t, ccr);
+                let guard = eval_guard(&interp, self.monitor, &shared, &threads, entry)?;
+                if blocked.contains(&entry) {
+                    if notified.contains(&entry) {
+                        if guard && notified.iter().next() == Some(&entry) {
+                            actions.push(Event { thread: t, ccr, fired: true });
+                        } else if !guard {
+                            // A spurious wake-up: allowed by the semantics.
+                            actions.push(Event { thread: t, ccr, fired: false });
+                        }
+                    }
+                } else if guard {
+                    actions.push(Event { thread: t, ccr, fired: true });
+                } else {
+                    actions.push(Event { thread: t, ccr, fired: false });
+                }
+            }
+            if actions.is_empty() {
+                break;
+            }
+            let event = *actions.choose(&mut self.rng).expect("non-empty");
+            let entry = (event.thread, event.ccr);
+            if event.fired {
+                if blocked.contains(&entry) {
+                    blocked.remove(&entry);
+                    notified.remove(&entry);
+                }
+                exec_body(&interp, self.monitor, self.table, &mut shared, &mut threads, entry)?;
+                for notification in explicit.notifications_for(event.ccr) {
+                    let candidates: Vec<Entry> = blocked
+                        .iter()
+                        .copied()
+                        .filter(|e| self.monitor.ccr(e.1).guard == notification.predicate)
+                        .collect();
+                    let eligible: Vec<Entry> = match notification.condition {
+                        SignalCondition::Unconditional => candidates,
+                        SignalCondition::Conditional => {
+                            let mut kept = Vec::new();
+                            for c in candidates {
+                                if eval_guard(&interp, self.monitor, &shared, &threads, c)? {
+                                    kept.push(c);
+                                }
+                            }
+                            kept
+                        }
+                    };
+                    match notification.kind {
+                        NotificationKind::Signal => {
+                            if let Some(first) =
+                                eligible.into_iter().filter(|e| !notified.contains(e)).min()
+                            {
+                                notified.insert(first);
+                            }
+                        }
+                        NotificationKind::Broadcast => notified.extend(eligible),
+                    }
+                }
+                pc[event.thread] += 1;
+            } else if blocked.contains(&entry) {
+                notified.remove(&entry);
+            } else {
+                blocked.insert(entry);
+            }
+            trace.push(event);
+            let _ = self.rng.gen::<u8>();
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_monitor_lang::{check_monitor, parse_monitor};
+
+    fn counter() -> (Monitor, VarTable) {
+        let m = parse_monitor(
+            r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let t = check_monitor(&m).unwrap();
+        (m, t)
+    }
+
+    fn init(m: &Monitor, t: &VarTable) -> Valuation {
+        expresso_monitor_lang::initial_state(m, t, &Valuation::new()).unwrap()
+    }
+
+    #[test]
+    fn implicit_blocking_and_wakeup() {
+        let (m, t) = counter();
+        let acquire = m.method("acquire").unwrap().ccrs[0];
+        let release = m.method("release").unwrap().ccrs[0];
+        let threads = vec![ThreadSpec::new("acquire"), ThreadSpec::new("release")];
+        let trace = vec![
+            Event { thread: 0, ccr: acquire, fired: false },
+            Event { thread: 1, ccr: release, fired: true },
+            Event { thread: 0, ccr: acquire, fired: true },
+        ];
+        let outcome = run_implicit(&m, &t, &init(&m, &t), &threads, &trace).unwrap();
+        assert_eq!(outcome.final_state.int("count"), Some(0));
+        assert!(!outcome.used_spurious_wakeup);
+    }
+
+    #[test]
+    fn infeasible_trace_is_rejected() {
+        let (m, t) = counter();
+        let acquire = m.method("acquire").unwrap().ccrs[0];
+        let threads = vec![ThreadSpec::new("acquire")];
+        // The guard count > 0 is false initially, so firing is infeasible.
+        let trace = vec![Event { thread: 0, ccr: acquire, fired: true }];
+        assert!(matches!(
+            run_implicit(&m, &t, &init(&m, &t), &threads, &trace),
+            Err(ExecError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_without_signals_cannot_wake_a_blocked_thread() {
+        let (m, t) = counter();
+        let acquire = m.method("acquire").unwrap().ccrs[0];
+        let release = m.method("release").unwrap().ccrs[0];
+        let threads = vec![ThreadSpec::new("acquire"), ThreadSpec::new("release")];
+        let trace = vec![
+            Event { thread: 0, ccr: acquire, fired: false },
+            Event { thread: 1, ccr: release, fired: true },
+            Event { thread: 0, ccr: acquire, fired: true },
+        ];
+        let silent = ExplicitMonitor::without_signals(m.clone());
+        assert!(matches!(
+            run_explicit(&silent, &t, &init(&m, &t), &threads, &trace),
+            Err(ExecError::Infeasible(_))
+        ));
+        // The broadcast-everything monitor accepts the same trace.
+        let noisy = ExplicitMonitor::broadcast_all(m.clone());
+        let outcome = run_explicit(&noisy, &t, &init(&m, &t), &threads, &trace).unwrap();
+        assert_eq!(outcome.final_state.int("count"), Some(0));
+    }
+
+    #[test]
+    fn simulator_produces_feasible_normalized_traces() {
+        let (m, t) = counter();
+        let threads = vec![
+            ThreadSpec::new("acquire"),
+            ThreadSpec::new("release"),
+            ThreadSpec::new("acquire"),
+            ThreadSpec::new("release"),
+        ];
+        for seed in 0..10u64 {
+            let mut sim = Simulator::new(&m, &t, init(&m, &t), threads.clone(), seed);
+            let trace = sim.random_implicit_trace(40).unwrap();
+            let outcome = run_implicit(&m, &t, &init(&m, &t), &threads, &trace).unwrap();
+            assert!(!outcome.used_spurious_wakeup);
+        }
+    }
+
+    #[test]
+    fn malformed_traces_are_detected() {
+        let (m, t) = counter();
+        let acquire = m.method("acquire").unwrap().ccrs[0];
+        let threads = vec![ThreadSpec::new("release")];
+        let trace = vec![Event { thread: 0, ccr: acquire, fired: true }];
+        assert!(matches!(
+            run_implicit(&m, &t, &init(&m, &t), &threads, &trace),
+            Err(ExecError::MalformedTrace(_))
+        ));
+        let trace = vec![Event { thread: 5, ccr: acquire, fired: true }];
+        assert!(matches!(
+            run_implicit(&m, &t, &init(&m, &t), &threads, &trace),
+            Err(ExecError::MalformedTrace(_))
+        ));
+    }
+}

@@ -1,0 +1,224 @@
+//! Fourier–Motzkin elimination over the rationals, used as a fast
+//! unsatisfiability pre-check for conjunctions of linear constraints.
+//!
+//! If the rational relaxation of an integer constraint system is infeasible
+//! then the integer system is infeasible too, so a negative answer here lets
+//! the solver skip the (complete but more expensive) Cooper-based check.
+
+use crate::linear::LinExpr;
+
+/// A single linear constraint `expr ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The linear expression compared against zero.
+    pub expr: LinExpr,
+    /// Whether the comparison is strict (`< 0`) or non-strict (`<= 0`).
+    pub strict: bool,
+}
+
+impl Constraint {
+    /// `expr <= 0`
+    pub fn le_zero(expr: LinExpr) -> Self {
+        Constraint { expr, strict: false }
+    }
+
+    /// `expr < 0`
+    pub fn lt_zero(expr: LinExpr) -> Self {
+        Constraint { expr, strict: true }
+    }
+}
+
+/// The result of the rational feasibility pre-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RationalFeasibility {
+    /// The rational relaxation has a solution (the integer problem may or may
+    /// not have one).
+    Feasible,
+    /// The rational relaxation is infeasible, hence so is the integer problem.
+    Infeasible,
+    /// The system grew beyond the configured limit; no conclusion.
+    TooLarge,
+}
+
+/// Checks rational feasibility of a conjunction of linear constraints by
+/// Fourier–Motzkin elimination.
+///
+/// `max_constraints` bounds the intermediate system size; exceeding it yields
+/// [`RationalFeasibility::TooLarge`] (the caller then falls through to the
+/// complete integer procedure).
+pub fn rational_feasible(constraints: &[Constraint], max_constraints: usize) -> RationalFeasibility {
+    let mut system: Vec<Constraint> = constraints.to_vec();
+    loop {
+        // Ground constraints decide immediately or disappear.
+        let mut next: Vec<Constraint> = Vec::new();
+        for c in &system {
+            if c.expr.is_constant() {
+                let v = c.expr.constant_part();
+                let violated = if c.strict { v >= 0 } else { v > 0 };
+                if violated {
+                    return RationalFeasibility::Infeasible;
+                }
+            } else {
+                next.push(c.clone());
+            }
+        }
+        system = next;
+        if system.is_empty() {
+            return RationalFeasibility::Feasible;
+        }
+        if system.len() > max_constraints {
+            return RationalFeasibility::TooLarge;
+        }
+        // Pick the variable that minimises the number of generated pairs.
+        let var = match pick_variable(&system) {
+            Some(v) => v,
+            None => return RationalFeasibility::Feasible,
+        };
+        system = eliminate_variable(&system, &var);
+    }
+}
+
+fn pick_variable(system: &[Constraint]) -> Option<String> {
+    use std::collections::HashMap;
+    let mut pos: HashMap<String, usize> = HashMap::new();
+    let mut neg: HashMap<String, usize> = HashMap::new();
+    for c in system {
+        for (v, coeff) in c.expr.terms() {
+            if coeff > 0 {
+                *pos.entry(v.clone()).or_insert(0) += 1;
+            } else if coeff < 0 {
+                *neg.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut vars: Vec<String> = pos.keys().chain(neg.keys()).cloned().collect();
+    vars.sort();
+    vars.dedup();
+    vars.into_iter().min_by_key(|v| {
+        let p = pos.get(v).copied().unwrap_or(0);
+        let n = neg.get(v).copied().unwrap_or(0);
+        p * n + p + n
+    })
+}
+
+fn eliminate_variable(system: &[Constraint], var: &str) -> Vec<Constraint> {
+    let mut uppers: Vec<Constraint> = Vec::new(); // coefficient of var > 0
+    let mut lowers: Vec<Constraint> = Vec::new(); // coefficient of var < 0
+    let mut rest: Vec<Constraint> = Vec::new();
+    for c in system {
+        let coeff = c.expr.coeff(var);
+        if coeff > 0 {
+            uppers.push(c.clone());
+        } else if coeff < 0 {
+            lowers.push(c.clone());
+        } else {
+            rest.push(c.clone());
+        }
+    }
+    for up in &uppers {
+        for low in &lowers {
+            let a = up.expr.coeff(var); // > 0
+            let b = -low.expr.coeff(var); // > 0
+            // b * up + a * low eliminates var.
+            let combined = up.expr.scale(b).add(&low.expr.scale(a));
+            let mut expr = combined;
+            expr.remove_var(var);
+            rest.push(Constraint {
+                expr,
+                strict: up.strict || low.strict,
+            });
+        }
+    }
+    rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_logic::Term;
+
+    fn lin(t: Term) -> LinExpr {
+        LinExpr::from_term(&t).expect("linear")
+    }
+
+    #[test]
+    fn simple_feasible_system() {
+        // x - 10 <= 0 && -x <= 0
+        let cs = vec![
+            Constraint::le_zero(lin(Term::var("x").sub(Term::int(10)))),
+            Constraint::le_zero(lin(Term::var("x").neg())),
+        ];
+        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Feasible);
+    }
+
+    #[test]
+    fn contradictory_bounds_are_infeasible() {
+        // x - 1 <= 0 && 2 - x <= 0  (x <= 1 && x >= 2)
+        let cs = vec![
+            Constraint::le_zero(lin(Term::var("x").sub(Term::int(1)))),
+            Constraint::le_zero(lin(Term::int(2).sub(Term::var("x")))),
+        ];
+        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Infeasible);
+    }
+
+    #[test]
+    fn strictness_matters() {
+        // x <= 0 && -x <= 0 is feasible (x = 0), but x < 0 && -x <= 0 is not.
+        let cs = vec![
+            Constraint::le_zero(lin(Term::var("x"))),
+            Constraint::le_zero(lin(Term::var("x").neg())),
+        ];
+        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Feasible);
+        let cs = vec![
+            Constraint::lt_zero(lin(Term::var("x"))),
+            Constraint::le_zero(lin(Term::var("x").neg())),
+        ];
+        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Infeasible);
+    }
+
+    #[test]
+    fn multi_variable_chain() {
+        // x <= y && y <= z && z <= x - 1 is infeasible.
+        let cs = vec![
+            Constraint::le_zero(lin(Term::var("x").sub(Term::var("y")))),
+            Constraint::le_zero(lin(Term::var("y").sub(Term::var("z")))),
+            Constraint::le_zero(lin(Term::var("z").sub(Term::var("x").sub(Term::int(1))))),
+        ];
+        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Infeasible);
+        // Relaxing the last constraint makes it feasible.
+        let cs = vec![
+            Constraint::le_zero(lin(Term::var("x").sub(Term::var("y")))),
+            Constraint::le_zero(lin(Term::var("y").sub(Term::var("z")))),
+            Constraint::le_zero(lin(Term::var("z").sub(Term::var("x")))),
+        ];
+        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Feasible);
+    }
+
+    #[test]
+    fn rational_relaxation_can_miss_integer_infeasibility() {
+        // 1 <= 2x <= 1 has the rational solution x = 1/2 but no integer one;
+        // the pre-check must (correctly) report Feasible — completeness for
+        // integers is Cooper's job.
+        let cs = vec![
+            Constraint::le_zero(lin(Term::int(1).sub(Term::int(2).mul(Term::var("x"))))),
+            Constraint::le_zero(lin(Term::int(2).mul(Term::var("x")).sub(Term::int(1)))),
+        ];
+        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Feasible);
+    }
+
+    #[test]
+    fn size_limit_reports_too_large() {
+        let mut cs = Vec::new();
+        for i in 0..12 {
+            // Build a dense system over 6 variables.
+            let mut t = Term::int(1);
+            for v in ["a", "b", "c", "d", "e", "f"] {
+                let sign = if (i + v.len()) % 2 == 0 { 1 } else { -1 };
+                t = t.add(Term::int(sign).mul(Term::var(v)));
+            }
+            cs.push(Constraint::le_zero(lin(t)));
+        }
+        // With an absurdly small limit the check refuses to conclude.
+        assert_eq!(rational_feasible(&cs, 2), RationalFeasibility::TooLarge);
+    }
+}

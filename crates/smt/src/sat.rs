@@ -1,0 +1,317 @@
+//! A small DPLL SAT solver used as the propositional core of the lazy SMT loop.
+//!
+//! Formulas in this workspace are tiny (dozens of atoms), so the solver favours
+//! clarity over raw performance: recursive DPLL with unit propagation and
+//! pure-literal-free branching, plus incremental clause addition so the
+//! DPLL(T) driver can push blocking clauses between calls.
+
+use std::fmt;
+
+/// A propositional literal.
+///
+/// Encoded as a non-zero integer in DIMACS style: `+v` is the positive literal
+/// of variable `v - 1`, `-v` the negative one.
+pub type Lit = i32;
+
+/// Builds the positive literal of variable index `var`.
+pub fn pos(var: usize) -> Lit {
+    (var as i32) + 1
+}
+
+/// Builds the negative literal of variable index `var`.
+pub fn neg(var: usize) -> Lit {
+    -((var as i32) + 1)
+}
+
+/// The variable index of a literal.
+pub fn var_of(lit: Lit) -> usize {
+    (lit.abs() as usize) - 1
+}
+
+/// Whether the literal is positive.
+pub fn is_pos(lit: Lit) -> bool {
+    lit > 0
+}
+
+/// A CNF SAT solver supporting incremental clause addition.
+#[derive(Debug, Clone, Default)]
+pub struct SatSolver {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+/// The result of a SAT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// A satisfying assignment, indexed by variable.
+    Sat(Vec<bool>),
+    /// The clause set is unsatisfiable.
+    Unsat,
+}
+
+impl fmt::Display for SatOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatOutcome::Sat(_) => f.write_str("sat"),
+            SatOutcome::Unsat => f.write_str("unsat"),
+        }
+    }
+}
+
+impl SatSolver {
+    /// Creates a solver over `num_vars` propositional variables.
+    pub fn new(num_vars: usize) -> Self {
+        SatSolver {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses currently loaded.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// An empty clause makes the problem trivially unsatisfiable. Literals
+    /// referring to unknown variables grow the variable count.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        for &lit in &clause {
+            let v = var_of(lit);
+            if v >= self.num_vars {
+                self.num_vars = v + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Decides satisfiability of the current clause set.
+    pub fn solve(&self) -> SatOutcome {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            let model = assignment
+                .into_iter()
+                .map(|a| a.unwrap_or(false))
+                .collect();
+            SatOutcome::Sat(model)
+        } else {
+            SatOutcome::Unsat
+        }
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to a fixed point.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            match self.propagate_once(assignment) {
+                Propagation::Conflict => {
+                    for v in trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                Propagation::Assigned(v) => trail.push(v),
+                Propagation::Fixpoint => break,
+            }
+        }
+        // Find an unassigned variable that still occurs in an unsatisfied clause.
+        let branch_var = self.pick_branch_variable(assignment);
+        let var = match branch_var {
+            None => {
+                // All clauses satisfied (or no unassigned variable left but no
+                // conflict was detected, hence every clause is satisfied).
+                if self.all_clauses_satisfied(assignment) {
+                    return true;
+                }
+                for v in trail {
+                    assignment[v] = None;
+                }
+                return false;
+            }
+            Some(v) => v,
+        };
+        for value in [true, false] {
+            assignment[var] = Some(value);
+            if self.dpll(assignment) {
+                return true;
+            }
+            assignment[var] = None;
+        }
+        for v in trail {
+            assignment[v] = None;
+        }
+        false
+    }
+
+    fn propagate_once(&self, assignment: &mut [Option<bool>]) -> Propagation {
+        for clause in &self.clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut unassigned_count = 0;
+            let mut satisfied = false;
+            for &lit in clause {
+                match assignment[var_of(lit)] {
+                    Some(value) => {
+                        if value == is_pos(lit) {
+                            satisfied = true;
+                            break;
+                        }
+                    }
+                    None => {
+                        unassigned = Some(lit);
+                        unassigned_count += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let lit = unassigned.expect("count is one");
+                    let v = var_of(lit);
+                    assignment[v] = Some(is_pos(lit));
+                    return Propagation::Assigned(v);
+                }
+                _ => {}
+            }
+        }
+        Propagation::Fixpoint
+    }
+
+    fn pick_branch_variable(&self, assignment: &[Option<bool>]) -> Option<usize> {
+        for clause in &self.clauses {
+            let satisfied = clause
+                .iter()
+                .any(|&lit| assignment[var_of(lit)] == Some(is_pos(lit)));
+            if satisfied {
+                continue;
+            }
+            for &lit in clause {
+                if assignment[var_of(lit)].is_none() {
+                    return Some(var_of(lit));
+                }
+            }
+        }
+        None
+    }
+
+    fn all_clauses_satisfied(&self, assignment: &[Option<bool>]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|&lit| assignment[var_of(lit)] == Some(is_pos(lit)))
+        })
+    }
+}
+
+enum Propagation {
+    Conflict,
+    Assigned(usize),
+    Fixpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_problem_is_sat() {
+        let solver = SatSolver::new(0);
+        assert_eq!(solver.solve(), SatOutcome::Sat(vec![]));
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut solver = SatSolver::new(1);
+        solver.add_clause(vec![pos(0)]);
+        match solver.solve() {
+            SatOutcome::Sat(model) => assert!(model[0]),
+            other => panic!("expected sat, got {other}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut solver = SatSolver::new(1);
+        solver.add_clause(vec![pos(0)]);
+        solver.add_clause(vec![neg(0)]);
+        assert_eq!(solver.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut solver = SatSolver::new(1);
+        solver.add_clause(vec![]);
+        assert_eq!(solver.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn three_variable_instance() {
+        // (a || b) && (!a || c) && (!b || c) && !c  is unsat.
+        let mut solver = SatSolver::new(3);
+        solver.add_clause(vec![pos(0), pos(1)]);
+        solver.add_clause(vec![neg(0), pos(2)]);
+        solver.add_clause(vec![neg(1), pos(2)]);
+        solver.add_clause(vec![neg(2)]);
+        assert_eq!(solver.solve(), SatOutcome::Unsat);
+        // Dropping the last clause makes it satisfiable.
+        let mut solver = SatSolver::new(3);
+        solver.add_clause(vec![pos(0), pos(1)]);
+        solver.add_clause(vec![neg(0), pos(2)]);
+        solver.add_clause(vec![neg(1), pos(2)]);
+        match solver.solve() {
+            SatOutcome::Sat(model) => {
+                assert!(model[0] || model[1]);
+                assert!(!model[0] || model[2]);
+                assert!(!model[1] || model[2]);
+            }
+            other => panic!("expected sat, got {other}"),
+        }
+    }
+
+    #[test]
+    fn incremental_blocking_clauses() {
+        // Enumerate all four models of two unconstrained variables by blocking.
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![pos(0), neg(0)]);
+        let mut models = Vec::new();
+        loop {
+            match solver.solve() {
+                SatOutcome::Sat(model) => {
+                    models.push(model.clone());
+                    let blocking = model
+                        .iter()
+                        .enumerate()
+                        .map(|(v, &b)| if b { neg(v) } else { pos(v) })
+                        .collect();
+                    solver.add_clause(blocking);
+                }
+                SatOutcome::Unsat => break,
+            }
+        }
+        assert_eq!(models.len(), 4);
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole() {
+        // p1h1, p2h1, not both: unsat when both pigeons must be placed.
+        let mut solver = SatSolver::new(2);
+        solver.add_clause(vec![pos(0)]);
+        solver.add_clause(vec![pos(1)]);
+        solver.add_clause(vec![neg(0), neg(1)]);
+        assert_eq!(solver.solve(), SatOutcome::Unsat);
+    }
+}

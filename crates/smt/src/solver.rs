@@ -1,0 +1,899 @@
+//! The lazy DPLL(T) driver: boolean abstraction, SAT enumeration, theory checks.
+
+use crate::cooper;
+use crate::fourier_motzkin::{rational_feasible, Constraint, RationalFeasibility};
+use crate::linear::{LinExpr, TranslateError};
+use crate::sat::{neg, pos, Lit, SatOutcome, SatSolver};
+use expresso_logic::{simplify, to_nnf, CmpOp, Formula, Ident, Term, Valuation};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Configuration knobs for [`Solver`].
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum number of SAT-model / theory-check rounds before giving up.
+    pub max_theory_rounds: usize,
+    /// Maximum intermediate system size for the Fourier–Motzkin pre-check.
+    pub fourier_motzkin_limit: usize,
+    /// Maximum number of candidate assignments explored when extracting a
+    /// concrete counter-model (model extraction is best-effort).
+    pub model_search_limit: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_theory_rounds: 300,
+            fourier_motzkin_limit: 400,
+            model_search_limit: 20_000,
+        }
+    }
+}
+
+/// Counters describing the work a [`Solver`] has performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Satisfiability queries answered.
+    pub sat_queries: usize,
+    /// Validity queries answered.
+    pub validity_queries: usize,
+    /// Propositional SAT calls issued by the DPLL(T) loop.
+    pub sat_solver_calls: usize,
+    /// Theory-consistency checks of candidate propositional models.
+    pub theory_checks: usize,
+    /// Quantifier eliminations performed (including those used for theory checks).
+    pub quantifier_eliminations: usize,
+    /// Conflicts detected by the Fourier–Motzkin rational pre-check alone.
+    pub fm_fast_conflicts: usize,
+    /// Queries where non-linear or array atoms were abstracted as opaque booleans.
+    pub abstracted_queries: usize,
+}
+
+/// Errors reported through [`SatResult::Unknown`] / [`ValidityResult::Unknown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The formula left the decidable fragment (non-linear term or array read
+    /// under a quantifier).
+    OutsideFragment(String),
+    /// The configured resource limit was exceeded.
+    ResourceLimit(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::OutsideFragment(m) => write!(f, "outside decidable fragment: {m}"),
+            SolverError::ResourceLimit(m) => write!(f, "resource limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; a concrete model is attached when model extraction succeeded.
+    Sat(Option<Valuation>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver could not decide the query.
+    Unknown(SolverError),
+}
+
+impl SatResult {
+    /// Returns `true` for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Returns `true` for [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+}
+
+/// Result of a validity query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityResult {
+    /// The formula holds in every model.
+    Valid,
+    /// The formula has a counter-model (attached when extraction succeeded).
+    Invalid(Option<Valuation>),
+    /// The solver could not decide the query.
+    Unknown(SolverError),
+}
+
+impl ValidityResult {
+    /// Returns `true` only for [`ValidityResult::Valid`]; `Unknown` is treated
+    /// as "not proven", which is the conservative reading every caller needs.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ValidityResult::Valid)
+    }
+}
+
+/// The workspace SMT solver.
+///
+/// See the crate-level documentation for the architecture. A `Solver` is cheap
+/// to construct; it carries only configuration and statistics.
+#[derive(Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: RefCell<SolverStats>,
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            stats: RefCell::new(SolverStats::default()),
+        }
+    }
+
+    /// Returns a snapshot of the statistics counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Eliminates all quantifiers from `formula`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an atom mentioning a quantified variable is non-linear or
+    /// reads from an array.
+    pub fn eliminate_quantifiers(&self, formula: &Formula) -> Result<Formula, TranslateError> {
+        self.stats.borrow_mut().quantifier_eliminations += 1;
+        cooper::eliminate_quantifiers(formula)
+    }
+
+    /// Checks satisfiability of `formula`.
+    pub fn check_sat(&self, formula: &Formula) -> SatResult {
+        self.stats.borrow_mut().sat_queries += 1;
+        let simplified = simplify(formula);
+        match simplified {
+            Formula::True => return SatResult::Sat(Some(Valuation::new())),
+            Formula::False => return SatResult::Unsat,
+            _ => {}
+        }
+        let quantifier_free = if simplified.has_quantifier() {
+            match self.eliminate_quantifiers(&simplified) {
+                Ok(f) => f,
+                Err(e) => return SatResult::Unknown(SolverError::OutsideFragment(e.to_string())),
+            }
+        } else {
+            simplified
+        };
+        let nnf = to_nnf(&simplify(&quantifier_free));
+        match nnf {
+            Formula::True => return SatResult::Sat(Some(Valuation::new())),
+            Formula::False => return SatResult::Unsat,
+            _ => {}
+        }
+        self.dpll_t(&nnf)
+    }
+
+    /// Checks validity of `formula` (truth in every model).
+    pub fn check_valid(&self, formula: &Formula) -> ValidityResult {
+        self.stats.borrow_mut().validity_queries += 1;
+        match self.check_sat(&Formula::not(formula.clone())) {
+            SatResult::Unsat => ValidityResult::Valid,
+            SatResult::Sat(model) => ValidityResult::Invalid(model),
+            SatResult::Unknown(e) => ValidityResult::Unknown(e),
+        }
+    }
+
+    /// Convenience wrapper: `true` exactly when `formula` is proven valid.
+    pub fn is_valid(&self, formula: &Formula) -> bool {
+        self.check_valid(formula).is_valid()
+    }
+
+    /// Checks validity of the implication `premise ⇒ conclusion`.
+    pub fn check_implies(&self, premise: &Formula, conclusion: &Formula) -> ValidityResult {
+        self.check_valid(&Formula::implies(premise.clone(), conclusion.clone()))
+    }
+
+    /// Checks whether two formulas are logically equivalent.
+    pub fn check_equiv(&self, lhs: &Formula, rhs: &Formula) -> ValidityResult {
+        self.check_valid(&Formula::iff(lhs.clone(), rhs.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // DPLL(T)
+    // ------------------------------------------------------------------
+
+    fn dpll_t(&self, nnf: &Formula) -> SatResult {
+        let mut atoms = AtomTable::default();
+        let skeleton = build_skeleton(nnf, &mut atoms);
+        if atoms.abstracted {
+            self.stats.borrow_mut().abstracted_queries += 1;
+        }
+        let mut sat = SatSolver::new(atoms.atoms.len());
+        let root = tseitin(&skeleton, &mut sat);
+        match root {
+            RootLit::Constant(true) => {
+                return SatResult::Sat(self.extract_model(nnf, &atoms, &[]));
+            }
+            RootLit::Constant(false) => return SatResult::Unsat,
+            RootLit::Lit(l) => sat.add_clause(vec![l]),
+        }
+
+        for _ in 0..self.config.max_theory_rounds {
+            self.stats.borrow_mut().sat_solver_calls += 1;
+            let model = match sat.solve() {
+                SatOutcome::Unsat => return SatResult::Unsat,
+                SatOutcome::Sat(m) => m,
+            };
+            self.stats.borrow_mut().theory_checks += 1;
+            let theory_literals = atoms.theory_literals(&model);
+            match self.theory_consistent(&theory_literals) {
+                TheoryVerdict::Consistent => {
+                    return SatResult::Sat(self.extract_model(nnf, &atoms, &model));
+                }
+                TheoryVerdict::Inconsistent => {
+                    let blocking: Vec<Lit> = theory_literals
+                        .iter()
+                        .map(|(idx, value, _)| if *value { neg(*idx) } else { pos(*idx) })
+                        .collect();
+                    if blocking.is_empty() {
+                        // No theory literal to block: the conflict is spurious.
+                        return SatResult::Unknown(SolverError::ResourceLimit(
+                            "theory conflict without theory literals".into(),
+                        ));
+                    }
+                    sat.add_clause(blocking);
+                }
+                TheoryVerdict::Unknown(reason) => {
+                    return SatResult::Unknown(SolverError::OutsideFragment(reason))
+                }
+            }
+        }
+        SatResult::Unknown(SolverError::ResourceLimit(format!(
+            "exceeded {} theory rounds",
+            self.config.max_theory_rounds
+        )))
+    }
+
+    /// Decides whether a conjunction of theory literals is satisfiable over
+    /// the integers.
+    fn theory_consistent(&self, literals: &[(usize, bool, Formula)]) -> TheoryVerdict {
+        if literals.is_empty() {
+            return TheoryVerdict::Consistent;
+        }
+        // Fast path: rational relaxation via Fourier–Motzkin.
+        let mut constraints: Vec<Constraint> = Vec::new();
+        let mut convex = true;
+        for (_, value, atom) in literals {
+            match literal_constraints(atom, *value) {
+                Some(mut cs) => constraints.append(&mut cs),
+                None => convex = false,
+            }
+        }
+        if convex || !constraints.is_empty() {
+            match rational_feasible(&constraints, self.config.fourier_motzkin_limit) {
+                RationalFeasibility::Infeasible => {
+                    self.stats.borrow_mut().fm_fast_conflicts += 1;
+                    return TheoryVerdict::Inconsistent;
+                }
+                RationalFeasibility::Feasible | RationalFeasibility::TooLarge => {}
+            }
+        }
+        let conjunction = Formula::and(
+            literals
+                .iter()
+                .map(|(_, value, atom)| {
+                    if *value {
+                        atom.clone()
+                    } else {
+                        Formula::not(atom.clone())
+                    }
+                })
+                .collect(),
+        );
+        // Cheap completeness attempt: a concrete integer witness found by
+        // bounded search proves consistency without quantifier elimination.
+        if let Some(_witness) = self.bounded_int_model(&conjunction) {
+            return TheoryVerdict::Consistent;
+        }
+        // Complete check: existentially quantify every integer variable and
+        // run Cooper's procedure; the result is ground. Guard against blow-up
+        // on very large literal sets: conservatively report "consistent",
+        // which at worst costs an extra signal downstream, never soundness of
+        // the generated monitor.
+        let vars: Vec<Ident> = conjunction.int_vars().into_iter().collect();
+        if vars.len() > 6 || conjunction.size() > 160 {
+            return TheoryVerdict::Consistent;
+        }
+        let closed = Formula::exists(vars, conjunction);
+        self.stats.borrow_mut().quantifier_eliminations += 1;
+        match cooper::eliminate_quantifiers(&closed) {
+            Ok(Formula::True) => TheoryVerdict::Consistent,
+            Ok(Formula::False) => TheoryVerdict::Inconsistent,
+            Ok(other) => TheoryVerdict::Unknown(format!(
+                "quantifier elimination left a non-ground residue: {other}"
+            )),
+            Err(e) => TheoryVerdict::Unknown(e.to_string()),
+        }
+    }
+
+    /// Bounded search for an integer model of a quantifier-free conjunction of
+    /// theory literals (no boolean variables). Returns a witness when found.
+    fn bounded_int_model(&self, conjunction: &Formula) -> Option<Valuation> {
+        let vars: Vec<Ident> = {
+            let mut v: Vec<Ident> = conjunction.int_vars().into_iter().collect();
+            v.sort();
+            v
+        };
+        if vars.is_empty() {
+            return match Valuation::new().eval(conjunction) {
+                Ok(true) => Some(Valuation::new()),
+                _ => None,
+            };
+        }
+        let candidates = candidate_values(conjunction);
+        let total = candidates.len().checked_pow(vars.len() as u32)?;
+        if total > 4096 {
+            return None;
+        }
+        let mut indices = vec![0usize; vars.len()];
+        loop {
+            let mut attempt = Valuation::new();
+            for (var, &i) in vars.iter().zip(indices.iter()) {
+                attempt.set_int(var.clone(), candidates[i]);
+            }
+            if attempt.eval(conjunction) == Ok(true) {
+                return Some(attempt);
+            }
+            let mut pos = 0;
+            loop {
+                if pos == indices.len() {
+                    return None;
+                }
+                indices[pos] += 1;
+                if indices[pos] < candidates.len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Best-effort extraction of a concrete model for a satisfiable formula.
+    ///
+    /// The propositional model fixes the boolean variables; integer variables
+    /// are found by bounded search over a candidate grid derived from the
+    /// constants occurring in the formula. Returns `None` when the search
+    /// budget is exhausted or the formula contains opaque atoms.
+    fn extract_model(
+        &self,
+        formula: &Formula,
+        atoms: &AtomTable,
+        sat_model: &[bool],
+    ) -> Option<Valuation> {
+        let mut valuation = Valuation::new();
+        for (idx, atom) in atoms.atoms.iter().enumerate() {
+            if let AtomKind::Bool(name) = atom {
+                let value = sat_model.get(idx).copied().unwrap_or(false);
+                valuation.set_bool(name.clone(), value);
+            }
+        }
+        // Give every free boolean variable a value even if it never became an atom.
+        for b in formula.bool_vars() {
+            if valuation.boolean(&b).is_none() {
+                valuation.set_bool(b, false);
+            }
+        }
+        if atoms.abstracted {
+            return None;
+        }
+        let int_vars: Vec<Ident> = {
+            let mut v: Vec<Ident> = formula.int_vars().into_iter().collect();
+            v.sort();
+            v
+        };
+        if int_vars.is_empty() {
+            return match valuation.eval(formula) {
+                Ok(true) => Some(valuation),
+                _ => None,
+            };
+        }
+        let candidates = candidate_values(formula);
+        let total: usize = candidates
+            .len()
+            .checked_pow(int_vars.len() as u32)
+            .unwrap_or(usize::MAX);
+        if total > self.config.model_search_limit {
+            return None;
+        }
+        let mut indices = vec![0usize; int_vars.len()];
+        loop {
+            let mut attempt = valuation.clone();
+            for (var, &i) in int_vars.iter().zip(indices.iter()) {
+                attempt.set_int(var.clone(), candidates[i]);
+            }
+            if attempt.eval(formula) == Ok(true) {
+                return Some(attempt);
+            }
+            // Advance the odometer.
+            let mut pos = 0;
+            loop {
+                if pos == indices.len() {
+                    return None;
+                }
+                indices[pos] += 1;
+                if indices[pos] < candidates.len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+enum TheoryVerdict {
+    Consistent,
+    Inconsistent,
+    Unknown(String),
+}
+
+/// Candidate integer values for model search: every constant in the formula,
+/// its neighbours, and a small default window.
+fn candidate_values(formula: &Formula) -> Vec<i64> {
+    let mut values: BTreeSet<i64> = (-3..=3).collect();
+    collect_constants(formula, &mut values);
+    values.into_iter().collect()
+}
+
+fn collect_constants(formula: &Formula, out: &mut BTreeSet<i64>) {
+    fn from_term(term: &Term, out: &mut BTreeSet<i64>) {
+        match term {
+            Term::Int(v) => {
+                out.insert(*v);
+                out.insert(v.saturating_add(1));
+                out.insert(v.saturating_sub(1));
+            }
+            Term::Var(_) => {}
+            Term::Add(parts) => parts.iter().for_each(|p| from_term(p, out)),
+            Term::Sub(a, b) | Term::Mul(a, b) => {
+                from_term(a, out);
+                from_term(b, out);
+            }
+            Term::Neg(a) => from_term(a, out),
+            Term::Select(_, idx) => from_term(idx, out),
+        }
+    }
+    match formula {
+        Formula::True | Formula::False | Formula::BoolVar(_) => {}
+        Formula::Cmp(_, lhs, rhs) => {
+            from_term(lhs, out);
+            from_term(rhs, out);
+        }
+        Formula::Divides(d, t) => {
+            out.insert(*d as i64);
+            from_term(t, out);
+        }
+        Formula::Not(inner) => collect_constants(inner, out),
+        Formula::And(parts) | Formula::Or(parts) => {
+            parts.iter().for_each(|p| collect_constants(p, out))
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            collect_constants(a, out);
+            collect_constants(b, out);
+        }
+        Formula::Quant(_, _, body) => collect_constants(body, out),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Boolean abstraction
+// ----------------------------------------------------------------------
+
+/// The kinds of propositional atoms the abstraction distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AtomKind {
+    /// A boolean monitor variable.
+    Bool(Ident),
+    /// A linear-arithmetic atom the theory solver understands.
+    Theory(Formula),
+    /// An atom outside the linear fragment (array read or non-linear term),
+    /// treated as an opaque boolean.
+    Opaque(Formula),
+}
+
+#[derive(Debug, Default)]
+struct AtomTable {
+    atoms: Vec<AtomKind>,
+    index: HashMap<Formula, usize>,
+    abstracted: bool,
+}
+
+impl AtomTable {
+    fn intern(&mut self, key: Formula, kind: AtomKind) -> usize {
+        if let Some(&idx) = self.index.get(&key) {
+            return idx;
+        }
+        let idx = self.atoms.len();
+        if matches!(kind, AtomKind::Opaque(_)) {
+            self.abstracted = true;
+        }
+        self.atoms.push(kind);
+        self.index.insert(key, idx);
+        idx
+    }
+
+    /// Returns `(atom index, assigned value, positive atom formula)` for every
+    /// theory atom in the propositional model.
+    fn theory_literals(&self, model: &[bool]) -> Vec<(usize, bool, Formula)> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, atom)| match atom {
+                AtomKind::Theory(f) => Some((idx, model.get(idx).copied().unwrap_or(false), f.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The propositional skeleton of an NNF formula.
+#[derive(Debug, Clone)]
+enum Skeleton {
+    True,
+    False,
+    Lit(usize, bool),
+    And(Vec<Skeleton>),
+    Or(Vec<Skeleton>),
+}
+
+fn is_theory_atom(f: &Formula) -> bool {
+    match f {
+        Formula::Cmp(_, lhs, rhs) => {
+            LinExpr::from_term(lhs).is_ok() && LinExpr::from_term(rhs).is_ok()
+        }
+        Formula::Divides(_, t) => LinExpr::from_term(t).is_ok(),
+        _ => false,
+    }
+}
+
+fn intern_atom(f: &Formula, atoms: &mut AtomTable) -> usize {
+    let kind = match f {
+        Formula::BoolVar(name) => AtomKind::Bool(name.clone()),
+        _ if is_theory_atom(f) => AtomKind::Theory(f.clone()),
+        _ => AtomKind::Opaque(f.clone()),
+    };
+    atoms.intern(f.clone(), kind)
+}
+
+/// Builds the propositional skeleton of an NNF formula, interning atoms.
+fn build_skeleton(f: &Formula, atoms: &mut AtomTable) -> Skeleton {
+    match f {
+        Formula::True => Skeleton::True,
+        Formula::False => Skeleton::False,
+        Formula::And(parts) => Skeleton::And(parts.iter().map(|p| build_skeleton(p, atoms)).collect()),
+        Formula::Or(parts) => Skeleton::Or(parts.iter().map(|p| build_skeleton(p, atoms)).collect()),
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::True => Skeleton::False,
+            Formula::False => Skeleton::True,
+            atom => Skeleton::Lit(intern_atom(atom, atoms), false),
+        },
+        // NNF leaves implications/iffs/quantifiers out, but handle them
+        // defensively by treating them as opaque atoms.
+        Formula::Implies(..) | Formula::Iff(..) | Formula::Quant(..) => {
+            Skeleton::Lit(intern_atom(f, atoms), true)
+        }
+        atom => Skeleton::Lit(intern_atom(atom, atoms), true),
+    }
+}
+
+enum RootLit {
+    Constant(bool),
+    Lit(Lit),
+}
+
+/// Tseitin encoding of a skeleton into the SAT solver; returns the literal
+/// representing the root.
+fn tseitin(skeleton: &Skeleton, sat: &mut SatSolver) -> RootLit {
+    match encode(skeleton, sat) {
+        Encoded::Constant(b) => RootLit::Constant(b),
+        Encoded::Lit(l) => RootLit::Lit(l),
+    }
+}
+
+enum Encoded {
+    Constant(bool),
+    Lit(Lit),
+}
+
+fn encode(skeleton: &Skeleton, sat: &mut SatSolver) -> Encoded {
+    match skeleton {
+        Skeleton::True => Encoded::Constant(true),
+        Skeleton::False => Encoded::Constant(false),
+        Skeleton::Lit(var, positive) => {
+            Encoded::Lit(if *positive { pos(*var) } else { neg(*var) })
+        }
+        Skeleton::And(children) => {
+            let mut lits = Vec::new();
+            for c in children {
+                match encode(c, sat) {
+                    Encoded::Constant(false) => return Encoded::Constant(false),
+                    Encoded::Constant(true) => {}
+                    Encoded::Lit(l) => lits.push(l),
+                }
+            }
+            if lits.is_empty() {
+                return Encoded::Constant(true);
+            }
+            if lits.len() == 1 {
+                return Encoded::Lit(lits[0]);
+            }
+            let g = sat.new_var();
+            // g -> each child
+            for &l in &lits {
+                sat.add_clause(vec![neg(g), l]);
+            }
+            // children -> g
+            let mut clause: Vec<Lit> = lits.iter().map(|&l| -l).collect();
+            clause.push(pos(g));
+            sat.add_clause(clause);
+            Encoded::Lit(pos(g))
+        }
+        Skeleton::Or(children) => {
+            let mut lits = Vec::new();
+            for c in children {
+                match encode(c, sat) {
+                    Encoded::Constant(true) => return Encoded::Constant(true),
+                    Encoded::Constant(false) => {}
+                    Encoded::Lit(l) => lits.push(l),
+                }
+            }
+            if lits.is_empty() {
+                return Encoded::Constant(false);
+            }
+            if lits.len() == 1 {
+                return Encoded::Lit(lits[0]);
+            }
+            let g = sat.new_var();
+            // g -> c1 | ... | cn
+            let mut clause: Vec<Lit> = lits.clone();
+            clause.insert(0, neg(g));
+            sat.add_clause(clause);
+            // each child -> g
+            for &l in &lits {
+                sat.add_clause(vec![-l, pos(g)]);
+            }
+            Encoded::Lit(pos(g))
+        }
+    }
+}
+
+/// Converts a theory literal into Fourier–Motzkin constraints (`None` when the
+/// literal is non-convex, e.g. a disequality).
+fn literal_constraints(atom: &Formula, value: bool) -> Option<Vec<Constraint>> {
+    match atom {
+        Formula::Cmp(op, lhs, rhs) => {
+            let e = LinExpr::from_term(lhs).ok()?.sub(&LinExpr::from_term(rhs).ok()?);
+            let op = if value { *op } else { op.negate() };
+            Some(match op {
+                CmpOp::Le => vec![Constraint::le_zero(e)],
+                CmpOp::Lt => vec![Constraint::lt_zero(e)],
+                CmpOp::Ge => vec![Constraint::le_zero(e.scale(-1))],
+                CmpOp::Gt => vec![Constraint::lt_zero(e.scale(-1))],
+                CmpOp::Eq => vec![Constraint::le_zero(e.clone()), Constraint::le_zero(e.scale(-1))],
+                CmpOp::Ne => return None,
+            })
+        }
+        // Divisibility is ignored by the rational relaxation.
+        Formula::Divides(..) => None,
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_logic::Term;
+
+    fn solver() -> Solver {
+        Solver::new()
+    }
+
+    #[test]
+    fn trivial_constants() {
+        assert!(solver().check_sat(&Formula::True).is_sat());
+        assert!(solver().check_sat(&Formula::False).is_unsat());
+        assert_eq!(solver().check_valid(&Formula::True), ValidityResult::Valid);
+    }
+
+    #[test]
+    fn pure_boolean_reasoning() {
+        let p = Formula::bool_var("p");
+        let q = Formula::bool_var("q");
+        // (p -> q) && p && !q  is unsat.
+        let f = Formula::and(vec![
+            Formula::implies(p.clone(), q.clone()),
+            p.clone(),
+            Formula::not(q.clone()),
+        ]);
+        assert!(solver().check_sat(&f).is_unsat());
+        // p || !p is valid.
+        assert!(solver().is_valid(&Formula::or(vec![p.clone(), Formula::not(p)])));
+    }
+
+    #[test]
+    fn arithmetic_conflicts_are_found() {
+        // x > 0 && x < 0
+        let f = Formula::and(vec![
+            Term::var("x").gt(Term::int(0)),
+            Term::var("x").lt(Term::int(0)),
+        ]);
+        assert!(solver().check_sat(&f).is_unsat());
+    }
+
+    #[test]
+    fn integer_gaps_are_detected() {
+        // 0 < 2x && 2x < 2 has no integer solution (x would be 1/2).
+        let two_x = Term::int(2).mul(Term::var("x"));
+        let f = Formula::and(vec![
+            Term::int(0).lt(two_x.clone()),
+            two_x.lt(Term::int(2)),
+        ]);
+        assert!(solver().check_sat(&f).is_unsat());
+    }
+
+    #[test]
+    fn models_are_extracted_for_simple_formulas() {
+        let f = Formula::and(vec![
+            Term::var("x").gt(Term::int(2)),
+            Term::var("x").lt(Term::int(5)),
+            Formula::bool_var("flag"),
+        ]);
+        match solver().check_sat(&f) {
+            SatResult::Sat(Some(model)) => {
+                let x = model.int("x").expect("x bound");
+                assert!(x > 2 && x < 5);
+                assert_eq!(model.boolean("flag"), Some(true));
+            }
+            other => panic!("expected sat with model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn readers_writers_enter_reader_vc_is_valid() {
+        // Paper §2: {readers>=0 && !writerIn && !Pw} readers++ {!Pw}
+        let pw = Formula::and(vec![
+            Term::var("readers").eq(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+        ]);
+        let pw_after = Formula::and(vec![
+            Term::var("readers").add(Term::int(1)).eq(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+        ]);
+        let pre = Formula::and(vec![
+            Term::var("readers").ge(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+            Formula::not(pw.clone()),
+        ]);
+        let vc = Formula::implies(pre, Formula::not(pw_after.clone()));
+        assert_eq!(solver().check_valid(&vc), ValidityResult::Valid);
+
+        // Dropping the invariant readers >= 0 must make the triple fail —
+        // exactly the observation the paper makes.
+        let weak_pre = Formula::and(vec![
+            Formula::not(Formula::bool_var("writerIn")),
+            Formula::not(pw),
+        ]);
+        let vc = Formula::implies(weak_pre, Formula::not(pw_after));
+        assert!(matches!(solver().check_valid(&vc), ValidityResult::Invalid(_)));
+    }
+
+    #[test]
+    fn quantified_validity() {
+        // forall x. x >= 0 || x < 0
+        let f = Formula::forall(
+            vec!["x".into()],
+            Formula::or(vec![
+                Term::var("x").ge(Term::int(0)),
+                Term::var("x").lt(Term::int(0)),
+            ]),
+        );
+        assert!(solver().is_valid(&f));
+        // forall x. x >= 0 is invalid.
+        let f = Formula::forall(vec!["x".into()], Term::var("x").ge(Term::int(0)));
+        assert!(!solver().is_valid(&f));
+    }
+
+    #[test]
+    fn opaque_atoms_are_conservative() {
+        // Array atoms cannot be proven valid, only refuted conservatively.
+        let f = Term::select("buf", Term::int(0)).ge(Term::int(0));
+        let result = solver().check_valid(&f);
+        assert!(!result.is_valid());
+        // But propositionally-contradictory combinations are still caught.
+        let contradiction = Formula::and(vec![f.clone(), Formula::not(f)]);
+        assert!(solver().check_sat(&contradiction).is_unsat());
+    }
+
+    #[test]
+    fn implication_helper() {
+        let premise = Term::var("n").ge(Term::int(1));
+        let conclusion = Term::var("n").ge(Term::int(0));
+        assert_eq!(
+            solver().check_implies(&premise, &conclusion),
+            ValidityResult::Valid
+        );
+        assert!(matches!(
+            solver().check_implies(&conclusion, &premise),
+            ValidityResult::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn equivalence_helper() {
+        let a = Term::var("x").gt(Term::int(0));
+        let b = Term::var("x").ge(Term::int(1));
+        assert_eq!(solver().check_equiv(&a, &b), ValidityResult::Valid);
+        let c = Term::var("x").ge(Term::int(2));
+        assert!(matches!(solver().check_equiv(&a, &c), ValidityResult::Invalid(_)));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let s = solver();
+        let _ = s.check_valid(&Term::var("x").ge(Term::var("x")));
+        let stats = s.stats();
+        assert_eq!(stats.validity_queries, 1);
+        assert!(stats.sat_queries >= 1);
+    }
+
+    #[test]
+    fn mixed_bool_and_int_model() {
+        // (p && x == 3) || (!p && x == -1)
+        let f = Formula::or(vec![
+            Formula::and(vec![
+                Formula::bool_var("p"),
+                Term::var("x").eq(Term::int(3)),
+            ]),
+            Formula::and(vec![
+                Formula::not(Formula::bool_var("p")),
+                Term::var("x").eq(Term::int(-1)),
+            ]),
+        ]);
+        match solver().check_sat(&f) {
+            SatResult::Sat(Some(m)) => {
+                let p = m.boolean("p").unwrap();
+                let x = m.int("x").unwrap();
+                assert!(if p { x == 3 } else { x == -1 });
+            }
+            other => panic!("expected model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divisibility_atoms_in_satisfiability() {
+        // 2 | x && x > 0 && x < 3  forces x == 2.
+        let f = Formula::and(vec![
+            Formula::divides(2, Term::var("x")),
+            Term::var("x").gt(Term::int(0)),
+            Term::var("x").lt(Term::int(3)),
+        ]);
+        match solver().check_sat(&f) {
+            SatResult::Sat(Some(m)) => assert_eq!(m.int("x"), Some(2)),
+            SatResult::Sat(None) => {}
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // 2 | x && x == 1 is unsat.
+        let f = Formula::and(vec![
+            Formula::divides(2, Term::var("x")),
+            Term::var("x").eq(Term::int(1)),
+        ]);
+        assert!(solver().check_sat(&f).is_unsat());
+    }
+}

@@ -1,0 +1,367 @@
+//! Balanced saturation-workload builders for the benchmark suite.
+//!
+//! Every builder returns one [`ThreadPlan`] per thread such that the whole
+//! workload is guaranteed to terminate: every blocking operation is eventually
+//! matched by the operation that enables it.
+
+use expresso_logic::Valuation;
+use expresso_runtime::{Operation, ThreadPlan};
+
+/// The thread counts swept by the figures (the paper uses 2–128; the
+/// reproduction keeps the same doubling ladder).
+pub fn scaled_thread_counts(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut n = 2usize;
+    while n <= max {
+        out.push(n);
+        n *= 2;
+    }
+    out
+}
+
+fn locals(pairs: &[(&str, i64)]) -> Valuation {
+    let mut v = Valuation::new();
+    for (name, value) in pairs {
+        v.set_int((*name).to_string(), *value);
+    }
+    v
+}
+
+/// Producer/consumer workload: even threads produce, odd threads consume, and
+/// every produce is matched by exactly one consume. When `item_param` is true
+/// the producer method takes an `item` argument.
+pub fn producer_consumer_plans(
+    producer: &'static str,
+    consumer: &'static str,
+    item_param: bool,
+) -> fn(usize, usize) -> Vec<ThreadPlan> {
+    // Capture-free fn pointers require dispatching on static data, so the
+    // builders are generated through a small macro-like match instead of a
+    // closure. The method names are threaded through thread-local statics.
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::sync::OnceLock;
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, (&'static str, &'static str, bool)>>> =
+        OnceLock::new();
+    static NEXT: OnceLock<Mutex<usize>> = OnceLock::new();
+
+    fn plan_for(key: usize, threads: usize, ops: usize) -> Vec<ThreadPlan> {
+        let registry = REGISTRY.get().expect("registry initialised").lock().unwrap();
+        let (producer, consumer, item_param) = registry[&key];
+        let pairs = threads.max(2) / 2;
+        let mut plans = Vec::new();
+        for t in 0..(pairs * 2) {
+            let is_producer = t % 2 == 0;
+            let plan: ThreadPlan = (0..ops)
+                .map(|i| {
+                    if is_producer {
+                        if item_param {
+                            Operation::with_locals(producer, locals(&[("item", i as i64)]))
+                        } else {
+                            Operation::new(producer)
+                        }
+                    } else {
+                        Operation::new(consumer)
+                    }
+                })
+                .collect();
+            plans.push(plan);
+        }
+        // Any leftover thread (odd thread count) performs a balanced local mix.
+        if threads > pairs * 2 {
+            let mut plan = Vec::new();
+            for i in 0..ops {
+                if item_param {
+                    plan.push(Operation::with_locals(producer, locals(&[("item", i as i64)])));
+                } else {
+                    plan.push(Operation::new(producer));
+                }
+                plan.push(Operation::new(consumer));
+            }
+            plans.push(plan);
+        }
+        plans
+    }
+
+    // Allocate a registry slot for this (producer, consumer) pair and return a
+    // monomorphic fn pointer for it. Only a handful of distinct pairs exist,
+    // so a fixed dispatch table is sufficient.
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let next = NEXT.get_or_init(|| Mutex::new(0));
+    let mut next = next.lock().unwrap();
+    let key = {
+        let mut registry = registry.lock().unwrap();
+        // Reuse an existing slot for an identical configuration.
+        if let Some((k, _)) = registry
+            .iter()
+            .find(|(_, v)| **v == (producer, consumer, item_param))
+        {
+            *k
+        } else {
+            let k = *next;
+            *next += 1;
+            registry.insert(k, (producer, consumer, item_param));
+            k
+        }
+    };
+    match key {
+        0 => |t, o| plan_for(0, t, o),
+        1 => |t, o| plan_for(1, t, o),
+        2 => |t, o| plan_for(2, t, o),
+        3 => |t, o| plan_for(3, t, o),
+        4 => |t, o| plan_for(4, t, o),
+        5 => |t, o| plan_for(5, t, o),
+        6 => |t, o| plan_for(6, t, o),
+        _ => |t, o| plan_for(7, t, o),
+    }
+}
+
+/// Enter/exit workload: every thread alternates `enter` and `exit`.
+pub fn enter_exit_plans(
+    enter: &'static str,
+    exit: &'static str,
+) -> fn(usize, usize) -> Vec<ThreadPlan> {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::sync::OnceLock;
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, (&'static str, &'static str)>>> =
+        OnceLock::new();
+    static NEXT: OnceLock<Mutex<usize>> = OnceLock::new();
+
+    fn plan_for(key: usize, threads: usize, ops: usize) -> Vec<ThreadPlan> {
+        let registry = REGISTRY.get().expect("registry initialised").lock().unwrap();
+        let (enter, exit) = registry[&key];
+        (0..threads.max(1))
+            .map(|_| {
+                let mut plan = Vec::new();
+                for _ in 0..ops {
+                    plan.push(Operation::new(enter));
+                    plan.push(Operation::new(exit));
+                }
+                plan
+            })
+            .collect()
+    }
+
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let next = NEXT.get_or_init(|| Mutex::new(0));
+    let mut next = next.lock().unwrap();
+    let key = {
+        let mut registry = registry.lock().unwrap();
+        if let Some((k, _)) = registry.iter().find(|(_, v)| **v == (enter, exit)) {
+            *k
+        } else {
+            let k = *next;
+            *next += 1;
+            registry.insert(k, (enter, exit));
+            k
+        }
+    };
+    match key {
+        0 => |t, o| plan_for(0, t, o),
+        1 => |t, o| plan_for(1, t, o),
+        2 => |t, o| plan_for(2, t, o),
+        _ => |t, o| plan_for(3, t, o),
+    }
+}
+
+/// H2O barrier: two thirds of the threads contribute hydrogen (two per
+/// molecule), one third bonds molecules.
+pub fn h2o_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let groups = (threads.max(3)) / 3;
+    let mut plans = Vec::new();
+    for _ in 0..groups {
+        // Two hydrogen providers per oxygen bonder; keep totals balanced.
+        plans.push((0..ops).map(|_| Operation::new("hydrogenReady")).collect());
+        plans.push((0..ops).map(|_| Operation::new("hydrogenReady")).collect());
+        plans.push((0..ops).map(|_| Operation::new("oxygenBond")).collect());
+    }
+    plans
+}
+
+/// Round-robin: thread `i` repeatedly passes the token when `turn == i`.
+pub fn round_robin_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let n = threads.max(1);
+    (0..n)
+        .map(|id| {
+            (0..ops)
+                .map(|_| Operation::with_locals("pass", locals(&[("id", id as i64)])))
+                .collect()
+        })
+        .collect()
+}
+
+/// Ticketed readers-writers: most threads read, a minority writes using
+/// sequential tickets (issued deterministically so the workload terminates).
+pub fn ticketed_rw_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let n = threads.max(2);
+    let writers = (n / 4).max(1);
+    let mut plans = Vec::new();
+    let mut next_ticket = 0i64;
+    for t in 0..n {
+        if t < writers {
+            let mut plan = Vec::new();
+            for _ in 0..ops {
+                plan.push(Operation::new("drawTicket"));
+                plan.push(Operation::with_locals(
+                    "enterWriter",
+                    locals(&[("ticket", next_ticket)]),
+                ));
+                plan.push(Operation::new("exitWriter"));
+                next_ticket += 1;
+            }
+            plans.push(plan);
+        } else {
+            let mut plan = Vec::new();
+            for _ in 0..ops {
+                plan.push(Operation::new("enterReader"));
+                plan.push(Operation::new("exitReader"));
+            }
+            plans.push(plan);
+        }
+    }
+    plans
+}
+
+/// Parameterized bounded buffer: producers add two units, consumers remove two.
+pub fn parameterized_buffer_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let pairs = threads.max(2) / 2;
+    let mut plans = Vec::new();
+    for _ in 0..pairs {
+        plans.push(
+            (0..ops)
+                .map(|_| Operation::with_locals("produce", locals(&[("amount", 2)])))
+                .collect(),
+        );
+        plans.push(
+            (0..ops)
+                .map(|_| Operation::with_locals("consume", locals(&[("need", 2)])))
+                .collect(),
+        );
+    }
+    plans
+}
+
+/// Dining philosophers: thread `i` picks up and puts down forks `i` and
+/// `(i + 1) mod seats`.
+pub fn dining_philosopher_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let seats = threads.max(2);
+    (0..seats)
+        .map(|i| {
+            let left = i as i64;
+            let right = ((i + 1) % seats) as i64;
+            let mut plan = Vec::new();
+            for _ in 0..ops {
+                plan.push(Operation::with_locals(
+                    "pickUp",
+                    locals(&[("left", left), ("right", right)]),
+                ));
+                plan.push(Operation::with_locals(
+                    "putDown",
+                    locals(&[("doneLeft", left), ("doneRight", right)]),
+                ));
+            }
+            plan
+        })
+        .collect()
+}
+
+/// Readers-writers: three quarters of the threads read, one quarter writes.
+pub fn readers_writers_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let n = threads.max(2);
+    let writers = (n / 4).max(1);
+    (0..n)
+        .map(|t| {
+            let (enter, exit) = if t < writers {
+                ("enterWriter", "exitWriter")
+            } else {
+                ("enterReader", "exitReader")
+            };
+            let mut plan = Vec::new();
+            for _ in 0..ops {
+                plan.push(Operation::new(enter));
+                plan.push(Operation::new(exit));
+            }
+            plan
+        })
+        .collect()
+}
+
+/// SimpleDecoder: input feeders, decoders and output drainers in a 1:1:1 ratio.
+pub fn decoder_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let groups = (threads.max(3)) / 3;
+    let mut plans = Vec::new();
+    for _ in 0..groups {
+        plans.push((0..ops).map(|_| Operation::new("queueInput")).collect());
+        plans.push((0..ops).map(|_| Operation::new("decode")).collect());
+        plans.push((0..ops).map(|_| Operation::new("dequeueOutput")).collect());
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_ladder_doubles() {
+        assert_eq!(scaled_thread_counts(16), vec![2, 4, 8, 16]);
+        assert_eq!(scaled_thread_counts(3), vec![2]);
+    }
+
+    #[test]
+    fn producer_consumer_totals_balance() {
+        let build = producer_consumer_plans("put", "take", true);
+        let plans = build(5, 8);
+        let puts: usize = plans
+            .iter()
+            .flatten()
+            .filter(|op| op.method == "put")
+            .count();
+        let takes: usize = plans
+            .iter()
+            .flatten()
+            .filter(|op| op.method == "take")
+            .count();
+        assert_eq!(puts, takes);
+    }
+
+    #[test]
+    fn h2o_uses_two_hydrogens_per_bond() {
+        let plans = h2o_plans(6, 5);
+        let hydro: usize = plans
+            .iter()
+            .flatten()
+            .filter(|op| op.method == "hydrogenReady")
+            .count();
+        let bonds: usize = plans
+            .iter()
+            .flatten()
+            .filter(|op| op.method == "oxygenBond")
+            .count();
+        assert_eq!(hydro, 2 * bonds);
+    }
+
+    #[test]
+    fn dining_philosophers_use_adjacent_forks() {
+        let plans = dining_philosopher_plans(4, 1);
+        assert_eq!(plans.len(), 4);
+        let last = &plans[3][0];
+        assert_eq!(last.locals.int("left"), Some(3));
+        assert_eq!(last.locals.int("right"), Some(0));
+    }
+
+    #[test]
+    fn ticketed_writers_draw_sequential_tickets() {
+        let plans = ticketed_rw_plans(8, 3);
+        let tickets: Vec<i64> = plans
+            .iter()
+            .flatten()
+            .filter(|op| op.method == "enterWriter")
+            .map(|op| op.locals.int("ticket").unwrap())
+            .collect();
+        let mut sorted = tickets.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..tickets.len() as i64).collect::<Vec<_>>());
+    }
+}

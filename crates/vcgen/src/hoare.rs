@@ -1,0 +1,383 @@
+//! Hoare-triple discharge and commutativity checking.
+
+use crate::wp::{wp, WpError};
+use expresso_logic::{fresh_name, Formula, Subst, Term};
+use expresso_monitor_lang::{Monitor, Stmt, Type, VarTable};
+use expresso_smt::{Solver, ValidityResult};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A Hoare triple `{pre} stmt {post}` over a CCR body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoareTriple {
+    /// Precondition.
+    pub pre: Formula,
+    /// The program fragment (a CCR body).
+    pub stmt: Stmt,
+    /// Postcondition.
+    pub post: Formula,
+    /// A human-readable description of why the triple was generated, used in
+    /// reports and debugging output.
+    pub description: String,
+}
+
+impl fmt::Display for HoareTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}} … {{{}}} ({})", self.pre, self.post, self.description)
+    }
+}
+
+/// The outcome of discharging a triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripleStatus {
+    /// Proven valid.
+    Valid,
+    /// A counterexample exists (or the solver found the VC falsifiable).
+    Invalid,
+    /// Could not be decided (outside the fragment, resource limits); callers
+    /// must treat this exactly like [`TripleStatus::Invalid`].
+    Unknown,
+}
+
+impl TripleStatus {
+    /// `true` only when the triple was proven.
+    pub fn is_valid(self) -> bool {
+        self == TripleStatus::Valid
+    }
+}
+
+/// Verification-condition generator bound to a monitor, its symbol table and a
+/// solver.
+#[derive(Debug)]
+pub struct VcGen<'a> {
+    monitor: &'a Monitor,
+    table: &'a VarTable,
+    solver: &'a Solver,
+}
+
+impl<'a> VcGen<'a> {
+    /// Creates a generator for `monitor`.
+    pub fn new(monitor: &'a Monitor, table: &'a VarTable, solver: &'a Solver) -> Self {
+        VcGen {
+            monitor,
+            table,
+            solver,
+        }
+    }
+
+    /// The monitor this generator reasons about.
+    pub fn monitor(&self) -> &Monitor {
+        self.monitor
+    }
+
+    /// The monitor's symbol table.
+    pub fn table(&self) -> &VarTable {
+        self.table
+    }
+
+    /// The underlying solver.
+    pub fn solver(&self) -> &Solver {
+        self.solver
+    }
+
+    /// Discharges `{pre} stmt {post}` by computing the weakest precondition
+    /// and checking `pre ⇒ wp(stmt, post)`.
+    pub fn check_triple(&self, pre: &Formula, stmt: &Stmt, post: &Formula) -> TripleStatus {
+        match wp(stmt, post, self.table) {
+            Ok(weakest) => match self.solver.check_implies(pre, &weakest) {
+                ValidityResult::Valid => TripleStatus::Valid,
+                ValidityResult::Invalid(_) => TripleStatus::Invalid,
+                ValidityResult::Unknown(_) => TripleStatus::Unknown,
+            },
+            Err(WpError::ArrayWrite(_)) | Err(WpError::Lower(_)) => TripleStatus::Unknown,
+        }
+    }
+
+    /// Discharges a pre-built [`HoareTriple`].
+    pub fn check(&self, triple: &HoareTriple) -> TripleStatus {
+        self.check_triple(&triple.pre, &triple.stmt, &triple.post)
+    }
+
+    /// Computes `wp(stmt, post)` using the monitor's symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WpError`] from the underlying computation.
+    pub fn wp(&self, stmt: &Stmt, post: &Formula) -> Result<Formula, WpError> {
+        wp(stmt, post, self.table)
+    }
+
+    /// Renames every thread-local variable occurring in `formula` to a fresh
+    /// copy, returning the renamed formula (paper §4.2).
+    ///
+    /// `avoid` lists additional names that must not be reused (typically the
+    /// free variables of the other formulas participating in the same VC).
+    pub fn rename_locals(&self, formula: &Formula, avoid: &HashSet<String>) -> Formula {
+        let locals: Vec<String> = formula
+            .free_vars()
+            .into_iter()
+            .filter(|v| self.table.is_local(v))
+            .collect();
+        if locals.is_empty() {
+            return formula.clone();
+        }
+        let mut taken: HashSet<String> = formula.free_vars();
+        taken.extend(avoid.iter().cloned());
+        let mut subst = Subst::new();
+        for local in locals {
+            let fresh = fresh_name(&format!("{local}!other"), &taken);
+            taken.insert(fresh.clone());
+            if self.table.is_bool(&local) {
+                subst.boolean(local, Formula::bool_var(fresh));
+            } else {
+                subst.int(local, Term::var(fresh));
+            }
+        }
+        subst.apply(formula)
+    }
+
+    /// The paper's `Comm(w, M)` check: does `body` commute with the body of
+    /// every *other* CCR of the monitor?
+    pub fn commutes_with_all(&self, ccr: expresso_monitor_lang::CcrId) -> bool {
+        let body = &self.monitor.ccr(ccr).body;
+        self.monitor
+            .all_ccrs()
+            .filter(|other| other.id != ccr)
+            .all(|other| self.commutes(body, &other.body))
+    }
+
+    /// Checks whether two statements commute: `s1; s2 ≡ s2; s1` on every
+    /// shared scalar variable. Conservative (`false`) when either statement
+    /// writes arrays, contains loops, or leaves the decidable fragment.
+    pub fn commutes(&self, s1: &Stmt, s2: &Stmt) -> bool {
+        if has_loop(s1) || has_loop(s2) {
+            return false;
+        }
+        let writes_arrays = |s: &Stmt| {
+            s.assigned_vars()
+                .iter()
+                .any(|v| self.table.is_array(v))
+        };
+        if writes_arrays(s1) || writes_arrays(s2) {
+            // Array writes are havoc; only the trivial case of disjoint
+            // variables would commute, and that is rare enough to skip.
+            return false;
+        }
+        let order_a = Stmt::seq(vec![s1.clone(), s2.clone()]);
+        let order_b = Stmt::seq(vec![s2.clone(), s1.clone()]);
+        let mut affected: Vec<String> = s1
+            .assigned_vars()
+            .union(&s2.assigned_vars())
+            .cloned()
+            .collect();
+        affected.sort();
+        for var in affected {
+            match self.table.ty(&var) {
+                Some(Type::Bool) => {
+                    let post = Formula::bool_var(var.clone());
+                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post)) else {
+                        return false;
+                    };
+                    if !self.solver.check_equiv(&a, &b).is_valid() {
+                        return false;
+                    }
+                }
+                Some(Type::Int) => {
+                    let mut taken: HashSet<String> = s1.read_vars();
+                    taken.extend(s2.read_vars());
+                    taken.insert(var.clone());
+                    let observer = fresh_name(&format!("{var}!obs"), &taken);
+                    let post = Term::var(var.clone()).eq(Term::var(observer));
+                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post)) else {
+                        return false;
+                    };
+                    if !self.solver.check_equiv(&a, &b).is_valid() {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+fn has_loop(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::While(..) => true,
+        Stmt::Seq(parts) => parts.iter().any(has_loop),
+        Stmt::If(_, t, e) => has_loop(t) || has_loop(e),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_monitor_lang::{check_monitor, parse_monitor};
+
+    fn rw() -> (Monitor, VarTable) {
+        let m = parse_monitor(
+            r#"
+            monitor RWLock {
+                int readers = 0;
+                bool writerIn = false;
+                atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+                atomic void exitReader() { if (readers > 0) readers--; }
+                atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+                atomic void exitWriter() { writerIn = false; }
+            }
+            "#,
+        )
+        .unwrap();
+        let t = check_monitor(&m).unwrap();
+        (m, t)
+    }
+
+    fn pw() -> Formula {
+        Formula::and(vec![
+            Term::var("readers").eq(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+        ])
+    }
+
+    #[test]
+    fn enter_reader_does_not_need_to_signal_writers() {
+        // {readers >= 0 && !writerIn && !Pw} readers++ {!Pw}  — paper §2.
+        let (m, t) = rw();
+        let solver = Solver::new();
+        let vc = VcGen::new(&m, &t, &solver);
+        let enter_reader = m.method("enterReader").unwrap();
+        let body = &m.ccr(enter_reader.ccrs[0]).body;
+        let pre = Formula::and(vec![
+            Term::var("readers").ge(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+            Formula::not(pw()),
+        ]);
+        assert_eq!(
+            vc.check_triple(&pre, body, &Formula::not(pw())),
+            TripleStatus::Valid
+        );
+        // Without the invariant the triple is not provable.
+        let weak_pre = Formula::and(vec![
+            Formula::not(Formula::bool_var("writerIn")),
+            Formula::not(pw()),
+        ]);
+        assert_eq!(
+            vc.check_triple(&weak_pre, body, &Formula::not(pw())),
+            TripleStatus::Invalid
+        );
+    }
+
+    #[test]
+    fn exit_reader_must_signal_but_not_broadcast() {
+        let (m, t) = rw();
+        let solver = Solver::new();
+        let vc = VcGen::new(&m, &t, &solver);
+        let exit_reader = m.method("exitReader").unwrap();
+        let body = &m.ccr(exit_reader.ccrs[0]).body;
+        let inv = Term::var("readers").ge(Term::int(0));
+        // Signal needed: {inv && !Pw} body {!Pw} is NOT valid.
+        let pre = Formula::and(vec![inv.clone(), Formula::not(pw())]);
+        assert_ne!(
+            vc.check_triple(&pre, body, &Formula::not(pw())),
+            TripleStatus::Valid
+        );
+        // Broadcast unnecessary: {inv && Pw} writerIn = true {!Pw} is valid.
+        let enter_writer = m.method("enterWriter").unwrap();
+        let writer_body = &m.ccr(enter_writer.ccrs[0]).body;
+        let pre = Formula::and(vec![inv, pw()]);
+        assert_eq!(
+            vc.check_triple(&pre, writer_body, &Formula::not(pw())),
+            TripleStatus::Valid
+        );
+    }
+
+    #[test]
+    fn local_variable_renaming_avoids_unsound_conclusions() {
+        // Example 4.2 from the paper.
+        let m = parse_monitor(
+            r#"
+            monitor M {
+                int y = 0;
+                atomic void m1(int x) { waituntil (x < y) { x = y + 1; } }
+                atomic void m2() { y = y + 2; }
+            }
+            "#,
+        )
+        .unwrap();
+        let t = check_monitor(&m).unwrap();
+        let solver = Solver::new();
+        let vc = VcGen::new(&m, &t, &solver);
+        let m1 = m.method("m1").unwrap();
+        let body = &m.ccr(m1.ccrs[0]).body;
+        let p = Term::var("x").lt(Term::var("y"));
+        // Without renaming, the broadcast-avoidance triple appears valid …
+        let pre = p.clone();
+        assert_eq!(
+            vc.check_triple(&pre, body, &Formula::not(p.clone())),
+            TripleStatus::Valid
+        );
+        // … but after renaming the other thread's local x the triple is
+        // (correctly) invalid, so a broadcast is required.
+        let renamed = vc.rename_locals(&p, &HashSet::new());
+        assert_ne!(renamed, p);
+        assert_ne!(
+            vc.check_triple(&renamed, body, &Formula::not(renamed.clone())),
+            TripleStatus::Valid
+        );
+    }
+
+    #[test]
+    fn commutativity_of_independent_updates() {
+        let m = parse_monitor(
+            r#"
+            monitor M {
+                int a = 0;
+                int b = 0;
+                bool flag = false;
+                atomic void incA() { a++; }
+                atomic void incB() { b++; }
+                atomic void setA() { a = 5; }
+                atomic void toggle() { flag = !flag; }
+            }
+            "#,
+        )
+        .unwrap();
+        let t = check_monitor(&m).unwrap();
+        let solver = Solver::new();
+        let vc = VcGen::new(&m, &t, &solver);
+        let body = |name: &str| m.ccr(m.method(name).unwrap().ccrs[0]).body.clone();
+        // Increments of different variables commute.
+        assert!(vc.commutes(&body("incA"), &body("incB")));
+        // Two increments of the same variable commute.
+        assert!(vc.commutes(&body("incA"), &body("incA")));
+        // Increment and overwrite of the same variable do not commute.
+        assert!(!vc.commutes(&body("incA"), &body("setA")));
+        // Boolean toggle commutes with integer increment.
+        assert!(vc.commutes(&body("toggle"), &body("incA")));
+    }
+
+    #[test]
+    fn unknown_for_array_dependent_postconditions() {
+        let m = parse_monitor(
+            r#"
+            monitor M(int n) {
+                int[] slots = new int[n];
+                int count = 0;
+                atomic void fill() { slots[count] = 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        let t = check_monitor(&m).unwrap();
+        let solver = Solver::new();
+        let vc = VcGen::new(&m, &t, &solver);
+        let body = &m.ccr(m.method("fill").unwrap().ccrs[0]).body;
+        let post = Term::select("slots", Term::int(0)).eq(Term::int(0));
+        assert_eq!(
+            vc.check_triple(&Formula::True, body, &post),
+            TripleStatus::Unknown
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Verification-condition generation for monitor bodies.
+//!
+//! The signal-placement algorithm (paper §4) reduces every decision — "does
+//! this CCR need to signal?", "can the signal be unconditional?", "is a
+//! broadcast required?" — to the validity of Hoare triples over CCR bodies.
+//! This crate computes weakest preconditions for the statement language of
+//! Fig. 3, discharges triples with the workspace SMT solver, and provides the
+//! commutativity check used by the §4.3 improvement.
+
+pub mod hoare;
+pub mod wp;
+
+pub use hoare::{HoareTriple, TripleStatus, VcGen};
+pub use wp::{wp, WpError};

@@ -1,0 +1,46 @@
+//! Quickstart: parse an implicit-signal monitor, run Expresso, and print the
+//! synthesized explicit-signal Java-like code (the paper's Fig. 1 → Fig. 2
+//! transformation).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use expresso_repro::core::{to_java, Expresso};
+use expresso_repro::monitor_lang::parse_monitor;
+
+fn main() {
+    let source = r#"
+        monitor RWLock {
+            int readers = 0;
+            bool writerIn = false;
+            atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+            atomic void exitReader()  { if (readers > 0) readers--; }
+            atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+            atomic void exitWriter()  { writerIn = false; }
+        }
+    "#;
+    let monitor = parse_monitor(source).expect("the readers-writers monitor parses");
+    let outcome = Expresso::new()
+        .analyze(&monitor)
+        .expect("the monitor analyses cleanly");
+
+    println!("Inferred monitor invariant: {}\n", outcome.invariant);
+    println!("Signal placement decisions:");
+    for decision in &outcome.report.decisions {
+        let label = outcome.explicit.monitor.ccr_label(decision.ccr);
+        if decision.needed {
+            println!(
+                "  {label}: {} {} [{}]",
+                decision.kind, decision.predicate, decision.condition
+            );
+        } else {
+            println!("  {label}: no notification needed for {}", decision.predicate);
+        }
+    }
+    println!("\nGenerated explicit-signal code:\n");
+    println!("{}", to_java(&outcome.explicit));
+    println!(
+        "Analysis took {:.3}s ({} Hoare triples discharged).",
+        outcome.stats.total_time.as_secs_f64(),
+        outcome.stats.triples_checked
+    );
+}
