@@ -20,6 +20,11 @@ pub struct AbductionConfig {
     pub max_subsets: usize,
     /// Maximum number of candidates returned.
     pub max_results: usize,
+    /// Evaluate candidate kept-variable subsets on multiple threads. Each
+    /// subset's quantifier elimination and solver checks are independent, and
+    /// results are folded back in enumeration order, so the output is
+    /// identical to a sequential run.
+    pub parallel: bool,
 }
 
 impl Default for AbductionConfig {
@@ -28,6 +33,7 @@ impl Default for AbductionConfig {
             max_kept_vars: 2,
             max_subsets: 48,
             max_results: 4,
+            parallel: true,
         }
     }
 }
@@ -55,51 +61,120 @@ pub fn abduce(
     bool_vars.sort();
     let all_vars: Vec<Ident> = int_vars.iter().chain(bool_vars.iter()).cloned().collect();
 
-    let mut results: Vec<Formula> = Vec::new();
-    let mut explored = 0usize;
+    // Enumerate the kept-variable subsets in preference order (fewer
+    // variables first) up to the exploration budget.
+    let mut kept_sets: Vec<BTreeSet<Ident>> = Vec::new();
     for size in 1..=config.max_kept_vars.min(all_vars.len()) {
-        for kept in subsets_of_size(&all_vars, size) {
-            explored += 1;
-            if explored > config.max_subsets || results.len() >= config.max_results {
-                return finalize(results);
-            }
-            let eliminate: Vec<Ident> = all_vars
-                .iter()
-                .filter(|v| !kept.contains(*v))
-                .cloned()
-                .collect();
-            let Some(candidate) =
-                universally_eliminate(solver, &implication, &eliminate, &bool_vars)
-            else {
-                continue;
-            };
-            let candidate = simplify(&candidate);
-            if candidate.is_true() || candidate.is_false() {
-                continue;
-            }
-            // ψ must be consistent with the precondition.
-            if !solver
-                .check_sat(&Formula::and(vec![pre.clone(), candidate.clone()]))
-                .is_sat()
-            {
-                continue;
-            }
-            // ψ must actually make the triple go through.
-            if !solver
-                .check_implies(
-                    &Formula::and(vec![pre.clone(), candidate.clone()]),
-                    goal,
-                )
-                .is_valid()
-            {
-                continue;
+        kept_sets.extend(subsets_of_size(&all_vars, size));
+        if kept_sets.len() >= config.max_subsets {
+            break;
+        }
+    }
+    kept_sets.truncate(config.max_subsets);
+
+    // Each subset is evaluated independently: quantifier elimination produces
+    // the candidate, then the consistency and sufficiency checks accept or
+    // reject it. This is the expensive part (Cooper's procedure), so it fans
+    // out across threads when `config.parallel` is on.
+    let evaluate = |kept: &BTreeSet<Ident>| -> Option<Formula> {
+        let eliminate: Vec<Ident> = all_vars
+            .iter()
+            .filter(|v| !kept.contains(*v))
+            .cloned()
+            .collect();
+        let candidate = universally_eliminate(solver, &implication, &eliminate, &bool_vars)?;
+        let candidate = simplify(&candidate);
+        if candidate.is_true() || candidate.is_false() {
+            return None;
+        }
+        // ψ must be consistent with the precondition.
+        if !solver
+            .check_sat(&Formula::and(vec![pre.clone(), candidate.clone()]))
+            .is_sat()
+        {
+            return None;
+        }
+        // ψ must actually make the triple go through.
+        if !solver
+            .check_implies(&Formula::and(vec![pre.clone(), candidate.clone()]), goal)
+            .is_valid()
+        {
+            return None;
+        }
+        Some(candidate)
+    };
+    let mut results: Vec<Formula> = Vec::new();
+    if config.parallel && kept_sets.len() > 1 {
+        // Evaluate every subset speculatively across threads, then fold the
+        // accepted candidates back in enumeration order: the first
+        // `max_results` distinct candidates are exactly the ones the
+        // sequential loop would have kept.
+        for candidate in evaluate_parallel(&kept_sets, &evaluate)
+            .into_iter()
+            .flatten()
+        {
+            if results.len() >= config.max_results {
+                break;
             }
             if !results.iter().any(|r| r == &candidate) {
                 results.push(candidate);
             }
         }
+    } else {
+        // Sequential path stops evaluating as soon as the result budget is
+        // reached (no speculative work).
+        for kept in &kept_sets {
+            if results.len() >= config.max_results {
+                break;
+            }
+            if let Some(candidate) = evaluate(kept) {
+                if !results.iter().any(|r| r == &candidate) {
+                    results.push(candidate);
+                }
+            }
+        }
     }
     finalize(results)
+}
+
+/// Evaluates every subset on `min(cores, subsets)` scoped threads, dealing
+/// work round-robin and reassembling outcomes in enumeration order.
+fn evaluate_parallel(
+    kept_sets: &[BTreeSet<Ident>],
+    evaluate: &(impl Fn(&BTreeSet<Ident>) -> Option<Formula> + Sync),
+) -> Vec<Option<Formula>> {
+    // At least two workers whenever parallelism was requested: the split /
+    // reassembly path must be exercised (and tested) even on low-core hosts.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+        .min(kept_sets.len());
+    if workers <= 1 {
+        return kept_sets.iter().map(evaluate).collect();
+    }
+    let mut slots: Vec<Option<Formula>> = vec![None; kept_sets.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < kept_sets.len() {
+                        out.push((i, evaluate(&kept_sets[i])));
+                        i += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("abduction worker panicked") {
+                slots[i] = outcome;
+            }
+        }
+    });
+    slots
 }
 
 fn finalize(mut results: Vec<Formula>) -> Vec<Formula> {

@@ -1,7 +1,7 @@
 //! Monitor-invariant inference (paper Algorithm 2).
 
 use crate::abduce::{abduce, AbductionConfig};
-use expresso_logic::{simplify, Formula};
+use expresso_logic::{Formula, FormulaId};
 use expresso_monitor_lang::{expr_to_formula, Monitor, VarTable};
 use expresso_smt::Solver;
 use expresso_vcgen::{HoareTriple, VcGen};
@@ -27,8 +27,19 @@ pub fn infer_monitor_invariant(
     table: &VarTable,
     solver: &Solver,
 ) -> InvariantOutcome {
+    infer_monitor_invariant_configured(monitor, table, solver, &AbductionConfig::default())
+}
+
+/// [`infer_monitor_invariant`] with explicit abduction tunables (the pipeline
+/// threads its parallelism flag through here).
+pub fn infer_monitor_invariant_configured(
+    monitor: &Monitor,
+    table: &VarTable,
+    solver: &Solver,
+    config: &AbductionConfig,
+) -> InvariantOutcome {
     let triples = placement_triples(monitor, table, solver);
-    infer_with_triples(monitor, table, solver, &triples)
+    infer_with_triples_configured(monitor, table, solver, &triples, config)
 }
 
 /// Infers a monitor invariant using an explicit triple set Θ (Algorithm 2).
@@ -43,20 +54,35 @@ pub fn infer_with_triples(
     solver: &Solver,
     triples: &[HoareTriple],
 ) -> InvariantOutcome {
-    let vcgen = VcGen::new(monitor, table, solver);
-    let config = AbductionConfig::default();
+    infer_with_triples_configured(monitor, table, solver, triples, &AbductionConfig::default())
+}
 
-    // Phase 1: abduce candidate predicates.
-    let mut candidates: Vec<Formula> = Vec::new();
-    for triple in triples {
-        let goal = match vcgen.wp(&triple.stmt, &triple.post) {
-            Ok(g) => g,
+/// [`infer_with_triples`] with explicit abduction tunables.
+pub fn infer_with_triples_configured(
+    monitor: &Monitor,
+    table: &VarTable,
+    solver: &Solver,
+    triples: &[HoareTriple],
+    config: &AbductionConfig,
+) -> InvariantOutcome {
+    let vcgen = VcGen::new(monitor, table, solver);
+    let interner = vcgen.interner().clone();
+
+    // Phase 1: abduce candidate predicates. Candidates are kept as interned
+    // ids, so deduplication is a set lookup instead of a tree comparison.
+    let mut candidates: Vec<FormulaId> = Vec::new();
+    let mut seen: HashSet<FormulaId> = HashSet::new();
+    'outer: for triple in triples {
+        let post = interner.intern(&triple.post);
+        let goal = match vcgen.wp_id(&triple.stmt, post) {
+            Ok(g) => interner.formula(g),
             Err(_) => continue,
         };
-        for psi in abduce(solver, &triple.pre, &goal, &config) {
+        for psi in abduce(solver, &triple.pre, &goal, config) {
             for candidate in expand_candidates(&psi) {
-                if !candidates.contains(&candidate) {
-                    candidates.push(candidate);
+                let id = interner.intern(&candidate);
+                if seen.insert(id) {
+                    candidates.push(id);
                 }
             }
         }
@@ -65,33 +91,41 @@ pub fn infer_with_triples(
         // time, never correctness.
         if candidates.len() > 32 {
             candidates.truncate(32);
-            break;
+            break 'outer;
         }
     }
     let total_candidates = candidates.len();
 
-    // Phase 2: monomial predicate abstraction fixpoint.
-    let requires = requires_formula(monitor, table);
+    // Phase 2: monomial predicate abstraction fixpoint, entirely over ids.
+    // The same initiation/consecution VCs recur across rounds, so the solver
+    // cache answers every repeated obligation without re-solving.
+    let requires = interner.intern(&requires_formula(monitor, table));
     let constructor = monitor.constructor_body();
+    let guards: Vec<(FormulaId, &expresso_monitor_lang::Ccr)> = monitor
+        .all_ccrs()
+        .map(|ccr| {
+            let guard = expr_to_formula(&ccr.guard, table).unwrap_or(Formula::True);
+            (interner.intern(&guard), ccr)
+        })
+        .collect();
     let mut rounds = 0usize;
     loop {
         rounds += 1;
         let before = candidates.len();
 
         // (a) Initiation: {requires} Ctr(M) {ψ}.
-        candidates.retain(|psi| {
+        candidates.retain(|&psi| {
             vcgen
-                .check_triple(&requires, &constructor, psi)
+                .check_triple_ids(requires, &constructor, psi)
                 .is_valid()
         });
 
         // (b) Consecution: {I ∧ Guard(w)} Body(w) {ψ} for every CCR.
-        let invariant = Formula::and(candidates.clone());
-        candidates.retain(|psi| {
-            monitor.all_ccrs().all(|ccr| {
-                let guard = expr_to_formula(&ccr.guard, table).unwrap_or(Formula::True);
-                let pre = Formula::and(vec![invariant.clone(), guard]);
-                vcgen.check_triple(&pre, &ccr.body, psi).is_valid()
+        let invariant = interner.mk_and(candidates.clone());
+        candidates.retain(|&psi| {
+            guards.iter().all(|&(guard, ccr)| {
+                let pre = interner.mk_and(vec![invariant, guard]);
+                vcgen.check_triple_ids(pre, &ccr.body, psi).is_valid()
             })
         });
 
@@ -104,8 +138,9 @@ pub fn infer_with_triples(
     }
 
     let kept = candidates.len();
+    let invariant = interner.simplify(interner.mk_and(candidates));
     InvariantOutcome {
-        invariant: simplify(&Formula::and(candidates)),
+        invariant: interner.formula(invariant),
         candidates: total_candidates,
         kept,
         rounds,
@@ -115,11 +150,7 @@ pub fn infer_with_triples(
 /// Builds the triple set Θ: the Hoare triples Algorithm 1 would try to prove
 /// with `I = true` — the "no signal needed" triples and the "no broadcast
 /// needed" triples, with thread-local variables renamed per §4.2.
-pub fn placement_triples(
-    monitor: &Monitor,
-    table: &VarTable,
-    solver: &Solver,
-) -> Vec<HoareTriple> {
+pub fn placement_triples(monitor: &Monitor, table: &VarTable, solver: &Solver) -> Vec<HoareTriple> {
     let vcgen = VcGen::new(monitor, table, solver);
     let mut triples = Vec::new();
     let guards = monitor.guards();
@@ -139,11 +170,7 @@ pub fn placement_triples(
                 pre: Formula::and(vec![guard.clone(), Formula::not(p_renamed.clone())]),
                 stmt: ccr.body.clone(),
                 post: Formula::not(p_renamed.clone()),
-                description: format!(
-                    "no-signal({}, {})",
-                    monitor.ccr_label(ccr.id),
-                    p
-                ),
+                description: format!("no-signal({}, {})", monitor.ccr_label(ccr.id), p),
             });
         }
         // No-broadcast triple for the CCR's own guard: {p} Body(w) {!p}.
@@ -178,7 +205,7 @@ fn expand_candidates(psi: &Formula) -> Vec<Formula> {
 }
 
 fn collect_subformulas(f: &Formula, out: &mut Vec<Formula>) {
-    let simplified = simplify(f);
+    let simplified = expresso_logic::simplify(f);
     if !simplified.is_true() && !simplified.is_false() && !out.contains(&simplified) {
         out.push(simplified);
     }
@@ -252,14 +279,20 @@ mod tests {
         let vcgen = VcGen::new(&monitor, &table, &solver);
         // Initiation.
         assert!(vcgen
-            .check_triple(&Formula::True, &monitor.constructor_body(), &outcome.invariant)
+            .check_triple(
+                &Formula::True,
+                &monitor.constructor_body(),
+                &outcome.invariant
+            )
             .is_valid());
         // Consecution for every CCR.
         for ccr in monitor.all_ccrs() {
             let guard = expr_to_formula(&ccr.guard, &table).unwrap();
             let pre = Formula::and(vec![outcome.invariant.clone(), guard]);
             assert!(
-                vcgen.check_triple(&pre, &ccr.body, &outcome.invariant).is_valid(),
+                vcgen
+                    .check_triple(&pre, &ccr.body, &outcome.invariant)
+                    .is_valid(),
                 "invariant {} not preserved by {}",
                 outcome.invariant,
                 monitor.ccr_label(ccr.id)
@@ -310,7 +343,9 @@ mod tests {
         let table = check_monitor(&monitor).unwrap();
         let solver = Solver::new();
         let triples = placement_triples(&monitor, &table, &solver);
-        assert!(triples.iter().any(|t| t.description.starts_with("no-signal")));
+        assert!(triples
+            .iter()
+            .any(|t| t.description.starts_with("no-signal")));
         assert!(triples
             .iter()
             .any(|t| t.description.starts_with("no-broadcast")));

@@ -1,35 +1,30 @@
-//! Criterion benchmark regenerating Figure 8: time per monitor operation for
-//! the AutoSynch benchmarks + readers-writers, for the three series
-//! (Expresso, AutoSynch, hand-written explicit).
+//! Bench target regenerating Figure 8: time per monitor operation for the
+//! AutoSynch benchmarks + readers-writers, for the three series (Expresso,
+//! AutoSynch, hand-written explicit).
+//!
+//! Dependency-free harness (`harness = false`): each (benchmark, series,
+//! threads) cell reports the fastest of three saturation measurements
+//! in us/op.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use expresso_bench::{analyze, measure_benchmark, Series};
+use expresso_bench::{analyze, measure_benchmark_best, Series};
 use expresso_suite::autosynch_benchmarks;
 
-fn fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn main() {
     let ops = 64;
+    println!("fig8 (us/op, {ops} ops/thread)");
     for benchmark in autosynch_benchmarks() {
         let outcome = analyze(&benchmark);
         for threads in [2usize, 4, 8] {
             for series in Series::all() {
-                let id = BenchmarkId::new(
-                    format!("{}/{}", benchmark.name, series.label()),
-                    threads,
+                let m =
+                    measure_benchmark_best(&benchmark, &outcome.explicit, series, threads, ops, 3);
+                println!(
+                    "{}/{}/{threads}: {:.2}",
+                    benchmark.name,
+                    series.label(),
+                    m.micros_per_op
                 );
-                group.bench_with_input(id, &threads, |b, &threads| {
-                    b.iter(|| {
-                        measure_benchmark(&benchmark, &outcome.explicit, series, threads, ops)
-                    })
-                });
             }
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig8);
-criterion_main!(benches);

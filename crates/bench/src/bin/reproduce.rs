@@ -6,9 +6,15 @@
 //! cargo run --release -p expresso-bench --bin reproduce -- fig8
 //! cargo run --release -p expresso-bench --bin reproduce -- fig9
 //! cargo run --release -p expresso-bench --bin reproduce -- table1
+//! cargo run --release -p expresso-bench --bin reproduce -- json
 //! cargo run --release -p expresso-bench --bin reproduce -- summary
 //! cargo run --release -p expresso-bench --bin reproduce -- all
 //! ```
+//!
+//! `json` (also run by `all`) writes `BENCH_results.json`: per-benchmark
+//! analysis time for the cached/parallel pipeline and for a cache-disabled
+//! sequential run of the same binary, triples checked and the solver cache
+//! hit rate — the machine-readable perf trajectory tracked across PRs.
 //!
 //! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
 //! (default 200) scale the sweep; the paper uses up to 128 threads on a
@@ -18,7 +24,11 @@ use expresso_bench::{
     analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
     Series,
 };
-use expresso_suite::{autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark};
+use expresso_core::{Expresso, ExpressoConfig};
+use expresso_suite::{
+    all, autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark,
+};
+use std::fmt::Write as _;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -72,6 +82,159 @@ fn run_table1() {
     }
 }
 
+/// One benchmark's analysis profile for `BENCH_results.json`.
+struct AnalysisProfile {
+    name: &'static str,
+    group: &'static str,
+    cached_ms: f64,
+    uncached_ms: f64,
+    invariant_ms: f64,
+    placement_ms: f64,
+    quantifier_eliminations: usize,
+    qe_cache_hits: usize,
+    triples_checked: usize,
+    pairs_considered: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_hit_rate: f64,
+    notifications: usize,
+    broadcasts: usize,
+}
+
+/// Analyses `monitor` `samples` times with `config`, returning the run with
+/// the minimum total time (the stable point estimate for short deterministic
+/// workloads).
+fn best_of(
+    benchmark: &Benchmark,
+    monitor: &expresso_monitor_lang::Monitor,
+    config: ExpressoConfig,
+    samples: usize,
+) -> expresso_core::AnalysisOutcome {
+    let pipeline = Expresso::with_config(config);
+    let mut best: Option<expresso_core::AnalysisOutcome> = None;
+    for _ in 0..samples {
+        let outcome = pipeline
+            .analyze(monitor)
+            .unwrap_or_else(|e| panic!("{} failed analysis: {e}", benchmark.name));
+        let better = best
+            .as_ref()
+            .map(|b| outcome.stats.total_time < b.stats.total_time)
+            .unwrap_or(true);
+        if better {
+            best = Some(outcome);
+        }
+    }
+    best.expect("at least one sample")
+}
+
+fn profile_benchmark(benchmark: &Benchmark) -> AnalysisProfile {
+    let monitor = benchmark.monitor();
+    let cached = best_of(benchmark, &monitor, ExpressoConfig::default(), 3);
+    let uncached = best_of(
+        benchmark,
+        &monitor,
+        ExpressoConfig {
+            enable_solver_cache: false,
+            parallel_analysis: false,
+            ..ExpressoConfig::default()
+        },
+        3,
+    );
+    assert_eq!(
+        cached.explicit, uncached.explicit,
+        "{}: cached and uncached pipelines disagree",
+        benchmark.name
+    );
+    AnalysisProfile {
+        name: benchmark.name,
+        group: match benchmark.group {
+            expresso_suite::BenchmarkGroup::AutoSynch => "AutoSynch",
+            expresso_suite::BenchmarkGroup::GitHub => "GitHub",
+        },
+        cached_ms: cached.stats.total_time.as_secs_f64() * 1e3,
+        uncached_ms: uncached.stats.total_time.as_secs_f64() * 1e3,
+        invariant_ms: cached.stats.invariant_time.as_secs_f64() * 1e3,
+        placement_ms: cached.stats.placement_time.as_secs_f64() * 1e3,
+        quantifier_eliminations: cached.stats.solver.quantifier_eliminations,
+        qe_cache_hits: cached.stats.solver.qe_cache_hits,
+        triples_checked: cached.report.triples_checked,
+        pairs_considered: cached.report.pairs_considered,
+        cache_hits: cached.stats.solver.cache_hits,
+        cache_misses: cached.stats.solver.cache_misses,
+        cache_hit_rate: cached.stats.solver.cache_hit_rate(),
+        notifications: cached.explicit.notification_count(),
+        broadcasts: cached.explicit.broadcast_count(),
+    }
+}
+
+/// Serialises the profiles by hand (the workspace is dependency-free, so no
+/// serde): a stable, diffable JSON document tracked across PRs.
+fn render_json(profiles: &[AnalysisProfile]) -> String {
+    let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
+    let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
+    let speedup = if total_cached > 0.0 {
+        total_uncached / total_cached
+    } else {
+        1.0
+    };
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, p) in profiles.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"group\": \"{}\", \"analysis_ms\": {:.3}, \
+             \"analysis_ms_uncached\": {:.3}, \"invariant_ms\": {:.3}, \
+             \"placement_ms\": {:.3}, \"quantifier_eliminations\": {}, \
+             \"qe_cache_hits\": {}, \"triples_checked\": {}, \
+             \"pairs_considered\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_hit_rate\": {:.4}, \"notifications\": {}, \"broadcasts\": {}}}",
+            p.name,
+            p.group,
+            p.cached_ms,
+            p.uncached_ms,
+            p.invariant_ms,
+            p.placement_ms,
+            p.quantifier_eliminations,
+            p.qe_cache_hits,
+            p.triples_checked,
+            p.pairs_considered,
+            p.cache_hits,
+            p.cache_misses,
+            p.cache_hit_rate,
+            p.notifications,
+            p.broadcasts,
+        );
+        out.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"total_analysis_ms\": {total_cached:.3},\n  \
+         \"total_analysis_ms_uncached\": {total_uncached:.3},\n  \
+         \"cache_speedup\": {speedup:.3}\n}}\n"
+    );
+    out
+}
+
+fn run_json() {
+    println!("=== BENCH_results.json: analysis-time trajectory ===\n");
+    let profiles: Vec<AnalysisProfile> = all().iter().map(profile_benchmark).collect();
+    let json = render_json(&profiles);
+    let path = "BENCH_results.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
+    let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
+    println!(
+        "wrote {path}: {} benchmarks, total analysis {:.1} ms cached vs {:.1} ms uncached ({:.2}x)",
+        profiles.len(),
+        total_cached,
+        total_uncached,
+        if total_cached > 0.0 {
+            total_uncached / total_cached
+        } else {
+            1.0
+        },
+    );
+}
+
 fn summarise(measurements: &[Measurement]) {
     let vs_autosynch = geometric_speedup(measurements, Series::Expresso, Series::AutoSynch);
     let vs_explicit = geometric_speedup(measurements, Series::Expresso, Series::Explicit);
@@ -92,14 +255,21 @@ fn main() {
             summarise(&m);
         }
         "table1" => run_table1(),
+        "json" => run_json(),
         "summary" | "all" => {
             let mut m = run_figure(&autosynch_benchmarks(), "Figure 8: AutoSynch benchmarks");
-            m.extend(run_figure(&github_benchmarks(), "Figure 9: GitHub monitors"));
+            m.extend(run_figure(
+                &github_benchmarks(),
+                "Figure 9: GitHub monitors",
+            ));
             run_table1();
+            run_json();
             summarise(&m);
         }
         other => {
-            eprintln!("unknown mode `{other}`; expected fig8 | fig9 | table1 | summary | all");
+            eprintln!(
+                "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | summary | all"
+            );
             std::process::exit(2);
         }
     }

@@ -8,9 +8,7 @@
 //! The output is for human inspection and golden tests; the executable form of
 //! the same monitor is interpreted by `expresso-runtime`.
 
-use expresso_monitor_lang::{
-    ExplicitMonitor, Expr, NotificationKind, SignalCondition, Stmt, Type,
-};
+use expresso_monitor_lang::{ExplicitMonitor, Expr, NotificationKind, SignalCondition, Stmt, Type};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -69,11 +67,7 @@ pub fn to_java(explicit: &ExplicitMonitor) -> String {
             let ccr = monitor.ccr(ccr_id);
             if !ccr.never_blocks() {
                 let cond = &condition_names[&ccr.guard.to_string()];
-                let _ = writeln!(
-                    out,
-                    "            while (!({})) {cond}.await();",
-                    ccr.guard
-                );
+                let _ = writeln!(out, "            while (!({})) {cond}.await();", ccr.guard);
             }
             emit_stmt(&mut out, &ccr.body, 3);
             for n in explicit.notifications_for(ccr_id) {
@@ -132,7 +126,12 @@ fn emit_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
             let _ = writeln!(out, "{pad}{v} = {};", java_expr(e));
         }
         Stmt::ArrayAssign(a, i, e) => {
-            let _ = writeln!(out, "{pad}{a}[(int) ({})] = {};", java_expr(i), java_expr(e));
+            let _ = writeln!(
+                out,
+                "{pad}{a}[(int) ({})] = {};",
+                java_expr(i),
+                java_expr(e)
+            );
         }
         Stmt::Local(v, ty, e) => {
             let _ = writeln!(out, "{pad}{} {v} = {};", java_type(*ty), java_expr(e));
@@ -189,7 +188,10 @@ mod tests {
         // exitWriter broadcasts to readers unconditionally.
         assert!(java.contains(".signalAll();"));
         // exitReader signals writers conditionally.
-        assert!(java.contains("if ((readers == 0) && !writerIn)") || java.contains("if (((readers == 0) && !writerIn))"));
+        assert!(
+            java.contains("if ((readers == 0) && !writerIn)")
+                || java.contains("if (((readers == 0) && !writerIn))")
+        );
         // enterReader must not signal: the enterReader body is followed
         // directly by the unlock block.
         let enter_reader = java.split("void enterReader").nth(1).unwrap();

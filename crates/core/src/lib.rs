@@ -30,4 +30,6 @@ pub mod placement;
 
 pub use codegen::to_java;
 pub use pipeline::{AnalysisOutcome, AnalysisStats, Expresso, ExpressoConfig, ExpressoError};
-pub use placement::{place_signals, PlacementReport, SignalDecision};
+pub use placement::{
+    place_signals, place_signals_with, PlacementConfig, PlacementReport, SignalDecision,
+};

@@ -1,10 +1,10 @@
 //! The end-to-end Expresso pipeline: check → infer invariant → place signals.
 
-use crate::placement::{place_signals, PlacementReport};
-use expresso_abduction::infer_monitor_invariant;
+use crate::placement::{place_signals_with, PlacementConfig, PlacementReport};
+use expresso_abduction::{infer_monitor_invariant_configured, AbductionConfig};
 use expresso_logic::Formula;
 use expresso_monitor_lang::{check_monitor, CheckError, ExplicitMonitor, Monitor, VarTable};
-use expresso_smt::Solver;
+use expresso_smt::{Solver, SolverConfig};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -16,6 +16,15 @@ pub struct ExpressoConfig {
     pub infer_invariant: bool,
     /// Apply the §4.3 commutativity improvement.
     pub use_commutativity: bool,
+    /// Memoize solver queries on the shared formula arena. Disabling this
+    /// forces every Hoare triple to be re-derived from scratch; the
+    /// equivalence tests cross-check both settings.
+    pub enable_solver_cache: bool,
+    /// Fan the analysis out across threads: abduction's candidate
+    /// explorations and the independent placement pairs are discharged in
+    /// parallel. Disabling this yields a fully sequential analysis with
+    /// identical results.
+    pub parallel_analysis: bool,
 }
 
 impl Default for ExpressoConfig {
@@ -23,6 +32,8 @@ impl Default for ExpressoConfig {
         ExpressoConfig {
             infer_invariant: true,
             use_commutativity: true,
+            enable_solver_cache: true,
+            parallel_analysis: true,
         }
     }
 }
@@ -118,11 +129,18 @@ impl Expresso {
     pub fn analyze(&self, monitor: &Monitor) -> Result<AnalysisOutcome, ExpressoError> {
         let start = Instant::now();
         let table = check_monitor(monitor).map_err(ExpressoError::Check)?;
-        let solver = Solver::new();
+        let solver = Solver::with_config(SolverConfig {
+            enable_cache: self.config.enable_solver_cache,
+            ..SolverConfig::default()
+        });
 
         let invariant_start = Instant::now();
         let (invariant, candidates, conjuncts) = if self.config.infer_invariant {
-            let outcome = infer_monitor_invariant(monitor, &table, &solver);
+            let abduction = AbductionConfig {
+                parallel: self.config.parallel_analysis,
+                ..AbductionConfig::default()
+            };
+            let outcome = infer_monitor_invariant_configured(monitor, &table, &solver, &abduction);
             (outcome.invariant, outcome.candidates, outcome.kept)
         } else {
             (Formula::True, 0, 0)
@@ -130,12 +148,15 @@ impl Expresso {
         let invariant_time = invariant_start.elapsed();
 
         let placement_start = Instant::now();
-        let (explicit, report) = place_signals(
+        let (explicit, report) = place_signals_with(
             monitor,
             &table,
             &solver,
             &invariant,
-            self.config.use_commutativity,
+            &PlacementConfig {
+                use_commutativity: self.config.use_commutativity,
+                parallel: self.config.parallel_analysis,
+            },
         );
         let placement_time = placement_start.elapsed();
 
@@ -190,27 +211,51 @@ mod tests {
         let with_inv = Expresso::new().analyze(&monitor).unwrap();
         let without_inv = Expresso::with_config(ExpressoConfig {
             infer_invariant: false,
-            use_commutativity: true,
+            ..ExpressoConfig::default()
         })
         .analyze(&monitor)
         .unwrap();
         // The paper notes enterReader's no-signal proof requires readers >= 0;
         // without the invariant the pipeline must emit at least one extra
         // notification.
-        assert!(
-            without_inv.explicit.notification_count() > with_inv.explicit.notification_count()
-        );
+        assert!(without_inv.explicit.notification_count() > with_inv.explicit.notification_count());
     }
 
     #[test]
     fn static_errors_are_reported() {
-        let monitor = parse_monitor(
-            "monitor Bad { int x = 0; atomic void f() { y = 1; } }",
-        )
-        .unwrap();
+        let monitor =
+            parse_monitor("monitor Bad { int x = 0; atomic void f() { y = 1; } }").unwrap();
         let err = Expresso::new().analyze(&monitor).unwrap_err();
         assert!(matches!(err, ExpressoError::Check(ref errors) if !errors.is_empty()));
         assert!(err.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn readers_writers_pipeline_reports_cache_hits() {
+        let monitor = parse_monitor(RW).unwrap();
+        let outcome = Expresso::new().analyze(&monitor).unwrap();
+        // Abduction's fixpoint and the O(n²) placement loop re-ask many
+        // structurally identical queries; the memo cache must catch them.
+        assert!(outcome.stats.solver.cache_hits > 0);
+        assert!(outcome.stats.solver.cache_hit_rate() > 0.0);
+        assert!(outcome.report.pairs_considered > 0);
+        assert!(outcome.report.triples_per_pair() > 0.0);
+    }
+
+    #[test]
+    fn cache_and_parallelism_flags_do_not_change_results() {
+        let monitor = parse_monitor(RW).unwrap();
+        let fast = Expresso::new().analyze(&monitor).unwrap();
+        let slow = Expresso::with_config(ExpressoConfig {
+            enable_solver_cache: false,
+            parallel_analysis: false,
+            ..ExpressoConfig::default()
+        })
+        .analyze(&monitor)
+        .unwrap();
+        assert_eq!(fast.explicit, slow.explicit);
+        assert_eq!(fast.invariant, slow.invariant);
+        assert_eq!(slow.stats.solver.cache_hits, 0);
     }
 
     #[test]

@@ -1,13 +1,41 @@
 //! The signal-placement algorithm (paper Algorithm 1, §4.2 and §4.3).
+//!
+//! Every `(CCR, guard)` pair's obligations are constructed exactly once as
+//! interned formula ids ([`expresso_logic::FormulaId`]) against the solver's
+//! shared arena — no invariant or guard tree is ever cloned per pair — and
+//! independent pairs are discharged in parallel with scoped threads when
+//! [`PlacementConfig::parallel`] is on. Decisions are pure functions of the
+//! monitor and invariant, so the resulting [`ExplicitMonitor`] is identical in
+//! sequential and parallel runs (the equivalence tests in the workspace root
+//! assert exactly that).
 
-use expresso_logic::Formula;
+use expresso_logic::{Formula, FormulaId, Interner};
 use expresso_monitor_lang::{
     expr_to_formula, CcrId, ExplicitMonitor, Expr, Monitor, Notification, NotificationKind,
     SignalCondition, VarTable,
 };
 use expresso_smt::Solver;
 use expresso_vcgen::VcGen;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Options for [`place_signals_with`].
+#[derive(Debug, Clone)]
+pub struct PlacementConfig {
+    /// Apply the §4.3 commutativity improvement.
+    pub use_commutativity: bool,
+    /// Discharge independent `(CCR, guard)` pairs on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            use_commutativity: true,
+            parallel: true,
+        }
+    }
+}
 
 /// The decision taken for one `(CCR, predicate)` pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +67,8 @@ pub struct PlacementReport {
     pub decisions: Vec<SignalDecision>,
     /// Number of Hoare triples discharged.
     pub triples_checked: usize,
+    /// Number of `(CCR, guard)` pairs considered (`|CCRs| × |guards|`).
+    pub pairs_considered: usize,
     /// Number of `(CCR, guard)` pairs proven to need no notification.
     pub skipped: usize,
 }
@@ -50,14 +80,48 @@ impl PlacementReport {
             .iter()
             .find(|d| d.ccr == ccr && &d.predicate == predicate)
     }
+
+    /// Average number of Hoare triples discharged per `(CCR, guard)` pair —
+    /// the per-pair cost driver Table 1's analysis times are dominated by.
+    pub fn triples_per_pair(&self) -> f64 {
+        if self.pairs_considered == 0 {
+            0.0
+        } else {
+            self.triples_checked as f64 / self.pairs_considered as f64
+        }
+    }
+}
+
+/// A guard predicate lowered once, shared by every pair that considers it.
+struct GuardInfo {
+    expr: Expr,
+    /// The lowered formula, both as a tree (for §4.2 local renaming, which
+    /// generates fresh names) and interned.
+    lowered: Option<(Formula, FormulaId)>,
+    /// `true` when the predicate mentions thread-local state.
+    has_locals: bool,
+}
+
+/// Everything a worker needs to decide one pair; shared immutably across
+/// threads.
+struct PairCtx<'a> {
+    vcgen: &'a VcGen<'a>,
+    monitor: &'a Monitor,
+    interner: &'a Arc<Interner>,
+    invariant: FormulaId,
+    guards: &'a [GuardInfo],
+    own_guards: &'a HashMap<CcrId, Option<FormulaId>>,
+    commutes_all: &'a HashMap<CcrId, bool>,
+    use_commutativity: bool,
 }
 
 /// Runs the signal-placement algorithm with a given monitor invariant,
 /// producing the explicit-signal monitor and a decision report.
 ///
-/// `use_commutativity` enables the §4.3 improvement that can downgrade a
-/// broadcast to a signal when the signalled CCR's body commutes with every
-/// other CCR.
+/// Convenience wrapper over [`place_signals_with`] using the default parallel
+/// configuration; `use_commutativity` enables the §4.3 improvement that can
+/// downgrade a broadcast to a signal when the signalled CCR's body commutes
+/// with every other CCR.
 pub fn place_signals(
     monitor: &Monitor,
     table: &VarTable,
@@ -65,17 +129,34 @@ pub fn place_signals(
     invariant: &Formula,
     use_commutativity: bool,
 ) -> (ExplicitMonitor, PlacementReport) {
+    place_signals_with(
+        monitor,
+        table,
+        solver,
+        invariant,
+        &PlacementConfig {
+            use_commutativity,
+            ..PlacementConfig::default()
+        },
+    )
+}
+
+/// Runs the signal-placement algorithm with explicit [`PlacementConfig`]
+/// options.
+pub fn place_signals_with(
+    monitor: &Monitor,
+    table: &VarTable,
+    solver: &Solver,
+    invariant: &Formula,
+    config: &PlacementConfig,
+) -> (ExplicitMonitor, PlacementReport) {
     let vcgen = VcGen::new(monitor, table, solver);
-    let mut report = PlacementReport::default();
-    let mut notifications: HashMap<CcrId, Vec<Notification>> = monitor
-        .ccrs
-        .iter()
-        .map(|c| (c.id, Vec::new()))
-        .collect();
+    let interner = vcgen.interner().clone();
+    let invariant_id = interner.intern(invariant);
 
     // Pre-compute commutativity of every CCR's body with all others (used by
     // the §4.3 improvement); only needed when the option is on.
-    let commutes_all: HashMap<CcrId, bool> = if use_commutativity {
+    let commutes_all: HashMap<CcrId, bool> = if config.use_commutativity {
         monitor
             .ccrs
             .iter()
@@ -85,34 +166,79 @@ pub fn place_signals(
         HashMap::new()
     };
 
-    let guards = monitor.guards();
-    for ccr in monitor.all_ccrs() {
-        for predicate in &guards {
-            let decision = decide(
-                &vcgen,
-                monitor,
-                table,
-                invariant,
-                ccr.id,
-                predicate,
-                use_commutativity,
-                &commutes_all,
-                &mut report.triples_checked,
-            );
-            if decision.needed {
-                notifications
-                    .entry(ccr.id)
-                    .or_default()
-                    .push(Notification {
-                        predicate: predicate.clone(),
-                        condition: decision.condition,
-                        kind: decision.kind,
-                    });
-            } else {
-                report.skipped += 1;
+    // Lower every guard and every CCR's own guard exactly once.
+    let guards: Vec<GuardInfo> = monitor
+        .guards()
+        .into_iter()
+        .map(|expr| {
+            let lowered = expr_to_formula(&expr, table).ok().map(|f| {
+                let id = interner.intern(&f);
+                (f, id)
+            });
+            let has_locals = expr.vars().iter().any(|v| table.is_local(v));
+            GuardInfo {
+                expr,
+                lowered,
+                has_locals,
             }
-            report.decisions.push(decision);
+        })
+        .collect();
+    let own_guards: HashMap<CcrId, Option<FormulaId>> = monitor
+        .all_ccrs()
+        .map(|ccr| {
+            let id = expr_to_formula(&ccr.guard, table)
+                .ok()
+                .map(|f| interner.intern(&f));
+            (ccr.id, id)
+        })
+        .collect();
+
+    let ctx = PairCtx {
+        vcgen: &vcgen,
+        monitor,
+        interner: &interner,
+        invariant: invariant_id,
+        guards: &guards,
+        own_guards: &own_guards,
+        commutes_all: &commutes_all,
+        use_commutativity: config.use_commutativity,
+    };
+
+    let pairs: Vec<(CcrId, usize)> = monitor
+        .all_ccrs()
+        .flat_map(|ccr| (0..guards.len()).map(move |g| (ccr.id, g)))
+        .collect();
+
+    let outcomes: Vec<(SignalDecision, usize)> = if config.parallel && pairs.len() > 1 {
+        discharge_parallel(&ctx, &pairs)
+    } else {
+        pairs
+            .iter()
+            .map(|&(ccr, guard)| decide(&ctx, ccr, guard))
+            .collect()
+    };
+
+    let mut report = PlacementReport {
+        pairs_considered: pairs.len(),
+        ..PlacementReport::default()
+    };
+    let mut notifications: HashMap<CcrId, Vec<Notification>> =
+        monitor.ccrs.iter().map(|c| (c.id, Vec::new())).collect();
+    for (decision, triples) in outcomes {
+        report.triples_checked += triples;
+        if decision.needed {
+            notifications
+                .entry(decision.ccr)
+                .or_default()
+                .push(Notification {
+                    predicate: decision.predicate.clone(),
+                    condition: decision.condition,
+                    kind: decision.kind,
+                });
+        } else {
+            report.skipped += 1;
         }
+        report.decisions.push(decision);
     }
 
     let explicit = ExplicitMonitor {
@@ -122,22 +248,59 @@ pub fn place_signals(
     (explicit, report)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn decide(
-    vcgen: &VcGen<'_>,
-    monitor: &Monitor,
-    table: &VarTable,
-    invariant: &Formula,
-    ccr_id: CcrId,
-    predicate: &Expr,
-    use_commutativity: bool,
-    commutes_all: &HashMap<CcrId, bool>,
-    triples_checked: &mut usize,
-) -> SignalDecision {
-    let ccr = monitor.ccr(ccr_id);
+/// Discharges all pairs on `min(cores, pairs)` scoped worker threads. Work is
+/// dealt round-robin and results are re-assembled in pair order, so the output
+/// is deterministic regardless of scheduling.
+fn discharge_parallel(ctx: &PairCtx<'_>, pairs: &[(CcrId, usize)]) -> Vec<(SignalDecision, usize)> {
+    // At least two workers whenever parallelism was requested: the split /
+    // reassembly path must be exercised (and tested) even on low-core hosts.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+        .min(pairs.len());
+    if workers <= 1 {
+        return pairs.iter().map(|&(c, g)| decide(ctx, c, g)).collect();
+    }
+    let mut slots: Vec<Option<(SignalDecision, usize)>> = Vec::new();
+    slots.resize_with(pairs.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < pairs.len() {
+                        let (ccr, guard) = pairs[i];
+                        out.push((i, decide(ctx, ccr, guard)));
+                        i += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("placement worker panicked") {
+                slots[i] = Some(outcome);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every pair decided"))
+        .collect()
+}
+
+/// Decides one `(CCR, guard)` pair, returning the decision and the number of
+/// Hoare triples discharged for it.
+fn decide(ctx: &PairCtx<'_>, ccr_id: CcrId, guard_idx: usize) -> (SignalDecision, usize) {
+    let interner = ctx.interner;
+    let ccr = ctx.monitor.ccr(ccr_id);
+    let guard = &ctx.guards[guard_idx];
+    let mut triples = 0usize;
     let conservative = SignalDecision {
         ccr: ccr_id,
-        predicate: predicate.clone(),
+        predicate: guard.expr.clone(),
         needed: true,
         condition: SignalCondition::Conditional,
         kind: NotificationKind::Broadcast,
@@ -145,45 +308,46 @@ fn decide(
         conservative_fallback: true,
     };
 
-    // Lower the guard of the signalling CCR and the blocked predicate. If the
-    // blocked predicate cannot be lowered (e.g. it reads an array), fall back
-    // to the always-correct conditional broadcast.
-    let Ok(own_guard) = expr_to_formula(&ccr.guard, table) else {
-        return conservative;
+    // If the signalling CCR's guard or the blocked predicate cannot be lowered
+    // (e.g. it reads an array), fall back to the always-correct conditional
+    // broadcast.
+    let Some(own_guard) = ctx.own_guards[&ccr_id] else {
+        return (conservative, triples);
     };
-    let Ok(p_formula) = expr_to_formula(predicate, table) else {
-        return conservative;
+    let Some((p_tree, p_formula)) = &guard.lowered else {
+        return (conservative, triples);
     };
 
     // §4.2: rename the *other* thread's locals so they are not conflated with
     // ours. Predicates over thread-local state additionally force the
     // conservative per-waiter strategy of §6 for the signal/broadcast choice.
-    let predicate_has_locals = predicate.vars().iter().any(|v| table.is_local(v));
-    let avoid: HashSet<String> = own_guard.free_vars();
-    let p_other = vcgen.rename_locals(&p_formula, &avoid);
+    let avoid = interner.free_vars(own_guard);
+    let p_other = interner.intern(&ctx.vcgen.rename_locals(p_tree, &avoid));
+    let not_p_other = interner.mk_not(p_other);
 
     // Line 7 of Algorithm 1: is signalling ever necessary?
-    *triples_checked += 1;
-    let no_signal_pre = Formula::and(vec![
-        invariant.clone(),
-        own_guard.clone(),
-        Formula::not(p_other.clone()),
-    ]);
-    if vcgen
-        .check_triple(&no_signal_pre, &ccr.body, &Formula::not(p_other.clone()))
+    triples += 1;
+    let no_signal_pre = interner.mk_and(vec![ctx.invariant, own_guard, not_p_other]);
+    if ctx
+        .vcgen
+        .check_triple_ids(no_signal_pre, &ccr.body, not_p_other)
         .is_valid()
     {
-        return SignalDecision {
-            needed: false,
-            conservative_fallback: false,
-            ..conservative
-        };
+        return (
+            SignalDecision {
+                needed: false,
+                conservative_fallback: false,
+                ..conservative
+            },
+            triples,
+        );
     }
 
     // Lines 9–12: conditional vs. unconditional.
-    *triples_checked += 1;
-    let condition = if vcgen
-        .check_triple(&no_signal_pre, &ccr.body, &p_other)
+    triples += 1;
+    let condition = if ctx
+        .vcgen
+        .check_triple_ids(no_signal_pre, &ccr.body, p_other)
         .is_valid()
     {
         SignalCondition::Unconditional
@@ -193,38 +357,32 @@ fn decide(
 
     // Lines 13–16 (+ §4.3): signal vs. broadcast.
     let mut used_commutativity = false;
-    let kind = if predicate_has_locals {
+    let kind = if guard.has_locals {
         // §6 fixed strategy: waiters snapshot their locals, the runtime checks
         // each waiter's predicate, so the analysis conservatively broadcasts.
         NotificationKind::Broadcast
     } else {
+        let p = *p_formula;
+        let not_p = interner.mk_not(p);
         let mut can_signal = true;
-        for other in monitor.all_ccrs().filter(|c| c.guard == *predicate) {
-            *triples_checked += 1;
-            let pre = Formula::and(vec![invariant.clone(), p_formula.clone()]);
-            if vcgen
-                .check_triple(&pre, &other.body, &Formula::not(p_formula.clone()))
+        for other in ctx.monitor.all_ccrs().filter(|c| c.guard == guard.expr) {
+            triples += 1;
+            let pre = interner.mk_and(vec![ctx.invariant, p]);
+            if ctx
+                .vcgen
+                .check_triple_ids(pre, &other.body, not_p)
                 .is_valid()
             {
                 continue;
             }
             // §4.3 improvement: if the waiter's body commutes with every other
             // CCR, check the sequential composition Body(w); Body(w').
-            if use_commutativity && commutes_all.get(&other.id).copied().unwrap_or(false) {
-                *triples_checked += 1;
-                let seq = expresso_monitor_lang::Stmt::seq(vec![
-                    ccr.body.clone(),
-                    other.body.clone(),
-                ]);
-                let pre = Formula::and(vec![
-                    invariant.clone(),
-                    own_guard.clone(),
-                    Formula::not(p_formula.clone()),
-                ]);
-                if vcgen
-                    .check_triple(&pre, &seq, &Formula::not(p_formula.clone()))
-                    .is_valid()
-                {
+            if ctx.use_commutativity && ctx.commutes_all.get(&other.id).copied().unwrap_or(false) {
+                triples += 1;
+                let seq =
+                    expresso_monitor_lang::Stmt::seq(vec![ccr.body.clone(), other.body.clone()]);
+                let pre = interner.mk_and(vec![ctx.invariant, own_guard, not_p]);
+                if ctx.vcgen.check_triple_ids(pre, &seq, not_p).is_valid() {
                     used_commutativity = true;
                     continue;
                 }
@@ -239,15 +397,18 @@ fn decide(
         }
     };
 
-    SignalDecision {
-        ccr: ccr_id,
-        predicate: predicate.clone(),
-        needed: true,
-        condition,
-        kind,
-        used_commutativity,
-        conservative_fallback: false,
-    }
+    (
+        SignalDecision {
+            ccr: ccr_id,
+            predicate: guard.expr.clone(),
+            needed: true,
+            condition,
+            kind,
+            used_commutativity,
+            conservative_fallback: false,
+        },
+        triples,
+    )
 }
 
 #[cfg(test)]
@@ -298,10 +459,16 @@ mod tests {
         // unconditionally (paper §2 / Fig. 2).
         let exit_writer = explicit.notifications_for(ccr_of("exitWriter"));
         assert_eq!(exit_writer.len(), 2);
-        let to_writers = exit_writer.iter().find(|n| n.predicate == writer_guard).unwrap();
+        let to_writers = exit_writer
+            .iter()
+            .find(|n| n.predicate == writer_guard)
+            .unwrap();
         assert_eq!(to_writers.kind, NotificationKind::Signal);
         assert_eq!(to_writers.condition, SignalCondition::Conditional);
-        let to_readers = exit_writer.iter().find(|n| n.predicate == reader_guard).unwrap();
+        let to_readers = exit_writer
+            .iter()
+            .find(|n| n.predicate == reader_guard)
+            .unwrap();
         assert_eq!(to_readers.kind, NotificationKind::Broadcast);
         assert_eq!(to_readers.condition, SignalCondition::Unconditional);
     }
@@ -344,6 +511,37 @@ mod tests {
         let (without, _) = place_signals(&monitor, &table, &solver, &inv, false);
         assert!(with.broadcast_count() <= without.broadcast_count());
         assert!(without.broadcast_count() >= 1);
+    }
+
+    #[test]
+    fn sequential_and_parallel_placement_agree() {
+        let monitor = parse_monitor(RW).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let solver = Solver::new();
+        let inv = infer_monitor_invariant(&monitor, &table, &solver).invariant;
+        let (parallel, preport) = place_signals_with(
+            &monitor,
+            &table,
+            &solver,
+            &inv,
+            &PlacementConfig {
+                use_commutativity: true,
+                parallel: true,
+            },
+        );
+        let (sequential, sreport) = place_signals_with(
+            &monitor,
+            &table,
+            &solver,
+            &inv,
+            &PlacementConfig {
+                use_commutativity: true,
+                parallel: false,
+            },
+        );
+        assert_eq!(parallel, sequential);
+        assert_eq!(preport.decisions, sreport.decisions);
+        assert_eq!(preport.triples_checked, sreport.triples_checked);
     }
 
     #[test]
@@ -394,7 +592,9 @@ mod tests {
         // 4 CCRs × 2 guards = 8 pairs; the walk-through shows 3 notifications,
         // so 5 pairs are skipped.
         assert_eq!(report.decisions.len(), 8);
+        assert_eq!(report.pairs_considered, 8);
         assert_eq!(report.skipped, 5);
         assert!(report.triples_checked > 8);
+        assert!(report.triples_per_pair() > 1.0);
     }
 }

@@ -173,9 +173,7 @@ impl Valuation {
                 .get(b)
                 .copied()
                 .ok_or_else(|| EvalError::UnboundBool(b.clone())),
-            Formula::Cmp(op, lhs, rhs) => {
-                Ok(op.eval(self.eval_term(lhs)?, self.eval_term(rhs)?))
-            }
+            Formula::Cmp(op, lhs, rhs) => Ok(op.eval(self.eval_term(lhs)?, self.eval_term(rhs)?)),
             Formula::Divides(d, t) => Ok(self.eval_term(t)?.rem_euclid(*d as i64) == 0),
             Formula::Not(inner) => Ok(!self.eval(inner)?),
             Formula::And(parts) => {

@@ -151,6 +151,7 @@ impl Formula {
     }
 
     /// Negation that performs the obvious constant simplifications.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Self {
         match f {
             Formula::True => Formula::False,
@@ -337,7 +338,11 @@ impl Formula {
     /// Returns `true` when the formula contains a quantifier.
     pub fn has_quantifier(&self) -> bool {
         match self {
-            Formula::True | Formula::False | Formula::BoolVar(_) | Formula::Cmp(..) | Formula::Divides(..) => false,
+            Formula::True
+            | Formula::False
+            | Formula::BoolVar(_)
+            | Formula::Cmp(..)
+            | Formula::Divides(..) => false,
             Formula::Not(inner) => inner.has_quantifier(),
             Formula::And(parts) | Formula::Or(parts) => parts.iter().any(Formula::has_quantifier),
             Formula::Implies(a, b) | Formula::Iff(a, b) => a.has_quantifier() || b.has_quantifier(),
@@ -349,7 +354,11 @@ impl Formula {
     /// measure used by tests and by abduction's preference for simple results.
     pub fn size(&self) -> usize {
         match self {
-            Formula::True | Formula::False | Formula::BoolVar(_) | Formula::Cmp(..) | Formula::Divides(..) => 1,
+            Formula::True
+            | Formula::False
+            | Formula::BoolVar(_)
+            | Formula::Cmp(..)
+            | Formula::Divides(..) => 1,
             Formula::Not(inner) => 1 + inner.size(),
             Formula::And(parts) | Formula::Or(parts) => {
                 1 + parts.iter().map(Formula::size).sum::<usize>()
@@ -466,7 +475,14 @@ mod tests {
 
     #[test]
     fn cmp_negate_roundtrip() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

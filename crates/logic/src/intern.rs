@@ -1,0 +1,1136 @@
+//! Hash-consed interning arena for terms and formulas.
+//!
+//! [`Interner`] stores every distinct term and formula node exactly once and
+//! hands out `Copy` handles ([`TermId`] / [`FormulaId`]). Structural equality
+//! becomes id equality, so deduplication, cache keys and sharing checks are
+//! O(1), and the normalisation passes ([`Interner::simplify`],
+//! [`Interner::nnf`], constant folding) memoize per node: a subtree shared by
+//! a thousand verification conditions is normalised once.
+//!
+//! The arena uses interior mutability (a single [`Mutex`]) so it can be shared
+//! by reference across the worker threads that discharge independent
+//! signal-placement obligations in parallel. Every public method locks once
+//! and runs to completion; the internal methods are plain `&mut` functions on
+//! the locked state, so there is no re-entrant locking.
+//!
+//! # Example
+//!
+//! ```
+//! use expresso_logic::{Formula, Interner, Term};
+//!
+//! let arena = Interner::new();
+//! let a = arena.intern(&Term::var("x").ge(Term::int(0)));
+//! let b = arena.intern(&Term::var("x").ge(Term::int(0)));
+//! assert_eq!(a, b); // structurally equal trees intern to the same id
+//! ```
+
+use crate::formula::{CmpOp, Formula, Quantifier};
+use crate::subst::Subst;
+use crate::term::Term;
+use crate::Ident;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// A `Copy` handle to an interned [`Term`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The arena slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A `Copy` handle to an interned [`Formula`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FormulaId(u32);
+
+impl FormulaId {
+    /// The arena slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned term node; children are ids into the same arena.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermNode {
+    /// Integer literal.
+    Int(i64),
+    /// Integer variable.
+    Var(Ident),
+    /// N-ary sum.
+    Add(Vec<TermId>),
+    /// `lhs - rhs`.
+    Sub(TermId, TermId),
+    /// Arithmetic negation.
+    Neg(TermId),
+    /// Product.
+    Mul(TermId, TermId),
+    /// Array read `array[index]`.
+    Select(Ident, TermId),
+}
+
+/// One interned formula node; children are ids into the same arena.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FormulaNode {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// Boolean variable.
+    BoolVar(Ident),
+    /// Comparison of two terms.
+    Cmp(CmpOp, TermId, TermId),
+    /// Divisibility atom.
+    Divides(u64, TermId),
+    /// Negation.
+    Not(FormulaId),
+    /// N-ary conjunction.
+    And(Vec<FormulaId>),
+    /// N-ary disjunction.
+    Or(Vec<FormulaId>),
+    /// Implication.
+    Implies(FormulaId, FormulaId),
+    /// Bi-implication.
+    Iff(FormulaId, FormulaId),
+    /// Quantified formula.
+    Quant(Quantifier, Vec<Ident>, FormulaId),
+}
+
+#[derive(Debug, Default)]
+struct State {
+    terms: Vec<TermNode>,
+    term_ids: HashMap<TermNode, TermId>,
+    formulas: Vec<FormulaNode>,
+    formula_ids: HashMap<FormulaNode, FormulaId>,
+    simplify_memo: HashMap<FormulaId, FormulaId>,
+    nnf_memo: HashMap<(FormulaId, bool), FormulaId>,
+    fold_memo: HashMap<TermId, TermId>,
+}
+
+/// The hash-consing arena. See the module documentation.
+#[derive(Debug, Default)]
+pub struct Interner {
+    state: Mutex<State>,
+}
+
+impl Interner {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns a formula tree, returning its id. Structurally equal trees
+    /// always receive the same id.
+    pub fn intern(&self, formula: &Formula) -> FormulaId {
+        self.state.lock().unwrap().intern_formula(formula)
+    }
+
+    /// Interns a term tree, returning its id.
+    pub fn intern_term(&self, term: &Term) -> TermId {
+        self.state.lock().unwrap().intern_term(term)
+    }
+
+    /// Reconstructs the formula tree for `id` (used at solver boundaries and
+    /// for display; the hot paths stay on ids).
+    pub fn formula(&self, id: FormulaId) -> Formula {
+        self.state.lock().unwrap().to_formula(id)
+    }
+
+    /// Reconstructs the term tree for `id`.
+    pub fn term(&self, id: TermId) -> Term {
+        self.state.lock().unwrap().to_term(id)
+    }
+
+    /// Returns a clone of the node behind `id`.
+    pub fn node(&self, id: FormulaId) -> FormulaNode {
+        self.state.lock().unwrap().formulas[id.index()].clone()
+    }
+
+    /// Number of distinct formula nodes interned so far.
+    pub fn formula_count(&self) -> usize {
+        self.state.lock().unwrap().formulas.len()
+    }
+
+    /// Number of distinct term nodes interned so far.
+    pub fn term_count(&self) -> usize {
+        self.state.lock().unwrap().terms.len()
+    }
+
+    /// `true` when `id` denotes the constant `true`.
+    pub fn is_true(&self, id: FormulaId) -> bool {
+        matches!(
+            self.state.lock().unwrap().formulas[id.index()],
+            FormulaNode::True
+        )
+    }
+
+    /// `true` when `id` denotes the constant `false`.
+    pub fn is_false(&self, id: FormulaId) -> bool {
+        matches!(
+            self.state.lock().unwrap().formulas[id.index()],
+            FormulaNode::False
+        )
+    }
+
+    /// The id of the constant `true`.
+    pub fn true_id(&self) -> FormulaId {
+        self.state.lock().unwrap().put_formula(FormulaNode::True)
+    }
+
+    /// The id of the constant `false`.
+    pub fn false_id(&self) -> FormulaId {
+        self.state.lock().unwrap().put_formula(FormulaNode::False)
+    }
+
+    /// Negation with the usual constant/double-negation collapses.
+    pub fn mk_not(&self, f: FormulaId) -> FormulaId {
+        self.state.lock().unwrap().mk_not(f)
+    }
+
+    /// N-ary conjunction; flattens, drops `true`, short-circuits `false`.
+    pub fn mk_and(&self, parts: Vec<FormulaId>) -> FormulaId {
+        self.state.lock().unwrap().mk_and(parts)
+    }
+
+    /// N-ary disjunction; flattens, drops `false`, short-circuits `true`.
+    pub fn mk_or(&self, parts: Vec<FormulaId>) -> FormulaId {
+        self.state.lock().unwrap().mk_or(parts)
+    }
+
+    /// Implication with the usual constant collapses.
+    pub fn mk_implies(&self, lhs: FormulaId, rhs: FormulaId) -> FormulaId {
+        self.state.lock().unwrap().mk_implies(lhs, rhs)
+    }
+
+    /// Bi-implication.
+    pub fn mk_iff(&self, lhs: FormulaId, rhs: FormulaId) -> FormulaId {
+        self.state
+            .lock()
+            .unwrap()
+            .put_formula(FormulaNode::Iff(lhs, rhs))
+    }
+
+    /// Universal quantification; collapses empty binder lists.
+    pub fn mk_forall(&self, vars: Vec<Ident>, body: FormulaId) -> FormulaId {
+        self.state
+            .lock()
+            .unwrap()
+            .mk_quant(Quantifier::Forall, vars, body)
+    }
+
+    /// Existential quantification; collapses empty binder lists.
+    pub fn mk_exists(&self, vars: Vec<Ident>, body: FormulaId) -> FormulaId {
+        self.state
+            .lock()
+            .unwrap()
+            .mk_quant(Quantifier::Exists, vars, body)
+    }
+
+    /// Memoized, per-node simplification (the arena analogue of
+    /// [`crate::simplify`]). Identical subtrees are simplified once per arena
+    /// lifetime, no matter how many formulas share them.
+    pub fn simplify(&self, f: FormulaId) -> FormulaId {
+        self.state.lock().unwrap().simplify(f)
+    }
+
+    /// Memoized negation normal form (the arena analogue of [`crate::to_nnf`]).
+    pub fn nnf(&self, f: FormulaId) -> FormulaId {
+        self.state.lock().unwrap().nnf(f, false)
+    }
+
+    /// Applies a substitution to an interned formula. Sharing is exploited:
+    /// within one call every distinct subtree is rewritten at most once.
+    pub fn apply_subst(&self, subst: &Subst, f: FormulaId) -> FormulaId {
+        let mut state = self.state.lock().unwrap();
+        let int_map: HashMap<Ident, TermId> = subst
+            .iter_ints()
+            .map(|(v, t)| (v.clone(), state.intern_term(t)))
+            .collect();
+        let bool_map: HashMap<Ident, FormulaId> = subst
+            .iter_bools()
+            .map(|(v, g)| (v.clone(), state.intern_formula(g)))
+            .collect();
+        let mut fmemo = HashMap::new();
+        let mut tmemo = HashMap::new();
+        state.subst_formula(&int_map, &bool_map, f, &mut fmemo, &mut tmemo)
+    }
+
+    /// Free integer variables of an interned formula.
+    pub fn int_vars(&self, f: FormulaId) -> HashSet<Ident> {
+        self.formula(f).int_vars()
+    }
+
+    /// Free variables (integer and boolean) of an interned formula.
+    pub fn free_vars(&self, f: FormulaId) -> HashSet<Ident> {
+        self.formula(f).free_vars()
+    }
+
+    /// Arrays read anywhere in an interned formula.
+    pub fn arrays(&self, f: FormulaId) -> HashSet<Ident> {
+        self.formula(f).arrays()
+    }
+
+    /// Structural size (number of nodes, counting shared subtrees once per
+    /// occurrence, matching [`Formula::size`]).
+    pub fn size(&self, f: FormulaId) -> usize {
+        self.formula(f).size()
+    }
+
+    /// `true` when the interned formula contains a quantifier. Walks the DAG
+    /// (each shared node once) without reconstructing trees.
+    pub fn has_quantifier(&self, f: FormulaId) -> bool {
+        let state = self.state.lock().unwrap();
+        let mut visited = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if !visited.insert(id) {
+                continue;
+            }
+            match &state.formulas[id.index()] {
+                FormulaNode::Quant(..) => return true,
+                FormulaNode::True
+                | FormulaNode::False
+                | FormulaNode::BoolVar(_)
+                | FormulaNode::Cmp(..)
+                | FormulaNode::Divides(..) => {}
+                FormulaNode::Not(inner) => stack.push(*inner),
+                FormulaNode::And(parts) | FormulaNode::Or(parts) => stack.extend(parts),
+                FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+            }
+        }
+        false
+    }
+}
+
+impl State {
+    // -- interning -------------------------------------------------------
+
+    fn put_term(&mut self, node: TermNode) -> TermId {
+        if let Some(&id) = self.term_ids.get(&node) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term arena overflow"));
+        self.terms.push(node.clone());
+        self.term_ids.insert(node, id);
+        id
+    }
+
+    fn put_formula(&mut self, node: FormulaNode) -> FormulaId {
+        if let Some(&id) = self.formula_ids.get(&node) {
+            return id;
+        }
+        let id = FormulaId(u32::try_from(self.formulas.len()).expect("formula arena overflow"));
+        self.formulas.push(node.clone());
+        self.formula_ids.insert(node, id);
+        id
+    }
+
+    fn intern_term(&mut self, term: &Term) -> TermId {
+        let node = match term {
+            Term::Int(v) => TermNode::Int(*v),
+            Term::Var(v) => TermNode::Var(v.clone()),
+            Term::Add(parts) => {
+                let ids = parts.iter().map(|p| self.intern_term(p)).collect();
+                TermNode::Add(ids)
+            }
+            Term::Sub(a, b) => TermNode::Sub(self.intern_term(a), self.intern_term(b)),
+            Term::Neg(a) => TermNode::Neg(self.intern_term(a)),
+            Term::Mul(a, b) => TermNode::Mul(self.intern_term(a), self.intern_term(b)),
+            Term::Select(arr, idx) => TermNode::Select(arr.clone(), self.intern_term(idx)),
+        };
+        self.put_term(node)
+    }
+
+    fn intern_formula(&mut self, formula: &Formula) -> FormulaId {
+        let node = match formula {
+            Formula::True => FormulaNode::True,
+            Formula::False => FormulaNode::False,
+            Formula::BoolVar(b) => FormulaNode::BoolVar(b.clone()),
+            Formula::Cmp(op, lhs, rhs) => {
+                FormulaNode::Cmp(*op, self.intern_term(lhs), self.intern_term(rhs))
+            }
+            Formula::Divides(d, t) => FormulaNode::Divides(*d, self.intern_term(t)),
+            Formula::Not(inner) => FormulaNode::Not(self.intern_formula(inner)),
+            Formula::And(parts) => {
+                let ids = parts.iter().map(|p| self.intern_formula(p)).collect();
+                FormulaNode::And(ids)
+            }
+            Formula::Or(parts) => {
+                let ids = parts.iter().map(|p| self.intern_formula(p)).collect();
+                FormulaNode::Or(ids)
+            }
+            Formula::Implies(a, b) => {
+                FormulaNode::Implies(self.intern_formula(a), self.intern_formula(b))
+            }
+            Formula::Iff(a, b) => FormulaNode::Iff(self.intern_formula(a), self.intern_formula(b)),
+            Formula::Quant(q, vars, body) => {
+                FormulaNode::Quant(*q, vars.clone(), self.intern_formula(body))
+            }
+        };
+        self.put_formula(node)
+    }
+
+    // -- reconstruction --------------------------------------------------
+
+    fn to_term(&self, id: TermId) -> Term {
+        match &self.terms[id.index()] {
+            TermNode::Int(v) => Term::Int(*v),
+            TermNode::Var(v) => Term::Var(v.clone()),
+            TermNode::Add(parts) => Term::Add(parts.iter().map(|p| self.to_term(*p)).collect()),
+            TermNode::Sub(a, b) => {
+                Term::Sub(Box::new(self.to_term(*a)), Box::new(self.to_term(*b)))
+            }
+            TermNode::Neg(a) => Term::Neg(Box::new(self.to_term(*a))),
+            TermNode::Mul(a, b) => {
+                Term::Mul(Box::new(self.to_term(*a)), Box::new(self.to_term(*b)))
+            }
+            TermNode::Select(arr, idx) => Term::Select(arr.clone(), Box::new(self.to_term(*idx))),
+        }
+    }
+
+    fn to_formula(&self, id: FormulaId) -> Formula {
+        match &self.formulas[id.index()] {
+            FormulaNode::True => Formula::True,
+            FormulaNode::False => Formula::False,
+            FormulaNode::BoolVar(b) => Formula::BoolVar(b.clone()),
+            FormulaNode::Cmp(op, lhs, rhs) => {
+                Formula::Cmp(*op, self.to_term(*lhs), self.to_term(*rhs))
+            }
+            FormulaNode::Divides(d, t) => Formula::Divides(*d, self.to_term(*t)),
+            FormulaNode::Not(inner) => Formula::Not(Box::new(self.to_formula(*inner))),
+            FormulaNode::And(parts) => {
+                Formula::And(parts.iter().map(|p| self.to_formula(*p)).collect())
+            }
+            FormulaNode::Or(parts) => {
+                Formula::Or(parts.iter().map(|p| self.to_formula(*p)).collect())
+            }
+            FormulaNode::Implies(a, b) => {
+                Formula::Implies(Box::new(self.to_formula(*a)), Box::new(self.to_formula(*b)))
+            }
+            FormulaNode::Iff(a, b) => {
+                Formula::Iff(Box::new(self.to_formula(*a)), Box::new(self.to_formula(*b)))
+            }
+            FormulaNode::Quant(q, vars, body) => {
+                Formula::Quant(*q, vars.clone(), Box::new(self.to_formula(*body)))
+            }
+        }
+    }
+
+    // -- smart constructors over ids -------------------------------------
+
+    fn mk_not(&mut self, f: FormulaId) -> FormulaId {
+        match self.formulas[f.index()].clone() {
+            FormulaNode::True => self.put_formula(FormulaNode::False),
+            FormulaNode::False => self.put_formula(FormulaNode::True),
+            FormulaNode::Not(inner) => inner,
+            _ => self.put_formula(FormulaNode::Not(f)),
+        }
+    }
+
+    fn mk_and(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.formulas[p.index()].clone() {
+                FormulaNode::True => {}
+                FormulaNode::False => return self.put_formula(FormulaNode::False),
+                FormulaNode::And(inner) => flat.extend(inner),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => self.put_formula(FormulaNode::True),
+            1 => flat[0],
+            _ => self.put_formula(FormulaNode::And(flat)),
+        }
+    }
+
+    fn mk_or(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.formulas[p.index()].clone() {
+                FormulaNode::False => {}
+                FormulaNode::True => return self.put_formula(FormulaNode::True),
+                FormulaNode::Or(inner) => flat.extend(inner),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => self.put_formula(FormulaNode::False),
+            1 => flat[0],
+            _ => self.put_formula(FormulaNode::Or(flat)),
+        }
+    }
+
+    fn mk_implies(&mut self, lhs: FormulaId, rhs: FormulaId) -> FormulaId {
+        match (
+            self.formulas[lhs.index()].clone(),
+            self.formulas[rhs.index()].clone(),
+        ) {
+            (FormulaNode::True, _) => rhs,
+            (FormulaNode::False, _) | (_, FormulaNode::True) => self.put_formula(FormulaNode::True),
+            _ => self.put_formula(FormulaNode::Implies(lhs, rhs)),
+        }
+    }
+
+    fn mk_quant(&mut self, q: Quantifier, vars: Vec<Ident>, body: FormulaId) -> FormulaId {
+        if vars.is_empty() {
+            body
+        } else {
+            self.put_formula(FormulaNode::Quant(q, vars, body))
+        }
+    }
+
+    fn mk_cmp(&mut self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
+        self.put_formula(FormulaNode::Cmp(op, lhs, rhs))
+    }
+
+    // -- memoized constant folding ---------------------------------------
+
+    fn fold_term(&mut self, t: TermId) -> TermId {
+        if let Some(&f) = self.fold_memo.get(&t) {
+            return f;
+        }
+        let out = match self.terms[t.index()].clone() {
+            TermNode::Int(_) | TermNode::Var(_) => t,
+            TermNode::Add(parts) => {
+                let mut constant = 0i64;
+                let mut rest: Vec<TermId> = Vec::new();
+                for p in parts {
+                    let folded = self.fold_term(p);
+                    match self.terms[folded.index()].clone() {
+                        TermNode::Int(v) => constant = constant.saturating_add(v),
+                        TermNode::Add(inner) => rest.extend(inner),
+                        _ => rest.push(folded),
+                    }
+                }
+                if rest.is_empty() {
+                    self.put_term(TermNode::Int(constant))
+                } else {
+                    if constant != 0 {
+                        let c = self.put_term(TermNode::Int(constant));
+                        rest.push(c);
+                    }
+                    if rest.len() == 1 {
+                        rest[0]
+                    } else {
+                        self.put_term(TermNode::Add(rest))
+                    }
+                }
+            }
+            TermNode::Sub(a, b) => {
+                let fa = self.fold_term(a);
+                let fb = self.fold_term(b);
+                match (
+                    self.terms[fa.index()].clone(),
+                    self.terms[fb.index()].clone(),
+                ) {
+                    (TermNode::Int(x), TermNode::Int(y)) => {
+                        self.put_term(TermNode::Int(x.saturating_sub(y)))
+                    }
+                    (_, TermNode::Int(0)) => fa,
+                    _ => self.put_term(TermNode::Sub(fa, fb)),
+                }
+            }
+            TermNode::Neg(a) => {
+                let fa = self.fold_term(a);
+                match self.terms[fa.index()].clone() {
+                    TermNode::Int(x) => self.put_term(TermNode::Int(x.wrapping_neg())),
+                    TermNode::Neg(inner) => inner,
+                    _ => self.put_term(TermNode::Neg(fa)),
+                }
+            }
+            TermNode::Mul(a, b) => {
+                let fa = self.fold_term(a);
+                let fb = self.fold_term(b);
+                match (
+                    self.terms[fa.index()].clone(),
+                    self.terms[fb.index()].clone(),
+                ) {
+                    (TermNode::Int(x), TermNode::Int(y)) => {
+                        self.put_term(TermNode::Int(x.saturating_mul(y)))
+                    }
+                    (TermNode::Int(0), _) | (_, TermNode::Int(0)) => {
+                        self.put_term(TermNode::Int(0))
+                    }
+                    (TermNode::Int(1), _) => fb,
+                    (_, TermNode::Int(1)) => fa,
+                    _ => self.put_term(TermNode::Mul(fa, fb)),
+                }
+            }
+            TermNode::Select(arr, idx) => {
+                let fi = self.fold_term(idx);
+                self.put_term(TermNode::Select(arr, fi))
+            }
+        };
+        self.fold_memo.insert(t, out);
+        self.fold_memo.insert(out, out);
+        out
+    }
+
+    // -- memoized simplification -----------------------------------------
+
+    fn simplify(&mut self, f: FormulaId) -> FormulaId {
+        if let Some(&s) = self.simplify_memo.get(&f) {
+            return s;
+        }
+        let out = match self.formulas[f.index()].clone() {
+            FormulaNode::True | FormulaNode::False | FormulaNode::BoolVar(_) => f,
+            FormulaNode::Cmp(op, lhs, rhs) => self.simplify_cmp(op, lhs, rhs),
+            FormulaNode::Divides(d, t) => {
+                let t = self.fold_term(t);
+                if d == 1 {
+                    self.put_formula(FormulaNode::True)
+                } else if let TermNode::Int(v) = self.terms[t.index()] {
+                    if v.rem_euclid(d as i64) == 0 {
+                        self.put_formula(FormulaNode::True)
+                    } else {
+                        self.put_formula(FormulaNode::False)
+                    }
+                } else {
+                    self.put_formula(FormulaNode::Divides(d, t))
+                }
+            }
+            FormulaNode::Not(inner) => {
+                let si = self.simplify(inner);
+                self.mk_not(si)
+            }
+            FormulaNode::And(parts) => {
+                let simplified: Vec<FormulaId> = parts.iter().map(|p| self.simplify(*p)).collect();
+                let flat = self.mk_and(simplified);
+                match self.formulas[flat.index()].clone() {
+                    FormulaNode::And(items) => {
+                        let dedup = dedup_preserving_order(items);
+                        if self.has_complementary_pair(&dedup) {
+                            self.put_formula(FormulaNode::False)
+                        } else {
+                            self.mk_and(dedup)
+                        }
+                    }
+                    _ => flat,
+                }
+            }
+            FormulaNode::Or(parts) => {
+                let simplified: Vec<FormulaId> = parts.iter().map(|p| self.simplify(*p)).collect();
+                let flat = self.mk_or(simplified);
+                match self.formulas[flat.index()].clone() {
+                    FormulaNode::Or(items) => {
+                        let dedup = dedup_preserving_order(items);
+                        if self.has_complementary_pair(&dedup) {
+                            self.put_formula(FormulaNode::True)
+                        } else {
+                            self.mk_or(dedup)
+                        }
+                    }
+                    _ => flat,
+                }
+            }
+            FormulaNode::Implies(a, b) => {
+                let sa = self.simplify(a);
+                let sb = self.simplify(b);
+                match (
+                    self.formulas[sa.index()].clone(),
+                    self.formulas[sb.index()].clone(),
+                ) {
+                    (FormulaNode::True, _) => sb,
+                    (FormulaNode::False, _) | (_, FormulaNode::True) => {
+                        self.put_formula(FormulaNode::True)
+                    }
+                    (_, FormulaNode::False) => self.mk_not(sa),
+                    _ if sa == sb => self.put_formula(FormulaNode::True),
+                    _ => self.put_formula(FormulaNode::Implies(sa, sb)),
+                }
+            }
+            FormulaNode::Iff(a, b) => {
+                let sa = self.simplify(a);
+                let sb = self.simplify(b);
+                match (
+                    self.formulas[sa.index()].clone(),
+                    self.formulas[sb.index()].clone(),
+                ) {
+                    (FormulaNode::True, _) => sb,
+                    (_, FormulaNode::True) => sa,
+                    (FormulaNode::False, _) => self.mk_not(sb),
+                    (_, FormulaNode::False) => self.mk_not(sa),
+                    _ if sa == sb => self.put_formula(FormulaNode::True),
+                    _ => self.put_formula(FormulaNode::Iff(sa, sb)),
+                }
+            }
+            FormulaNode::Quant(q, vars, body) => {
+                let sb = self.simplify(body);
+                match self.formulas[sb.index()] {
+                    FormulaNode::True | FormulaNode::False => sb,
+                    _ => {
+                        let free = self.to_formula(sb).int_vars();
+                        let still_bound: Vec<Ident> =
+                            vars.iter().filter(|v| free.contains(*v)).cloned().collect();
+                        self.mk_quant(q, still_bound, sb)
+                    }
+                }
+            }
+        };
+        self.simplify_memo.insert(f, out);
+        self.simplify_memo.insert(out, out);
+        out
+    }
+
+    fn simplify_cmp(&mut self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
+        let lhs = self.fold_term(lhs);
+        let rhs = self.fold_term(rhs);
+        if let (TermNode::Int(a), TermNode::Int(b)) =
+            (&self.terms[lhs.index()], &self.terms[rhs.index()])
+        {
+            return if op.eval(*a, *b) {
+                self.put_formula(FormulaNode::True)
+            } else {
+                self.put_formula(FormulaNode::False)
+            };
+        }
+        if lhs == rhs {
+            return match op {
+                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => self.put_formula(FormulaNode::True),
+                CmpOp::Ne | CmpOp::Lt | CmpOp::Gt => self.put_formula(FormulaNode::False),
+            };
+        }
+        self.mk_cmp(op, lhs, rhs)
+    }
+
+    fn has_complementary_pair(&mut self, items: &[FormulaId]) -> bool {
+        let set: HashSet<FormulaId> = items.iter().copied().collect();
+        items.iter().any(|&f| {
+            let negated = self.mk_not(f);
+            set.contains(&negated)
+        })
+    }
+
+    // -- memoized negation normal form ------------------------------------
+
+    fn nnf(&mut self, f: FormulaId, negate: bool) -> FormulaId {
+        if let Some(&n) = self.nnf_memo.get(&(f, negate)) {
+            return n;
+        }
+        let out = match self.formulas[f.index()].clone() {
+            FormulaNode::True => {
+                if negate {
+                    self.put_formula(FormulaNode::False)
+                } else {
+                    f
+                }
+            }
+            FormulaNode::False => {
+                if negate {
+                    self.put_formula(FormulaNode::True)
+                } else {
+                    f
+                }
+            }
+            FormulaNode::BoolVar(_) => {
+                if negate {
+                    self.put_formula(FormulaNode::Not(f))
+                } else {
+                    f
+                }
+            }
+            FormulaNode::Cmp(op, lhs, rhs) => {
+                let op = if negate { op.negate() } else { op };
+                self.rewrite_cmp(op, lhs, rhs)
+            }
+            FormulaNode::Divides(..) => {
+                if negate {
+                    self.put_formula(FormulaNode::Not(f))
+                } else {
+                    f
+                }
+            }
+            FormulaNode::Not(inner) => self.nnf(inner, !negate),
+            FormulaNode::And(parts) => {
+                let converted: Vec<FormulaId> =
+                    parts.iter().map(|p| self.nnf(*p, negate)).collect();
+                if negate {
+                    self.mk_or(converted)
+                } else {
+                    self.mk_and(converted)
+                }
+            }
+            FormulaNode::Or(parts) => {
+                let converted: Vec<FormulaId> =
+                    parts.iter().map(|p| self.nnf(*p, negate)).collect();
+                if negate {
+                    self.mk_and(converted)
+                } else {
+                    self.mk_or(converted)
+                }
+            }
+            FormulaNode::Implies(a, b) => {
+                if negate {
+                    let na = self.nnf(a, false);
+                    let nb = self.nnf(b, true);
+                    self.mk_and(vec![na, nb])
+                } else {
+                    let na = self.nnf(a, true);
+                    let nb = self.nnf(b, false);
+                    self.mk_or(vec![na, nb])
+                }
+            }
+            FormulaNode::Iff(a, b) => {
+                let (p1, p2) = if negate {
+                    let both = {
+                        let x = self.nnf(a, false);
+                        let y = self.nnf(b, true);
+                        self.mk_and(vec![x, y])
+                    };
+                    let neither = {
+                        let x = self.nnf(a, true);
+                        let y = self.nnf(b, false);
+                        self.mk_and(vec![x, y])
+                    };
+                    (both, neither)
+                } else {
+                    let both = {
+                        let x = self.nnf(a, false);
+                        let y = self.nnf(b, false);
+                        self.mk_and(vec![x, y])
+                    };
+                    let neither = {
+                        let x = self.nnf(a, true);
+                        let y = self.nnf(b, true);
+                        self.mk_and(vec![x, y])
+                    };
+                    (both, neither)
+                };
+                self.mk_or(vec![p1, p2])
+            }
+            FormulaNode::Quant(q, vars, body) => {
+                let q = if negate {
+                    match q {
+                        Quantifier::Forall => Quantifier::Exists,
+                        Quantifier::Exists => Quantifier::Forall,
+                    }
+                } else {
+                    q
+                };
+                let nb = self.nnf(body, negate);
+                self.put_formula(FormulaNode::Quant(q, vars, nb))
+            }
+        };
+        self.nnf_memo.insert((f, negate), out);
+        out
+    }
+
+    fn rewrite_cmp(&mut self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
+        match op {
+            CmpOp::Ne => {
+                let lt = self.mk_cmp(CmpOp::Lt, lhs, rhs);
+                let gt = self.mk_cmp(CmpOp::Gt, lhs, rhs);
+                self.mk_or(vec![lt, gt])
+            }
+            other => self.mk_cmp(other, lhs, rhs),
+        }
+    }
+
+    // -- substitution ------------------------------------------------------
+
+    fn subst_term(
+        &mut self,
+        int_map: &HashMap<Ident, TermId>,
+        t: TermId,
+        memo: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if let Some(&r) = memo.get(&t) {
+            return r;
+        }
+        let out = match self.terms[t.index()].clone() {
+            TermNode::Int(_) => t,
+            TermNode::Var(v) => int_map.get(&v).copied().unwrap_or(t),
+            TermNode::Add(parts) => {
+                let ids: Vec<TermId> = parts
+                    .iter()
+                    .map(|p| self.subst_term(int_map, *p, memo))
+                    .collect();
+                self.put_term(TermNode::Add(ids))
+            }
+            TermNode::Sub(a, b) => {
+                let sa = self.subst_term(int_map, a, memo);
+                let sb = self.subst_term(int_map, b, memo);
+                self.put_term(TermNode::Sub(sa, sb))
+            }
+            TermNode::Neg(a) => {
+                let sa = self.subst_term(int_map, a, memo);
+                self.put_term(TermNode::Neg(sa))
+            }
+            TermNode::Mul(a, b) => {
+                let sa = self.subst_term(int_map, a, memo);
+                let sb = self.subst_term(int_map, b, memo);
+                self.put_term(TermNode::Mul(sa, sb))
+            }
+            TermNode::Select(arr, idx) => {
+                let si = self.subst_term(int_map, idx, memo);
+                self.put_term(TermNode::Select(arr, si))
+            }
+        };
+        memo.insert(t, out);
+        out
+    }
+
+    fn subst_formula(
+        &mut self,
+        int_map: &HashMap<Ident, TermId>,
+        bool_map: &HashMap<Ident, FormulaId>,
+        f: FormulaId,
+        fmemo: &mut HashMap<FormulaId, FormulaId>,
+        tmemo: &mut HashMap<TermId, TermId>,
+    ) -> FormulaId {
+        if let Some(&r) = fmemo.get(&f) {
+            return r;
+        }
+        let out = match self.formulas[f.index()].clone() {
+            FormulaNode::True | FormulaNode::False => f,
+            FormulaNode::BoolVar(b) => bool_map.get(&b).copied().unwrap_or(f),
+            FormulaNode::Cmp(op, lhs, rhs) => {
+                let sl = self.subst_term(int_map, lhs, tmemo);
+                let sr = self.subst_term(int_map, rhs, tmemo);
+                self.mk_cmp(op, sl, sr)
+            }
+            FormulaNode::Divides(d, t) => {
+                let st = self.subst_term(int_map, t, tmemo);
+                self.put_formula(FormulaNode::Divides(d, st))
+            }
+            FormulaNode::Not(inner) => {
+                let si = self.subst_formula(int_map, bool_map, inner, fmemo, tmemo);
+                self.mk_not(si)
+            }
+            FormulaNode::And(parts) => {
+                let ids: Vec<FormulaId> = parts
+                    .iter()
+                    .map(|p| self.subst_formula(int_map, bool_map, *p, fmemo, tmemo))
+                    .collect();
+                self.mk_and(ids)
+            }
+            FormulaNode::Or(parts) => {
+                let ids: Vec<FormulaId> = parts
+                    .iter()
+                    .map(|p| self.subst_formula(int_map, bool_map, *p, fmemo, tmemo))
+                    .collect();
+                self.mk_or(ids)
+            }
+            FormulaNode::Implies(a, b) => {
+                let sa = self.subst_formula(int_map, bool_map, a, fmemo, tmemo);
+                let sb = self.subst_formula(int_map, bool_map, b, fmemo, tmemo);
+                self.put_formula(FormulaNode::Implies(sa, sb))
+            }
+            FormulaNode::Iff(a, b) => {
+                let sa = self.subst_formula(int_map, bool_map, a, fmemo, tmemo);
+                let sb = self.subst_formula(int_map, bool_map, b, fmemo, tmemo);
+                self.put_formula(FormulaNode::Iff(sa, sb))
+            }
+            FormulaNode::Quant(q, binders, body) => {
+                // Binders shadow the substitution; narrow the maps and use a
+                // fresh memo for the narrowed scope.
+                let shadowed = binders
+                    .iter()
+                    .any(|b| int_map.contains_key(b) || bool_map.contains_key(b));
+                if shadowed {
+                    let narrowed_int: HashMap<Ident, TermId> = int_map
+                        .iter()
+                        .filter(|(k, _)| !binders.contains(k))
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect();
+                    let narrowed_bool: HashMap<Ident, FormulaId> = bool_map
+                        .iter()
+                        .filter(|(k, _)| !binders.contains(k))
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect();
+                    let mut inner_fmemo = HashMap::new();
+                    let mut inner_tmemo = HashMap::new();
+                    let sb = self.subst_formula(
+                        &narrowed_int,
+                        &narrowed_bool,
+                        body,
+                        &mut inner_fmemo,
+                        &mut inner_tmemo,
+                    );
+                    self.put_formula(FormulaNode::Quant(q, binders, sb))
+                } else {
+                    let sb = self.subst_formula(int_map, bool_map, body, fmemo, tmemo);
+                    self.put_formula(FormulaNode::Quant(q, binders, sb))
+                }
+            }
+        };
+        fmemo.insert(f, out);
+        out
+    }
+}
+
+fn dedup_preserving_order(items: Vec<FormulaId>) -> Vec<FormulaId> {
+    let mut seen = HashSet::new();
+    items.into_iter().filter(|f| seen.insert(*f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simplify, to_nnf};
+
+    fn rw_invariant() -> Formula {
+        Formula::and(vec![
+            Term::var("readers").ge(Term::int(0)),
+            Formula::not(Formula::bool_var("writerIn")),
+        ])
+    }
+
+    #[test]
+    fn equal_trees_intern_to_the_same_id() {
+        let arena = Interner::new();
+        let a = arena.intern(&rw_invariant());
+        let b = arena.intern(&rw_invariant());
+        assert_eq!(a, b);
+        // A structurally different formula gets a different id.
+        let c = arena.intern(&Formula::not(rw_invariant()));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shared_subtrees_are_stored_once() {
+        let arena = Interner::new();
+        let shared = Term::var("x").ge(Term::int(0));
+        let before = {
+            arena.intern(&shared);
+            arena.formula_count()
+        };
+        // Reusing the subtree in two larger formulas adds only the new
+        // connective nodes, not fresh copies of the leaf.
+        arena.intern(&Formula::and(vec![shared.clone(), Formula::bool_var("p")]));
+        arena.intern(&Formula::or(vec![shared, Formula::bool_var("p")]));
+        assert_eq!(arena.formula_count(), before + 3); // p, the And, the Or
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let arena = Interner::new();
+        let f = Formula::implies(
+            rw_invariant(),
+            Formula::exists(vec!["k".into()], Term::var("k").gt(Term::var("readers"))),
+        );
+        let id = arena.intern(&f);
+        assert_eq!(arena.formula(id), f);
+    }
+
+    #[test]
+    fn arena_simplify_matches_tree_simplify() {
+        let arena = Interner::new();
+        let cases = vec![
+            Formula::and(vec![Formula::True, Term::int(1).lt(Term::int(2))]),
+            Formula::and(vec![
+                Formula::bool_var("p"),
+                Formula::not(Formula::bool_var("p")),
+            ]),
+            Formula::or(vec![
+                Formula::bool_var("p"),
+                Formula::not(Formula::bool_var("p")),
+            ]),
+            Formula::implies(rw_invariant(), rw_invariant()),
+            Formula::forall(vec!["z".into()], Term::var("x").ge(Term::int(0))),
+            Formula::divides(2, Term::int(4)),
+            Term::int(1)
+                .add(Term::int(2))
+                .add(Term::var("x"))
+                .le(Term::var("y")),
+        ];
+        for f in cases {
+            let id = arena.intern(&f);
+            let via_arena = arena.formula(arena.simplify(id));
+            assert_eq!(via_arena, simplify(&f), "mismatch for {f}");
+        }
+    }
+
+    #[test]
+    fn simplify_is_memoized_per_node() {
+        let arena = Interner::new();
+        let f = rw_invariant();
+        let id = arena.intern(&f);
+        let first = arena.simplify(id);
+        let second = arena.simplify(id);
+        assert_eq!(first, second);
+        // The simplified form is a fixpoint.
+        assert_eq!(arena.simplify(first), first);
+    }
+
+    #[test]
+    fn arena_nnf_matches_tree_nnf() {
+        let arena = Interner::new();
+        let cases = vec![
+            Formula::not(rw_invariant()),
+            Formula::implies(Formula::bool_var("a"), Formula::bool_var("b")),
+            Formula::not(Formula::forall(
+                vec!["x".into()],
+                Term::var("x").ge(Term::int(0)),
+            )),
+            Term::var("x").ne(Term::int(0)),
+            Formula::iff(Formula::bool_var("a"), Formula::bool_var("b")),
+        ];
+        for f in cases {
+            let id = arena.intern(&f);
+            assert_eq!(arena.formula(arena.nnf(id)), to_nnf(&f), "mismatch for {f}");
+        }
+    }
+
+    #[test]
+    fn arena_subst_matches_tree_subst() {
+        let arena = Interner::new();
+        let mut subst = Subst::new();
+        subst.int("readers", Term::var("readers").add(Term::int(1)));
+        subst.boolean("writerIn", Formula::False);
+        let f = rw_invariant();
+        let id = arena.intern(&f);
+        assert_eq!(
+            arena.formula(arena.apply_subst(&subst, id)),
+            subst.apply(&f)
+        );
+        // Quantifier shadowing.
+        let g = Formula::forall(
+            vec!["readers".into()],
+            Term::var("readers").ge(Term::int(0)),
+        );
+        let gid = arena.intern(&g);
+        assert_eq!(
+            arena.formula(arena.apply_subst(&subst, gid)),
+            subst.apply(&g)
+        );
+    }
+
+    #[test]
+    fn constructors_collapse_constants() {
+        let arena = Interner::new();
+        let t = arena.true_id();
+        let f = arena.false_id();
+        assert_eq!(arena.mk_not(t), f);
+        assert_eq!(arena.mk_and(vec![t, t]), t);
+        assert_eq!(arena.mk_or(vec![f, f]), f);
+        let p = arena.intern(&Formula::bool_var("p"));
+        assert_eq!(arena.mk_and(vec![t, p]), p);
+        assert_eq!(arena.mk_implies(f, p), t);
+        assert_eq!(arena.mk_not(arena.mk_not(p)), p);
+    }
+
+    #[test]
+    fn free_var_queries_agree_with_trees() {
+        let arena = Interner::new();
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::and(vec![
+                Term::var("x").lt(Term::var("y")),
+                Term::select("buf", Term::var("i")).ge(Term::int(0)),
+            ]),
+        );
+        let id = arena.intern(&f);
+        assert_eq!(arena.int_vars(id), f.int_vars());
+        assert_eq!(arena.free_vars(id), f.free_vars());
+        assert_eq!(arena.arrays(id), f.arrays());
+        assert_eq!(arena.size(id), f.size());
+    }
+}

@@ -24,6 +24,7 @@
 
 mod eval;
 mod formula;
+mod intern;
 mod nnf;
 mod simplify;
 mod subst;
@@ -31,6 +32,7 @@ mod term;
 
 pub use eval::{EvalError, Valuation};
 pub use formula::{CmpOp, Formula, Quantifier};
+pub use intern::{FormulaId, FormulaNode, Interner, TermId, TermNode};
 pub use nnf::to_nnf;
 pub use simplify::simplify;
 pub use subst::Subst;

@@ -205,6 +205,9 @@ mod tests {
     fn divides_folds_on_constants() {
         assert_eq!(simplify(&Formula::divides(2, Term::int(4))), Formula::True);
         assert_eq!(simplify(&Formula::divides(2, Term::int(5))), Formula::False);
-        assert_eq!(simplify(&Formula::divides(1, Term::var("x"))), Formula::True);
+        assert_eq!(
+            simplify(&Formula::divides(1, Term::var("x"))),
+            Formula::True
+        );
     }
 }

@@ -39,6 +39,21 @@ impl Subst {
         self.int_map.is_empty() && self.bool_map.is_empty()
     }
 
+    /// Iterates over the integer-variable mappings.
+    pub fn iter_ints(&self) -> impl Iterator<Item = (&Ident, &Term)> {
+        self.int_map.iter()
+    }
+
+    /// Iterates over the boolean-variable mappings.
+    pub fn iter_bools(&self) -> impl Iterator<Item = (&Ident, &Formula)> {
+        self.bool_map.iter()
+    }
+
+    /// Returns `true` when `name` is in the substitution's domain.
+    pub fn maps(&self, name: &str) -> bool {
+        self.int_map.contains_key(name) || self.bool_map.contains_key(name)
+    }
+
     /// Adds a mapping for an integer variable, returning `&mut self` for chaining.
     pub fn int(&mut self, var: impl Into<Ident>, replacement: Term) -> &mut Self {
         self.int_map.insert(var.into(), replacement);
@@ -75,15 +90,13 @@ impl Subst {
             Term::Int(_) => term.clone(),
             Term::Var(v) => self.int_map.get(v).cloned().unwrap_or_else(|| term.clone()),
             Term::Add(parts) => Term::Add(parts.iter().map(|p| self.apply_term(p)).collect()),
-            Term::Sub(a, b) => Term::Sub(
-                Box::new(self.apply_term(a)),
-                Box::new(self.apply_term(b)),
-            ),
+            Term::Sub(a, b) => {
+                Term::Sub(Box::new(self.apply_term(a)), Box::new(self.apply_term(b)))
+            }
             Term::Neg(a) => Term::Neg(Box::new(self.apply_term(a))),
-            Term::Mul(a, b) => Term::Mul(
-                Box::new(self.apply_term(a)),
-                Box::new(self.apply_term(b)),
-            ),
+            Term::Mul(a, b) => {
+                Term::Mul(Box::new(self.apply_term(a)), Box::new(self.apply_term(b)))
+            }
             Term::Select(arr, idx) => Term::Select(arr.clone(), Box::new(self.apply_term(idx))),
         }
     }
@@ -134,7 +147,10 @@ mod tests {
         let mut s = Subst::new();
         s.int("x", Term::var("x").add(Term::int(1)));
         let f = Term::var("x").gt(Term::int(0));
-        assert_eq!(s.apply(&f), Term::var("x").add(Term::int(1)).gt(Term::int(0)));
+        assert_eq!(
+            s.apply(&f),
+            Term::var("x").add(Term::int(1)).gt(Term::int(0))
+        );
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl Term {
     }
 
     /// Builds `self + other`, flattening nested sums.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Term) -> Self {
         let mut parts = Vec::new();
         match self {
@@ -85,16 +86,19 @@ impl Term {
     }
 
     /// Builds `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Term) -> Self {
         Term::Sub(Box::new(self), Box::new(other))
     }
 
     /// Builds `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Term) -> Self {
         Term::Mul(Box::new(self), Box::new(other))
     }
 
     /// Builds `-self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Self {
         Term::Neg(Box::new(self))
     }
@@ -287,7 +291,10 @@ mod tests {
     #[test]
     fn const_fold_sums_constants() {
         let t = Term::int(1).add(Term::int(2)).add(Term::var("x"));
-        assert_eq!(t.const_fold(), Term::Add(vec![Term::var("x"), Term::int(3)]));
+        assert_eq!(
+            t.const_fold(),
+            Term::Add(vec![Term::var("x"), Term::int(3)])
+        );
     }
 
     #[test]

@@ -501,7 +501,12 @@ impl fmt::Display for Monitor {
                 .iter()
                 .map(|p| format!("{} {}", p.ty, p.name))
                 .collect();
-            writeln!(f, "\n  atomic void {}({}) {{", method.name, params.join(", "))?;
+            writeln!(
+                f,
+                "\n  atomic void {}({}) {{",
+                method.name,
+                params.join(", ")
+            )?;
             for &id in &method.ccrs {
                 let ccr = self.ccr(id);
                 if ccr.never_blocks() {

@@ -48,12 +48,24 @@ impl VarTable {
 
     /// Whether the variable is a shared (monitor-global) variable.
     pub fn is_shared(&self, name: &str) -> bool {
-        matches!(self.info(name), Some(VarInfo { scope: Scope::Shared, .. }))
+        matches!(
+            self.info(name),
+            Some(VarInfo {
+                scope: Scope::Shared,
+                ..
+            })
+        )
     }
 
     /// Whether the variable is thread-local.
     pub fn is_local(&self, name: &str) -> bool {
-        matches!(self.info(name), Some(VarInfo { scope: Scope::Local, .. }))
+        matches!(
+            self.info(name),
+            Some(VarInfo {
+                scope: Scope::Local,
+                ..
+            })
+        )
     }
 
     /// Whether the variable is boolean-typed.
@@ -104,13 +116,7 @@ impl VarTable {
         self.vars.iter()
     }
 
-    fn declare(
-        &mut self,
-        name: &str,
-        info: VarInfo,
-        errors: &mut Vec<CheckError>,
-        context: &str,
-    ) {
+    fn declare(&mut self, name: &str, info: VarInfo, errors: &mut Vec<CheckError>, context: &str) {
         if self.vars.contains_key(name) {
             errors.push(CheckError::new(format!(
                 "duplicate declaration of `{name}` in {context} (the analysis requires globally unique names)"
@@ -207,17 +213,35 @@ pub fn check_monitor(monitor: &Monitor) -> Result<VarTable, Vec<CheckError>> {
                 Type::IntArray => Type::Int,
                 other => other,
             };
-            expect_type(init, expected, &table, &mut errors, &format!("initialiser of `{}`", f.name));
+            expect_type(
+                init,
+                expected,
+                &table,
+                &mut errors,
+                &format!("initialiser of `{}`", f.name),
+            );
         }
         if let Some(len) = &f.array_len {
-            expect_type(len, Type::Int, &table, &mut errors, &format!("length of `{}`", f.name));
+            expect_type(
+                len,
+                Type::Int,
+                &table,
+                &mut errors,
+                &format!("length of `{}`", f.name),
+            );
         }
     }
 
     // Guards and bodies.
     for ccr in monitor.all_ccrs() {
         let label = monitor.ccr_label(ccr.id);
-        expect_type(&ccr.guard, Type::Bool, &table, &mut errors, &format!("guard of {label}"));
+        expect_type(
+            &ccr.guard,
+            Type::Bool,
+            &table,
+            &mut errors,
+            &format!("guard of {label}"),
+        );
         check_stmt(&ccr.body, &table, &mut errors, &label);
     }
 
@@ -279,14 +303,18 @@ pub fn infer_type(expr: &Expr, table: &VarTable) -> Result<Type, CheckError> {
         Expr::Unary(UnOp::Neg, inner) => {
             let ty = infer_type(inner, table)?;
             if ty != Type::Int {
-                return Err(CheckError::new(format!("`-` expects an integer, found {ty}")));
+                return Err(CheckError::new(format!(
+                    "`-` expects an integer, found {ty}"
+                )));
             }
             Ok(Type::Int)
         }
         Expr::Unary(UnOp::Not, inner) => {
             let ty = infer_type(inner, table)?;
             if ty != Type::Bool {
-                return Err(CheckError::new(format!("`!` expects a boolean, found {ty}")));
+                return Err(CheckError::new(format!(
+                    "`!` expects a boolean, found {ty}"
+                )));
             }
             Ok(Type::Bool)
         }
@@ -350,7 +378,9 @@ fn expect_type(
 fn check_stmt(stmt: &Stmt, table: &VarTable, errors: &mut Vec<CheckError>, context: &str) {
     match stmt {
         Stmt::Skip => {}
-        Stmt::Seq(parts) => parts.iter().for_each(|s| check_stmt(s, table, errors, context)),
+        Stmt::Seq(parts) => parts
+            .iter()
+            .for_each(|s| check_stmt(s, table, errors, context)),
         Stmt::Assign(name, value) => match table.info(name) {
             None => errors.push(CheckError::new(format!(
                 "{context}: assignment to undeclared variable `{name}`"
@@ -488,7 +518,9 @@ mod tests {
         )
         .unwrap();
         let errors = check_monitor(&m).unwrap_err();
-        assert!(errors.iter().any(|e| e.message.contains("constructor parameter")));
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("constructor parameter")));
     }
 
     #[test]

@@ -391,7 +391,9 @@ mod tests {
         let mut state = Valuation::new();
         state.set_int("x", 0);
         let spin = m.method("spin").unwrap();
-        let err = interp.exec(&m.ccr(spin.ccrs[0]).body, &mut state).unwrap_err();
+        let err = interp
+            .exec(&m.ccr(spin.ccrs[0]).body, &mut state)
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::LoopBudgetExceeded(10)));
     }
 

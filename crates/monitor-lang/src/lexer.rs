@@ -267,7 +267,14 @@ mod tests {
             .collect();
         assert_eq!(
             puncts,
-            vec![Punct::Le, Punct::AndAnd, Punct::NotEq, Punct::OrOr, Punct::PlusPlus, Punct::Ge]
+            vec![
+                Punct::Le,
+                Punct::AndAnd,
+                Punct::NotEq,
+                Punct::OrOr,
+                Punct::PlusPlus,
+                Punct::Ge
+            ]
         );
     }
 
@@ -283,7 +290,10 @@ mod tests {
         let tokens = tokenize(src).unwrap();
         assert_eq!(tokens[0].token, Token::Keyword(Keyword::Int));
         assert_eq!(tokens[0].line, 2);
-        let y_decl = tokens.iter().find(|t| t.token == Token::Keyword(Keyword::Bool)).unwrap();
+        let y_decl = tokens
+            .iter()
+            .find(|t| t.token == Token::Keyword(Keyword::Bool))
+            .unwrap();
         assert_eq!(y_decl.line, 3);
     }
 

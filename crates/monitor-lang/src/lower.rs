@@ -115,19 +115,25 @@ pub fn expr_to_formula(expr: &Expr, table: &VarTable) -> Result<Formula, LowerEr
             ])),
             BinOp::Eq | BinOp::Ne => {
                 // Boolean equality becomes (negated) bi-implication.
-                let lhs_is_bool = matches!(
-                    crate::check::infer_type(lhs, table),
-                    Ok(Type::Bool)
-                );
+                let lhs_is_bool = matches!(crate::check::infer_type(lhs, table), Ok(Type::Bool));
                 if lhs_is_bool {
-                    let f = Formula::iff(expr_to_formula(lhs, table)?, expr_to_formula(rhs, table)?);
+                    let f =
+                        Formula::iff(expr_to_formula(lhs, table)?, expr_to_formula(rhs, table)?);
                     return Ok(if *op == BinOp::Eq { f } else { Formula::not(f) });
                 }
                 // e % k == c  →  divisibility atom.
                 if let Some(div) = rem_pattern(lhs, rhs, table)? {
-                    return Ok(if *op == BinOp::Eq { div } else { Formula::not(div) });
+                    return Ok(if *op == BinOp::Eq {
+                        div
+                    } else {
+                        Formula::not(div)
+                    });
                 }
-                let cmp = if *op == BinOp::Eq { CmpOp::Eq } else { CmpOp::Ne };
+                let cmp = if *op == BinOp::Eq {
+                    CmpOp::Eq
+                } else {
+                    CmpOp::Ne
+                };
                 Ok(Formula::cmp(
                     cmp,
                     expr_to_term(lhs, table)?,
@@ -155,11 +161,7 @@ pub fn expr_to_formula(expr: &Expr, table: &VarTable) -> Result<Formula, LowerEr
 }
 
 /// Recognises `a % k` compared against a constant `c`, returning `k | (a - c)`.
-fn rem_pattern(
-    lhs: &Expr,
-    rhs: &Expr,
-    table: &VarTable,
-) -> Result<Option<Formula>, LowerError> {
+fn rem_pattern(lhs: &Expr, rhs: &Expr, table: &VarTable) -> Result<Option<Formula>, LowerError> {
     if let Expr::Binary(BinOp::Rem, a, k) = lhs {
         if let (Expr::Int(k), Expr::Int(c)) = (k.as_ref(), rhs) {
             if *k > 0 {
@@ -244,7 +246,10 @@ mod tests {
             Err(LowerError::SortMismatch(_))
         ));
         let e = parse_expr("stopped + 1").unwrap();
-        assert!(matches!(expr_to_term(&e, &t), Err(LowerError::SortMismatch(_))));
+        assert!(matches!(
+            expr_to_term(&e, &t),
+            Err(LowerError::SortMismatch(_))
+        ));
     }
 
     #[test]

@@ -238,7 +238,10 @@ impl Parser {
         let start = self.pos;
         let is_method = {
             let mut probe = self.pos;
-            if matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Keyword(Keyword::Atomic))) {
+            if matches!(
+                self.tokens.get(probe).map(|t| &t.token),
+                Some(Token::Keyword(Keyword::Atomic))
+            ) {
                 probe += 1;
             }
             // Skip a type keyword (void/int/bool).
@@ -250,14 +253,23 @@ impl Parser {
             }
             // Possible array marker `[]` — only for fields.
             let mut is_field_array = false;
-            if matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Punct(Punct::LBracket))) {
+            if matches!(
+                self.tokens.get(probe).map(|t| &t.token),
+                Some(Token::Punct(Punct::LBracket))
+            ) {
                 is_field_array = true;
             }
             if !is_field_array
-                && matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Ident(_)))
+                && matches!(
+                    self.tokens.get(probe).map(|t| &t.token),
+                    Some(Token::Ident(_))
+                )
             {
                 probe += 1;
-                matches!(self.tokens.get(probe).map(|t| &t.token), Some(Token::Punct(Punct::LParen)))
+                matches!(
+                    self.tokens.get(probe).map(|t| &t.token),
+                    Some(Token::Punct(Punct::LParen))
+                )
             } else {
                 false
             }
@@ -640,7 +652,6 @@ impl Parser {
             None => Err(self.error("expected an expression, found end of input")),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -761,10 +772,7 @@ mod tests {
     #[test]
     fn operator_precedence() {
         let e = parse_expr("a + b * 2 < c && !d || e == 1").unwrap();
-        assert_eq!(
-            e.to_string(),
-            "((((a + (b * 2)) < c) && !d) || (e == 1))"
-        );
+        assert_eq!(e.to_string(), "((((a + (b * 2)) < c) && !d) || (e == 1))");
     }
 
     #[test]
@@ -780,7 +788,9 @@ mod tests {
         match body {
             Stmt::Seq(parts) => {
                 assert_eq!(parts.len(), 4);
-                assert!(parts.iter().all(|s| matches!(s, Stmt::Assign(v, _) if v == "x")));
+                assert!(parts
+                    .iter()
+                    .all(|s| matches!(s, Stmt::Assign(v, _) if v == "x")));
             }
             other => panic!("expected seq, got {other:?}"),
         }

@@ -5,11 +5,11 @@ use expresso_monitor_lang::{
     Ccr, CcrId, ExplicitMonitor, Expr, Interpreter, Monitor, NotificationKind, RuntimeError,
     SignalCondition, VarTable,
 };
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 
 /// Errors raised while constructing a runtime instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +74,10 @@ impl ExplicitRuntime {
     ///
     /// Returns [`RuntimeBuildError`] when the monitor is ill-formed or the
     /// constructor arguments are incomplete.
-    pub fn new(explicit: ExplicitMonitor, ctor_args: &Valuation) -> Result<Self, RuntimeBuildError> {
+    pub fn new(
+        explicit: ExplicitMonitor,
+        ctor_args: &Valuation,
+    ) -> Result<Self, RuntimeBuildError> {
         let table = expresso_monitor_lang::check_monitor(&explicit.monitor)
             .map_err(|e| RuntimeBuildError::Check(format!("{} error(s)", e.len())))?;
         let initial = expresso_monitor_lang::initial_state(&explicit.monitor, &table, ctor_args)
@@ -103,16 +106,22 @@ impl ExplicitRuntime {
             .expect("every blocking guard has a condition variable")
     }
 
-    fn eval_guard(&self, interp: &Interpreter<'_>, guard: &Expr, state: &Valuation, locals: &Valuation) -> bool {
+    fn eval_guard(
+        &self,
+        interp: &Interpreter<'_>,
+        guard: &Expr,
+        state: &Valuation,
+        locals: &Valuation,
+    ) -> bool {
         let mut view = state.clone();
         view.extend_with(locals);
         interp.eval_bool(guard, &view).unwrap_or(false)
     }
 
     fn run_ccr(&self, interp: &Interpreter<'_>, ccr: &Ccr, locals: &mut Valuation) {
-        let mut state = self.shared.state.lock();
+        let mut state = self.shared.state.lock().unwrap();
         while !ccr.never_blocks() && !self.eval_guard(interp, &ccr.guard, &state, locals) {
-            self.condition(&ccr.guard).wait(&mut state);
+            state = self.condition(&ccr.guard).wait(state).unwrap();
             self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
         }
         // Execute the body on a merged view, then split shared/local updates.
@@ -173,7 +182,7 @@ impl MonitorRuntime for ExplicitRuntime {
     }
 
     fn snapshot(&self) -> Valuation {
-        self.shared.state.lock().clone()
+        self.shared.state.lock().unwrap().clone()
     }
 
     fn wakeups(&self) -> usize {
@@ -228,14 +237,20 @@ impl AutoSynchRuntime {
         })
     }
 
-    fn eval_with(&self, interp: &Interpreter<'_>, guard: &Expr, state: &Valuation, locals: &Valuation) -> bool {
+    fn eval_with(
+        &self,
+        interp: &Interpreter<'_>,
+        guard: &Expr,
+        state: &Valuation,
+        locals: &Valuation,
+    ) -> bool {
         let mut view = state.clone();
         view.extend_with(locals);
         interp.eval_bool(guard, &view).unwrap_or(false)
     }
 
     fn run_ccr(&self, interp: &Interpreter<'_>, ccr: &Ccr, locals: &mut Valuation) {
-        let mut state = self.shared.state.lock();
+        let mut state = self.shared.state.lock().unwrap();
         if !ccr.never_blocks() && !self.eval_with(interp, &ccr.guard, &state, locals) {
             // Register as a waiter with a snapshot of the local variables.
             let waiter = Arc::new(Waiter {
@@ -244,9 +259,9 @@ impl AutoSynchRuntime {
                 ready: AtomicBool::new(false),
                 condvar: Condvar::new(),
             });
-            self.waiters.lock().push(Arc::clone(&waiter));
+            self.waiters.lock().unwrap().push(Arc::clone(&waiter));
             loop {
-                waiter.condvar.wait(&mut state);
+                state = waiter.condvar.wait(state).unwrap();
                 self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
                 if waiter.ready.load(Ordering::SeqCst)
                     && self.eval_with(interp, &ccr.guard, &state, locals)
@@ -255,7 +270,7 @@ impl AutoSynchRuntime {
                 }
                 waiter.ready.store(false, Ordering::SeqCst);
             }
-            let mut registry = self.waiters.lock();
+            let mut registry = self.waiters.lock().unwrap();
             registry.retain(|w| !Arc::ptr_eq(w, &waiter));
         }
         let mut view = state.clone();
@@ -265,7 +280,7 @@ impl AutoSynchRuntime {
 
         // AutoSynch's post-CCR work: evaluate every waiter's predicate with its
         // snapshot and wake exactly those whose predicate is now true.
-        let registry = self.waiters.lock();
+        let registry = self.waiters.lock().unwrap();
         for waiter in registry.iter() {
             self.shared
                 .predicate_evaluations
@@ -294,7 +309,7 @@ impl MonitorRuntime for AutoSynchRuntime {
     }
 
     fn snapshot(&self) -> Valuation {
-        self.shared.state.lock().clone()
+        self.shared.state.lock().unwrap().clone()
     }
 
     fn wakeups(&self) -> usize {
@@ -352,23 +367,22 @@ mod tests {
     #[test]
     fn explicit_runtime_handles_blocking_producer_consumer() {
         let rt = ExplicitRuntime::new(explicit_counter(), &Valuation::new()).unwrap();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..4 {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     for _ in 0..50 {
                         rt.call("acquire", &Valuation::new());
                     }
                 });
             }
             for _ in 0..4 {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     for _ in 0..50 {
                         rt.call("release", &Valuation::new());
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(rt.snapshot().int("count"), Some(0));
     }
 
@@ -376,23 +390,22 @@ mod tests {
     fn autosynch_runtime_reaches_the_same_final_state() {
         let monitor = parse_monitor(COUNTER).unwrap();
         let rt = AutoSynchRuntime::new(monitor, &Valuation::new()).unwrap();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..3 {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     for _ in 0..40 {
                         rt.call("acquire", &Valuation::new());
                     }
                 });
             }
             for _ in 0..3 {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     for _ in 0..40 {
                         rt.call("release", &Valuation::new());
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(rt.snapshot().int("count"), Some(0));
         // The AutoSynch engine must have paid for run-time predicate
         // evaluations whenever consumers had to wait.
@@ -410,10 +423,10 @@ mod tests {
         let monitor = parse_monitor(src).unwrap();
         let explicit = Expresso::new().analyze(&monitor).unwrap().explicit;
         let rt = ExplicitRuntime::new(explicit, &Valuation::new()).unwrap();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for amount in 1..=4i64 {
                 let rt = &rt;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut locals = Valuation::new();
                     locals.set_int("amount", amount);
                     for _ in 0..10 {
@@ -421,8 +434,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(rt.snapshot().int("total"), Some(10 * (1 + 2 + 3 + 4)));
     }
 

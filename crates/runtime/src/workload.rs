@@ -77,16 +77,15 @@ impl SaturationResult {
 pub fn run_saturation(runtime: &dyn MonitorRuntime, plans: &[ThreadPlan]) -> SaturationResult {
     let operations: usize = plans.iter().map(|p| p.len()).sum();
     let start = Instant::now();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for plan in plans {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for op in plan {
                     runtime.call(&op.method, &op.locals);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     SaturationResult {
         elapsed: start.elapsed(),
         operations,
@@ -118,9 +117,12 @@ mod tests {
         let rt = ExplicitRuntime::new(explicit, &Valuation::new()).unwrap();
         let producer: ThreadPlan = (0..100).map(|_| Operation::new("release")).collect();
         let consumer: ThreadPlan = (0..100).map(|_| Operation::new("acquire")).collect();
-        let result = run_saturation(&rt, &[producer.clone(), consumer, producer.clone(), {
-            (0..100).map(|_| Operation::new("acquire")).collect()
-        }]);
+        let result = run_saturation(
+            &rt,
+            &[producer.clone(), consumer, producer.clone(), {
+                (0..100).map(|_| Operation::new("acquire")).collect()
+            }],
+        );
         assert_eq!(result.operations, 400);
         assert!(result.time_per_op() > Duration::ZERO);
         assert!(result.micros_per_op() > 0.0);

@@ -5,9 +5,6 @@ use expresso_monitor_lang::{
     CcrId, ExplicitMonitor, Interpreter, Monitor, NotificationKind, RuntimeError, SignalCondition,
     VarTable,
 };
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -228,8 +225,8 @@ pub fn run_implicit(
                     Some(min) if *min == entry => {}
                     _ => {
                         return Err(ExecError::Infeasible(format!(
-                            "{event}: a blocked thread fired without being the minimum notified entry"
-                        )))
+                        "{event}: a blocked thread fired without being the minimum notified entry"
+                    )))
                     }
                 }
                 blocked.remove(&entry);
@@ -302,8 +299,8 @@ pub fn run_explicit(
                     Some(min) if *min == entry => {}
                     _ => {
                         return Err(ExecError::Infeasible(format!(
-                            "{event}: a blocked thread fired without being the minimum notified entry"
-                        )))
+                        "{event}: a blocked thread fired without being the minimum notified entry"
+                    )))
                     }
                 }
                 blocked.remove(&entry);
@@ -353,6 +350,33 @@ pub fn run_explicit(
     })
 }
 
+/// Minimal deterministic PRNG (SplitMix64), replacing the external `rand`
+/// dependency. Quality is more than sufficient for trace-schedule sampling,
+/// and seeding stays reproducible across platforms.
+#[derive(Debug, Clone)]
+struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index into `0..len` (`len` must be nonzero).
+    fn gen_index(&mut self, len: usize) -> usize {
+        (self.next_u64() % len as u64) as usize
+    }
+}
+
 /// A random-scheduler simulator that produces feasible traces of either
 /// semantics for a set of threads, each running one monitor method.
 #[derive(Debug)]
@@ -361,7 +385,7 @@ pub struct Simulator<'a> {
     table: &'a VarTable,
     initial: Valuation,
     threads: Vec<ThreadSpec>,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl<'a> Simulator<'a> {
@@ -378,7 +402,7 @@ impl<'a> Simulator<'a> {
             table,
             initial,
             threads,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 
@@ -449,14 +473,21 @@ impl<'a> Simulator<'a> {
             if actions.is_empty() {
                 break;
             }
-            let event = *actions.choose(&mut self.rng).expect("non-empty");
+            let event = actions[self.rng.gen_index(actions.len())];
             let entry = (event.thread, event.ccr);
             if event.fired {
                 if blocked.contains(&entry) {
                     blocked.remove(&entry);
                     notified.remove(&entry);
                 }
-                exec_body(&interp, self.monitor, self.table, &mut shared, &mut threads, entry)?;
+                exec_body(
+                    &interp,
+                    self.monitor,
+                    self.table,
+                    &mut shared,
+                    &mut threads,
+                    entry,
+                )?;
                 for other in blocked.iter().copied().collect::<Vec<_>>() {
                     if eval_guard(&interp, self.monitor, &shared, &threads, other)? {
                         notified.insert(other);
@@ -506,29 +537,52 @@ impl<'a> Simulator<'a> {
                 if blocked.contains(&entry) {
                     if notified.contains(&entry) {
                         if guard && notified.iter().next() == Some(&entry) {
-                            actions.push(Event { thread: t, ccr, fired: true });
+                            actions.push(Event {
+                                thread: t,
+                                ccr,
+                                fired: true,
+                            });
                         } else if !guard {
                             // A spurious wake-up: allowed by the semantics.
-                            actions.push(Event { thread: t, ccr, fired: false });
+                            actions.push(Event {
+                                thread: t,
+                                ccr,
+                                fired: false,
+                            });
                         }
                     }
                 } else if guard {
-                    actions.push(Event { thread: t, ccr, fired: true });
+                    actions.push(Event {
+                        thread: t,
+                        ccr,
+                        fired: true,
+                    });
                 } else {
-                    actions.push(Event { thread: t, ccr, fired: false });
+                    actions.push(Event {
+                        thread: t,
+                        ccr,
+                        fired: false,
+                    });
                 }
             }
             if actions.is_empty() {
                 break;
             }
-            let event = *actions.choose(&mut self.rng).expect("non-empty");
+            let event = actions[self.rng.gen_index(actions.len())];
             let entry = (event.thread, event.ccr);
             if event.fired {
                 if blocked.contains(&entry) {
                     blocked.remove(&entry);
                     notified.remove(&entry);
                 }
-                exec_body(&interp, self.monitor, self.table, &mut shared, &mut threads, entry)?;
+                exec_body(
+                    &interp,
+                    self.monitor,
+                    self.table,
+                    &mut shared,
+                    &mut threads,
+                    entry,
+                )?;
                 for notification in explicit.notifications_for(event.ccr) {
                     let candidates: Vec<Entry> = blocked
                         .iter()
@@ -565,7 +619,7 @@ impl<'a> Simulator<'a> {
                 blocked.insert(entry);
             }
             trace.push(event);
-            let _ = self.rng.gen::<u8>();
+            let _ = self.rng.next_u64();
         }
         Ok(trace)
     }
@@ -602,9 +656,21 @@ mod tests {
         let release = m.method("release").unwrap().ccrs[0];
         let threads = vec![ThreadSpec::new("acquire"), ThreadSpec::new("release")];
         let trace = vec![
-            Event { thread: 0, ccr: acquire, fired: false },
-            Event { thread: 1, ccr: release, fired: true },
-            Event { thread: 0, ccr: acquire, fired: true },
+            Event {
+                thread: 0,
+                ccr: acquire,
+                fired: false,
+            },
+            Event {
+                thread: 1,
+                ccr: release,
+                fired: true,
+            },
+            Event {
+                thread: 0,
+                ccr: acquire,
+                fired: true,
+            },
         ];
         let outcome = run_implicit(&m, &t, &init(&m, &t), &threads, &trace).unwrap();
         assert_eq!(outcome.final_state.int("count"), Some(0));
@@ -617,7 +683,11 @@ mod tests {
         let acquire = m.method("acquire").unwrap().ccrs[0];
         let threads = vec![ThreadSpec::new("acquire")];
         // The guard count > 0 is false initially, so firing is infeasible.
-        let trace = vec![Event { thread: 0, ccr: acquire, fired: true }];
+        let trace = vec![Event {
+            thread: 0,
+            ccr: acquire,
+            fired: true,
+        }];
         assert!(matches!(
             run_implicit(&m, &t, &init(&m, &t), &threads, &trace),
             Err(ExecError::Infeasible(_))
@@ -631,9 +701,21 @@ mod tests {
         let release = m.method("release").unwrap().ccrs[0];
         let threads = vec![ThreadSpec::new("acquire"), ThreadSpec::new("release")];
         let trace = vec![
-            Event { thread: 0, ccr: acquire, fired: false },
-            Event { thread: 1, ccr: release, fired: true },
-            Event { thread: 0, ccr: acquire, fired: true },
+            Event {
+                thread: 0,
+                ccr: acquire,
+                fired: false,
+            },
+            Event {
+                thread: 1,
+                ccr: release,
+                fired: true,
+            },
+            Event {
+                thread: 0,
+                ccr: acquire,
+                fired: true,
+            },
         ];
         let silent = ExplicitMonitor::without_signals(m.clone());
         assert!(matches!(
@@ -668,12 +750,20 @@ mod tests {
         let (m, t) = counter();
         let acquire = m.method("acquire").unwrap().ccrs[0];
         let threads = vec![ThreadSpec::new("release")];
-        let trace = vec![Event { thread: 0, ccr: acquire, fired: true }];
+        let trace = vec![Event {
+            thread: 0,
+            ccr: acquire,
+            fired: true,
+        }];
         assert!(matches!(
             run_implicit(&m, &t, &init(&m, &t), &threads, &trace),
             Err(ExecError::MalformedTrace(_))
         ));
-        let trace = vec![Event { thread: 5, ccr: acquire, fired: true }];
+        let trace = vec![Event {
+            thread: 5,
+            ccr: acquire,
+            fired: true,
+        }];
         assert!(matches!(
             run_implicit(&m, &t, &init(&m, &t), &threads, &trace),
             Err(ExecError::MalformedTrace(_))

@@ -393,7 +393,11 @@ fn classify_divides(
         Ok(CooperFormula::Div(scaled_d, scaled_rest, positive))
     } else {
         // d | -c'*x + e  ==  d | c'*x - e (divisibility is symmetric under negation)
-        Ok(CooperFormula::Div(scaled_d, scaled_rest.scale(-1), positive))
+        Ok(CooperFormula::Div(
+            scaled_d,
+            scaled_rest.scale(-1),
+            positive,
+        ))
     }
 }
 
@@ -612,7 +616,10 @@ mod tests {
         // ∃x. p && x > 0   ==  p
         let f = Formula::exists(
             vec!["x".into()],
-            Formula::and(vec![Formula::bool_var("p"), Term::var("x").gt(Term::int(0))]),
+            Formula::and(vec![
+                Formula::bool_var("p"),
+                Term::var("x").gt(Term::int(0)),
+            ]),
         );
         let res = eliminate_quantifiers(&f).expect("linear");
         assert_eq!(res, Formula::bool_var("p"));

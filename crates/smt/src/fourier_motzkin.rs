@@ -19,7 +19,10 @@ pub struct Constraint {
 impl Constraint {
     /// `expr <= 0`
     pub fn le_zero(expr: LinExpr) -> Self {
-        Constraint { expr, strict: false }
+        Constraint {
+            expr,
+            strict: false,
+        }
     }
 
     /// `expr < 0`
@@ -46,7 +49,10 @@ pub enum RationalFeasibility {
 /// `max_constraints` bounds the intermediate system size; exceeding it yields
 /// [`RationalFeasibility::TooLarge`] (the caller then falls through to the
 /// complete integer procedure).
-pub fn rational_feasible(constraints: &[Constraint], max_constraints: usize) -> RationalFeasibility {
+pub fn rational_feasible(
+    constraints: &[Constraint],
+    max_constraints: usize,
+) -> RationalFeasibility {
     let mut system: Vec<Constraint> = constraints.to_vec();
     loop {
         // Ground constraints decide immediately or disappear.
@@ -119,7 +125,7 @@ fn eliminate_variable(system: &[Constraint], var: &str) -> Vec<Constraint> {
         for low in &lowers {
             let a = up.expr.coeff(var); // > 0
             let b = -low.expr.coeff(var); // > 0
-            // b * up + a * low eliminates var.
+                                          // b * up + a * low eliminates var.
             let combined = up.expr.scale(b).add(&low.expr.scale(a));
             let mut expr = combined;
             expr.remove_var(var);
@@ -158,7 +164,10 @@ mod tests {
             Constraint::le_zero(lin(Term::var("x").sub(Term::int(1)))),
             Constraint::le_zero(lin(Term::int(2).sub(Term::var("x")))),
         ];
-        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Infeasible);
+        assert_eq!(
+            rational_feasible(&cs, 1000),
+            RationalFeasibility::Infeasible
+        );
     }
 
     #[test]
@@ -173,7 +182,10 @@ mod tests {
             Constraint::lt_zero(lin(Term::var("x"))),
             Constraint::le_zero(lin(Term::var("x").neg())),
         ];
-        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Infeasible);
+        assert_eq!(
+            rational_feasible(&cs, 1000),
+            RationalFeasibility::Infeasible
+        );
     }
 
     #[test]
@@ -184,7 +196,10 @@ mod tests {
             Constraint::le_zero(lin(Term::var("y").sub(Term::var("z")))),
             Constraint::le_zero(lin(Term::var("z").sub(Term::var("x").sub(Term::int(1))))),
         ];
-        assert_eq!(rational_feasible(&cs, 1000), RationalFeasibility::Infeasible);
+        assert_eq!(
+            rational_feasible(&cs, 1000),
+            RationalFeasibility::Infeasible
+        );
         // Relaxing the last constraint makes it feasible.
         let cs = vec![
             Constraint::le_zero(lin(Term::var("x").sub(Term::var("y")))),

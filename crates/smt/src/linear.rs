@@ -54,7 +54,10 @@ impl LinExpr {
     pub fn var(name: impl Into<Ident>) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(name.into(), 1);
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Returns the constant part.
@@ -286,7 +289,10 @@ mod tests {
 
     #[test]
     fn eval_matches_term_eval() {
-        let t = Term::int(3).mul(Term::var("x")).add(Term::var("y")).sub(Term::int(7));
+        let t = Term::int(3)
+            .mul(Term::var("x"))
+            .add(Term::var("y"))
+            .sub(Term::int(7));
         let e = LinExpr::from_term(&t).expect("linear");
         let mut v = Valuation::new();
         v.set_int("x", 4).set_int("y", -2);

@@ -25,7 +25,7 @@ pub fn neg(var: usize) -> Lit {
 
 /// The variable index of a literal.
 pub fn var_of(lit: Lit) -> usize {
-    (lit.abs() as usize) - 1
+    (lit.unsigned_abs() as usize) - 1
 }
 
 /// Whether the literal is positive.
@@ -101,10 +101,7 @@ impl SatSolver {
     pub fn solve(&self) -> SatOutcome {
         let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
         if self.dpll(&mut assignment) {
-            let model = assignment
-                .into_iter()
-                .map(|a| a.unwrap_or(false))
-                .collect();
+            let model = assignment.into_iter().map(|a| a.unwrap_or(false)).collect();
             SatOutcome::Sat(model)
         } else {
             SatOutcome::Unsat
@@ -288,6 +285,7 @@ mod tests {
         let mut solver = SatSolver::new(2);
         solver.add_clause(vec![pos(0), neg(0)]);
         let mut models = Vec::new();
+        #[allow(clippy::while_let_loop)]
         loop {
             match solver.solve() {
                 SatOutcome::Sat(model) => {

@@ -4,10 +4,10 @@ use crate::cooper;
 use crate::fourier_motzkin::{rational_feasible, Constraint, RationalFeasibility};
 use crate::linear::{LinExpr, TranslateError};
 use crate::sat::{neg, pos, Lit, SatOutcome, SatSolver};
-use expresso_logic::{simplify, to_nnf, CmpOp, Formula, Ident, Term, Valuation};
-use std::cell::RefCell;
+use expresso_logic::{CmpOp, Formula, FormulaId, Ident, Interner, Term, Valuation};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Configuration knobs for [`Solver`].
 #[derive(Debug, Clone)]
@@ -19,6 +19,10 @@ pub struct SolverConfig {
     /// Maximum number of candidate assignments explored when extracting a
     /// concrete counter-model (model extraction is best-effort).
     pub model_search_limit: usize,
+    /// Memoize query results keyed on the normalized interned formula.
+    /// Disabling the cache turns the solver into a pure re-derivation engine;
+    /// the equivalence tests use this to cross-check cached runs.
+    pub enable_cache: bool,
 }
 
 impl Default for SolverConfig {
@@ -27,6 +31,7 @@ impl Default for SolverConfig {
             max_theory_rounds: 300,
             fourier_motzkin_limit: 400,
             model_search_limit: 20_000,
+            enable_cache: true,
         }
     }
 }
@@ -38,6 +43,18 @@ pub struct SolverStats {
     pub sat_queries: usize,
     /// Validity queries answered.
     pub validity_queries: usize,
+    /// Satisfiability queries answered from the memo cache.
+    pub cache_hits: usize,
+    /// Satisfiability queries that had to be solved and were then cached.
+    pub cache_misses: usize,
+    /// Quantifier eliminations answered from the memo cache.
+    pub qe_cache_hits: usize,
+    /// Quantifier eliminations that had to be computed and were then cached.
+    pub qe_cache_misses: usize,
+    /// Theory-consistency verdicts answered from the memo cache.
+    pub theory_cache_hits: usize,
+    /// Theory-consistency verdicts that had to be computed and were cached.
+    pub theory_cache_misses: usize,
     /// Propositional SAT calls issued by the DPLL(T) loop.
     pub sat_solver_calls: usize,
     /// Theory-consistency checks of candidate propositional models.
@@ -48,6 +65,22 @@ pub struct SolverStats {
     pub fm_fast_conflicts: usize,
     /// Queries where non-linear or array atoms were abstracted as opaque booleans.
     pub abstracted_queries: usize,
+}
+
+impl SolverStats {
+    /// Fraction of cacheable work (satisfiability queries, quantifier
+    /// eliminations and theory-consistency checks) answered from the memo
+    /// caches; 0.0 when the caches saw no traffic, e.g. because they are
+    /// disabled.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits + self.qe_cache_hits + self.theory_cache_hits;
+        let total = hits + self.cache_misses + self.qe_cache_misses + self.theory_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 /// Errors reported through [`SatResult::Unknown`] / [`ValidityResult::Unknown`].
@@ -113,18 +146,25 @@ impl ValidityResult {
     }
 }
 
-/// The workspace SMT solver.
+/// The workspace SMT solver and memoizing query context.
 ///
-/// See the crate-level documentation for the architecture. A `Solver` is cheap
-/// to construct; it carries only configuration and statistics.
+/// See the crate-level documentation for the architecture. A `Solver` carries
+/// configuration, statistics, a shared formula [`Interner`] and a query cache
+/// keyed on normalized interned formulas. All interior state is behind
+/// mutexes, so a single solver can be shared by reference across the worker
+/// threads that discharge independent placement obligations in parallel.
 #[derive(Debug, Default)]
 pub struct Solver {
     config: SolverConfig,
-    stats: RefCell<SolverStats>,
+    stats: Mutex<SolverStats>,
+    interner: Arc<Interner>,
+    cache: Mutex<HashMap<FormulaId, SatResult>>,
+    qe_cache: Mutex<HashMap<FormulaId, Result<FormulaId, TranslateError>>>,
+    theory_cache: Mutex<HashMap<Vec<(FormulaId, bool)>, TheoryVerdict>>,
 }
 
 impl Solver {
-    /// Creates a solver with the default configuration.
+    /// Creates a solver with the default configuration and a fresh arena.
     pub fn new() -> Self {
         Solver::default()
     }
@@ -133,60 +173,146 @@ impl Solver {
     pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             config,
-            stats: RefCell::new(SolverStats::default()),
+            ..Solver::default()
         }
+    }
+
+    /// Creates a solver sharing an existing arena (so callers can build
+    /// queries as ids against the same interner the solver caches on).
+    pub fn with_interner(config: SolverConfig, interner: Arc<Interner>) -> Self {
+        Solver {
+            config,
+            interner,
+            ..Solver::default()
+        }
+    }
+
+    /// The formula arena this solver interns and caches on.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
     }
 
     /// Returns a snapshot of the statistics counters.
     pub fn stats(&self) -> SolverStats {
-        self.stats.borrow().clone()
+        self.stats.lock().unwrap().clone()
+    }
+
+    fn bump(&self, update: impl FnOnce(&mut SolverStats)) {
+        update(&mut self.stats.lock().unwrap());
     }
 
     /// Eliminates all quantifiers from `formula`.
+    ///
+    /// The input is normalized through the arena and the (simplified input →
+    /// result) pair is memoized: abduction runs dozens of eliminations over
+    /// overlapping implications, and Cooper's procedure is by far the most
+    /// expensive step in the whole pipeline.
     ///
     /// # Errors
     ///
     /// Fails when an atom mentioning a quantified variable is non-linear or
     /// reads from an array.
     pub fn eliminate_quantifiers(&self, formula: &Formula) -> Result<Formula, TranslateError> {
-        self.stats.borrow_mut().quantifier_eliminations += 1;
-        cooper::eliminate_quantifiers(formula)
+        let id = self.interner.intern(formula);
+        let norm = self.interner.simplify(id);
+        if self.config.enable_cache {
+            if let Some(cached) = self.qe_cache.lock().unwrap().get(&norm) {
+                self.bump(|s| s.qe_cache_hits += 1);
+                return cached.clone().map(|f| self.interner.formula(f));
+            }
+        }
+        self.bump(|s| s.quantifier_eliminations += 1);
+        let result = cooper::eliminate_quantifiers(&self.interner.formula(norm));
+        if self.config.enable_cache {
+            self.bump(|s| s.qe_cache_misses += 1);
+            let stored = result.clone().map(|f| self.interner.intern(&f));
+            self.qe_cache.lock().unwrap().insert(norm, stored);
+        }
+        result
     }
 
     /// Checks satisfiability of `formula`.
     pub fn check_sat(&self, formula: &Formula) -> SatResult {
-        self.stats.borrow_mut().sat_queries += 1;
-        let simplified = simplify(formula);
-        match simplified {
-            Formula::True => return SatResult::Sat(Some(Valuation::new())),
-            Formula::False => return SatResult::Unsat,
-            _ => {}
+        let id = self.interner.intern(formula);
+        self.check_sat_id(id)
+    }
+
+    /// Checks satisfiability of an interned formula.
+    ///
+    /// The query is normalized (memoized arena simplification) and the result
+    /// is served from / recorded in the query cache keyed on the normalized
+    /// id, unless [`SolverConfig::enable_cache`] is off.
+    pub fn check_sat_id(&self, id: FormulaId) -> SatResult {
+        self.bump(|s| s.sat_queries += 1);
+        let norm = self.interner.simplify(id);
+        if self.interner.is_true(norm) {
+            return SatResult::Sat(Some(Valuation::new()));
         }
-        let quantifier_free = if simplified.has_quantifier() {
+        if self.interner.is_false(norm) {
+            return SatResult::Unsat;
+        }
+        if self.config.enable_cache {
+            if let Some(result) = self.cache.lock().unwrap().get(&norm) {
+                self.bump(|s| s.cache_hits += 1);
+                return result.clone();
+            }
+        }
+        let result = self.solve_uncached(norm);
+        if self.config.enable_cache {
+            self.bump(|s| s.cache_misses += 1);
+            self.cache.lock().unwrap().insert(norm, result.clone());
+        }
+        result
+    }
+
+    /// Solves a normalized query (cache miss path).
+    fn solve_uncached(&self, norm: FormulaId) -> SatResult {
+        // Quantifier-free queries (the common case) stay on ids; only a
+        // quantified query needs the tree round trip for Cooper's procedure.
+        let qf_id = if self.interner.has_quantifier(norm) {
+            let simplified = self.interner.formula(norm);
             match self.eliminate_quantifiers(&simplified) {
-                Ok(f) => f,
+                Ok(f) => self.interner.intern(&f),
                 Err(e) => return SatResult::Unknown(SolverError::OutsideFragment(e.to_string())),
             }
         } else {
-            simplified
+            norm
         };
-        let nnf = to_nnf(&simplify(&quantifier_free));
-        match nnf {
-            Formula::True => return SatResult::Sat(Some(Valuation::new())),
-            Formula::False => return SatResult::Unsat,
-            _ => {}
+        let nnf_id = self.interner.nnf(self.interner.simplify(qf_id));
+        if self.interner.is_true(nnf_id) {
+            return SatResult::Sat(Some(Valuation::new()));
         }
+        if self.interner.is_false(nnf_id) {
+            return SatResult::Unsat;
+        }
+        let nnf = self.interner.formula(nnf_id);
         self.dpll_t(&nnf)
     }
 
     /// Checks validity of `formula` (truth in every model).
     pub fn check_valid(&self, formula: &Formula) -> ValidityResult {
-        self.stats.borrow_mut().validity_queries += 1;
-        match self.check_sat(&Formula::not(formula.clone())) {
+        let id = self.interner.intern(formula);
+        self.check_valid_id(id)
+    }
+
+    /// Checks validity of an interned formula.
+    pub fn check_valid_id(&self, id: FormulaId) -> ValidityResult {
+        self.bump(|s| s.validity_queries += 1);
+        match self.check_sat_id(self.interner.mk_not(id)) {
             SatResult::Unsat => ValidityResult::Valid,
             SatResult::Sat(model) => ValidityResult::Invalid(model),
             SatResult::Unknown(e) => ValidityResult::Unknown(e),
         }
+    }
+
+    /// Checks validity of a batch of interned formulas.
+    ///
+    /// Results are index-aligned with the input. Batching keeps the call site
+    /// tight for callers that generate many obligations at once (signal
+    /// placement discharges a handful per `(CCR, guard)` pair); every query
+    /// still benefits from the shared cache.
+    pub fn check_valid_batch(&self, ids: &[FormulaId]) -> Vec<ValidityResult> {
+        ids.iter().map(|&id| self.check_valid_id(id)).collect()
     }
 
     /// Convenience wrapper: `true` exactly when `formula` is proven valid.
@@ -196,12 +322,28 @@ impl Solver {
 
     /// Checks validity of the implication `premise ⇒ conclusion`.
     pub fn check_implies(&self, premise: &Formula, conclusion: &Formula) -> ValidityResult {
-        self.check_valid(&Formula::implies(premise.clone(), conclusion.clone()))
+        let p = self.interner.intern(premise);
+        let c = self.interner.intern(conclusion);
+        self.check_valid_id(self.interner.mk_implies(p, c))
+    }
+
+    /// Checks validity of `premise ⇒ conclusion` over interned formulas.
+    pub fn check_implies_ids(&self, premise: FormulaId, conclusion: FormulaId) -> ValidityResult {
+        self.check_valid_id(self.interner.mk_implies(premise, conclusion))
     }
 
     /// Checks whether two formulas are logically equivalent.
+    ///
+    /// The query is canonicalized by interned id (`iff` is commutative), so
+    /// `check_equiv(a, b)` and `check_equiv(b, a)` share one cache entry —
+    /// the commutativity precomputation asks both orders for every CCR pair.
     pub fn check_equiv(&self, lhs: &Formula, rhs: &Formula) -> ValidityResult {
-        self.check_valid(&Formula::iff(lhs.clone(), rhs.clone()))
+        let mut l = self.interner.intern(lhs);
+        let mut r = self.interner.intern(rhs);
+        if r < l {
+            std::mem::swap(&mut l, &mut r);
+        }
+        self.check_valid_id(self.interner.mk_iff(l, r))
     }
 
     // ------------------------------------------------------------------
@@ -212,7 +354,7 @@ impl Solver {
         let mut atoms = AtomTable::default();
         let skeleton = build_skeleton(nnf, &mut atoms);
         if atoms.abstracted {
-            self.stats.borrow_mut().abstracted_queries += 1;
+            self.bump(|s| s.abstracted_queries += 1);
         }
         let mut sat = SatSolver::new(atoms.atoms.len());
         let root = tseitin(&skeleton, &mut sat);
@@ -224,23 +366,65 @@ impl Solver {
             RootLit::Lit(l) => sat.add_clause(vec![l]),
         }
 
+        // Intern every theory atom once per query; ids key the theory-verdict
+        // cache and carry conflict cores between queries.
+        let theory_atom_ids: HashMap<usize, FormulaId> = atoms
+            .atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, atom)| match atom {
+                AtomKind::Theory(f) => Some((idx, self.interner.intern(f))),
+                _ => None,
+            })
+            .collect();
+
         for _ in 0..self.config.max_theory_rounds {
-            self.stats.borrow_mut().sat_solver_calls += 1;
+            self.bump(|s| s.sat_solver_calls += 1);
             let model = match sat.solve() {
                 SatOutcome::Unsat => return SatResult::Unsat,
                 SatOutcome::Sat(m) => m,
             };
-            self.stats.borrow_mut().theory_checks += 1;
-            let theory_literals = atoms.theory_literals(&model);
+            self.bump(|s| s.theory_checks += 1);
+            let theory_literals: Vec<TheoryLit> = atoms
+                .theory_literals(&model)
+                .into_iter()
+                .map(|(idx, value, atom)| TheoryLit {
+                    idx,
+                    value,
+                    id: theory_atom_ids[&idx],
+                    atom,
+                })
+                .collect();
             match self.theory_consistent(&theory_literals) {
                 TheoryVerdict::Consistent => {
                     return SatResult::Sat(self.extract_model(nnf, &atoms, &model));
                 }
-                TheoryVerdict::Inconsistent => {
-                    let blocking: Vec<Lit> = theory_literals
+                TheoryVerdict::Inconsistent(core) => {
+                    // Block the minimal inconsistent core when one is known:
+                    // the short clause prunes every propositional model that
+                    // contains the core, instead of just this one model.
+                    let by_id: HashMap<(FormulaId, bool), usize> = theory_literals
                         .iter()
-                        .map(|(idx, value, _)| if *value { neg(*idx) } else { pos(*idx) })
+                        .map(|l| ((l.id, l.value), l.idx))
                         .collect();
+                    let mut blocking: Vec<Lit> = core
+                        .as_deref()
+                        .unwrap_or_default()
+                        .iter()
+                        .filter_map(|key| {
+                            by_id
+                                .get(key)
+                                .map(|&idx| if key.1 { neg(idx) } else { pos(idx) })
+                        })
+                        .collect();
+                    if blocking.is_empty() {
+                        // No core: block the full assignment (Cooper-derived
+                        // conflicts carry no certificate).
+                        blocking = theory_literals
+                            .iter()
+                            .map(|l| if l.value { neg(l.idx) } else { pos(l.idx) })
+                            .collect();
+                    }
                     if blocking.is_empty() {
                         // No theory literal to block: the conflict is spurious.
                         return SatResult::Unknown(SolverError::ResourceLimit(
@@ -262,24 +446,63 @@ impl Solver {
 
     /// Decides whether a conjunction of theory literals is satisfiable over
     /// the integers.
-    fn theory_consistent(&self, literals: &[(usize, bool, Formula)]) -> TheoryVerdict {
+    ///
+    /// The verdict is a pure function of the literal set, and the DPLL(T)
+    /// blocking-clause loop re-derives heavily overlapping sets both within
+    /// and across queries, so verdicts are memoized keyed on the sorted
+    /// interned literals.
+    fn theory_consistent(&self, literals: &[TheoryLit]) -> TheoryVerdict {
         if literals.is_empty() {
             return TheoryVerdict::Consistent;
         }
-        // Fast path: rational relaxation via Fourier–Motzkin.
-        let mut constraints: Vec<Constraint> = Vec::new();
-        let mut convex = true;
-        for (_, value, atom) in literals {
-            match literal_constraints(atom, *value) {
-                Some(mut cs) => constraints.append(&mut cs),
-                None => convex = false,
+        let key: Option<Vec<(FormulaId, bool)>> = if self.config.enable_cache {
+            let mut key: Vec<(FormulaId, bool)> =
+                literals.iter().map(|l| (l.id, l.value)).collect();
+            key.sort_unstable();
+            key.dedup();
+            if let Some(verdict) = self.theory_cache.lock().unwrap().get(&key) {
+                self.bump(|s| s.theory_cache_hits += 1);
+                return verdict.clone();
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let verdict = self.theory_consistent_uncached(literals);
+        if let Some(key) = key {
+            self.bump(|s| s.theory_cache_misses += 1);
+            self.theory_cache
+                .lock()
+                .unwrap()
+                .insert(key, verdict.clone());
+        }
+        verdict
+    }
+
+    fn theory_consistent_uncached(&self, literals: &[TheoryLit]) -> TheoryVerdict {
+        // Fast path: rational relaxation via Fourier–Motzkin. Constraints are
+        // kept grouped per literal so an infeasible system can be shrunk to a
+        // minimal core for blocking.
+        let mut groups: Vec<(usize, Vec<Constraint>)> = Vec::new();
+        for (pos, lit) in literals.iter().enumerate() {
+            if let Some(cs) = literal_constraints(&lit.atom, lit.value) {
+                groups.push((pos, cs));
             }
         }
-        if convex || !constraints.is_empty() {
+        if !groups.is_empty() {
+            let constraints: Vec<Constraint> = groups
+                .iter()
+                .flat_map(|(_, cs)| cs.iter().cloned())
+                .collect();
             match rational_feasible(&constraints, self.config.fourier_motzkin_limit) {
                 RationalFeasibility::Infeasible => {
-                    self.stats.borrow_mut().fm_fast_conflicts += 1;
-                    return TheoryVerdict::Inconsistent;
+                    self.bump(|s| s.fm_fast_conflicts += 1);
+                    let core = self
+                        .minimize_core(&groups)
+                        .into_iter()
+                        .map(|pos| (literals[pos].id, literals[pos].value))
+                        .collect();
+                    return TheoryVerdict::Inconsistent(Some(core));
                 }
                 RationalFeasibility::Feasible | RationalFeasibility::TooLarge => {}
             }
@@ -287,11 +510,11 @@ impl Solver {
         let conjunction = Formula::and(
             literals
                 .iter()
-                .map(|(_, value, atom)| {
-                    if *value {
-                        atom.clone()
+                .map(|l| {
+                    if l.value {
+                        l.atom.clone()
                     } else {
-                        Formula::not(atom.clone())
+                        Formula::not(l.atom.clone())
                     }
                 })
                 .collect(),
@@ -311,15 +534,50 @@ impl Solver {
             return TheoryVerdict::Consistent;
         }
         let closed = Formula::exists(vars, conjunction);
-        self.stats.borrow_mut().quantifier_eliminations += 1;
+        self.bump(|s| s.quantifier_eliminations += 1);
         match cooper::eliminate_quantifiers(&closed) {
             Ok(Formula::True) => TheoryVerdict::Consistent,
-            Ok(Formula::False) => TheoryVerdict::Inconsistent,
+            Ok(Formula::False) => TheoryVerdict::Inconsistent(None),
             Ok(other) => TheoryVerdict::Unknown(format!(
                 "quantifier elimination left a non-ground residue: {other}"
             )),
             Err(e) => TheoryVerdict::Unknown(e.to_string()),
         }
+    }
+
+    /// Greedily shrinks an FM-infeasible set of per-literal constraint groups
+    /// to a minimal core: dropping any remaining group makes the system
+    /// rationally feasible. Rational infeasibility implies integer
+    /// infeasibility, so blocking just the core is sound — and the short
+    /// clause prunes every propositional model containing the core, which
+    /// collapses the DPLL(T) model-enumeration loop from thousands of rounds
+    /// to a handful.
+    ///
+    /// Returns positions into the original literal slice.
+    fn minimize_core(&self, groups: &[(usize, Vec<Constraint>)]) -> Vec<usize> {
+        let mut active = vec![true; groups.len()];
+        for i in 0..groups.len() {
+            active[i] = false;
+            let remaining: Vec<Constraint> = groups
+                .iter()
+                .zip(&active)
+                .filter(|(_, &keep)| keep)
+                .flat_map(|((_, cs), _)| cs.iter().cloned())
+                .collect();
+            if !matches!(
+                rational_feasible(&remaining, self.config.fourier_motzkin_limit),
+                RationalFeasibility::Infeasible
+            ) {
+                // The group is needed for infeasibility; keep it.
+                active[i] = true;
+            }
+        }
+        groups
+            .iter()
+            .zip(&active)
+            .filter(|(_, &keep)| keep)
+            .map(|((pos, _), _)| *pos)
+            .collect()
     }
 
     /// Bounded search for an integer model of a quantifier-free conjunction of
@@ -438,9 +696,24 @@ impl Solver {
     }
 }
 
+/// One theory literal of a candidate propositional model: the atom's index in
+/// the query's atom table, its assigned polarity, its interned id (stable
+/// across queries — used for cache keys and conflict cores) and the atom
+/// itself.
+struct TheoryLit {
+    idx: usize,
+    value: bool,
+    id: FormulaId,
+    atom: Formula,
+}
+
+#[derive(Debug, Clone)]
 enum TheoryVerdict {
     Consistent,
-    Inconsistent,
+    /// Theory-inconsistent; carries the minimal inconsistent core as
+    /// `(atom id, assigned polarity)` pairs when a Fourier–Motzkin
+    /// certificate produced one (`None` for Cooper-derived conflicts).
+    Inconsistent(Option<Vec<(FormulaId, bool)>>),
     Unknown(String),
 }
 
@@ -536,7 +809,9 @@ impl AtomTable {
             .iter()
             .enumerate()
             .filter_map(|(idx, atom)| match atom {
-                AtomKind::Theory(f) => Some((idx, model.get(idx).copied().unwrap_or(false), f.clone())),
+                AtomKind::Theory(f) => {
+                    Some((idx, model.get(idx).copied().unwrap_or(false), f.clone()))
+                }
                 _ => None,
             })
             .collect()
@@ -577,8 +852,12 @@ fn build_skeleton(f: &Formula, atoms: &mut AtomTable) -> Skeleton {
     match f {
         Formula::True => Skeleton::True,
         Formula::False => Skeleton::False,
-        Formula::And(parts) => Skeleton::And(parts.iter().map(|p| build_skeleton(p, atoms)).collect()),
-        Formula::Or(parts) => Skeleton::Or(parts.iter().map(|p| build_skeleton(p, atoms)).collect()),
+        Formula::And(parts) => {
+            Skeleton::And(parts.iter().map(|p| build_skeleton(p, atoms)).collect())
+        }
+        Formula::Or(parts) => {
+            Skeleton::Or(parts.iter().map(|p| build_skeleton(p, atoms)).collect())
+        }
         Formula::Not(inner) => match inner.as_ref() {
             Formula::True => Skeleton::False,
             Formula::False => Skeleton::True,
@@ -616,9 +895,7 @@ fn encode(skeleton: &Skeleton, sat: &mut SatSolver) -> Encoded {
     match skeleton {
         Skeleton::True => Encoded::Constant(true),
         Skeleton::False => Encoded::Constant(false),
-        Skeleton::Lit(var, positive) => {
-            Encoded::Lit(if *positive { pos(*var) } else { neg(*var) })
-        }
+        Skeleton::Lit(var, positive) => Encoded::Lit(if *positive { pos(*var) } else { neg(*var) }),
         Skeleton::And(children) => {
             let mut lits = Vec::new();
             for c in children {
@@ -679,14 +956,19 @@ fn encode(skeleton: &Skeleton, sat: &mut SatSolver) -> Encoded {
 fn literal_constraints(atom: &Formula, value: bool) -> Option<Vec<Constraint>> {
     match atom {
         Formula::Cmp(op, lhs, rhs) => {
-            let e = LinExpr::from_term(lhs).ok()?.sub(&LinExpr::from_term(rhs).ok()?);
+            let e = LinExpr::from_term(lhs)
+                .ok()?
+                .sub(&LinExpr::from_term(rhs).ok()?);
             let op = if value { *op } else { op.negate() };
             Some(match op {
                 CmpOp::Le => vec![Constraint::le_zero(e)],
                 CmpOp::Lt => vec![Constraint::lt_zero(e)],
                 CmpOp::Ge => vec![Constraint::le_zero(e.scale(-1))],
                 CmpOp::Gt => vec![Constraint::lt_zero(e.scale(-1))],
-                CmpOp::Eq => vec![Constraint::le_zero(e.clone()), Constraint::le_zero(e.scale(-1))],
+                CmpOp::Eq => vec![
+                    Constraint::le_zero(e.clone()),
+                    Constraint::le_zero(e.scale(-1)),
+                ],
                 CmpOp::Ne => return None,
             })
         }
@@ -741,10 +1023,7 @@ mod tests {
     fn integer_gaps_are_detected() {
         // 0 < 2x && 2x < 2 has no integer solution (x would be 1/2).
         let two_x = Term::int(2).mul(Term::var("x"));
-        let f = Formula::and(vec![
-            Term::int(0).lt(two_x.clone()),
-            two_x.lt(Term::int(2)),
-        ]);
+        let f = Formula::and(vec![Term::int(0).lt(two_x.clone()), two_x.lt(Term::int(2))]);
         assert!(solver().check_sat(&f).is_unsat());
     }
 
@@ -791,7 +1070,10 @@ mod tests {
             Formula::not(pw),
         ]);
         let vc = Formula::implies(weak_pre, Formula::not(pw_after));
-        assert!(matches!(solver().check_valid(&vc), ValidityResult::Invalid(_)));
+        assert!(matches!(
+            solver().check_valid(&vc),
+            ValidityResult::Invalid(_)
+        ));
     }
 
     #[test]
@@ -841,7 +1123,10 @@ mod tests {
         let b = Term::var("x").ge(Term::int(1));
         assert_eq!(solver().check_equiv(&a, &b), ValidityResult::Valid);
         let c = Term::var("x").ge(Term::int(2));
-        assert!(matches!(solver().check_equiv(&a, &c), ValidityResult::Invalid(_)));
+        assert!(matches!(
+            solver().check_equiv(&a, &c),
+            ValidityResult::Invalid(_)
+        ));
     }
 
     #[test]
@@ -851,6 +1136,96 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.validity_queries, 1);
         assert!(stats.sat_queries >= 1);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let s = solver();
+        let f = Formula::and(vec![
+            Term::var("x").gt(Term::int(0)),
+            Term::var("x").lt(Term::int(10)),
+        ]);
+        let first = s.check_sat(&f);
+        let second = s.check_sat(&f);
+        assert_eq!(first, second);
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        // The combined hit rate also counts theory/QE memo traffic, so only
+        // its sign is stable here.
+        assert!(stats.cache_hit_rate() > 0.0);
+        // Validity piggybacks on the sat cache: !f was not asked yet, but
+        // asking it twice hits once.
+        let _ = s.check_valid(&f);
+        let _ = s.check_valid(&f);
+        assert_eq!(s.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn structurally_equal_queries_share_one_cache_entry() {
+        // Two separately constructed but structurally identical formulas must
+        // intern to the same id and therefore share a cache slot.
+        let s = solver();
+        let build = || {
+            Formula::and(vec![
+                Term::var("readers").ge(Term::int(0)),
+                Formula::not(Formula::bool_var("writerIn")),
+            ])
+        };
+        let _ = s.check_sat(&build());
+        let _ = s.check_sat(&build());
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn disabled_cache_re_derives_but_agrees() {
+        let config = SolverConfig {
+            enable_cache: false,
+            ..SolverConfig::default()
+        };
+        let uncached = Solver::with_config(config);
+        let cached = solver();
+        let f = Formula::and(vec![
+            Term::var("x").gt(Term::int(2)),
+            Term::var("x").lt(Term::int(2)),
+        ]);
+        for _ in 0..3 {
+            assert_eq!(uncached.check_sat(&f), cached.check_sat(&f));
+        }
+        let stats = uncached.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn solver_is_shareable_across_threads() {
+        let s = solver();
+        std::thread::scope(|scope| {
+            for i in 0..4i64 {
+                let s = &s;
+                scope.spawn(move || {
+                    let f = Formula::and(vec![
+                        Term::var("x").gt(Term::int(i)),
+                        Term::var("x").lt(Term::int(i + 2)),
+                    ]);
+                    assert!(s.check_sat(&f).is_sat());
+                });
+            }
+        });
+        assert_eq!(s.stats().sat_queries, 4);
+    }
+
+    #[test]
+    fn batched_validity_is_index_aligned() {
+        let s = solver();
+        let interner = s.interner().clone();
+        let valid = interner.intern(&Term::var("x").ge(Term::var("x")));
+        let invalid = interner.intern(&Term::var("x").ge(Term::int(0)));
+        let results = s.check_valid_batch(&[valid, invalid, valid]);
+        assert!(results[0].is_valid());
+        assert!(!results[1].is_valid());
+        assert!(results[2].is_valid());
     }
 
     #[test]

@@ -444,7 +444,11 @@ pub fn github_benchmarks() -> Vec<Benchmark> {
                 v.set_int("maxPending", 8);
                 v
             },
-            plans: workloads::producer_consumer_plans("enqueueOperation", "completeOperation", false),
+            plans: workloads::producer_consumer_plans(
+                "enqueueOperation",
+                "completeOperation",
+                false,
+            ),
         },
     ]
 }
@@ -467,7 +471,12 @@ mod tests {
         for b in all() {
             let monitor = b.monitor();
             let table = check_monitor(&monitor);
-            assert!(table.is_ok(), "{} failed checking: {:?}", b.name, table.err());
+            assert!(
+                table.is_ok(),
+                "{} failed checking: {:?}",
+                b.name,
+                table.err()
+            );
         }
     }
 

@@ -41,12 +41,16 @@ pub fn producer_consumer_plans(
     use std::collections::HashMap;
     use std::sync::Mutex;
     use std::sync::OnceLock;
-    static REGISTRY: OnceLock<Mutex<HashMap<usize, (&'static str, &'static str, bool)>>> =
-        OnceLock::new();
+    type PlanSpec = (&'static str, &'static str, bool);
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, PlanSpec>>> = OnceLock::new();
     static NEXT: OnceLock<Mutex<usize>> = OnceLock::new();
 
     fn plan_for(key: usize, threads: usize, ops: usize) -> Vec<ThreadPlan> {
-        let registry = REGISTRY.get().expect("registry initialised").lock().unwrap();
+        let registry = REGISTRY
+            .get()
+            .expect("registry initialised")
+            .lock()
+            .unwrap();
         let (producer, consumer, item_param) = registry[&key];
         let pairs = threads.max(2) / 2;
         let mut plans = Vec::new();
@@ -72,7 +76,10 @@ pub fn producer_consumer_plans(
             let mut plan = Vec::new();
             for i in 0..ops {
                 if item_param {
-                    plan.push(Operation::with_locals(producer, locals(&[("item", i as i64)])));
+                    plan.push(Operation::with_locals(
+                        producer,
+                        locals(&[("item", i as i64)]),
+                    ));
                 } else {
                     plan.push(Operation::new(producer));
                 }
@@ -129,7 +136,11 @@ pub fn enter_exit_plans(
     static NEXT: OnceLock<Mutex<usize>> = OnceLock::new();
 
     fn plan_for(key: usize, threads: usize, ops: usize) -> Vec<ThreadPlan> {
-        let registry = REGISTRY.get().expect("registry initialised").lock().unwrap();
+        let registry = REGISTRY
+            .get()
+            .expect("registry initialised")
+            .lock()
+            .unwrap();
         let (enter, exit) = registry[&key];
         (0..threads.max(1))
             .map(|_| {

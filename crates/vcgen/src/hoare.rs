@@ -1,11 +1,12 @@
 //! Hoare-triple discharge and commutativity checking.
 
-use crate::wp::{wp, WpError};
-use expresso_logic::{fresh_name, Formula, Subst, Term};
+use crate::wp::{wp, wp_id, WpError};
+use expresso_logic::{fresh_name, Formula, FormulaId, Interner, Subst, Term};
 use expresso_monitor_lang::{Monitor, Stmt, Type, VarTable};
 use expresso_smt::{Solver, ValidityResult};
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A Hoare triple `{pre} stmt {post}` over a CCR body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,7 +24,11 @@ pub struct HoareTriple {
 
 impl fmt::Display for HoareTriple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{{}}} … {{{}}} ({})", self.pre, self.post, self.description)
+        write!(
+            f,
+            "{{{}}} … {{{}}} ({})",
+            self.pre, self.post, self.description
+        )
     }
 }
 
@@ -80,11 +85,29 @@ impl<'a> VcGen<'a> {
         self.solver
     }
 
+    /// The formula arena shared with the solver. Every verification condition
+    /// this generator builds lives in this arena.
+    pub fn interner(&self) -> &Arc<Interner> {
+        self.solver.interner()
+    }
+
     /// Discharges `{pre} stmt {post}` by computing the weakest precondition
     /// and checking `pre ⇒ wp(stmt, post)`.
+    ///
+    /// The tree arguments are interned once and the VC is built entirely as
+    /// ids; use [`VcGen::check_triple_ids`] directly when the caller already
+    /// holds interned formulas (placement does).
     pub fn check_triple(&self, pre: &Formula, stmt: &Stmt, post: &Formula) -> TripleStatus {
-        match wp(stmt, post, self.table) {
-            Ok(weakest) => match self.solver.check_implies(pre, &weakest) {
+        let interner = self.interner();
+        let pre = interner.intern(pre);
+        let post = interner.intern(post);
+        self.check_triple_ids(pre, stmt, post)
+    }
+
+    /// Discharges `{pre} stmt {post}` over interned formulas.
+    pub fn check_triple_ids(&self, pre: FormulaId, stmt: &Stmt, post: FormulaId) -> TripleStatus {
+        match wp_id(stmt, post, self.table, self.interner()) {
+            Ok(weakest) => match self.solver.check_implies_ids(pre, weakest) {
                 ValidityResult::Valid => TripleStatus::Valid,
                 ValidityResult::Invalid(_) => TripleStatus::Invalid,
                 ValidityResult::Unknown(_) => TripleStatus::Unknown,
@@ -98,6 +121,15 @@ impl<'a> VcGen<'a> {
         self.check_triple(&triple.pre, &triple.stmt, &triple.post)
     }
 
+    /// Discharges a batch of triples, returning index-aligned statuses.
+    ///
+    /// All VCs go through the shared arena and solver cache, so a batch whose
+    /// members share subformulas (the common case for the O(n²) placement
+    /// obligations) pays for each distinct VC once.
+    pub fn check_triples(&self, triples: &[HoareTriple]) -> Vec<TripleStatus> {
+        triples.iter().map(|t| self.check(t)).collect()
+    }
+
     /// Computes `wp(stmt, post)` using the monitor's symbol table.
     ///
     /// # Errors
@@ -105,6 +137,15 @@ impl<'a> VcGen<'a> {
     /// Propagates [`WpError`] from the underlying computation.
     pub fn wp(&self, stmt: &Stmt, post: &Formula) -> Result<Formula, WpError> {
         wp(stmt, post, self.table)
+    }
+
+    /// Computes `wp(stmt, post)` over interned formulas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WpError`] from the underlying computation.
+    pub fn wp_id(&self, stmt: &Stmt, post: FormulaId) -> Result<FormulaId, WpError> {
+        wp_id(stmt, post, self.table, self.interner())
     }
 
     /// Renames every thread-local variable occurring in `formula` to a fresh
@@ -153,11 +194,7 @@ impl<'a> VcGen<'a> {
         if has_loop(s1) || has_loop(s2) {
             return false;
         }
-        let writes_arrays = |s: &Stmt| {
-            s.assigned_vars()
-                .iter()
-                .any(|v| self.table.is_array(v))
-        };
+        let writes_arrays = |s: &Stmt| s.assigned_vars().iter().any(|v| self.table.is_array(v));
         if writes_arrays(s1) || writes_arrays(s2) {
             // Array writes are havoc; only the trivial case of disjoint
             // variables would commute, and that is rare enough to skip.
@@ -175,7 +212,8 @@ impl<'a> VcGen<'a> {
             match self.table.ty(&var) {
                 Some(Type::Bool) => {
                     let post = Formula::bool_var(var.clone());
-                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post)) else {
+                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post))
+                    else {
                         return false;
                     };
                     if !self.solver.check_equiv(&a, &b).is_valid() {
@@ -188,7 +226,8 @@ impl<'a> VcGen<'a> {
                     taken.insert(var.clone());
                     let observer = fresh_name(&format!("{var}!obs"), &taken);
                     let post = Term::var(var.clone()).eq(Term::var(observer));
-                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post)) else {
+                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post))
+                    else {
                         return false;
                     };
                     if !self.solver.check_equiv(&a, &b).is_valid() {

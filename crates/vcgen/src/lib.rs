@@ -11,4 +11,4 @@ pub mod hoare;
 pub mod wp;
 
 pub use hoare::{HoareTriple, TripleStatus, VcGen};
-pub use wp::{wp, WpError};
+pub use wp::{wp, wp_id, WpError};

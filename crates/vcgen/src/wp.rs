@@ -1,6 +1,12 @@
 //! Weakest preconditions for the monitor statement language.
+//!
+//! Two entry points are provided: the original tree-based [`wp`] and the
+//! arena-based [`wp_id`], which builds the precondition directly as interned
+//! [`FormulaId`]s. The id path is what the signal-placement pipeline uses: it
+//! never clones subtrees, and repeated substitution over shared subtrees is
+//! memoized inside the [`Interner`].
 
-use expresso_logic::{fresh_name, Formula, Subst, Term};
+use expresso_logic::{fresh_name, Formula, FormulaId, Interner, Subst, Term};
 use expresso_monitor_lang::{expr_to_formula, expr_to_term, LowerError, Stmt, VarTable};
 use std::collections::HashSet;
 use std::fmt;
@@ -24,7 +30,10 @@ impl fmt::Display for WpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WpError::ArrayWrite(a) => {
-                write!(f, "array `{a}` is written and mentioned by the postcondition")
+                write!(
+                    f,
+                    "array `{a}` is written and mentioned by the postcondition"
+                )
             }
             WpError::Lower(e) => write!(f, "{e}"),
         }
@@ -124,10 +133,8 @@ pub fn wp(stmt: &Stmt, post: &Formula, table: &VarTable) -> Result<Formula, WpEr
                     fresh_int_binders.push(fresh);
                 }
             }
-            let exit = Formula::implies(
-                Formula::not(subst.apply(&cond_formula)),
-                subst.apply(post),
-            );
+            let exit =
+                Formula::implies(Formula::not(subst.apply(&cond_formula)), subst.apply(post));
             // Universally quantify the havocked integers; booleans are expanded
             // by cases because the quantifier layer is integer-only.
             let mut quantified = exit;
@@ -142,6 +149,113 @@ pub fn wp(stmt: &Stmt, post: &Formula, table: &VarTable) -> Result<Formula, WpEr
                 ]);
             }
             Ok(Formula::forall(fresh_int_binders, quantified))
+        }
+    }
+}
+
+/// Computes the weakest precondition `wp(stmt, post)` over interned formulas.
+///
+/// Mirrors [`wp`] rule for rule, but builds the result as ids in `interner`:
+/// no subtree is ever cloned, and assignments substitute through shared
+/// subtrees at most once per distinct node.
+///
+/// # Errors
+///
+/// Same conditions as [`wp`].
+pub fn wp_id(
+    stmt: &Stmt,
+    post: FormulaId,
+    table: &VarTable,
+    interner: &Interner,
+) -> Result<FormulaId, WpError> {
+    match stmt {
+        Stmt::Skip => Ok(post),
+        Stmt::Seq(parts) => {
+            let mut current = post;
+            for s in parts.iter().rev() {
+                current = wp_id(s, current, table, interner)?;
+            }
+            Ok(current)
+        }
+        Stmt::Assign(name, value) | Stmt::Local(name, _, value) => {
+            let mut subst = Subst::new();
+            if table.is_bool(name) {
+                subst.boolean(name.clone(), expr_to_formula(value, table)?);
+            } else {
+                subst.int(name.clone(), expr_to_term(value, table)?);
+            }
+            Ok(interner.apply_subst(&subst, post))
+        }
+        Stmt::ArrayAssign(array, _, _) => {
+            if interner.arrays(post).contains(array) {
+                Err(WpError::ArrayWrite(array.clone()))
+            } else {
+                Ok(post)
+            }
+        }
+        Stmt::If(cond, then_branch, else_branch) => {
+            let cond = interner.intern(&expr_to_formula(cond, table)?);
+            let wp_then = wp_id(then_branch, post, table, interner)?;
+            let wp_else = wp_id(else_branch, post, table, interner)?;
+            let pos_case = interner.mk_implies(cond, wp_then);
+            let neg_case = interner.mk_implies(interner.mk_not(cond), wp_else);
+            Ok(interner.mk_and(vec![pos_case, neg_case]))
+        }
+        Stmt::While(cond, body) => {
+            let cond_formula = expr_to_formula(cond, table)?;
+            let post_arrays = interner.arrays(post);
+            let assigned = body.assigned_vars();
+            for a in &assigned {
+                if table.is_array(a) && post_arrays.contains(a) {
+                    return Err(WpError::ArrayWrite(a.clone()));
+                }
+            }
+            let scalars: Vec<String> = {
+                let mut v: Vec<String> = assigned
+                    .iter()
+                    .filter(|a| !table.is_array(a))
+                    .cloned()
+                    .collect();
+                v.sort();
+                v
+            };
+            let mut taken: HashSet<String> = interner.free_vars(post);
+            taken.extend(cond_formula.free_vars());
+            taken.extend(scalars.iter().cloned());
+            let mut subst = Subst::new();
+            let mut fresh_int_binders = Vec::new();
+            let mut bool_pairs: Vec<(String, String)> = Vec::new();
+            for v in &scalars {
+                let fresh = fresh_name(&format!("{v}!loop"), &taken);
+                taken.insert(fresh.clone());
+                if table.is_bool(v) {
+                    subst.boolean(v.clone(), Formula::bool_var(fresh.clone()));
+                    bool_pairs.push((v.clone(), fresh));
+                } else {
+                    subst.int(v.clone(), Term::var(fresh.clone()));
+                    fresh_int_binders.push(fresh);
+                }
+            }
+            let cond_id = interner.intern(&cond_formula);
+            let havocked_cond = interner.apply_subst(&subst, cond_id);
+            let exit = interner.mk_implies(
+                interner.mk_not(havocked_cond),
+                interner.apply_subst(&subst, post),
+            );
+            // Universally quantify the havocked integers; booleans are expanded
+            // by cases because the quantifier layer is integer-only.
+            let mut quantified = exit;
+            for (_, fresh) in &bool_pairs {
+                let mut true_case = Subst::new();
+                true_case.boolean(fresh.clone(), Formula::True);
+                let mut false_case = Subst::new();
+                false_case.boolean(fresh.clone(), Formula::False);
+                quantified = interner.mk_and(vec![
+                    interner.apply_subst(&true_case, quantified),
+                    interner.apply_subst(&false_case, quantified),
+                ]);
+            }
+            Ok(interner.mk_forall(fresh_int_binders, quantified))
         }
     }
 }
@@ -190,7 +304,9 @@ mod tests {
         // wp should be (count + 1) <= capacity (array write ignored).
         assert_eq!(
             expresso_logic::simplify(&pre),
-            Term::var("count").add(Term::int(1)).le(Term::var("capacity"))
+            Term::var("count")
+                .add(Term::int(1))
+                .le(Term::var("capacity"))
         );
     }
 
@@ -257,6 +373,47 @@ mod tests {
         assert!(solver
             .check_equiv(&pre, &Term::var("count").eq(Term::int(1)))
             .is_valid());
+    }
+
+    #[test]
+    fn wp_id_matches_tree_wp() {
+        let (m, t) = fixture();
+        let interner = Interner::new();
+        let posts = vec![
+            Term::var("count").le(Term::var("capacity")),
+            Term::var("count").le(Term::int(0)),
+            Formula::bool_var("stopped"),
+            Formula::and(vec![
+                Term::var("count").ge(Term::int(0)),
+                Formula::not(Formula::bool_var("stopped")),
+            ]),
+        ];
+        for method in ["add", "drain", "toggle"] {
+            let body = &m.ccr(m.method(method).unwrap().ccrs[0]).body;
+            for post in &posts {
+                let tree = wp(body, post, &t);
+                let id = wp_id(body, interner.intern(post), &t, &interner);
+                match (tree, id) {
+                    (Ok(tree), Ok(id)) => {
+                        assert_eq!(interner.formula(id), tree, "{method} diverged on {post}")
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (tree, id) => panic!("{method} diverged on {post}: {tree:?} vs {id:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wp_id_rejects_array_writes_like_tree_wp() {
+        let (m, t) = fixture();
+        let interner = Interner::new();
+        let body = &m.ccr(m.method("add").unwrap().ccrs[0]).body;
+        let post = Term::select("buf", Term::int(0)).ge(Term::int(0));
+        assert!(matches!(
+            wp_id(body, interner.intern(&post), &t, &interner),
+            Err(WpError::ArrayWrite(_))
+        ));
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn main() {
     let outcome = Expresso::new().analyze(&monitor).expect("analyses");
 
     println!("Inferred invariant: {}", outcome.invariant);
-    println!("\nGenerated explicit-signal code:\n{}", to_java(&outcome.explicit));
+    println!(
+        "\nGenerated explicit-signal code:\n{}",
+        to_java(&outcome.explicit)
+    );
 
     // Differential testing: Definition 3.4 on sampled traces.
     let mut ctor = Valuation::new();

@@ -15,7 +15,9 @@ fn main() {
     );
     for benchmark in github_benchmarks() {
         let monitor = benchmark.monitor();
-        let outcome = Expresso::new().analyze(&monitor).expect("analysis succeeds");
+        let outcome = Expresso::new()
+            .analyze(&monitor)
+            .expect("analysis succeeds");
         println!(
             "{:<28} {:>9.2} {:>9} {:>9} {:>11}",
             benchmark.name,

@@ -33,7 +33,10 @@ fn main() {
                 decision.kind, decision.predicate, decision.condition
             );
         } else {
-            println!("  {label}: no notification needed for {}", decision.predicate);
+            println!(
+                "  {label}: no notification needed for {}",
+                decision.predicate
+            );
         }
     }
     println!("\nGenerated explicit-signal code:\n");

@@ -1,0 +1,100 @@
+//! Cache/parallelism correctness: for every monitor in the benchmark suite,
+//! the cached + parallel pipeline must produce exactly the same
+//! explicit-signal monitor as a cache-disabled, fully sequential run.
+//!
+//! The solver memo cache and the parallel pair discharge are pure
+//! optimisations; any observable divergence here is a soundness bug in the
+//! arena, the cache keying or the parallel work split.
+
+use expresso_repro::core::{Expresso, ExpressoConfig};
+use expresso_repro::suite::all;
+
+fn config(cache: bool, parallel: bool) -> ExpressoConfig {
+    ExpressoConfig {
+        enable_solver_cache: cache,
+        parallel_analysis: parallel,
+        ..ExpressoConfig::default()
+    }
+}
+
+#[test]
+fn cached_parallel_pipeline_matches_uncached_sequential_on_every_benchmark() {
+    for benchmark in all() {
+        let monitor = benchmark.monitor();
+        let fast = Expresso::with_config(config(true, true))
+            .analyze(&monitor)
+            .unwrap_or_else(|e| panic!("{}: cached analysis failed: {e}", benchmark.name));
+        let slow = Expresso::with_config(config(false, false))
+            .analyze(&monitor)
+            .unwrap_or_else(|e| panic!("{}: uncached analysis failed: {e}", benchmark.name));
+
+        assert_eq!(
+            fast.explicit, slow.explicit,
+            "{}: signal placement diverged between cached/parallel and uncached/sequential",
+            benchmark.name
+        );
+        assert_eq!(
+            fast.explicit.notification_count(),
+            slow.explicit.notification_count(),
+            "{}: notification counts diverged",
+            benchmark.name
+        );
+        assert_eq!(
+            fast.explicit.broadcast_count(),
+            slow.explicit.broadcast_count(),
+            "{}: broadcast counts diverged",
+            benchmark.name
+        );
+        assert_eq!(
+            fast.invariant, slow.invariant,
+            "{}: inferred invariants diverged",
+            benchmark.name
+        );
+        assert_eq!(
+            fast.report.skipped, slow.report.skipped,
+            "{}: skipped-pair counts diverged",
+            benchmark.name
+        );
+        // The uncached run must not have touched the cache at all.
+        assert_eq!(slow.stats.solver.cache_hits, 0, "{}", benchmark.name);
+        assert_eq!(slow.stats.solver.cache_misses, 0, "{}", benchmark.name);
+    }
+}
+
+#[test]
+fn each_flag_is_independent() {
+    // Toggle the two flags one at a time on the motivating benchmark; all
+    // four combinations must agree on the result.
+    let rw = all()
+        .into_iter()
+        .find(|b| b.name == "ReadersWriters")
+        .expect("suite contains the readers-writers benchmark");
+    let monitor = rw.monitor();
+    let reference = Expresso::with_config(config(true, true))
+        .analyze(&monitor)
+        .unwrap();
+    for (cache, parallel) in [(true, false), (false, true), (false, false)] {
+        let outcome = Expresso::with_config(config(cache, parallel))
+            .analyze(&monitor)
+            .unwrap();
+        assert_eq!(
+            outcome.explicit, reference.explicit,
+            "cache={cache} parallel={parallel} diverged"
+        );
+        assert_eq!(outcome.invariant, reference.invariant);
+        if !cache {
+            assert_eq!(outcome.stats.solver.cache_hits, 0);
+        }
+    }
+}
+
+#[test]
+fn cached_run_reports_a_nonzero_hit_rate() {
+    let rw = all()
+        .into_iter()
+        .find(|b| b.name == "ReadersWriters")
+        .expect("suite contains the readers-writers benchmark");
+    let outcome = Expresso::new().analyze(&rw.monitor()).unwrap();
+    assert!(outcome.stats.solver.cache_hits > 0);
+    assert!(outcome.stats.solver.cache_hit_rate() > 0.0);
+}

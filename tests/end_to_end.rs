@@ -113,7 +113,10 @@ fn expresso_places_strictly_fewer_broadcasts_than_the_naive_baseline() {
     // The benchmarks whose guards only read shared scalars must all improve;
     // only the thread-local/array-guard benchmarks (Round Robin, Dining
     // Philosophers, ...) may tie with the naive placement.
-    assert!(strictly_fewer >= 5, "only {strictly_fewer} benchmarks improved");
+    assert!(
+        strictly_fewer >= 5,
+        "only {strictly_fewer} benchmarks improved"
+    );
 }
 
 #[test]
