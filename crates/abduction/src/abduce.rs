@@ -7,7 +7,7 @@
 //! of "kept" variables and eliminating the quantifiers; iterating over kept
 //! variable sets of increasing size yields the simplest explanations first.
 
-use expresso_logic::{simplify, Formula, Ident, Subst};
+use expresso_logic::{Formula, FormulaId, Ident, Interner, Subst};
 use expresso_smt::Solver;
 use std::collections::BTreeSet;
 
@@ -41,22 +41,46 @@ impl Default for AbductionConfig {
 /// Computes abductive explanations `ψ` with `pre ∧ ψ ⊨ goal` and `pre ∧ ψ`
 /// satisfiable.
 ///
-/// Returns candidates ordered from most to least preferred (fewer variables
-/// first, then smaller formulas). The trivially true candidate is never
-/// returned; if `pre ⇒ goal` is already valid the result is empty because no
-/// strengthening is needed.
+/// Tree-boundary convenience wrapper over [`abduce_ids`]: the arguments are
+/// interned once and the resulting ids are reconstructed for the caller.
 pub fn abduce(
     solver: &Solver,
     pre: &Formula,
     goal: &Formula,
     config: &AbductionConfig,
 ) -> Vec<Formula> {
-    let implication = Formula::implies(pre.clone(), goal.clone());
-    if solver.check_valid(&implication).is_valid() {
+    let interner = solver.interner();
+    let pre_id = interner.intern(pre);
+    let goal_id = interner.intern(goal);
+    abduce_ids(solver, pre_id, goal_id, config)
+        .into_iter()
+        .map(|id| interner.formula(id))
+        .collect()
+}
+
+/// Computes abductive explanations entirely over interned formulas: the
+/// implication, every Shannon expansion, quantifier elimination (Cooper) and
+/// the consistency/sufficiency checks all stay on [`FormulaId`]s against the
+/// solver's arena — the fixpoint hot path never reconstructs a `Box` tree.
+///
+/// Returns candidate ids ordered from most to least preferred (fewer free
+/// variables first, then smaller formulas, both read from the arena's
+/// memoized per-node tables). The trivially true candidate is never returned;
+/// if `pre ⇒ goal` is already valid the result is empty because no
+/// strengthening is needed.
+pub fn abduce_ids(
+    solver: &Solver,
+    pre: FormulaId,
+    goal: FormulaId,
+    config: &AbductionConfig,
+) -> Vec<FormulaId> {
+    let interner = solver.interner().clone();
+    let implication = interner.mk_implies(pre, goal);
+    if solver.check_valid_id(implication).is_valid() {
         return Vec::new();
     }
-    let mut int_vars: Vec<Ident> = implication.int_vars().into_iter().collect();
-    let mut bool_vars: Vec<Ident> = implication.bool_vars().into_iter().collect();
+    let mut int_vars: Vec<Ident> = interner.int_vars(implication).into_iter().collect();
+    let mut bool_vars: Vec<Ident> = interner.bool_vars(implication).into_iter().collect();
     int_vars.sort();
     bool_vars.sort();
     let all_vars: Vec<Ident> = int_vars.iter().chain(bool_vars.iter()).cloned().collect();
@@ -76,34 +100,30 @@ pub fn abduce(
     // the candidate, then the consistency and sufficiency checks accept or
     // reject it. This is the expensive part (Cooper's procedure), so it fans
     // out across threads when `config.parallel` is on.
-    let evaluate = |kept: &BTreeSet<Ident>| -> Option<Formula> {
+    let evaluate = |kept: &BTreeSet<Ident>| -> Option<FormulaId> {
         let eliminate: Vec<Ident> = all_vars
             .iter()
             .filter(|v| !kept.contains(*v))
             .cloned()
             .collect();
-        let candidate = universally_eliminate(solver, &implication, &eliminate, &bool_vars)?;
-        let candidate = simplify(&candidate);
-        if candidate.is_true() || candidate.is_false() {
+        let candidate =
+            universally_eliminate_ids(solver, &interner, implication, &eliminate, &bool_vars)?;
+        let candidate = interner.simplify(candidate);
+        if interner.is_true(candidate) || interner.is_false(candidate) {
             return None;
         }
+        let strengthened = interner.mk_and(vec![pre, candidate]);
         // ψ must be consistent with the precondition.
-        if !solver
-            .check_sat(&Formula::and(vec![pre.clone(), candidate.clone()]))
-            .is_sat()
-        {
+        if !solver.check_sat_id(strengthened).is_sat() {
             return None;
         }
         // ψ must actually make the triple go through.
-        if !solver
-            .check_implies(&Formula::and(vec![pre.clone(), candidate.clone()]), goal)
-            .is_valid()
-        {
+        if !solver.check_implies_ids(strengthened, goal).is_valid() {
             return None;
         }
         Some(candidate)
     };
-    let mut results: Vec<Formula> = Vec::new();
+    let mut results: Vec<FormulaId> = Vec::new();
     if config.parallel && kept_sets.len() > 1 {
         // Evaluate every subset speculatively across threads, then fold the
         // accepted candidates back in enumeration order: the first
@@ -116,7 +136,7 @@ pub fn abduce(
             if results.len() >= config.max_results {
                 break;
             }
-            if !results.iter().any(|r| r == &candidate) {
+            if !results.contains(&candidate) {
                 results.push(candidate);
             }
         }
@@ -128,21 +148,21 @@ pub fn abduce(
                 break;
             }
             if let Some(candidate) = evaluate(kept) {
-                if !results.iter().any(|r| r == &candidate) {
+                if !results.contains(&candidate) {
                     results.push(candidate);
                 }
             }
         }
     }
-    finalize(results)
+    finalize(&interner, results)
 }
 
 /// Evaluates every subset on `min(cores, subsets)` scoped threads, dealing
 /// work round-robin and reassembling outcomes in enumeration order.
-fn evaluate_parallel(
+fn evaluate_parallel<T: Send>(
     kept_sets: &[BTreeSet<Ident>],
-    evaluate: &(impl Fn(&BTreeSet<Ident>) -> Option<Formula> + Sync),
-) -> Vec<Option<Formula>> {
+    evaluate: &(impl Fn(&BTreeSet<Ident>) -> Option<T> + Sync),
+) -> Vec<Option<T>> {
     // At least two workers whenever parallelism was requested: the split /
     // reassembly path must be exercised (and tested) even on low-core hosts.
     let workers = std::thread::available_parallelism()
@@ -153,7 +173,7 @@ fn evaluate_parallel(
     if workers <= 1 {
         return kept_sets.iter().map(evaluate).collect();
     }
-    let mut slots: Vec<Option<Formula>> = vec![None; kept_sets.len()];
+    let mut slots: Vec<Option<T>> = (0..kept_sets.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -177,36 +197,41 @@ fn evaluate_parallel(
     slots
 }
 
-fn finalize(mut results: Vec<Formula>) -> Vec<Formula> {
-    results.sort_by_key(|f| (f.free_vars().len(), f.size()));
+fn finalize(interner: &Interner, mut results: Vec<FormulaId>) -> Vec<FormulaId> {
+    results.sort_by_key(|&f| (interner.free_vars(f).len(), interner.size(f)));
     results
 }
 
-/// Computes `∀ eliminate. formula`, eliminating boolean variables by Shannon
-/// expansion and integer variables by Cooper's procedure. Returns `None` when
-/// the formula leaves the decidable fragment.
-fn universally_eliminate(
+/// Computes `∀ eliminate. formula` over interned ids, eliminating boolean
+/// variables by Shannon expansion (DAG-aware arena substitution) and integer
+/// variables by Cooper's procedure through the solver's memoized id-based
+/// quantifier elimination. Returns `None` when the formula leaves the
+/// decidable fragment.
+fn universally_eliminate_ids(
     solver: &Solver,
-    formula: &Formula,
+    interner: &Interner,
+    formula: FormulaId,
     eliminate: &[Ident],
     bool_vars: &[Ident],
-) -> Option<Formula> {
-    let mut current = formula.clone();
+) -> Option<FormulaId> {
+    let mut current = formula;
     // Shannon-expand the boolean variables to be eliminated.
     for b in eliminate.iter().filter(|v| bool_vars.contains(v)) {
         let mut true_case = Subst::new();
         true_case.boolean(b.clone(), Formula::True);
         let mut false_case = Subst::new();
         false_case.boolean(b.clone(), Formula::False);
-        current = Formula::and(vec![true_case.apply(&current), false_case.apply(&current)]);
+        let true_branch = interner.apply_subst(&true_case, current);
+        let false_branch = interner.apply_subst(&false_case, current);
+        current = interner.mk_and(vec![true_branch, false_branch]);
     }
     let int_binders: Vec<Ident> = eliminate
         .iter()
         .filter(|v| !bool_vars.contains(v))
         .cloned()
         .collect();
-    let quantified = Formula::forall(int_binders, current);
-    solver.eliminate_quantifiers(&quantified).ok()
+    let quantified = interner.mk_forall(int_binders, current);
+    solver.eliminate_quantifiers_id(quantified).ok()
 }
 
 /// Enumerates all subsets of `items` with exactly `size` elements.

@@ -1,6 +1,6 @@
 //! Monitor-invariant inference (paper Algorithm 2).
 
-use crate::abduce::{abduce, AbductionConfig};
+use crate::abduce::{abduce_ids, AbductionConfig};
 use expresso_logic::{Formula, FormulaId};
 use expresso_monitor_lang::{expr_to_formula, Monitor, VarTable};
 use expresso_smt::Solver;
@@ -68,21 +68,23 @@ pub fn infer_with_triples_configured(
     let vcgen = VcGen::new(monitor, table, solver);
     let interner = vcgen.interner().clone();
 
-    // Phase 1: abduce candidate predicates. Candidates are kept as interned
-    // ids, so deduplication is a set lookup instead of a tree comparison.
+    // Phase 1: abduce candidate predicates. The pre/goal pair, the abduction
+    // search and the candidate expansion all stay on interned ids — the
+    // fixpoint hot path never reconstructs a formula tree — and deduplication
+    // is a set lookup instead of a tree comparison.
     let mut candidates: Vec<FormulaId> = Vec::new();
     let mut seen: HashSet<FormulaId> = HashSet::new();
     'outer: for triple in triples {
         let post = interner.intern(&triple.post);
         let goal = match vcgen.wp_id(&triple.stmt, post) {
-            Ok(g) => interner.formula(g),
+            Ok(g) => g,
             Err(_) => continue,
         };
-        for psi in abduce(solver, &triple.pre, &goal, config) {
-            for candidate in expand_candidates(&psi) {
-                let id = interner.intern(&candidate);
-                if seen.insert(id) {
-                    candidates.push(id);
+        let pre = interner.intern(&triple.pre);
+        for psi in abduce_ids(solver, pre, goal, config) {
+            for candidate in expand_candidates_ids(&interner, psi) {
+                if seen.insert(candidate) {
+                    candidates.push(candidate);
                 }
             }
         }
@@ -189,7 +191,7 @@ pub fn placement_triples(monitor: &Monitor, table: &VarTable, solver: &Solver) -
 }
 
 /// Expands an abduced candidate into itself plus its sub-formulas (conjuncts,
-/// disjuncts and atoms in negation normal form).
+/// disjuncts and atoms in negation normal form), entirely over interned ids.
 ///
 /// Abduction returns the *weakest* strengthening over the chosen variables,
 /// which is frequently not inductive (e.g. `readers != -1` for the
@@ -197,22 +199,28 @@ pub fn placement_triples(monitor: &Monitor, table: &VarTable, solver: &Solver) -
 /// `readers > -1` — often are, and the Algorithm 2 fixpoint safely discards
 /// whichever candidates are not invariants, so offering more candidates never
 /// hurts soundness.
-fn expand_candidates(psi: &Formula) -> Vec<Formula> {
-    let nnf = expresso_logic::to_nnf(psi);
+fn expand_candidates_ids(interner: &expresso_logic::Interner, psi: FormulaId) -> Vec<FormulaId> {
+    let nnf = interner.nnf(psi);
     let mut out = Vec::new();
-    collect_subformulas(&nnf, &mut out);
+    let mut seen = HashSet::new();
+    collect_subformulas_ids(interner, nnf, &mut out, &mut seen);
     out
 }
 
-fn collect_subformulas(f: &Formula, out: &mut Vec<Formula>) {
-    let simplified = expresso_logic::simplify(f);
-    if !simplified.is_true() && !simplified.is_false() && !out.contains(&simplified) {
+fn collect_subformulas_ids(
+    interner: &expresso_logic::Interner,
+    f: FormulaId,
+    out: &mut Vec<FormulaId>,
+    seen: &mut HashSet<FormulaId>,
+) {
+    let simplified = interner.simplify(f);
+    if !interner.is_true(simplified) && !interner.is_false(simplified) && seen.insert(simplified) {
         out.push(simplified);
     }
-    match f {
-        Formula::And(parts) | Formula::Or(parts) => {
+    match interner.node(f) {
+        expresso_logic::FormulaNode::And(parts) | expresso_logic::FormulaNode::Or(parts) => {
             for p in parts {
-                collect_subformulas(p, out);
+                collect_subformulas_ids(interner, p, out, seen);
             }
         }
         _ => {}

@@ -38,7 +38,7 @@
 pub mod abduce;
 pub mod invariant;
 
-pub use abduce::{abduce, AbductionConfig};
+pub use abduce::{abduce, abduce_ids, AbductionConfig};
 pub use invariant::{
     infer_monitor_invariant, infer_monitor_invariant_configured, infer_with_triples,
     infer_with_triples_configured, InvariantOutcome,

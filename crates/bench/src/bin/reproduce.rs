@@ -24,7 +24,7 @@ use expresso_bench::{
     analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
     Series,
 };
-use expresso_core::{Expresso, ExpressoConfig};
+use expresso_core::{Expresso, ExpressoConfig, SharedAnalysisContext};
 use expresso_suite::{
     all, autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark,
 };
@@ -167,9 +167,66 @@ fn profile_benchmark(benchmark: &Benchmark) -> AnalysisProfile {
     }
 }
 
+/// One benchmark's slice of the shared-arena suite run.
+struct SharedMonitorProfile {
+    name: &'static str,
+    analysis_ms: f64,
+    cache_hits: usize,
+    cross_analysis_hits: usize,
+}
+
+/// The suite analysed against one [`SharedAnalysisContext`]: per-monitor
+/// deltas plus the cross-monitor reuse the shared arena buys.
+struct SharedArenaProfile {
+    per_monitor: Vec<SharedMonitorProfile>,
+    total_ms: f64,
+    total_hits: usize,
+    cross_analysis_hits: usize,
+    cross_analysis_hit_rate: f64,
+    formula_nodes: usize,
+}
+
+/// Runs all 14 benchmarks through a single shared arena + solver, verifying
+/// the results agree with the per-monitor (private-context) pipeline.
+fn profile_shared_arena() -> SharedArenaProfile {
+    let pipeline = Expresso::new();
+    let context = SharedAnalysisContext::new(pipeline.config());
+    let mut per_monitor = Vec::new();
+    for benchmark in all() {
+        let monitor = benchmark.monitor();
+        let shared = pipeline
+            .analyze_with_context(&context, &monitor)
+            .unwrap_or_else(|e| panic!("{} failed shared-arena analysis: {e}", benchmark.name));
+        let private = pipeline
+            .analyze(&monitor)
+            .unwrap_or_else(|e| panic!("{} failed private analysis: {e}", benchmark.name));
+        assert_eq!(
+            shared.explicit, private.explicit,
+            "{}: shared-arena and private-context pipelines disagree",
+            benchmark.name
+        );
+        let solver = &shared.stats.solver;
+        per_monitor.push(SharedMonitorProfile {
+            name: benchmark.name,
+            analysis_ms: shared.stats.total_time.as_secs_f64() * 1e3,
+            cache_hits: solver.cache_hits + solver.qe_cache_hits + solver.theory_cache_hits,
+            cross_analysis_hits: solver.cross_analysis_hits,
+        });
+    }
+    let totals = context.stats();
+    SharedArenaProfile {
+        total_ms: per_monitor.iter().map(|p| p.analysis_ms).sum(),
+        per_monitor,
+        total_hits: totals.cache_hits + totals.qe_cache_hits + totals.theory_cache_hits,
+        cross_analysis_hits: totals.cross_analysis_hits,
+        cross_analysis_hit_rate: totals.cross_analysis_hit_rate(),
+        formula_nodes: context.interner().formula_count(),
+    }
+}
+
 /// Serialises the profiles by hand (the workspace is dependency-free, so no
 /// serde): a stable, diffable JSON document tracked across PRs.
-fn render_json(profiles: &[AnalysisProfile]) -> String {
+fn render_json(profiles: &[AnalysisProfile], shared: &SharedArenaProfile) -> String {
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
     let speedup = if total_cached > 0.0 {
@@ -209,7 +266,32 @@ fn render_json(profiles: &[AnalysisProfile]) -> String {
         out,
         "  ],\n  \"total_analysis_ms\": {total_cached:.3},\n  \
          \"total_analysis_ms_uncached\": {total_uncached:.3},\n  \
-         \"cache_speedup\": {speedup:.3}\n}}\n"
+         \"cache_speedup\": {speedup:.3},\n"
+    );
+    let _ = write!(out, "  \"shared_arena\": {{\n    \"per_monitor\": [\n");
+    for (i, p) in shared.per_monitor.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"name\": \"{}\", \"analysis_ms\": {:.3}, \"cache_hits\": {}, \
+             \"cross_monitor_cache_hits\": {}}}",
+            p.name, p.analysis_ms, p.cache_hits, p.cross_analysis_hits,
+        );
+        out.push_str(if i + 1 < shared.per_monitor.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = write!(
+        out,
+        "    ],\n    \"total_analysis_ms\": {:.3},\n    \"cache_hits\": {},\n    \
+         \"cross_monitor_cache_hits\": {},\n    \"cross_monitor_hit_rate\": {:.4},\n    \
+         \"formula_nodes\": {}\n  }}\n}}\n",
+        shared.total_ms,
+        shared.total_hits,
+        shared.cross_analysis_hits,
+        shared.cross_analysis_hit_rate,
+        shared.formula_nodes,
     );
     out
 }
@@ -217,7 +299,8 @@ fn render_json(profiles: &[AnalysisProfile]) -> String {
 fn run_json() {
     println!("=== BENCH_results.json: analysis-time trajectory ===\n");
     let profiles: Vec<AnalysisProfile> = all().iter().map(profile_benchmark).collect();
-    let json = render_json(&profiles);
+    let shared = profile_shared_arena();
+    let json = render_json(&profiles, &shared);
     let path = "BENCH_results.json";
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
@@ -233,6 +316,25 @@ fn run_json() {
             1.0
         },
     );
+    println!(
+        "shared arena: {:.1} ms for the whole suite, {} / {} memo hits crossed a monitor \
+         boundary ({:.1}%), {} formula nodes interned",
+        shared.total_ms,
+        shared.cross_analysis_hits,
+        shared.total_hits,
+        shared.cross_analysis_hit_rate * 100.0,
+        shared.formula_nodes,
+    );
+    // Regression tripwire for the shared arena: if no memo hit ever crosses a
+    // monitor boundary the suite-wide context has silently stopped sharing —
+    // fail the run (and CI) loudly instead of drifting.
+    if shared.cross_analysis_hits == 0 {
+        eprintln!(
+            "error: shared-arena run reported zero cross-monitor cache hits; \
+             the suite-wide solver context is not sharing work"
+        );
+        std::process::exit(1);
+    }
 }
 
 fn summarise(measurements: &[Measurement]) {

@@ -29,7 +29,9 @@ pub mod pipeline;
 pub mod placement;
 
 pub use codegen::to_java;
-pub use pipeline::{AnalysisOutcome, AnalysisStats, Expresso, ExpressoConfig, ExpressoError};
+pub use pipeline::{
+    AnalysisOutcome, AnalysisStats, Expresso, ExpressoConfig, ExpressoError, SharedAnalysisContext,
+};
 pub use placement::{
     place_signals, place_signals_with, PlacementConfig, PlacementReport, SignalDecision,
 };

@@ -2,10 +2,11 @@
 
 use crate::placement::{place_signals_with, PlacementConfig, PlacementReport};
 use expresso_abduction::{infer_monitor_invariant_configured, AbductionConfig};
-use expresso_logic::Formula;
+use expresso_logic::{Formula, Interner};
 use expresso_monitor_lang::{check_monitor, CheckError, ExplicitMonitor, Monitor, VarTable};
-use expresso_smt::{Solver, SolverConfig};
+use expresso_smt::{Solver, SolverConfig, SolverStats};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the [`Expresso`] pipeline.
@@ -25,6 +26,9 @@ pub struct ExpressoConfig {
     /// parallel. Disabling this yields a fully sequential analysis with
     /// identical results.
     pub parallel_analysis: bool,
+    /// Number of lock stripes per solver memo table (see
+    /// [`SolverConfig::cache_shards`]); values are clamped to at least 1.
+    pub solver_cache_shards: usize,
 }
 
 impl Default for ExpressoConfig {
@@ -34,7 +38,62 @@ impl Default for ExpressoConfig {
             use_commutativity: true,
             enable_solver_cache: true,
             parallel_analysis: true,
+            solver_cache_shards: 16,
         }
+    }
+}
+
+/// One formula arena plus one memoizing solver shared across many analyses.
+///
+/// `Expresso::analyze` builds a private context per monitor, which is the
+/// right default for isolated runs — but a suite harness that analyses many
+/// monitors back to back leaves cache value on the table: structurally common
+/// verification conditions (guard shapes, invariant fragments, theory cores)
+/// recur across monitors. Constructing one `SharedAnalysisContext` and
+/// passing it to [`Expresso::analyze_with_context`] for every monitor lets
+/// all of them intern into the same arena and hit the same sharded memo
+/// tables; each analysis still reports a per-monitor [`SolverStats`] delta,
+/// and [`SolverStats::cross_analysis_hits`] counts exactly the hits served
+/// from an earlier monitor's work.
+///
+/// **Accounting contract:** run the analyses that share one context *one at
+/// a time* (each may still parallelize internally). Solver results are
+/// correct regardless, but concurrent `analyze_with_context` calls interleave
+/// their epochs and stats snapshots, so the per-monitor deltas and the
+/// cross-analysis attribution become meaningless.
+#[derive(Debug)]
+pub struct SharedAnalysisContext {
+    solver: Arc<Solver>,
+}
+
+impl SharedAnalysisContext {
+    /// Creates a context whose solver follows `config`'s cache settings.
+    pub fn new(config: &ExpressoConfig) -> Self {
+        let interner = Arc::new(Interner::new());
+        let solver = Arc::new(Solver::with_interner(
+            SolverConfig {
+                enable_cache: config.enable_solver_cache,
+                cache_shards: config.solver_cache_shards,
+                ..SolverConfig::default()
+            },
+            interner,
+        ));
+        SharedAnalysisContext { solver }
+    }
+
+    /// The shared memoizing solver.
+    pub fn solver(&self) -> &Arc<Solver> {
+        &self.solver
+    }
+
+    /// The shared formula arena.
+    pub fn interner(&self) -> &Arc<Interner> {
+        self.solver.interner()
+    }
+
+    /// Cumulative solver statistics across every analysis run so far.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 }
 
@@ -122,17 +181,39 @@ impl Expresso {
 
     /// Analyses `monitor` and synthesizes its explicit-signal version.
     ///
+    /// Builds a private [`SharedAnalysisContext`] for this one monitor; use
+    /// [`Expresso::analyze_with_context`] to share an arena and solver across
+    /// a whole suite.
+    ///
     /// # Errors
     ///
     /// Returns [`ExpressoError::Check`] when the monitor is ill-formed
     /// (undeclared variables, type errors, duplicate names).
     pub fn analyze(&self, monitor: &Monitor) -> Result<AnalysisOutcome, ExpressoError> {
+        let context = SharedAnalysisContext::new(&self.config);
+        self.analyze_with_context(&context, monitor)
+    }
+
+    /// Analyses `monitor` against a shared arena and solver.
+    ///
+    /// Starts a new analysis epoch on the shared solver, so the reported
+    /// [`AnalysisStats::solver`] is the *delta* attributable to this monitor
+    /// alone and its `cross_analysis_hits` counts memo hits served from
+    /// earlier analyses in the same context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpressoError::Check`] when the monitor is ill-formed.
+    pub fn analyze_with_context(
+        &self,
+        context: &SharedAnalysisContext,
+        monitor: &Monitor,
+    ) -> Result<AnalysisOutcome, ExpressoError> {
         let start = Instant::now();
         let table = check_monitor(monitor).map_err(ExpressoError::Check)?;
-        let solver = Solver::with_config(SolverConfig {
-            enable_cache: self.config.enable_solver_cache,
-            ..SolverConfig::default()
-        });
+        let solver = context.solver();
+        solver.begin_analysis_epoch();
+        let stats_before = solver.stats();
 
         let invariant_start = Instant::now();
         let (invariant, candidates, conjuncts) = if self.config.infer_invariant {
@@ -140,7 +221,7 @@ impl Expresso {
                 parallel: self.config.parallel_analysis,
                 ..AbductionConfig::default()
             };
-            let outcome = infer_monitor_invariant_configured(monitor, &table, &solver, &abduction);
+            let outcome = infer_monitor_invariant_configured(monitor, &table, solver, &abduction);
             (outcome.invariant, outcome.candidates, outcome.kept)
         } else {
             (Formula::True, 0, 0)
@@ -151,7 +232,7 @@ impl Expresso {
         let (explicit, report) = place_signals_with(
             monitor,
             &table,
-            &solver,
+            solver,
             &invariant,
             &PlacementConfig {
                 use_commutativity: self.config.use_commutativity,
@@ -167,7 +248,7 @@ impl Expresso {
             triples_checked: report.triples_checked,
             invariant_candidates: candidates,
             invariant_conjuncts: conjuncts,
-            solver: solver.stats(),
+            solver: solver.stats().delta_since(&stats_before),
         };
         Ok(AnalysisOutcome {
             explicit,
@@ -264,5 +345,66 @@ mod tests {
         let outcome = Expresso::new().analyze(&monitor).unwrap();
         assert!(outcome.stats.total_time >= outcome.stats.placement_time);
         assert!(outcome.stats.invariant_candidates >= outcome.stats.invariant_conjuncts);
+    }
+
+    #[test]
+    fn shared_context_reuses_cache_across_monitors() {
+        let monitor = parse_monitor(RW).unwrap();
+        let pipeline = Expresso::new();
+        let context = SharedAnalysisContext::new(pipeline.config());
+
+        let first = pipeline.analyze_with_context(&context, &monitor).unwrap();
+        // The very first analysis cannot reuse earlier epochs' entries.
+        assert_eq!(first.stats.solver.cross_analysis_hits, 0);
+
+        let second = pipeline.analyze_with_context(&context, &monitor).unwrap();
+        // Re-analysing the same monitor must be answered largely from the
+        // first epoch's memo entries.
+        assert!(second.stats.solver.cross_analysis_hits > 0);
+        assert!(second.stats.solver.cross_analysis_hit_rate() > 0.0);
+        assert_eq!(first.explicit, second.explicit);
+        assert_eq!(first.invariant, second.invariant);
+
+        // Per-monitor deltas sum to the context-wide counters.
+        let total = context.stats();
+        assert_eq!(
+            total.sat_queries,
+            first.stats.solver.sat_queries + second.stats.solver.sat_queries
+        );
+        assert_eq!(
+            total.cross_analysis_hits,
+            first.stats.solver.cross_analysis_hits + second.stats.solver.cross_analysis_hits
+        );
+    }
+
+    #[test]
+    fn shared_context_matches_private_context_results() {
+        let monitor = parse_monitor(RW).unwrap();
+        let pipeline = Expresso::new();
+        let context = SharedAnalysisContext::new(pipeline.config());
+        let shared = pipeline.analyze_with_context(&context, &monitor).unwrap();
+        let private = pipeline.analyze(&monitor).unwrap();
+        assert_eq!(shared.explicit, private.explicit);
+        assert_eq!(shared.invariant, private.invariant);
+        assert_eq!(
+            shared.report.pairs_considered,
+            private.report.pairs_considered
+        );
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let monitor = parse_monitor(RW).unwrap();
+        let reference = Expresso::new().analyze(&monitor).unwrap();
+        for shards in [1usize, 2, 64] {
+            let outcome = Expresso::with_config(ExpressoConfig {
+                solver_cache_shards: shards,
+                ..ExpressoConfig::default()
+            })
+            .analyze(&monitor)
+            .unwrap();
+            assert_eq!(outcome.explicit, reference.explicit, "shards={shards}");
+            assert_eq!(outcome.invariant, reference.invariant, "shards={shards}");
+        }
     }
 }

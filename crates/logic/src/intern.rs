@@ -29,7 +29,7 @@ use crate::subst::Subst;
 use crate::term::Term;
 use crate::Ident;
 use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A `Copy` handle to an interned [`Term`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -99,6 +99,14 @@ pub enum FormulaNode {
     Quant(Quantifier, Vec<Ident>, FormulaId),
 }
 
+/// The free integer and boolean variables of one interned formula node,
+/// cached behind an `Arc` so shared subtrees pay for the computation once.
+#[derive(Debug, Default)]
+struct VarSets {
+    ints: HashSet<Ident>,
+    bools: HashSet<Ident>,
+}
+
 #[derive(Debug, Default)]
 struct State {
     terms: Vec<TermNode>,
@@ -108,6 +116,9 @@ struct State {
     simplify_memo: HashMap<FormulaId, FormulaId>,
     nnf_memo: HashMap<(FormulaId, bool), FormulaId>,
     fold_memo: HashMap<TermId, TermId>,
+    formula_vars_memo: HashMap<FormulaId, Arc<VarSets>>,
+    term_vars_memo: HashMap<TermId, Arc<HashSet<Ident>>>,
+    size_memo: HashMap<FormulaId, usize>,
 }
 
 /// The hash-consing arena. See the module documentation.
@@ -259,13 +270,26 @@ impl Interner {
     }
 
     /// Free integer variables of an interned formula.
+    ///
+    /// Var sets are memoized per node on the arena: a subtree shared by many
+    /// verification conditions is walked once per arena lifetime, and repeat
+    /// queries are a clone of the cached set — no tree reconstruction.
     pub fn int_vars(&self, f: FormulaId) -> HashSet<Ident> {
-        self.formula(f).int_vars()
+        self.state.lock().unwrap().formula_vars(f).ints.clone()
     }
 
-    /// Free variables (integer and boolean) of an interned formula.
+    /// Free boolean variables of an interned formula (memoized per node).
+    pub fn bool_vars(&self, f: FormulaId) -> HashSet<Ident> {
+        self.state.lock().unwrap().formula_vars(f).bools.clone()
+    }
+
+    /// Free variables (integer and boolean) of an interned formula
+    /// (memoized per node).
     pub fn free_vars(&self, f: FormulaId) -> HashSet<Ident> {
-        self.formula(f).free_vars()
+        let sets = self.state.lock().unwrap().formula_vars(f);
+        let mut out = sets.ints.clone();
+        out.extend(sets.bools.iter().cloned());
+        out
     }
 
     /// Arrays read anywhere in an interned formula.
@@ -274,9 +298,9 @@ impl Interner {
     }
 
     /// Structural size (number of nodes, counting shared subtrees once per
-    /// occurrence, matching [`Formula::size`]).
+    /// occurrence, matching [`Formula::size`]); memoized per node.
     pub fn size(&self, f: FormulaId) -> usize {
-        self.formula(f).size()
+        self.state.lock().unwrap().formula_size(f)
     }
 
     /// `true` when the interned formula contains a quantifier. Walks the DAG
@@ -309,6 +333,107 @@ impl Interner {
 }
 
 impl State {
+    // -- memoized free-variable and size queries --------------------------
+
+    fn term_vars(&mut self, t: TermId) -> Arc<HashSet<Ident>> {
+        if let Some(cached) = self.term_vars_memo.get(&t) {
+            return Arc::clone(cached);
+        }
+        let mut out = HashSet::new();
+        match self.terms[t.index()].clone() {
+            TermNode::Int(_) => {}
+            TermNode::Var(v) => {
+                out.insert(v);
+            }
+            TermNode::Add(parts) => {
+                for p in parts {
+                    out.extend(self.term_vars(p).iter().cloned());
+                }
+            }
+            TermNode::Sub(a, b) | TermNode::Mul(a, b) => {
+                out.extend(self.term_vars(a).iter().cloned());
+                out.extend(self.term_vars(b).iter().cloned());
+            }
+            TermNode::Neg(a) => out.extend(self.term_vars(a).iter().cloned()),
+            // Matching `Term::collect_vars`, the array name is not a variable;
+            // only the index contributes.
+            TermNode::Select(_, idx) => out.extend(self.term_vars(idx).iter().cloned()),
+        }
+        let arc = Arc::new(out);
+        self.term_vars_memo.insert(t, Arc::clone(&arc));
+        arc
+    }
+
+    fn formula_vars(&mut self, f: FormulaId) -> Arc<VarSets> {
+        if let Some(cached) = self.formula_vars_memo.get(&f) {
+            return Arc::clone(cached);
+        }
+        let mut sets = VarSets::default();
+        match self.formulas[f.index()].clone() {
+            FormulaNode::True | FormulaNode::False => {}
+            FormulaNode::BoolVar(b) => {
+                sets.bools.insert(b);
+            }
+            FormulaNode::Cmp(_, lhs, rhs) => {
+                sets.ints.extend(self.term_vars(lhs).iter().cloned());
+                sets.ints.extend(self.term_vars(rhs).iter().cloned());
+            }
+            FormulaNode::Divides(_, t) => sets.ints.extend(self.term_vars(t).iter().cloned()),
+            FormulaNode::Not(inner) => {
+                let inner = self.formula_vars(inner);
+                sets.ints.extend(inner.ints.iter().cloned());
+                sets.bools.extend(inner.bools.iter().cloned());
+            }
+            FormulaNode::And(parts) | FormulaNode::Or(parts) => {
+                for p in parts {
+                    let child = self.formula_vars(p);
+                    sets.ints.extend(child.ints.iter().cloned());
+                    sets.bools.extend(child.bools.iter().cloned());
+                }
+            }
+            FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
+                for child in [self.formula_vars(a), self.formula_vars(b)] {
+                    sets.ints.extend(child.ints.iter().cloned());
+                    sets.bools.extend(child.bools.iter().cloned());
+                }
+            }
+            FormulaNode::Quant(_, binders, body) => {
+                // Binders are integer-sorted, matching `Formula::collect_free_vars`:
+                // they shadow integer variables only.
+                let inner = self.formula_vars(body);
+                sets.ints
+                    .extend(inner.ints.iter().filter(|v| !binders.contains(v)).cloned());
+                sets.bools.extend(inner.bools.iter().cloned());
+            }
+        }
+        let arc = Arc::new(sets);
+        self.formula_vars_memo.insert(f, Arc::clone(&arc));
+        arc
+    }
+
+    fn formula_size(&mut self, f: FormulaId) -> usize {
+        if let Some(&s) = self.size_memo.get(&f) {
+            return s;
+        }
+        let s = match self.formulas[f.index()].clone() {
+            FormulaNode::True
+            | FormulaNode::False
+            | FormulaNode::BoolVar(_)
+            | FormulaNode::Cmp(..)
+            | FormulaNode::Divides(..) => 1,
+            FormulaNode::Not(inner) => 1 + self.formula_size(inner),
+            FormulaNode::And(parts) | FormulaNode::Or(parts) => {
+                1 + parts.iter().map(|p| self.formula_size(*p)).sum::<usize>()
+            }
+            FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
+                1 + self.formula_size(a) + self.formula_size(b)
+            }
+            FormulaNode::Quant(_, _, body) => 1 + self.formula_size(body),
+        };
+        self.size_memo.insert(f, s);
+        s
+    }
+
     // -- interning -------------------------------------------------------
 
     fn put_term(&mut self, node: TermNode) -> TermId {
@@ -666,9 +791,12 @@ impl State {
                 match self.formulas[sb.index()] {
                     FormulaNode::True | FormulaNode::False => sb,
                     _ => {
-                        let free = self.to_formula(sb).int_vars();
-                        let still_bound: Vec<Ident> =
-                            vars.iter().filter(|v| free.contains(*v)).cloned().collect();
+                        let free = self.formula_vars(sb);
+                        let still_bound: Vec<Ident> = vars
+                            .iter()
+                            .filter(|v| free.ints.contains(*v))
+                            .cloned()
+                            .collect();
                         self.mk_quant(q, still_bound, sb)
                     }
                 }

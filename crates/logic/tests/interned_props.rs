@@ -1,0 +1,199 @@
+//! Property-style cross-checks of the interned (arena) implementations
+//! against the reference tree implementations, over ~200 generated formulas.
+//!
+//! The workspace vendors no `rand`, so generation uses a seeded LCG; failures
+//! therefore reproduce deterministically. For every sample the arena's
+//! memoized simplify / NNF / constant folding must agree with the tree
+//! `simplify` / `to_nnf`, and the memoized per-node free-variable sets and
+//! sizes must match a recomputed tree baseline — including after the memo
+//! tables are warm.
+
+use expresso_logic::{simplify, to_nnf, Formula, Interner, Term};
+
+const SAMPLES: usize = 200;
+
+/// Deterministic LCG (Knuth's MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn term(rng: &mut Lcg, depth: usize) -> Term {
+    if depth == 0 {
+        return match rng.below(3) {
+            0 => Term::int(rng.below(11) as i64 - 5),
+            1 => Term::var(["x", "y", "z", "n"][rng.below(4) as usize]),
+            _ => Term::var(["x", "y"][rng.below(2) as usize]),
+        };
+    }
+    match rng.below(7) {
+        0 => term(rng, depth - 1).add(term(rng, depth - 1)),
+        1 => term(rng, depth - 1).sub(term(rng, depth - 1)),
+        2 => term(rng, depth - 1).neg(),
+        3 => term(rng, depth - 1).mul(term(rng, depth - 1)),
+        4 => Term::select("buf", term(rng, depth - 1)),
+        _ => term(rng, 0),
+    }
+}
+
+fn atom(rng: &mut Lcg) -> Formula {
+    let lhs = term(rng, 2);
+    let rhs = term(rng, 2);
+    match rng.below(7) {
+        0 => lhs.lt(rhs),
+        1 => lhs.le(rhs),
+        2 => lhs.gt(rhs),
+        3 => lhs.ge(rhs),
+        4 => lhs.eq(rhs),
+        5 => lhs.ne(rhs),
+        _ => Formula::divides(rng.below(4) + 1, term(rng, 1)),
+    }
+}
+
+fn formula(rng: &mut Lcg, depth: usize) -> Formula {
+    if depth == 0 {
+        return match rng.below(6) {
+            0 => Formula::True,
+            1 => Formula::False,
+            2 => Formula::bool_var(["p", "q", "r"][rng.below(3) as usize]),
+            _ => atom(rng),
+        };
+    }
+    let arity = 2 + rng.below(2) as usize;
+    match rng.below(8) {
+        0 => Formula::not(formula(rng, depth - 1)),
+        1 => Formula::and((0..arity).map(|_| formula(rng, depth - 1)).collect()),
+        2 => Formula::or((0..arity).map(|_| formula(rng, depth - 1)).collect()),
+        3 => Formula::implies(formula(rng, depth - 1), formula(rng, depth - 1)),
+        4 => Formula::iff(formula(rng, depth - 1), formula(rng, depth - 1)),
+        5 => Formula::forall(
+            vec![["x", "y", "k"][rng.below(3) as usize].into()],
+            formula(rng, depth - 1),
+        ),
+        6 => Formula::exists(
+            vec![["x", "z"][rng.below(2) as usize].into()],
+            formula(rng, depth - 1),
+        ),
+        _ => atom(rng),
+    }
+}
+
+fn samples() -> Vec<Formula> {
+    let mut rng = Lcg::new(0x1A7E57);
+    (0..SAMPLES).map(|i| formula(&mut rng, 1 + i % 3)).collect()
+}
+
+#[test]
+fn arena_simplify_nnf_and_folding_agree_with_tree_implementations() {
+    let arena = Interner::new();
+    for (i, f) in samples().iter().enumerate() {
+        let id = arena.intern(f);
+        // Round trip is lossless.
+        assert_eq!(&arena.formula(id), f, "sample {i}: roundtrip mangled {f}");
+        // Memoized simplification (which includes constant folding of every
+        // term) matches the tree implementation.
+        let arena_simplified = arena.formula(arena.simplify(id));
+        assert_eq!(
+            arena_simplified,
+            simplify(f),
+            "sample {i}: simplify mismatch for {f}"
+        );
+        // Memoized NNF matches the tree implementation.
+        let arena_nnf = arena.formula(arena.nnf(id));
+        assert_eq!(arena_nnf, to_nnf(f), "sample {i}: nnf mismatch for {f}");
+        // Normalisation is a fixpoint under re-simplification.
+        let norm = arena.simplify(id);
+        assert_eq!(arena.simplify(norm), norm, "sample {i}: not a fixpoint");
+    }
+}
+
+#[test]
+fn memoized_free_variable_sets_match_recomputed_baseline() {
+    let arena = Interner::new();
+    let pool = samples();
+    // First pass populates the memo tables; second pass must read identical
+    // answers back out of them.
+    for pass in 0..2 {
+        for (i, f) in pool.iter().enumerate() {
+            let id = arena.intern(f);
+            assert_eq!(
+                arena.int_vars(id),
+                f.int_vars(),
+                "pass {pass}, sample {i}: int_vars mismatch for {f}"
+            );
+            assert_eq!(
+                arena.bool_vars(id),
+                f.bool_vars(),
+                "pass {pass}, sample {i}: bool_vars mismatch for {f}"
+            );
+            assert_eq!(
+                arena.free_vars(id),
+                f.free_vars(),
+                "pass {pass}, sample {i}: free_vars mismatch for {f}"
+            );
+            // The derived forms produced by normalisation agree with a tree
+            // recomputation too — these are the ids the solver actually
+            // queries on its hot path.
+            let norm = arena.simplify(id);
+            let norm_tree = arena.formula(norm);
+            assert_eq!(
+                arena.free_vars(norm),
+                norm_tree.free_vars(),
+                "pass {pass}, sample {i}: free_vars mismatch for simplified {norm_tree}"
+            );
+        }
+    }
+}
+
+#[test]
+fn memoized_sizes_match_tree_sizes() {
+    let arena = Interner::new();
+    for (i, f) in samples().iter().enumerate() {
+        let id = arena.intern(f);
+        assert_eq!(
+            arena.size(id),
+            f.size(),
+            "sample {i}: size mismatch for {f}"
+        );
+        // Warm-memo read agrees.
+        assert_eq!(arena.size(id), f.size(), "sample {i}: warm size mismatch");
+    }
+}
+
+#[test]
+fn shared_subtrees_share_memo_entries() {
+    // Interning N formulas that all contain the same large shared subtree
+    // must not blow the arena up: the shared part is stored once.
+    let arena = Interner::new();
+    let mut rng = Lcg::new(0xBEEF);
+    let shared = formula(&mut rng, 3);
+    let shared_id = arena.intern(&shared);
+    let baseline = arena.formula_count();
+    for i in 0..20 {
+        let wrapper = Formula::and(vec![shared.clone(), Term::var("w").ge(Term::int(i))]);
+        arena.intern(&wrapper);
+    }
+    // Each wrapper adds at most a handful of fresh nodes (the comparison and
+    // the And), never a copy of the shared subtree.
+    assert!(
+        arena.formula_count() <= baseline + 2 * 20 + 1,
+        "arena grew by {} nodes for 20 thin wrappers",
+        arena.formula_count() - baseline
+    );
+    assert_eq!(arena.intern(&shared), shared_id);
+}

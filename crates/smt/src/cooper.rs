@@ -13,7 +13,10 @@
 //! least common multiple of the divisibility divisors.
 
 use crate::linear::{lcm, LinExpr, TranslateError};
-use expresso_logic::{simplify, to_nnf, CmpOp, Formula, Quantifier, Term};
+use expresso_logic::{
+    simplify, to_nnf, CmpOp, Formula, FormulaId, FormulaNode, Interner, Quantifier, Term,
+};
+use std::collections::HashMap;
 
 /// Eliminates every quantifier in `formula`, producing an equivalent
 /// quantifier-free formula.
@@ -26,6 +29,89 @@ use expresso_logic::{simplify, to_nnf, CmpOp, Formula, Quantifier, Term};
 pub fn eliminate_quantifiers(formula: &Formula) -> Result<Formula, TranslateError> {
     let f = eliminate_rec(formula)?;
     Ok(simplify(&f))
+}
+
+/// Eliminates every quantifier in an interned formula, staying on ids.
+///
+/// The propositional skeleton is traversed as a DAG over the arena — shared
+/// quantifier-free subtrees are visited once and never materialized as trees.
+/// Only a quantified subtree is reconstructed (once, at its binder) so the
+/// textbook tree-based [`eliminate_exists`] can run on its matrix; the result
+/// is interned straight back.
+///
+/// # Errors
+///
+/// Same contract as [`eliminate_quantifiers`].
+pub fn eliminate_quantifiers_id(
+    interner: &Interner,
+    f: FormulaId,
+) -> Result<FormulaId, TranslateError> {
+    let mut memo = HashMap::new();
+    let eliminated = eliminate_rec_id(interner, f, &mut memo)?;
+    Ok(interner.simplify(eliminated))
+}
+
+fn eliminate_rec_id(
+    interner: &Interner,
+    f: FormulaId,
+    memo: &mut HashMap<FormulaId, FormulaId>,
+) -> Result<FormulaId, TranslateError> {
+    if let Some(&done) = memo.get(&f) {
+        return Ok(done);
+    }
+    let out = match interner.node(f) {
+        FormulaNode::True
+        | FormulaNode::False
+        | FormulaNode::BoolVar(_)
+        | FormulaNode::Cmp(..)
+        | FormulaNode::Divides(..) => f,
+        FormulaNode::Not(inner) => {
+            let i = eliminate_rec_id(interner, inner, memo)?;
+            interner.mk_not(i)
+        }
+        FormulaNode::And(parts) => {
+            let ids = parts
+                .into_iter()
+                .map(|p| eliminate_rec_id(interner, p, memo))
+                .collect::<Result<Vec<_>, _>>()?;
+            interner.mk_and(ids)
+        }
+        FormulaNode::Or(parts) => {
+            let ids = parts
+                .into_iter()
+                .map(|p| eliminate_rec_id(interner, p, memo))
+                .collect::<Result<Vec<_>, _>>()?;
+            interner.mk_or(ids)
+        }
+        FormulaNode::Implies(a, b) => {
+            let sa = eliminate_rec_id(interner, a, memo)?;
+            let sb = eliminate_rec_id(interner, b, memo)?;
+            interner.mk_implies(sa, sb)
+        }
+        FormulaNode::Iff(a, b) => {
+            let sa = eliminate_rec_id(interner, a, memo)?;
+            let sb = eliminate_rec_id(interner, b, memo)?;
+            interner.mk_iff(sa, sb)
+        }
+        FormulaNode::Quant(q, vars, body) => {
+            let body_qf = eliminate_rec_id(interner, body, memo)?;
+            // The quantified matrix is the one place the procedure needs a
+            // tree; materialize it once and intern the result back.
+            let mut current = interner.formula(body_qf);
+            for var in vars.iter().rev() {
+                current = match q {
+                    Quantifier::Exists => eliminate_exists(var, &current)?,
+                    Quantifier::Forall => {
+                        let negated = Formula::not(current);
+                        Formula::not(eliminate_exists(var, &negated)?)
+                    }
+                };
+            }
+            interner.intern(&current)
+        }
+    };
+    memo.insert(f, out);
+    Ok(out)
 }
 
 fn eliminate_rec(formula: &Formula) -> Result<Formula, TranslateError> {

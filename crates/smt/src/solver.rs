@@ -5,8 +5,11 @@ use crate::fourier_motzkin::{rational_feasible, Constraint, RationalFeasibility}
 use crate::linear::{LinExpr, TranslateError};
 use crate::sat::{neg, pos, Lit, SatOutcome, SatSolver};
 use expresso_logic::{CmpOp, Formula, FormulaId, Ident, Interner, Term, Valuation};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Configuration knobs for [`Solver`].
@@ -23,6 +26,12 @@ pub struct SolverConfig {
     /// Disabling the cache turns the solver into a pure re-derivation engine;
     /// the equivalence tests use this to cross-check cached runs.
     pub enable_cache: bool,
+    /// Number of lock-striped shards per memo table. Each table is split into
+    /// this many independently locked `HashMap`s so the worker threads that
+    /// discharge placement obligations in parallel do not contend on a single
+    /// global mutex. `1` degenerates to the unsharded behaviour; values are
+    /// clamped to at least 1.
+    pub cache_shards: usize,
 }
 
 impl Default for SolverConfig {
@@ -32,6 +41,7 @@ impl Default for SolverConfig {
             fourier_motzkin_limit: 400,
             model_search_limit: 20_000,
             enable_cache: true,
+            cache_shards: 16,
         }
     }
 }
@@ -47,6 +57,11 @@ pub struct SolverStats {
     pub cache_hits: usize,
     /// Satisfiability queries that had to be solved and were then cached.
     pub cache_misses: usize,
+    /// Memo hits (across all three tables) served by entries inserted during
+    /// an *earlier* analysis epoch — i.e. work one monitor's analysis reused
+    /// from a previous monitor when the solver is shared across a suite (see
+    /// [`Solver::begin_analysis_epoch`]). Always 0 for a single-epoch solver.
+    pub cross_analysis_hits: usize,
     /// Quantifier eliminations answered from the memo cache.
     pub qe_cache_hits: usize,
     /// Quantifier eliminations that had to be computed and were then cached.
@@ -79,6 +94,56 @@ impl SolverStats {
             0.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of all memo hits that crossed an analysis-epoch boundary —
+    /// the cross-monitor reuse a shared suite-wide solver buys. 0.0 when the
+    /// caches saw no hits at all.
+    pub fn cross_analysis_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits + self.qe_cache_hits + self.theory_cache_hits;
+        if hits == 0 {
+            0.0
+        } else {
+            self.cross_analysis_hits as f64 / hits as f64
+        }
+    }
+
+    /// Field-wise difference `self - earlier` (saturating), used to attribute
+    /// a shared solver's counters to the single analysis that ran in between
+    /// two snapshots.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            sat_queries: self.sat_queries.saturating_sub(earlier.sat_queries),
+            validity_queries: self
+                .validity_queries
+                .saturating_sub(earlier.validity_queries),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cross_analysis_hits: self
+                .cross_analysis_hits
+                .saturating_sub(earlier.cross_analysis_hits),
+            qe_cache_hits: self.qe_cache_hits.saturating_sub(earlier.qe_cache_hits),
+            qe_cache_misses: self.qe_cache_misses.saturating_sub(earlier.qe_cache_misses),
+            theory_cache_hits: self
+                .theory_cache_hits
+                .saturating_sub(earlier.theory_cache_hits),
+            theory_cache_misses: self
+                .theory_cache_misses
+                .saturating_sub(earlier.theory_cache_misses),
+            sat_solver_calls: self
+                .sat_solver_calls
+                .saturating_sub(earlier.sat_solver_calls),
+            theory_checks: self.theory_checks.saturating_sub(earlier.theory_checks),
+            quantifier_eliminations: self
+                .quantifier_eliminations
+                .saturating_sub(earlier.quantifier_eliminations),
+            fm_fast_conflicts: self
+                .fm_fast_conflicts
+                .saturating_sub(earlier.fm_fast_conflicts),
+            abstracted_queries: self
+                .abstracted_queries
+                .saturating_sub(earlier.abstracted_queries),
         }
     }
 }
@@ -146,21 +211,117 @@ impl ValidityResult {
     }
 }
 
+/// Live statistics counters. Every counter is a relaxed atomic so the hot
+/// query paths never serialize on a stats mutex; [`StatsCells::snapshot`]
+/// produces the public [`SolverStats`] view.
+#[derive(Debug, Default)]
+struct StatsCells {
+    sat_queries: AtomicUsize,
+    validity_queries: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    cross_analysis_hits: AtomicUsize,
+    qe_cache_hits: AtomicUsize,
+    qe_cache_misses: AtomicUsize,
+    theory_cache_hits: AtomicUsize,
+    theory_cache_misses: AtomicUsize,
+    sat_solver_calls: AtomicUsize,
+    theory_checks: AtomicUsize,
+    quantifier_eliminations: AtomicUsize,
+    fm_fast_conflicts: AtomicUsize,
+    abstracted_queries: AtomicUsize,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> SolverStats {
+        let load = |c: &AtomicUsize| c.load(Ordering::Relaxed);
+        SolverStats {
+            sat_queries: load(&self.sat_queries),
+            validity_queries: load(&self.validity_queries),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            cross_analysis_hits: load(&self.cross_analysis_hits),
+            qe_cache_hits: load(&self.qe_cache_hits),
+            qe_cache_misses: load(&self.qe_cache_misses),
+            theory_cache_hits: load(&self.theory_cache_hits),
+            theory_cache_misses: load(&self.theory_cache_misses),
+            sat_solver_calls: load(&self.sat_solver_calls),
+            theory_checks: load(&self.theory_checks),
+            quantifier_eliminations: load(&self.quantifier_eliminations),
+            fm_fast_conflicts: load(&self.fm_fast_conflicts),
+            abstracted_queries: load(&self.abstracted_queries),
+        }
+    }
+}
+
+fn bump(counter: &AtomicUsize) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A hash-striped memo table: the key space is split across `N` independently
+/// locked `HashMap` shards, so concurrent queries only contend when they hash
+/// to the same stripe. Entries remember the analysis epoch they were inserted
+/// in, which funds the cross-monitor reuse accounting of a suite-shared
+/// solver.
+#[derive(Debug)]
+struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, (V, u32)>>>,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    fn new(shards: usize) -> Self {
+        ShardedCache {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, (V, u32)>> {
+        // DefaultHasher::new() is deterministic within a process, so the same
+        // key always lands on the same stripe.
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    /// Returns the cached value and whether the entry predates `epoch`.
+    fn get(&self, key: &K, epoch: u32) -> Option<(V, bool)> {
+        self.shard(key)
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|(v, e)| (v.clone(), *e != epoch))
+    }
+
+    fn insert(&self, key: K, value: V, epoch: u32) {
+        self.shard(&key).lock().unwrap().insert(key, (value, epoch));
+    }
+}
+
 /// The workspace SMT solver and memoizing query context.
 ///
 /// See the crate-level documentation for the architecture. A `Solver` carries
-/// configuration, statistics, a shared formula [`Interner`] and a query cache
-/// keyed on normalized interned formulas. All interior state is behind
-/// mutexes, so a single solver can be shared by reference across the worker
-/// threads that discharge independent placement obligations in parallel.
-#[derive(Debug, Default)]
+/// configuration, statistics, a shared formula [`Interner`] and memo tables
+/// keyed on normalized interned formulas. The memo tables are lock-striped
+/// ([`SolverConfig::cache_shards`]) and the statistics are atomics, so a
+/// single solver can be shared by reference across the worker threads that
+/// discharge independent placement obligations in parallel without
+/// serializing on a global mutex.
+#[derive(Debug)]
 pub struct Solver {
     config: SolverConfig,
-    stats: Mutex<SolverStats>,
+    stats: StatsCells,
     interner: Arc<Interner>,
-    cache: Mutex<HashMap<FormulaId, SatResult>>,
-    qe_cache: Mutex<HashMap<FormulaId, Result<FormulaId, TranslateError>>>,
-    theory_cache: Mutex<HashMap<Vec<(FormulaId, bool)>, TheoryVerdict>>,
+    /// The current analysis epoch; bumped by [`Solver::begin_analysis_epoch`].
+    epoch: AtomicU32,
+    cache: ShardedCache<FormulaId, SatResult>,
+    qe_cache: ShardedCache<FormulaId, Result<FormulaId, TranslateError>>,
+    theory_cache: ShardedCache<Vec<(FormulaId, bool)>, TheoryVerdict>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
 }
 
 impl Solver {
@@ -171,19 +332,21 @@ impl Solver {
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Self {
-        Solver {
-            config,
-            ..Solver::default()
-        }
+        Solver::with_interner(config, Arc::new(Interner::new()))
     }
 
     /// Creates a solver sharing an existing arena (so callers can build
     /// queries as ids against the same interner the solver caches on).
     pub fn with_interner(config: SolverConfig, interner: Arc<Interner>) -> Self {
+        let shards = config.cache_shards.max(1);
         Solver {
             config,
+            stats: StatsCells::default(),
             interner,
-            ..Solver::default()
+            epoch: AtomicU32::new(0),
+            cache: ShardedCache::new(shards),
+            qe_cache: ShardedCache::new(shards),
+            theory_cache: ShardedCache::new(shards),
         }
     }
 
@@ -194,19 +357,35 @@ impl Solver {
 
     /// Returns a snapshot of the statistics counters.
     pub fn stats(&self) -> SolverStats {
-        self.stats.lock().unwrap().clone()
+        self.stats.snapshot()
     }
 
-    fn bump(&self, update: impl FnOnce(&mut SolverStats)) {
-        update(&mut self.stats.lock().unwrap());
+    /// Starts a new analysis epoch and returns it.
+    ///
+    /// Epochs partition the solver's lifetime into per-analysis segments:
+    /// memo hits on entries inserted during an earlier epoch are counted as
+    /// [`SolverStats::cross_analysis_hits`]. A suite harness that reuses one
+    /// solver across many monitors calls this once per monitor, turning the
+    /// counter into the measured cross-monitor cache reuse.
+    pub fn begin_analysis_epoch(&self) -> u32 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn current_epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    fn record_hit(&self, hit_counter: &AtomicUsize, cross_epoch: bool) {
+        bump(hit_counter);
+        if cross_epoch {
+            bump(&self.stats.cross_analysis_hits);
+        }
     }
 
     /// Eliminates all quantifiers from `formula`.
     ///
-    /// The input is normalized through the arena and the (simplified input →
-    /// result) pair is memoized: abduction runs dozens of eliminations over
-    /// overlapping implications, and Cooper's procedure is by far the most
-    /// expensive step in the whole pipeline.
+    /// Tree-boundary convenience wrapper over
+    /// [`Solver::eliminate_quantifiers_id`].
     ///
     /// # Errors
     ///
@@ -214,19 +393,39 @@ impl Solver {
     /// reads from an array.
     pub fn eliminate_quantifiers(&self, formula: &Formula) -> Result<Formula, TranslateError> {
         let id = self.interner.intern(formula);
+        self.eliminate_quantifiers_id(id)
+            .map(|f| self.interner.formula(f))
+    }
+
+    /// Eliminates all quantifiers from an interned formula, staying on ids.
+    ///
+    /// The input is normalized through the arena and the (simplified input →
+    /// result) pair is memoized: abduction runs dozens of eliminations over
+    /// overlapping implications, and Cooper's procedure is by far the most
+    /// expensive step in the whole pipeline. Quantifier-free input returns
+    /// its normal form immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an atom mentioning a quantified variable is non-linear or
+    /// reads from an array.
+    pub fn eliminate_quantifiers_id(&self, id: FormulaId) -> Result<FormulaId, TranslateError> {
         let norm = self.interner.simplify(id);
+        if !self.interner.has_quantifier(norm) {
+            return Ok(norm);
+        }
+        let epoch = self.current_epoch();
         if self.config.enable_cache {
-            if let Some(cached) = self.qe_cache.lock().unwrap().get(&norm) {
-                self.bump(|s| s.qe_cache_hits += 1);
-                return cached.clone().map(|f| self.interner.formula(f));
+            if let Some((cached, cross)) = self.qe_cache.get(&norm, epoch) {
+                self.record_hit(&self.stats.qe_cache_hits, cross);
+                return cached;
             }
         }
-        self.bump(|s| s.quantifier_eliminations += 1);
-        let result = cooper::eliminate_quantifiers(&self.interner.formula(norm));
+        bump(&self.stats.quantifier_eliminations);
+        let result = cooper::eliminate_quantifiers_id(&self.interner, norm);
         if self.config.enable_cache {
-            self.bump(|s| s.qe_cache_misses += 1);
-            let stored = result.clone().map(|f| self.interner.intern(&f));
-            self.qe_cache.lock().unwrap().insert(norm, stored);
+            bump(&self.stats.qe_cache_misses);
+            self.qe_cache.insert(norm, result.clone(), epoch);
         }
         result
     }
@@ -243,7 +442,7 @@ impl Solver {
     /// is served from / recorded in the query cache keyed on the normalized
     /// id, unless [`SolverConfig::enable_cache`] is off.
     pub fn check_sat_id(&self, id: FormulaId) -> SatResult {
-        self.bump(|s| s.sat_queries += 1);
+        bump(&self.stats.sat_queries);
         let norm = self.interner.simplify(id);
         if self.interner.is_true(norm) {
             return SatResult::Sat(Some(Valuation::new()));
@@ -251,28 +450,28 @@ impl Solver {
         if self.interner.is_false(norm) {
             return SatResult::Unsat;
         }
+        let epoch = self.current_epoch();
         if self.config.enable_cache {
-            if let Some(result) = self.cache.lock().unwrap().get(&norm) {
-                self.bump(|s| s.cache_hits += 1);
-                return result.clone();
+            if let Some((result, cross)) = self.cache.get(&norm, epoch) {
+                self.record_hit(&self.stats.cache_hits, cross);
+                return result;
             }
         }
         let result = self.solve_uncached(norm);
         if self.config.enable_cache {
-            self.bump(|s| s.cache_misses += 1);
-            self.cache.lock().unwrap().insert(norm, result.clone());
+            bump(&self.stats.cache_misses);
+            self.cache.insert(norm, result.clone(), epoch);
         }
         result
     }
 
     /// Solves a normalized query (cache miss path).
     fn solve_uncached(&self, norm: FormulaId) -> SatResult {
-        // Quantifier-free queries (the common case) stay on ids; only a
-        // quantified query needs the tree round trip for Cooper's procedure.
+        // Quantifier elimination stays on ids end to end; quantifier-free
+        // subtrees are never reconstructed.
         let qf_id = if self.interner.has_quantifier(norm) {
-            let simplified = self.interner.formula(norm);
-            match self.eliminate_quantifiers(&simplified) {
-                Ok(f) => self.interner.intern(&f),
+            match self.eliminate_quantifiers_id(norm) {
+                Ok(f) => f,
                 Err(e) => return SatResult::Unknown(SolverError::OutsideFragment(e.to_string())),
             }
         } else {
@@ -297,7 +496,7 @@ impl Solver {
 
     /// Checks validity of an interned formula.
     pub fn check_valid_id(&self, id: FormulaId) -> ValidityResult {
-        self.bump(|s| s.validity_queries += 1);
+        bump(&self.stats.validity_queries);
         match self.check_sat_id(self.interner.mk_not(id)) {
             SatResult::Unsat => ValidityResult::Valid,
             SatResult::Sat(model) => ValidityResult::Invalid(model),
@@ -354,7 +553,7 @@ impl Solver {
         let mut atoms = AtomTable::default();
         let skeleton = build_skeleton(nnf, &mut atoms);
         if atoms.abstracted {
-            self.bump(|s| s.abstracted_queries += 1);
+            bump(&self.stats.abstracted_queries);
         }
         let mut sat = SatSolver::new(atoms.atoms.len());
         let root = tseitin(&skeleton, &mut sat);
@@ -379,12 +578,12 @@ impl Solver {
             .collect();
 
         for _ in 0..self.config.max_theory_rounds {
-            self.bump(|s| s.sat_solver_calls += 1);
+            bump(&self.stats.sat_solver_calls);
             let model = match sat.solve() {
                 SatOutcome::Unsat => return SatResult::Unsat,
                 SatOutcome::Sat(m) => m,
             };
-            self.bump(|s| s.theory_checks += 1);
+            bump(&self.stats.theory_checks);
             let theory_literals: Vec<TheoryLit> = atoms
                 .theory_literals(&model)
                 .into_iter()
@@ -455,14 +654,15 @@ impl Solver {
         if literals.is_empty() {
             return TheoryVerdict::Consistent;
         }
+        let epoch = self.current_epoch();
         let key: Option<Vec<(FormulaId, bool)>> = if self.config.enable_cache {
             let mut key: Vec<(FormulaId, bool)> =
                 literals.iter().map(|l| (l.id, l.value)).collect();
             key.sort_unstable();
             key.dedup();
-            if let Some(verdict) = self.theory_cache.lock().unwrap().get(&key) {
-                self.bump(|s| s.theory_cache_hits += 1);
-                return verdict.clone();
+            if let Some((verdict, cross)) = self.theory_cache.get(&key, epoch) {
+                self.record_hit(&self.stats.theory_cache_hits, cross);
+                return verdict;
             }
             Some(key)
         } else {
@@ -470,11 +670,8 @@ impl Solver {
         };
         let verdict = self.theory_consistent_uncached(literals);
         if let Some(key) = key {
-            self.bump(|s| s.theory_cache_misses += 1);
-            self.theory_cache
-                .lock()
-                .unwrap()
-                .insert(key, verdict.clone());
+            bump(&self.stats.theory_cache_misses);
+            self.theory_cache.insert(key, verdict.clone(), epoch);
         }
         verdict
     }
@@ -496,7 +693,7 @@ impl Solver {
                 .collect();
             match rational_feasible(&constraints, self.config.fourier_motzkin_limit) {
                 RationalFeasibility::Infeasible => {
-                    self.bump(|s| s.fm_fast_conflicts += 1);
+                    bump(&self.stats.fm_fast_conflicts);
                     let core = self
                         .minimize_core(&groups)
                         .into_iter()
@@ -534,7 +731,7 @@ impl Solver {
             return TheoryVerdict::Consistent;
         }
         let closed = Formula::exists(vars, conjunction);
-        self.bump(|s| s.quantifier_eliminations += 1);
+        bump(&self.stats.quantifier_eliminations);
         match cooper::eliminate_quantifiers(&closed) {
             Ok(Formula::True) => TheoryVerdict::Consistent,
             Ok(Formula::False) => TheoryVerdict::Inconsistent(None),

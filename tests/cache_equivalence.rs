@@ -55,6 +55,25 @@ fn cached_parallel_pipeline_matches_uncached_sequential_on_every_benchmark() {
             "{}: skipped-pair counts diverged",
             benchmark.name
         );
+        // Cache state must not change *what gets explored*, only how fast:
+        // the pair grid and the per-pair triple workload are pure functions
+        // of the monitor and invariant.
+        assert_eq!(
+            fast.report.pairs_considered, slow.report.pairs_considered,
+            "{}: pairs_considered diverged between cached and uncached runs",
+            benchmark.name
+        );
+        assert_eq!(
+            fast.report.triples_checked, slow.report.triples_checked,
+            "{}: triples_checked diverged between cached and uncached runs",
+            benchmark.name
+        );
+        assert_eq!(
+            fast.report.triples_per_pair().to_bits(),
+            slow.report.triples_per_pair().to_bits(),
+            "{}: triples_per_pair diverged between cached and uncached runs",
+            benchmark.name
+        );
         // The uncached run must not have touched the cache at all.
         assert_eq!(slow.stats.solver.cache_hits, 0, "{}", benchmark.name);
         assert_eq!(slow.stats.solver.cache_misses, 0, "{}", benchmark.name);
@@ -82,6 +101,19 @@ fn each_flag_is_independent() {
             "cache={cache} parallel={parallel} diverged"
         );
         assert_eq!(outcome.invariant, reference.invariant);
+        assert_eq!(
+            outcome.report.pairs_considered, reference.report.pairs_considered,
+            "cache={cache} parallel={parallel}: pairs_considered diverged"
+        );
+        assert_eq!(
+            outcome.report.triples_checked, reference.report.triples_checked,
+            "cache={cache} parallel={parallel}: triples_checked diverged"
+        );
+        assert_eq!(
+            outcome.report.triples_per_pair().to_bits(),
+            reference.report.triples_per_pair().to_bits(),
+            "cache={cache} parallel={parallel}: triples_per_pair diverged"
+        );
         if !cache {
             assert_eq!(outcome.stats.solver.cache_hits, 0);
         }

@@ -1,0 +1,39 @@
+//! Deterministic seeded generator shared by the workspace-level test
+//! harnesses (the workspace vendors no `rand`). Included via `#[path]` from
+//! each test binary; cargo does not compile `tests/` subdirectories as test
+//! targets, so this file never becomes a test of its own.
+//!
+//! `crates/logic/tests/interned_props.rs` carries its own copy on purpose:
+//! the logic crate's tests stay self-contained so the crate can build outside
+//! the workspace.
+
+/// Linear congruential generator (Knuth's MMIX constants) with a
+/// splitmix-style seed scramble.
+pub struct Lcg(u64);
+
+// Each test binary compiles its own copy of this module and uses a different
+// subset of the helpers.
+#[allow(dead_code)]
+impl Lcg {
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// A value in `0..n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// An index in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}

@@ -1,0 +1,201 @@
+//! Differential runtime conformance: for every monitor in the benchmark
+//! suite, the synthesized *explicit*-signal monitor must be observationally
+//! equivalent to the *implicit* monitor it was derived from — the paper's
+//! core soundness claim (Theorem 4.1 / Definition 3.4) — when both are
+//! executed by the real `expresso-runtime` engines.
+//!
+//! Two layers:
+//!
+//! 1. **Deterministic trace conformance** — each monitor is driven through
+//!    ≥8 seeded thread schedules. A schedule interleaves the benchmark's
+//!    balanced per-thread operation plans one operation at a time, picking
+//!    the next thread with a seeded LCG among those whose next operation is
+//!    currently enabled (every guard it passes through holds), so no call
+//!    ever blocks and the runs are fully deterministic. The observable trace
+//!    — the sequence of shared-state snapshots after every operation — must
+//!    be identical between the [`AutoSynchRuntime`] (implicit semantics) and
+//!    the [`ExplicitRuntime`] (synthesized notifications).
+//!
+//! 2. **Concurrent signal sufficiency** — the same plans are run with real
+//!    OS threads on both engines. Here waiters genuinely block, so a missing
+//!    or misplaced notification shows up as a deadlock (the run never
+//!    finishes; CI enforces a wall-clock budget) and divergent scalar final
+//!    states show up as assertion failures.
+//!
+//! All 14 monitors are analysed through one [`SharedAnalysisContext`], which
+//! doubles as an end-to-end test of the suite-wide shared arena.
+
+use expresso_repro::core::{Expresso, SharedAnalysisContext};
+use expresso_repro::logic::Valuation;
+use expresso_repro::monitor_lang::{
+    check_monitor, ExplicitMonitor, Interpreter, Monitor, VarTable,
+};
+use expresso_repro::runtime::{
+    run_saturation, AutoSynchRuntime, ExplicitRuntime, MonitorRuntime, Operation, ThreadPlan,
+};
+use expresso_repro::suite::{all, Benchmark};
+use std::collections::BTreeMap;
+
+#[path = "common/lcg.rs"]
+mod lcg;
+use lcg::Lcg;
+
+/// Seeded schedules per monitor for the deterministic layer.
+const SCHEDULES_PER_MONITOR: u64 = 8;
+/// Worker threads per schedule.
+const THREADS: usize = 4;
+/// Operations per thread in the deterministic layer.
+const OPS_PER_THREAD: usize = 3;
+
+/// `true` when `op` runs to completion without blocking from `state`: every
+/// CCR guard the method passes through holds at the point it is reached.
+fn enabled(monitor: &Monitor, interp: &Interpreter<'_>, state: &Valuation, op: &Operation) -> bool {
+    let Some(method) = monitor.method(&op.method) else {
+        return false;
+    };
+    let mut view = state.clone();
+    view.extend_with(&op.locals);
+    for id in &method.ccrs {
+        let ccr = monitor.ccr(*id);
+        if !ccr.never_blocks() && interp.eval_bool(&ccr.guard, &view) != Ok(true) {
+            return false;
+        }
+        if interp.exec(&ccr.body, &mut view).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Drives one seeded schedule through both engines, asserting snapshot
+/// equality after every operation (identical observable traces).
+fn run_seeded_schedule(
+    benchmark: &Benchmark,
+    monitor: &Monitor,
+    table: &VarTable,
+    explicit: &ExplicitMonitor,
+    seed: u64,
+) {
+    let ctor = (benchmark.ctor_args)(THREADS);
+    let plans: Vec<ThreadPlan> = (benchmark.plans)(THREADS, OPS_PER_THREAD);
+    let implicit_rt = AutoSynchRuntime::new(monitor.clone(), &ctor)
+        .unwrap_or_else(|e| panic!("{}: implicit runtime: {e}", benchmark.name));
+    let explicit_rt = ExplicitRuntime::new(explicit.clone(), &ctor)
+        .unwrap_or_else(|e| panic!("{}: explicit runtime: {e}", benchmark.name));
+    assert_eq!(
+        implicit_rt.snapshot(),
+        explicit_rt.snapshot(),
+        "{}: initial states differ",
+        benchmark.name
+    );
+
+    let interp = Interpreter::new(table);
+    let mut rng = Lcg::new(seed);
+    let mut cursors = vec![0usize; plans.len()];
+    let total: usize = plans.iter().map(|p| p.len()).sum();
+    for step in 0..total {
+        let state = implicit_rt.snapshot();
+        let candidates: Vec<usize> = (0..plans.len())
+            .filter(|&t| {
+                cursors[t] < plans[t].len()
+                    && enabled(monitor, &interp, &state, &plans[t][cursors[t]])
+            })
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "{}: seed {seed}: schedule stuck after {step}/{total} operations — \
+             no thread's next operation is enabled",
+            benchmark.name
+        );
+        let thread = candidates[rng.index(candidates.len())];
+        let op = &plans[thread][cursors[thread]];
+        implicit_rt.call(&op.method, &op.locals);
+        explicit_rt.call(&op.method, &op.locals);
+        cursors[thread] += 1;
+        assert_eq!(
+            implicit_rt.snapshot(),
+            explicit_rt.snapshot(),
+            "{}: seed {seed}: observable traces diverged at step {step} \
+             (thread {thread} ran `{}`)",
+            benchmark.name,
+            op.method
+        );
+    }
+}
+
+#[test]
+fn every_suite_monitor_is_trace_conformant_under_seeded_schedules() {
+    let pipeline = Expresso::new();
+    let context = SharedAnalysisContext::new(pipeline.config());
+    for benchmark in all() {
+        let monitor = benchmark.monitor();
+        let table = check_monitor(&monitor).unwrap();
+        let outcome = pipeline
+            .analyze_with_context(&context, &monitor)
+            .unwrap_or_else(|e| panic!("{} failed analysis: {e}", benchmark.name));
+        for seed in 0..SCHEDULES_PER_MONITOR {
+            run_seeded_schedule(
+                &benchmark,
+                &monitor,
+                &table,
+                &outcome.explicit,
+                0xC0FFEE ^ (seed.wrapping_mul(0x1000) + seed),
+            );
+        }
+    }
+    // The shared arena must have earned cross-monitor reuse along the way.
+    assert!(
+        context.stats().cross_analysis_hits > 0,
+        "analysing the whole suite in one shared context produced zero \
+         cross-monitor cache hits"
+    );
+}
+
+/// Scalar (int/bool) shared state of a runtime; arrays are excluded because
+/// their contents legitimately depend on the interleaving of writes (e.g.
+/// which producer's item landed in which BoundedBuffer slot), while every
+/// suite monitor's scalar state is a function of the operation multiset.
+fn scalar_state(rt: &dyn MonitorRuntime) -> BTreeMap<String, i64> {
+    let snapshot = rt.snapshot();
+    let mut out: BTreeMap<String, i64> = snapshot
+        .ints()
+        .map(|(name, value)| (name.clone(), *value))
+        .collect();
+    out.extend(
+        snapshot
+            .bools()
+            .map(|(name, value)| (name.clone(), i64::from(*value))),
+    );
+    out
+}
+
+#[test]
+fn concurrent_engines_complete_and_agree_on_scalar_state() {
+    let pipeline = Expresso::new();
+    let context = SharedAnalysisContext::new(pipeline.config());
+    for benchmark in all() {
+        let monitor = benchmark.monitor();
+        let outcome = pipeline
+            .analyze_with_context(&context, &monitor)
+            .unwrap_or_else(|e| panic!("{} failed analysis: {e}", benchmark.name));
+        let ctor = (benchmark.ctor_args)(THREADS);
+        let plans = (benchmark.plans)(THREADS, 20);
+        let expected_ops: usize = plans.iter().map(|p| p.len()).sum();
+
+        let implicit_rt = AutoSynchRuntime::new(monitor.clone(), &ctor).unwrap();
+        let implicit = run_saturation(&implicit_rt, &plans);
+        let explicit_rt = ExplicitRuntime::new(outcome.explicit.clone(), &ctor).unwrap();
+        let explicit = run_saturation(&explicit_rt, &plans);
+
+        // Completion is the point: a missing notification in the synthesized
+        // monitor would leave a waiter blocked forever instead of finishing.
+        assert_eq!(implicit.operations, expected_ops, "{}", benchmark.name);
+        assert_eq!(explicit.operations, expected_ops, "{}", benchmark.name);
+        assert_eq!(
+            scalar_state(&implicit_rt),
+            scalar_state(&explicit_rt),
+            "{}: implicit and explicit engines drained to different scalar states",
+            benchmark.name
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Concurrency stress for the sharded solver caches: 8 scoped threads hammer
+//! one shared solver with heavily overlapping formula batches, and every
+//! verdict must agree with a fresh unsharded (single-stripe) solver answering
+//! the same queries sequentially. Overlap is the point — it forces distinct
+//! threads onto the same cache entries so stripe handoff, epoch tagging and
+//! the atomic counters all see real contention.
+
+use expresso_repro::logic::{Formula, Term};
+use expresso_repro::smt::{SatResult, Solver, SolverConfig, ValidityResult};
+use std::sync::Arc;
+
+#[path = "common/lcg.rs"]
+mod lcg;
+use lcg::Lcg;
+
+const THREADS: usize = 8;
+/// Distinct formulas in the pool; every thread visits an overlapping window.
+const POOL: usize = 48;
+
+fn var(rng: &mut Lcg) -> Term {
+    Term::var(["x", "y", "z"][rng.below(3) as usize])
+}
+
+fn term(rng: &mut Lcg, depth: usize) -> Term {
+    if depth == 0 {
+        return match rng.below(2) {
+            0 => Term::int(rng.below(9) as i64 - 4),
+            _ => var(rng),
+        };
+    }
+    match rng.below(5) {
+        0 => term(rng, depth - 1).add(term(rng, depth - 1)),
+        1 => term(rng, depth - 1).sub(term(rng, depth - 1)),
+        // Keep one factor a small constant so every atom stays linear and
+        // Cooper's coefficient-lcm normalisation stays cheap.
+        2 => Term::int(rng.below(2) as i64 + 1).mul(var(rng)),
+        3 => Term::int(rng.below(9) as i64 - 4),
+        _ => var(rng),
+    }
+}
+
+fn atom(rng: &mut Lcg) -> Formula {
+    let lhs = term(rng, 1);
+    let rhs = term(rng, 1);
+    match rng.below(6) {
+        0 => lhs.lt(rhs),
+        1 => lhs.le(rhs),
+        2 => lhs.gt(rhs),
+        3 => lhs.ge(rhs),
+        4 => lhs.eq(rhs),
+        _ => Formula::divides(2, term(rng, 1)),
+    }
+}
+
+fn formula(rng: &mut Lcg, depth: usize) -> Formula {
+    if depth == 0 {
+        return match rng.below(4) {
+            0 => Formula::bool_var(["p", "q"][rng.below(2) as usize]),
+            _ => atom(rng),
+        };
+    }
+    match rng.below(5) {
+        0 => Formula::not(formula(rng, depth - 1)),
+        1 => Formula::and(vec![formula(rng, depth - 1), formula(rng, depth - 1)]),
+        2 => Formula::or(vec![formula(rng, depth - 1), formula(rng, depth - 1)]),
+        3 => Formula::implies(formula(rng, depth - 1), formula(rng, depth - 1)),
+        _ => atom(rng),
+    }
+}
+
+fn pool() -> Vec<Formula> {
+    let mut rng = Lcg::new(0x5EED);
+    (0..POOL).map(|_| formula(&mut rng, 2)).collect()
+}
+
+/// Collapses a result to a comparable verdict (models are best-effort and may
+/// legitimately differ between runs).
+fn sat_verdict(result: &SatResult) -> &'static str {
+    match result {
+        SatResult::Sat(_) => "sat",
+        SatResult::Unsat => "unsat",
+        SatResult::Unknown(_) => "unknown",
+    }
+}
+
+fn validity_verdict(result: &ValidityResult) -> &'static str {
+    match result {
+        ValidityResult::Valid => "valid",
+        ValidityResult::Invalid(_) => "invalid",
+        ValidityResult::Unknown(_) => "unknown",
+    }
+}
+
+#[test]
+fn sharded_caches_agree_with_unsharded_solver_under_contention() {
+    let formulas = Arc::new(pool());
+    // A small model-extraction budget keeps the test fast; it only controls
+    // whether a witness is attached to `Sat`, never the verdict itself, and
+    // both solvers use the same budget.
+    let config = SolverConfig {
+        model_search_limit: 64,
+        ..SolverConfig::default()
+    };
+    let sharded = Solver::with_config(SolverConfig {
+        cache_shards: 16,
+        ..config.clone()
+    });
+
+    // Each thread owns an overlapping window of the pool (stride < window) so
+    // most queries collide with at least one other thread, plus conjunctions
+    // of neighbours so compound entries overlap too.
+    let window = POOL / 3;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let formulas = Arc::clone(&formulas);
+            let sharded = &sharded;
+            scope.spawn(move || {
+                for i in 0..window {
+                    let idx = (t * (POOL / THREADS) + i) % POOL;
+                    let f = &formulas[idx];
+                    let g = &formulas[(idx + 1) % POOL];
+                    let _ = sharded.check_sat(f);
+                    let _ = sharded.check_valid(f);
+                    let _ = sharded.check_sat(&Formula::and(vec![f.clone(), g.clone()]));
+                }
+            });
+        }
+    });
+
+    // Verdicts must agree with a fresh single-stripe solver answering the
+    // same queries sequentially.
+    let unsharded = Solver::with_config(SolverConfig {
+        cache_shards: 1,
+        ..config
+    });
+    for (idx, f) in formulas.iter().enumerate() {
+        let g = &formulas[(idx + 1) % POOL];
+        assert_eq!(
+            sat_verdict(&sharded.check_sat(f)),
+            sat_verdict(&unsharded.check_sat(f)),
+            "sat verdict diverged for formula {idx}: {f}"
+        );
+        assert_eq!(
+            validity_verdict(&sharded.check_valid(f)),
+            validity_verdict(&unsharded.check_valid(f)),
+            "validity verdict diverged for formula {idx}: {f}"
+        );
+        let conj = Formula::and(vec![f.clone(), g.clone()]);
+        assert_eq!(
+            sat_verdict(&sharded.check_sat(&conj)),
+            sat_verdict(&unsharded.check_sat(&conj)),
+            "sat verdict diverged for conjunction {idx}: {conj}"
+        );
+    }
+
+    // No lock was poisoned: the shared solver still answers fresh queries and
+    // its counters are coherent.
+    assert!(sharded.check_sat(&Formula::True).is_sat());
+    let stats = sharded.stats();
+    assert!(
+        stats.cache_hits > 0,
+        "overlapping batches must hit the cache"
+    );
+    assert!(stats.cache_misses > 0);
+    assert!(stats.cache_hit_rate() > 0.0);
+    // Every sharded query was re-asked sequentially above, so the combined
+    // query count is exactly threads*window*3 (concurrent) + pool*3
+    // (verification) + 1 (poison probe) + the validity-induced sat queries.
+    assert_eq!(
+        stats.validity_queries,
+        THREADS * (POOL / 3) + POOL,
+        "validity query count drifted under contention"
+    );
+}
+
+#[test]
+fn epoch_accounting_survives_contention() {
+    let formulas = pool();
+    let solver = Solver::with_config(SolverConfig {
+        model_search_limit: 64,
+        ..SolverConfig::default()
+    });
+    solver.begin_analysis_epoch();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let solver = &solver;
+            let formulas = &formulas;
+            scope.spawn(move || {
+                for f in formulas.iter().skip(t).step_by(4) {
+                    let _ = solver.check_sat(f);
+                }
+            });
+        }
+    });
+    // Same epoch: nothing crossed an epoch boundary yet.
+    assert_eq!(solver.stats().cross_analysis_hits, 0);
+
+    solver.begin_analysis_epoch();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let solver = &solver;
+            let formulas = &formulas;
+            scope.spawn(move || {
+                for f in formulas.iter().skip(t).step_by(4) {
+                    let _ = solver.check_sat(f);
+                }
+            });
+        }
+    });
+    let stats = solver.stats();
+    assert!(
+        stats.cross_analysis_hits > 0,
+        "second epoch must reuse the first epoch's entries"
+    );
+    assert!(stats.cross_analysis_hit_rate() > 0.0);
+    assert!(
+        stats.cross_analysis_hits
+            <= stats.cache_hits + stats.theory_cache_hits + stats.qe_cache_hits
+    );
+}
