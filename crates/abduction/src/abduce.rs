@@ -9,7 +9,9 @@
 
 use expresso_logic::{Formula, FormulaId, Ident, Interner, Subst};
 use expresso_smt::Solver;
+use expresso_vcgen::WpCache;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Tunables for [`abduce`].
 #[derive(Debug, Clone)]
@@ -25,6 +27,13 @@ pub struct AbductionConfig {
     /// results are folded back in enumeration order, so the output is
     /// identical to a sequential run.
     pub parallel: bool,
+    /// The `(body, post)` WP cache invariant inference builds its VCs
+    /// through. `None` (the default) gives the inference run a fresh private
+    /// cache; the pipeline passes the per-analysis cache it also hands to
+    /// placement, so the fixpoint's consecution rounds and Algorithm 1's
+    /// later obligations share wp results. The cache must belong to the same
+    /// monitor/table as the triples being proven.
+    pub wp_cache: Option<Arc<WpCache>>,
 }
 
 impl Default for AbductionConfig {
@@ -34,6 +43,7 @@ impl Default for AbductionConfig {
             max_subsets: 48,
             max_results: 4,
             parallel: true,
+            wp_cache: None,
         }
     }
 }

@@ -6,6 +6,7 @@ use expresso_monitor_lang::{expr_to_formula, Monitor, VarTable};
 use expresso_smt::Solver;
 use expresso_vcgen::{HoareTriple, VcGen};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The result of invariant inference.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +66,10 @@ pub fn infer_with_triples_configured(
     triples: &[HoareTriple],
     config: &AbductionConfig,
 ) -> InvariantOutcome {
-    let vcgen = VcGen::new(monitor, table, solver);
+    let vcgen = match &config.wp_cache {
+        Some(cache) => VcGen::with_wp_cache(monitor, table, solver, Arc::clone(cache)),
+        None => VcGen::new(monitor, table, solver),
+    };
     let interner = vcgen.interner().clone();
 
     // Phase 1: abduce candidate predicates. The pre/goal pair, the abduction
@@ -115,12 +119,16 @@ pub fn infer_with_triples_configured(
         rounds += 1;
         let before = candidates.len();
 
-        // (a) Initiation: {requires} Ctr(M) {ψ}.
-        candidates.retain(|&psi| {
-            vcgen
-                .check_triple_ids(requires, &constructor, psi)
-                .is_valid()
-        });
+        // (a) Initiation: {requires} Ctr(M) {ψ}. All constructor VCs are
+        // independent, so they go through the batch-aware discharge path
+        // (shared-wp dedupe + cheap-first ordering).
+        let initiation: Vec<(FormulaId, &expresso_monitor_lang::Stmt, FormulaId)> = candidates
+            .iter()
+            .map(|&psi| (requires, &constructor, psi))
+            .collect();
+        let statuses = vcgen.check_triples_ids(&initiation);
+        let mut initiated = statuses.iter().map(|s| s.is_valid());
+        candidates.retain(|_| initiated.next().unwrap_or(false));
 
         // (b) Consecution: {I ∧ Guard(w)} Body(w) {ψ} for every CCR.
         let invariant = interner.mk_and(candidates.clone());

@@ -97,6 +97,8 @@ struct AnalysisProfile {
     cache_hits: usize,
     cache_misses: usize,
     cache_hit_rate: f64,
+    wp_cache_hits: usize,
+    wp_cache_misses: usize,
     notifications: usize,
     broadcasts: usize,
 }
@@ -129,7 +131,10 @@ fn best_of(
 
 fn profile_benchmark(benchmark: &Benchmark) -> AnalysisProfile {
     let monitor = benchmark.monitor();
-    let cached = best_of(benchmark, &monitor, ExpressoConfig::default(), 3);
+    // 5 samples per configuration: the minimum of a deterministic workload
+    // converges quickly, and the extra samples keep scheduler noise out of
+    // the tracked trajectory (the perf tripwire compares absolute totals).
+    let cached = best_of(benchmark, &monitor, ExpressoConfig::default(), 5);
     let uncached = best_of(
         benchmark,
         &monitor,
@@ -138,7 +143,7 @@ fn profile_benchmark(benchmark: &Benchmark) -> AnalysisProfile {
             parallel_analysis: false,
             ..ExpressoConfig::default()
         },
-        3,
+        5,
     );
     assert_eq!(
         cached.explicit, uncached.explicit,
@@ -162,6 +167,8 @@ fn profile_benchmark(benchmark: &Benchmark) -> AnalysisProfile {
         cache_hits: cached.stats.solver.cache_hits,
         cache_misses: cached.stats.solver.cache_misses,
         cache_hit_rate: cached.stats.solver.cache_hit_rate(),
+        wp_cache_hits: cached.stats.wp_cache.hits,
+        wp_cache_misses: cached.stats.wp_cache.misses,
         notifications: cached.explicit.notification_count(),
         broadcasts: cached.explicit.broadcast_count(),
     }
@@ -184,6 +191,10 @@ struct SharedArenaProfile {
     cross_analysis_hits: usize,
     cross_analysis_hit_rate: f64,
     formula_nodes: usize,
+    interner_shards: usize,
+    arena_lock_contentions: usize,
+    wp_cache_hits: usize,
+    wp_cache_misses: usize,
 }
 
 /// Runs all 14 benchmarks through a single shared arena + solver, verifying
@@ -192,6 +203,8 @@ fn profile_shared_arena() -> SharedArenaProfile {
     let pipeline = Expresso::new();
     let context = SharedAnalysisContext::new(pipeline.config());
     let mut per_monitor = Vec::new();
+    let mut wp_cache_hits = 0usize;
+    let mut wp_cache_misses = 0usize;
     for benchmark in all() {
         let monitor = benchmark.monitor();
         let shared = pipeline
@@ -206,6 +219,8 @@ fn profile_shared_arena() -> SharedArenaProfile {
             benchmark.name
         );
         let solver = &shared.stats.solver;
+        wp_cache_hits += shared.stats.wp_cache.hits;
+        wp_cache_misses += shared.stats.wp_cache.misses;
         per_monitor.push(SharedMonitorProfile {
             name: benchmark.name,
             analysis_ms: shared.stats.total_time.as_secs_f64() * 1e3,
@@ -214,13 +229,18 @@ fn profile_shared_arena() -> SharedArenaProfile {
         });
     }
     let totals = context.stats();
+    let arena = context.interner_stats();
     SharedArenaProfile {
         total_ms: per_monitor.iter().map(|p| p.analysis_ms).sum(),
         per_monitor,
         total_hits: totals.cache_hits + totals.qe_cache_hits + totals.theory_cache_hits,
         cross_analysis_hits: totals.cross_analysis_hits,
         cross_analysis_hit_rate: totals.cross_analysis_hit_rate(),
-        formula_nodes: context.interner().formula_count(),
+        formula_nodes: arena.formula_nodes,
+        interner_shards: arena.shard_count,
+        arena_lock_contentions: arena.lock_contentions,
+        wp_cache_hits,
+        wp_cache_misses,
     }
 }
 
@@ -243,7 +263,8 @@ fn render_json(profiles: &[AnalysisProfile], shared: &SharedArenaProfile) -> Str
              \"placement_ms\": {:.3}, \"quantifier_eliminations\": {}, \
              \"qe_cache_hits\": {}, \"triples_checked\": {}, \
              \"pairs_considered\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"cache_hit_rate\": {:.4}, \"notifications\": {}, \"broadcasts\": {}}}",
+             \"cache_hit_rate\": {:.4}, \"wp_cache_hits\": {}, \"wp_cache_misses\": {}, \
+             \"notifications\": {}, \"broadcasts\": {}}}",
             p.name,
             p.group,
             p.cached_ms,
@@ -257,6 +278,8 @@ fn render_json(profiles: &[AnalysisProfile], shared: &SharedArenaProfile) -> Str
             p.cache_hits,
             p.cache_misses,
             p.cache_hit_rate,
+            p.wp_cache_hits,
+            p.wp_cache_misses,
             p.notifications,
             p.broadcasts,
         );
@@ -286,22 +309,44 @@ fn render_json(profiles: &[AnalysisProfile], shared: &SharedArenaProfile) -> Str
         out,
         "    ],\n    \"total_analysis_ms\": {:.3},\n    \"cache_hits\": {},\n    \
          \"cross_monitor_cache_hits\": {},\n    \"cross_monitor_hit_rate\": {:.4},\n    \
-         \"formula_nodes\": {}\n  }}\n}}\n",
+         \"formula_nodes\": {},\n    \"interner_shards\": {},\n    \
+         \"arena_lock_contentions\": {},\n    \"wp_cache_hits\": {},\n    \
+         \"wp_cache_misses\": {}\n  }}\n}}\n",
         shared.total_ms,
         shared.total_hits,
         shared.cross_analysis_hits,
         shared.cross_analysis_hit_rate,
         shared.formula_nodes,
+        shared.interner_shards,
+        shared.arena_lock_contentions,
+        shared.wp_cache_hits,
+        shared.wp_cache_misses,
     );
     out
 }
 
+/// Extracts the top-level `total_analysis_ms` value from a previously written
+/// `BENCH_results.json` (hand-rolled: the workspace vendors no serde). The
+/// top-level key precedes the `shared_arena` section's key of the same name,
+/// so the first match is the right one.
+fn baseline_total_ms(json: &str) -> Option<f64> {
+    let key = "\"total_analysis_ms\": ";
+    let start = json.find(key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 fn run_json() {
     println!("=== BENCH_results.json: analysis-time trajectory ===\n");
+    let path = "BENCH_results.json";
+    let baseline = std::fs::read_to_string(path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_total_ms);
     let profiles: Vec<AnalysisProfile> = all().iter().map(profile_benchmark).collect();
     let shared = profile_shared_arena();
     let json = render_json(&profiles, &shared);
-    let path = "BENCH_results.json";
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
@@ -325,6 +370,14 @@ fn run_json() {
         shared.cross_analysis_hit_rate * 100.0,
         shared.formula_nodes,
     );
+    println!(
+        "wp cache: {} hits / {} misses across the shared-arena suite run; \
+         {} contended arena-lock acquisitions over {} shards",
+        shared.wp_cache_hits,
+        shared.wp_cache_misses,
+        shared.arena_lock_contentions,
+        shared.interner_shards,
+    );
     // Regression tripwire for the shared arena: if no memo hit ever crosses a
     // monitor boundary the suite-wide context has silently stopped sharing —
     // fail the run (and CI) loudly instead of drifting.
@@ -334,6 +387,33 @@ fn run_json() {
              the suite-wide solver context is not sharing work"
         );
         std::process::exit(1);
+    }
+    // Same for the WP layer: the fixpoint and placement always re-ask shared
+    // (body, post) pairs, so zero hits means the cache went dead.
+    if shared.wp_cache_hits == 0 {
+        eprintln!(
+            "error: suite run reported zero WP-cache hits; the (body, post) \
+             memo layer is not sharing work"
+        );
+        std::process::exit(1);
+    }
+    // Perf tripwire: fail loudly when this run's total analysis time regresses
+    // more than 3x over the committed baseline (the file as it was before
+    // this run overwrote it). The new file is already written, so the artifact
+    // still shows what happened.
+    if let Some(baseline) = baseline {
+        if baseline > 0.0 && total_cached > 3.0 * baseline {
+            eprintln!(
+                "error: total suite analysis time {total_cached:.1} ms regressed more than \
+                 3x over the committed baseline {baseline:.1} ms"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "perf tripwire: {total_cached:.1} ms vs committed baseline {baseline:.1} ms (limit 3x)"
+        );
+    } else {
+        println!("perf tripwire: no committed baseline found; skipping comparison");
     }
 }
 

@@ -2,9 +2,10 @@
 
 use crate::placement::{place_signals_with, PlacementConfig, PlacementReport};
 use expresso_abduction::{infer_monitor_invariant_configured, AbductionConfig};
-use expresso_logic::{Formula, Interner};
+use expresso_logic::{Formula, Interner, InternerStats};
 use expresso_monitor_lang::{check_monitor, CheckError, ExplicitMonitor, Monitor, VarTable};
 use expresso_smt::{Solver, SolverConfig, SolverStats};
+use expresso_vcgen::{WpCache, WpCacheStats};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,6 +30,16 @@ pub struct ExpressoConfig {
     /// Number of lock stripes per solver memo table (see
     /// [`SolverConfig::cache_shards`]); values are clamped to at least 1.
     pub solver_cache_shards: usize,
+    /// Number of shards the formula arena is split into (see
+    /// [`Interner::with_shards`]); rounded up to a power of two and clamped
+    /// to `[1, 256]`. `1` reproduces the old single-lock arena behaviour as a
+    /// differential baseline.
+    pub interner_shards: usize,
+    /// Memoize weakest preconditions per `(CCR body, postcondition)` across
+    /// the invariant fixpoint and the placement obligations of one analysis.
+    /// Disabling recomputes every wp from scratch; the equivalence tests pin
+    /// both settings to identical results.
+    pub wp_cache: bool,
 }
 
 impl Default for ExpressoConfig {
@@ -39,6 +50,8 @@ impl Default for ExpressoConfig {
             enable_solver_cache: true,
             parallel_analysis: true,
             solver_cache_shards: 16,
+            interner_shards: expresso_logic::DEFAULT_INTERNER_SHARDS,
+            wp_cache: true,
         }
     }
 }
@@ -69,11 +82,12 @@ pub struct SharedAnalysisContext {
 impl SharedAnalysisContext {
     /// Creates a context whose solver follows `config`'s cache settings.
     pub fn new(config: &ExpressoConfig) -> Self {
-        let interner = Arc::new(Interner::new());
+        let interner = Arc::new(Interner::with_shards(config.interner_shards));
         let solver = Arc::new(Solver::with_interner(
             SolverConfig {
                 enable_cache: config.enable_solver_cache,
                 cache_shards: config.solver_cache_shards,
+                interner_shards: config.interner_shards,
                 ..SolverConfig::default()
             },
             interner,
@@ -94,6 +108,11 @@ impl SharedAnalysisContext {
     /// Cumulative solver statistics across every analysis run so far.
     pub fn stats(&self) -> SolverStats {
         self.solver.stats()
+    }
+
+    /// Node counts and lock-contention counters of the shared arena.
+    pub fn interner_stats(&self) -> InternerStats {
+        self.solver.interner().stats()
     }
 }
 
@@ -138,6 +157,12 @@ pub struct AnalysisStats {
     pub invariant_conjuncts: usize,
     /// Solver statistics accumulated across the whole run.
     pub solver: expresso_smt::SolverStats,
+    /// Hit/miss counters of this analysis's `(body, post)` WP cache.
+    pub wp_cache: WpCacheStats,
+    /// Snapshot of the shared arena after this analysis (node counts, shard
+    /// count and contended-lock counter). For a shared context the counters
+    /// are cumulative across every analysis run against it so far.
+    pub interner: InternerStats,
 }
 
 /// The result of analysing a monitor.
@@ -214,11 +239,16 @@ impl Expresso {
         let solver = context.solver();
         solver.begin_analysis_epoch();
         let stats_before = solver.stats();
+        // One WP cache per analysis, shared between the invariant fixpoint
+        // and placement (same monitor, same table — cross-monitor sharing
+        // would alias unsoundly).
+        let wp_cache = Arc::new(WpCache::new(self.config.wp_cache));
 
         let invariant_start = Instant::now();
         let (invariant, candidates, conjuncts) = if self.config.infer_invariant {
             let abduction = AbductionConfig {
                 parallel: self.config.parallel_analysis,
+                wp_cache: Some(Arc::clone(&wp_cache)),
                 ..AbductionConfig::default()
             };
             let outcome = infer_monitor_invariant_configured(monitor, &table, solver, &abduction);
@@ -237,6 +267,7 @@ impl Expresso {
             &PlacementConfig {
                 use_commutativity: self.config.use_commutativity,
                 parallel: self.config.parallel_analysis,
+                wp_cache: Some(Arc::clone(&wp_cache)),
             },
         );
         let placement_time = placement_start.elapsed();
@@ -249,6 +280,8 @@ impl Expresso {
             invariant_candidates: candidates,
             invariant_conjuncts: conjuncts,
             solver: solver.stats().delta_since(&stats_before),
+            wp_cache: wp_cache.stats(),
+            interner: context.interner_stats(),
         };
         Ok(AnalysisOutcome {
             explicit,

@@ -15,7 +15,7 @@ use expresso_monitor_lang::{
     SignalCondition, VarTable,
 };
 use expresso_smt::Solver;
-use expresso_vcgen::VcGen;
+use expresso_vcgen::{VcGen, WpCache};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -26,6 +26,11 @@ pub struct PlacementConfig {
     pub use_commutativity: bool,
     /// Discharge independent `(CCR, guard)` pairs on multiple threads.
     pub parallel: bool,
+    /// The `(body, post)` WP memo cache the placement VCs go through. `None`
+    /// gives this run a fresh private cache; the pipeline passes the
+    /// per-analysis cache shared with invariant inference. Must belong to the
+    /// same monitor/table as the placement run.
+    pub wp_cache: Option<Arc<WpCache>>,
 }
 
 impl Default for PlacementConfig {
@@ -33,6 +38,7 @@ impl Default for PlacementConfig {
         PlacementConfig {
             use_commutativity: true,
             parallel: true,
+            wp_cache: None,
         }
     }
 }
@@ -150,7 +156,10 @@ pub fn place_signals_with(
     invariant: &Formula,
     config: &PlacementConfig,
 ) -> (ExplicitMonitor, PlacementReport) {
-    let vcgen = VcGen::new(monitor, table, solver);
+    let vcgen = match &config.wp_cache {
+        Some(cache) => VcGen::with_wp_cache(monitor, table, solver, Arc::clone(cache)),
+        None => VcGen::new(monitor, table, solver),
+    };
     let interner = vcgen.interner().clone();
     let invariant_id = interner.intern(invariant);
 
@@ -525,8 +534,8 @@ mod tests {
             &solver,
             &inv,
             &PlacementConfig {
-                use_commutativity: true,
                 parallel: true,
+                ..PlacementConfig::default()
             },
         );
         let (sequential, sreport) = place_signals_with(
@@ -535,8 +544,8 @@ mod tests {
             &solver,
             &inv,
             &PlacementConfig {
-                use_commutativity: true,
                 parallel: false,
+                ..PlacementConfig::default()
             },
         );
         assert_eq!(parallel, sequential);

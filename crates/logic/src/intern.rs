@@ -7,11 +7,27 @@
 //! [`Interner::nnf`], constant folding) memoize per node: a subtree shared by
 //! a thousand verification conditions is normalised once.
 //!
-//! The arena uses interior mutability (a single [`Mutex`]) so it can be shared
-//! by reference across the worker threads that discharge independent
-//! signal-placement obligations in parallel. Every public method locks once
-//! and runs to completion; the internal methods are plain `&mut` functions on
-//! the locked state, so there is no re-entrant locking.
+//! # Sharding
+//!
+//! The arena is split into N hash-selected shards (`N` a power of two, see
+//! [`Interner::with_shards`]); a node lives in the shard its structural hash
+//! selects, and its id encodes `(shard, slot)` so handles stay stable `Copy`
+//! values. Each shard owns
+//!
+//! * an append-only node store whose reads are **lock-free** (published slots
+//!   are immutable and reached through two acquire loads),
+//! * an `RwLock`ed dedup map consulted on interning (read-locked on the hit
+//!   path, write-locked only to insert a genuinely new node), and
+//! * a `Mutex`ed memo table for the per-node simplify/NNF/fold/free-var/size
+//!   results of the nodes that live in that shard.
+//!
+//! There is **no arena-global lock**: concurrent interning from parallel
+//! placement threads only contends when two threads race for the same shard,
+//! and DAG walks (simplify, NNF, substitution, var sets) read nodes without
+//! taking any lock at all. Memo races are benign — every derived value is a
+//! pure function of the node, so the loser of a race inserts the same result.
+//! Contended lock acquisitions are counted and surfaced via
+//! [`Interner::stats`].
 //!
 //! # Example
 //!
@@ -29,14 +45,88 @@ use crate::subst::Subst;
 use crate::term::Term;
 use crate::Ident;
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Multiplicative word-at-a-time hasher (the FxHash construction rustc uses
+/// for its own interners). Node hashing is the arena's hottest scalar
+/// operation — every intern hashes the node for shard selection and again
+/// inside the dedup map — and SipHash's per-call setup dominates for the
+/// small keys involved. Deterministic within and across processes, which the
+/// shard selection relies on. Not DoS-resistant; keys are internal ids and
+/// formula nodes, never attacker-controlled.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add(u64::from_le_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
+
+/// Default shard count; matches the solver's default cache striping.
+pub const DEFAULT_INTERNER_SHARDS: usize = 16;
+
+/// Hard upper bound on the shard count (the id encoding reserves 8 bits).
+const MAX_SHARDS: usize = 256;
 
 /// A `Copy` handle to an interned [`Term`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(u32);
 
 impl TermId {
-    /// The arena slot index.
+    /// The raw handle value (a `(slot, shard)` encoding, unique per arena).
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -47,7 +137,7 @@ impl TermId {
 pub struct FormulaId(u32);
 
 impl FormulaId {
-    /// The arena slot index.
+    /// The raw handle value (a `(slot, shard)` encoding, unique per arena).
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -99,6 +189,141 @@ pub enum FormulaNode {
     Quant(Quantifier, Vec<Ident>, FormulaId),
 }
 
+/// Counters describing an arena's shape and observed lock contention.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Number of distinct formula nodes interned so far.
+    pub formula_nodes: usize,
+    /// Number of distinct term nodes interned so far.
+    pub term_nodes: usize,
+    /// Number of shards the arena is split into.
+    pub shard_count: usize,
+    /// Number of shard-lock acquisitions (dedup maps and memo tables) that
+    /// found the lock held by another thread and had to wait. Zero in
+    /// sequential runs; a proxy for arena contention under parallel
+    /// placement.
+    pub lock_contentions: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free-read append-only node store
+// ---------------------------------------------------------------------------
+
+/// Slots in the first (smallest) chunk; chunk `k` holds `FIRST_CHUNK_LEN
+/// << k` slots.
+const FIRST_CHUNK_BITS: u32 = 10;
+const FIRST_CHUNK_LEN: usize = 1 << FIRST_CHUNK_BITS;
+/// Geometrically sized chunks: 23 of them cover `1024 * (2^23 - 1)` ≈ 8.6
+/// billion slots — more than the id encoding can address — while an empty
+/// store is just this 23-pointer table.
+const MAX_CHUNKS: usize = 23;
+
+/// Maps a slot to `(chunk index, offset within chunk)`. Chunk `k` spans
+/// slots `[FIRST_CHUNK_LEN * (2^k - 1), FIRST_CHUNK_LEN * (2^(k+1) - 1))`.
+fn locate(slot: usize) -> (usize, usize) {
+    let bucket = (slot >> FIRST_CHUNK_BITS) + 1;
+    let k = bucket.ilog2() as usize;
+    let base = ((1usize << k) - 1) << FIRST_CHUNK_BITS;
+    (k, slot - base)
+}
+
+fn chunk_len(k: usize) -> usize {
+    FIRST_CHUNK_LEN << k
+}
+
+/// Append-only slot store with lock-free reads.
+///
+/// Writers are externally serialized (pushes happen only under the owning
+/// shard's dedup write lock); readers follow two acquire-loaded pointers and
+/// never block. Published slots are immutable and individually boxed, so
+/// later pushes never move them. Chunks double in size, so an empty store
+/// costs a fixed 23-pointer table and growth never copies.
+struct AppendStore<T> {
+    /// `chunks[k]` points at the first cell of a `chunk_len(k)`-cell
+    /// allocation (null until chunk `k` is needed).
+    chunks: [AtomicPtr<AtomicPtr<T>>; MAX_CHUNKS],
+    len: AtomicUsize,
+}
+
+impl<T> AppendStore<T> {
+    fn new() -> Self {
+        AppendStore {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Lock-free read of a published slot.
+    fn get(&self, slot: usize) -> &T {
+        let (k, offset) = locate(slot);
+        let chunk = self.chunks[k].load(Ordering::Acquire);
+        assert!(!chunk.is_null(), "read of unpublished arena chunk");
+        let node = unsafe { &*chunk.add(offset) }.load(Ordering::Acquire);
+        assert!(!node.is_null(), "read of unpublished arena slot");
+        unsafe { &*node }
+    }
+
+    /// Appends a node and returns its slot. Caller must hold the owning
+    /// shard's dedup write lock (single writer per store).
+    fn push(&self, value: T) -> usize {
+        let slot = self.len.load(Ordering::Relaxed);
+        let (k, offset) = locate(slot);
+        assert!(k < MAX_CHUNKS, "interner shard overflow");
+        let mut chunk = self.chunks[k].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let fresh: Box<[AtomicPtr<T>]> = (0..chunk_len(k))
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect();
+            chunk = Box::into_raw(fresh) as *mut AtomicPtr<T>;
+            self.chunks[k].store(chunk, Ordering::Release);
+        }
+        let boxed = Box::into_raw(Box::new(value));
+        unsafe { &*chunk.add(offset) }.store(boxed, Ordering::Release);
+        self.len.store(slot + 1, Ordering::Release);
+        slot
+    }
+}
+
+impl<T> Drop for AppendStore<T> {
+    fn drop(&mut self) {
+        for (k, chunk_cell) in self.chunks.iter_mut().enumerate() {
+            let chunk = *chunk_cell.get_mut();
+            if chunk.is_null() {
+                continue;
+            }
+            let cells =
+                unsafe { Box::from_raw(ptr::slice_from_raw_parts_mut(chunk, chunk_len(k))) };
+            for cell in cells.iter() {
+                let node = cell.load(Ordering::Relaxed);
+                if !node.is_null() {
+                    drop(unsafe { Box::from_raw(node) });
+                }
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for AppendStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppendStore")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+// The store hands out `&T` to immutable, never-moved, never-freed-while-alive
+// slots; the raw pointers are plain ownership.
+unsafe impl<T: Send> Send for AppendStore<T> {}
+unsafe impl<T: Send + Sync> Sync for AppendStore<T> {}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
 /// The free integer and boolean variables of one interned formula node,
 /// cached behind an `Arc` so shared subtrees pay for the computation once.
 #[derive(Debug, Default)]
@@ -107,186 +332,509 @@ struct VarSets {
     bools: HashSet<Ident>,
 }
 
+/// Per-node memo tables for the nodes living in one shard.
 #[derive(Debug, Default)]
-struct State {
-    terms: Vec<TermNode>,
-    term_ids: HashMap<TermNode, TermId>,
-    formulas: Vec<FormulaNode>,
-    formula_ids: HashMap<FormulaNode, FormulaId>,
-    simplify_memo: HashMap<FormulaId, FormulaId>,
-    nnf_memo: HashMap<(FormulaId, bool), FormulaId>,
-    fold_memo: HashMap<TermId, TermId>,
-    formula_vars_memo: HashMap<FormulaId, Arc<VarSets>>,
-    term_vars_memo: HashMap<TermId, Arc<HashSet<Ident>>>,
-    size_memo: HashMap<FormulaId, usize>,
+struct ShardMemo {
+    simplify: FxMap<FormulaId, FormulaId>,
+    nnf: FxMap<(FormulaId, bool), FormulaId>,
+    fold: FxMap<TermId, TermId>,
+    formula_vars: FxMap<FormulaId, Arc<VarSets>>,
+    term_vars: FxMap<TermId, Arc<HashSet<Ident>>>,
+    size: FxMap<FormulaId, usize>,
+}
+
+#[derive(Debug)]
+struct Shard {
+    term_ids: RwLock<FxMap<TermNode, TermId>>,
+    formula_ids: RwLock<FxMap<FormulaNode, FormulaId>>,
+    terms: AppendStore<TermNode>,
+    formulas: AppendStore<FormulaNode>,
+    memo: Mutex<ShardMemo>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            term_ids: RwLock::default(),
+            formula_ids: RwLock::default(),
+            terms: AppendStore::new(),
+            formulas: AppendStore::new(),
+            memo: Mutex::default(),
+        }
+    }
 }
 
 /// The hash-consing arena. See the module documentation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Interner {
-    state: Mutex<State>,
+    shards: Box<[Shard]>,
+    /// Number of low id bits holding the shard index.
+    shard_bits: u32,
+    /// Pre-interned `true`/`false` ids: the smart constructors produce the
+    /// constants constantly, and the fixed ids make `is_true`/`is_false` a
+    /// plain id comparison.
+    const_true: FormulaId,
+    const_false: FormulaId,
+    contended_locks: AtomicUsize,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::with_shards(DEFAULT_INTERNER_SHARDS)
+    }
 }
 
 impl Interner {
-    /// Creates an empty arena.
+    /// Creates an arena with the default shard count.
     pub fn new() -> Self {
         Interner::default()
     }
 
+    /// Creates an arena split into `shards` shards. The count is rounded up
+    /// to a power of two and clamped to `[1, 256]`; `1` degenerates to a
+    /// single-shard arena (the closest analogue of the former global-lock
+    /// behaviour, useful as a differential baseline).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let mut interner = Interner {
+            shards: (0..shards).map(|_| Shard::new()).collect::<Vec<_>>().into(),
+            shard_bits: shards.trailing_zeros(),
+            const_true: FormulaId(0),
+            const_false: FormulaId(0),
+            contended_locks: AtomicUsize::new(0),
+        };
+        interner.const_true = interner.put_formula(FormulaNode::True);
+        interner.const_false = interner.put_formula(FormulaNode::False);
+        interner
+    }
+
+    /// Number of shards the arena is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot of the arena's node counts and lock-contention counter.
+    pub fn stats(&self) -> InternerStats {
+        InternerStats {
+            formula_nodes: self.formula_count(),
+            term_nodes: self.term_count(),
+            shard_count: self.shards.len(),
+            lock_contentions: self.contended_locks.load(Ordering::Relaxed),
+        }
+    }
+
+    // -- id encoding ------------------------------------------------------
+
+    fn encode(&self, shard: usize, slot: usize) -> u32 {
+        let slot = u32::try_from(slot).expect("arena overflow");
+        assert!(
+            slot <= u32::MAX >> self.shard_bits,
+            "arena overflow: slot does not fit the id encoding"
+        );
+        (slot << self.shard_bits) | shard as u32
+    }
+
+    fn decode(&self, id: u32) -> (usize, usize) {
+        let mask = (1u32 << self.shard_bits) - 1;
+        ((id & mask) as usize, (id >> self.shard_bits) as usize)
+    }
+
+    fn shard_of<T: Hash>(&self, node: &T) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        // FxHasher is deterministic, so the same node always lands on the
+        // same shard. Select from the *top* bits: the final step of a
+        // multiplicative hash mixes upward, so the low bits carry the least
+        // entropy (and are the ones the per-shard HashMaps consume).
+        let mut hasher = FxHasher::default();
+        node.hash(&mut hasher);
+        (hasher.finish() >> (64 - self.shard_bits)) as usize
+    }
+
+    // -- contention-counting lock helpers ---------------------------------
+
+    fn read_map<'a, T>(&self, lock: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
+        match lock.try_read() {
+            Ok(guard) => guard,
+            Err(_) => {
+                self.contended_locks.fetch_add(1, Ordering::Relaxed);
+                lock.read().unwrap()
+            }
+        }
+    }
+
+    fn write_map<'a, T>(&self, lock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
+        match lock.try_write() {
+            Ok(guard) => guard,
+            Err(_) => {
+                self.contended_locks.fetch_add(1, Ordering::Relaxed);
+                lock.write().unwrap()
+            }
+        }
+    }
+
+    fn lock_memo<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardMemo> {
+        match shard.memo.try_lock() {
+            Ok(guard) => guard,
+            Err(_) => {
+                self.contended_locks.fetch_add(1, Ordering::Relaxed);
+                shard.memo.lock().unwrap()
+            }
+        }
+    }
+
+    fn memo_of_formula(&self, id: FormulaId) -> MutexGuard<'_, ShardMemo> {
+        let (shard, _) = self.decode(id.0);
+        self.lock_memo(&self.shards[shard])
+    }
+
+    fn memo_of_term(&self, id: TermId) -> MutexGuard<'_, ShardMemo> {
+        let (shard, _) = self.decode(id.0);
+        self.lock_memo(&self.shards[shard])
+    }
+
+    // -- node storage ------------------------------------------------------
+
+    /// Lock-free read of the node behind a formula id.
+    fn fnode(&self, id: FormulaId) -> &FormulaNode {
+        let (shard, slot) = self.decode(id.0);
+        self.shards[shard].formulas.get(slot)
+    }
+
+    /// Lock-free read of the node behind a term id.
+    fn tnode(&self, id: TermId) -> &TermNode {
+        let (shard, slot) = self.decode(id.0);
+        self.shards[shard].terms.get(slot)
+    }
+
+    fn put_formula(&self, node: FormulaNode) -> FormulaId {
+        let shard_idx = self.shard_of(&node);
+        let shard = &self.shards[shard_idx];
+        if let Some(&id) = self.read_map(&shard.formula_ids).get(&node) {
+            return id;
+        }
+        let mut map = self.write_map(&shard.formula_ids);
+        if let Some(&id) = map.get(&node) {
+            return id;
+        }
+        let slot = shard.formulas.push(node.clone());
+        let id = FormulaId(self.encode(shard_idx, slot));
+        map.insert(node, id);
+        id
+    }
+
+    fn put_term(&self, node: TermNode) -> TermId {
+        let shard_idx = self.shard_of(&node);
+        let shard = &self.shards[shard_idx];
+        if let Some(&id) = self.read_map(&shard.term_ids).get(&node) {
+            return id;
+        }
+        let mut map = self.write_map(&shard.term_ids);
+        if let Some(&id) = map.get(&node) {
+            return id;
+        }
+        let slot = shard.terms.push(node.clone());
+        let id = TermId(self.encode(shard_idx, slot));
+        map.insert(node, id);
+        id
+    }
+
+    // -- public interning API ---------------------------------------------
+
     /// Interns a formula tree, returning its id. Structurally equal trees
     /// always receive the same id.
     pub fn intern(&self, formula: &Formula) -> FormulaId {
-        self.state.lock().unwrap().intern_formula(formula)
+        let node = match formula {
+            Formula::True => FormulaNode::True,
+            Formula::False => FormulaNode::False,
+            Formula::BoolVar(b) => FormulaNode::BoolVar(b.clone()),
+            Formula::Cmp(op, lhs, rhs) => {
+                FormulaNode::Cmp(*op, self.intern_term(lhs), self.intern_term(rhs))
+            }
+            Formula::Divides(d, t) => FormulaNode::Divides(*d, self.intern_term(t)),
+            Formula::Not(inner) => FormulaNode::Not(self.intern(inner)),
+            Formula::And(parts) => FormulaNode::And(parts.iter().map(|p| self.intern(p)).collect()),
+            Formula::Or(parts) => FormulaNode::Or(parts.iter().map(|p| self.intern(p)).collect()),
+            Formula::Implies(a, b) => FormulaNode::Implies(self.intern(a), self.intern(b)),
+            Formula::Iff(a, b) => FormulaNode::Iff(self.intern(a), self.intern(b)),
+            Formula::Quant(q, vars, body) => {
+                FormulaNode::Quant(*q, vars.clone(), self.intern(body))
+            }
+        };
+        self.put_formula(node)
     }
 
     /// Interns a term tree, returning its id.
     pub fn intern_term(&self, term: &Term) -> TermId {
-        self.state.lock().unwrap().intern_term(term)
+        let node = match term {
+            Term::Int(v) => TermNode::Int(*v),
+            Term::Var(v) => TermNode::Var(v.clone()),
+            Term::Add(parts) => TermNode::Add(parts.iter().map(|p| self.intern_term(p)).collect()),
+            Term::Sub(a, b) => TermNode::Sub(self.intern_term(a), self.intern_term(b)),
+            Term::Neg(a) => TermNode::Neg(self.intern_term(a)),
+            Term::Mul(a, b) => TermNode::Mul(self.intern_term(a), self.intern_term(b)),
+            Term::Select(arr, idx) => TermNode::Select(arr.clone(), self.intern_term(idx)),
+        };
+        self.put_term(node)
     }
 
     /// Reconstructs the formula tree for `id` (used at solver boundaries and
     /// for display; the hot paths stay on ids).
     pub fn formula(&self, id: FormulaId) -> Formula {
-        self.state.lock().unwrap().to_formula(id)
+        match self.fnode(id) {
+            FormulaNode::True => Formula::True,
+            FormulaNode::False => Formula::False,
+            FormulaNode::BoolVar(b) => Formula::BoolVar(b.clone()),
+            FormulaNode::Cmp(op, lhs, rhs) => Formula::Cmp(*op, self.term(*lhs), self.term(*rhs)),
+            FormulaNode::Divides(d, t) => Formula::Divides(*d, self.term(*t)),
+            FormulaNode::Not(inner) => Formula::Not(Box::new(self.formula(*inner))),
+            FormulaNode::And(parts) => {
+                Formula::And(parts.iter().map(|p| self.formula(*p)).collect())
+            }
+            FormulaNode::Or(parts) => Formula::Or(parts.iter().map(|p| self.formula(*p)).collect()),
+            FormulaNode::Implies(a, b) => {
+                Formula::Implies(Box::new(self.formula(*a)), Box::new(self.formula(*b)))
+            }
+            FormulaNode::Iff(a, b) => {
+                Formula::Iff(Box::new(self.formula(*a)), Box::new(self.formula(*b)))
+            }
+            FormulaNode::Quant(q, vars, body) => {
+                Formula::Quant(*q, vars.clone(), Box::new(self.formula(*body)))
+            }
+        }
     }
 
     /// Reconstructs the term tree for `id`.
     pub fn term(&self, id: TermId) -> Term {
-        self.state.lock().unwrap().to_term(id)
+        match self.tnode(id) {
+            TermNode::Int(v) => Term::Int(*v),
+            TermNode::Var(v) => Term::Var(v.clone()),
+            TermNode::Add(parts) => Term::Add(parts.iter().map(|p| self.term(*p)).collect()),
+            TermNode::Sub(a, b) => Term::Sub(Box::new(self.term(*a)), Box::new(self.term(*b))),
+            TermNode::Neg(a) => Term::Neg(Box::new(self.term(*a))),
+            TermNode::Mul(a, b) => Term::Mul(Box::new(self.term(*a)), Box::new(self.term(*b))),
+            TermNode::Select(arr, idx) => Term::Select(arr.clone(), Box::new(self.term(*idx))),
+        }
     }
 
     /// Returns a clone of the node behind `id`.
     pub fn node(&self, id: FormulaId) -> FormulaNode {
-        self.state.lock().unwrap().formulas[id.index()].clone()
+        self.fnode(id).clone()
     }
 
     /// Number of distinct formula nodes interned so far.
     pub fn formula_count(&self) -> usize {
-        self.state.lock().unwrap().formulas.len()
+        self.shards.iter().map(|s| s.formulas.len()).sum()
     }
 
     /// Number of distinct term nodes interned so far.
     pub fn term_count(&self) -> usize {
-        self.state.lock().unwrap().terms.len()
+        self.shards.iter().map(|s| s.terms.len()).sum()
     }
 
     /// `true` when `id` denotes the constant `true`.
     pub fn is_true(&self, id: FormulaId) -> bool {
-        matches!(
-            self.state.lock().unwrap().formulas[id.index()],
-            FormulaNode::True
-        )
+        id == self.const_true
     }
 
     /// `true` when `id` denotes the constant `false`.
     pub fn is_false(&self, id: FormulaId) -> bool {
-        matches!(
-            self.state.lock().unwrap().formulas[id.index()],
-            FormulaNode::False
-        )
+        id == self.const_false
     }
 
     /// The id of the constant `true`.
     pub fn true_id(&self) -> FormulaId {
-        self.state.lock().unwrap().put_formula(FormulaNode::True)
+        self.const_true
     }
 
     /// The id of the constant `false`.
     pub fn false_id(&self) -> FormulaId {
-        self.state.lock().unwrap().put_formula(FormulaNode::False)
+        self.const_false
     }
+
+    // -- smart constructors over ids --------------------------------------
 
     /// Negation with the usual constant/double-negation collapses.
     pub fn mk_not(&self, f: FormulaId) -> FormulaId {
-        self.state.lock().unwrap().mk_not(f)
+        match self.fnode(f) {
+            FormulaNode::True => self.const_false,
+            FormulaNode::False => self.const_true,
+            FormulaNode::Not(inner) => *inner,
+            _ => self.put_formula(FormulaNode::Not(f)),
+        }
     }
 
     /// N-ary conjunction; flattens, drops `true`, short-circuits `false`.
     pub fn mk_and(&self, parts: Vec<FormulaId>) -> FormulaId {
-        self.state.lock().unwrap().mk_and(parts)
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.fnode(p) {
+                FormulaNode::True => {}
+                FormulaNode::False => return self.const_false,
+                FormulaNode::And(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => self.const_true,
+            1 => flat[0],
+            _ => self.put_formula(FormulaNode::And(flat)),
+        }
     }
 
     /// N-ary disjunction; flattens, drops `false`, short-circuits `true`.
     pub fn mk_or(&self, parts: Vec<FormulaId>) -> FormulaId {
-        self.state.lock().unwrap().mk_or(parts)
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.fnode(p) {
+                FormulaNode::False => {}
+                FormulaNode::True => return self.const_true,
+                FormulaNode::Or(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => self.const_false,
+            1 => flat[0],
+            _ => self.put_formula(FormulaNode::Or(flat)),
+        }
     }
 
     /// Implication with the usual constant collapses.
     pub fn mk_implies(&self, lhs: FormulaId, rhs: FormulaId) -> FormulaId {
-        self.state.lock().unwrap().mk_implies(lhs, rhs)
+        match (self.fnode(lhs), self.fnode(rhs)) {
+            (FormulaNode::True, _) => rhs,
+            (FormulaNode::False, _) | (_, FormulaNode::True) => self.const_true,
+            _ => self.put_formula(FormulaNode::Implies(lhs, rhs)),
+        }
     }
 
     /// Bi-implication.
     pub fn mk_iff(&self, lhs: FormulaId, rhs: FormulaId) -> FormulaId {
-        self.state
-            .lock()
-            .unwrap()
-            .put_formula(FormulaNode::Iff(lhs, rhs))
+        self.put_formula(FormulaNode::Iff(lhs, rhs))
     }
 
     /// Universal quantification; collapses empty binder lists.
     pub fn mk_forall(&self, vars: Vec<Ident>, body: FormulaId) -> FormulaId {
-        self.state
-            .lock()
-            .unwrap()
-            .mk_quant(Quantifier::Forall, vars, body)
+        self.mk_quant(Quantifier::Forall, vars, body)
     }
 
     /// Existential quantification; collapses empty binder lists.
     pub fn mk_exists(&self, vars: Vec<Ident>, body: FormulaId) -> FormulaId {
-        self.state
-            .lock()
-            .unwrap()
-            .mk_quant(Quantifier::Exists, vars, body)
+        self.mk_quant(Quantifier::Exists, vars, body)
     }
 
-    /// Memoized, per-node simplification (the arena analogue of
-    /// [`crate::simplify`]). Identical subtrees are simplified once per arena
-    /// lifetime, no matter how many formulas share them.
-    pub fn simplify(&self, f: FormulaId) -> FormulaId {
-        self.state.lock().unwrap().simplify(f)
+    fn mk_quant(&self, q: Quantifier, vars: Vec<Ident>, body: FormulaId) -> FormulaId {
+        if vars.is_empty() {
+            body
+        } else {
+            self.put_formula(FormulaNode::Quant(q, vars, body))
+        }
     }
 
-    /// Memoized negation normal form (the arena analogue of [`crate::to_nnf`]).
-    pub fn nnf(&self, f: FormulaId) -> FormulaId {
-        self.state.lock().unwrap().nnf(f, false)
+    fn mk_cmp(&self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
+        self.put_formula(FormulaNode::Cmp(op, lhs, rhs))
     }
 
-    /// Applies a substitution to an interned formula. Sharing is exploited:
-    /// within one call every distinct subtree is rewritten at most once.
-    pub fn apply_subst(&self, subst: &Subst, f: FormulaId) -> FormulaId {
-        let mut state = self.state.lock().unwrap();
-        let int_map: HashMap<Ident, TermId> = subst
-            .iter_ints()
-            .map(|(v, t)| (v.clone(), state.intern_term(t)))
-            .collect();
-        let bool_map: HashMap<Ident, FormulaId> = subst
-            .iter_bools()
-            .map(|(v, g)| (v.clone(), state.intern_formula(g)))
-            .collect();
-        let mut fmemo = HashMap::new();
-        let mut tmemo = HashMap::new();
-        state.subst_formula(&int_map, &bool_map, f, &mut fmemo, &mut tmemo)
+    // -- memoized free-variable and size queries ---------------------------
+
+    fn term_vars(&self, t: TermId) -> Arc<HashSet<Ident>> {
+        if let Some(cached) = self.memo_of_term(t).term_vars.get(&t) {
+            return Arc::clone(cached);
+        }
+        let mut out = HashSet::new();
+        match self.tnode(t) {
+            TermNode::Int(_) => {}
+            TermNode::Var(v) => {
+                out.insert(v.clone());
+            }
+            TermNode::Add(parts) => {
+                for p in parts {
+                    out.extend(self.term_vars(*p).iter().cloned());
+                }
+            }
+            TermNode::Sub(a, b) | TermNode::Mul(a, b) => {
+                out.extend(self.term_vars(*a).iter().cloned());
+                out.extend(self.term_vars(*b).iter().cloned());
+            }
+            TermNode::Neg(a) => out.extend(self.term_vars(*a).iter().cloned()),
+            // Matching `Term::collect_vars`, the array name is not a variable;
+            // only the index contributes.
+            TermNode::Select(_, idx) => out.extend(self.term_vars(*idx).iter().cloned()),
+        }
+        let arc = Arc::new(out);
+        self.memo_of_term(t).term_vars.insert(t, Arc::clone(&arc));
+        arc
+    }
+
+    fn formula_vars(&self, f: FormulaId) -> Arc<VarSets> {
+        if let Some(cached) = self.memo_of_formula(f).formula_vars.get(&f) {
+            return Arc::clone(cached);
+        }
+        let mut sets = VarSets::default();
+        match self.fnode(f) {
+            FormulaNode::True | FormulaNode::False => {}
+            FormulaNode::BoolVar(b) => {
+                sets.bools.insert(b.clone());
+            }
+            FormulaNode::Cmp(_, lhs, rhs) => {
+                sets.ints.extend(self.term_vars(*lhs).iter().cloned());
+                sets.ints.extend(self.term_vars(*rhs).iter().cloned());
+            }
+            FormulaNode::Divides(_, t) => sets.ints.extend(self.term_vars(*t).iter().cloned()),
+            FormulaNode::Not(inner) => {
+                let inner = self.formula_vars(*inner);
+                sets.ints.extend(inner.ints.iter().cloned());
+                sets.bools.extend(inner.bools.iter().cloned());
+            }
+            FormulaNode::And(parts) | FormulaNode::Or(parts) => {
+                for p in parts {
+                    let child = self.formula_vars(*p);
+                    sets.ints.extend(child.ints.iter().cloned());
+                    sets.bools.extend(child.bools.iter().cloned());
+                }
+            }
+            FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
+                for child in [self.formula_vars(*a), self.formula_vars(*b)] {
+                    sets.ints.extend(child.ints.iter().cloned());
+                    sets.bools.extend(child.bools.iter().cloned());
+                }
+            }
+            FormulaNode::Quant(_, binders, body) => {
+                // Binders are integer-sorted, matching `Formula::collect_free_vars`:
+                // they shadow integer variables only.
+                let inner = self.formula_vars(*body);
+                sets.ints
+                    .extend(inner.ints.iter().filter(|v| !binders.contains(v)).cloned());
+                sets.bools.extend(inner.bools.iter().cloned());
+            }
+        }
+        let arc = Arc::new(sets);
+        self.memo_of_formula(f)
+            .formula_vars
+            .insert(f, Arc::clone(&arc));
+        arc
     }
 
     /// Free integer variables of an interned formula.
     ///
-    /// Var sets are memoized per node on the arena: a subtree shared by many
-    /// verification conditions is walked once per arena lifetime, and repeat
-    /// queries are a clone of the cached set — no tree reconstruction.
+    /// Var sets are memoized per node on the owning shard: a subtree shared
+    /// by many verification conditions is walked once per arena lifetime, and
+    /// repeat queries are a clone of the cached set — no tree reconstruction.
     pub fn int_vars(&self, f: FormulaId) -> HashSet<Ident> {
-        self.state.lock().unwrap().formula_vars(f).ints.clone()
+        self.formula_vars(f).ints.clone()
     }
 
     /// Free boolean variables of an interned formula (memoized per node).
     pub fn bool_vars(&self, f: FormulaId) -> HashSet<Ident> {
-        self.state.lock().unwrap().formula_vars(f).bools.clone()
+        self.formula_vars(f).bools.clone()
     }
 
     /// Free variables (integer and boolean) of an interned formula
     /// (memoized per node).
     pub fn free_vars(&self, f: FormulaId) -> HashSet<Ident> {
-        let sets = self.state.lock().unwrap().formula_vars(f);
+        let sets = self.formula_vars(f);
         let mut out = sets.ints.clone();
         out.extend(sets.bools.iter().cloned());
         out
@@ -300,20 +848,49 @@ impl Interner {
     /// Structural size (number of nodes, counting shared subtrees once per
     /// occurrence, matching [`Formula::size`]); memoized per node.
     pub fn size(&self, f: FormulaId) -> usize {
-        self.state.lock().unwrap().formula_size(f)
+        // Leaf fast path: atoms have size 1 — skip the memo lock entirely.
+        if matches!(
+            self.fnode(f),
+            FormulaNode::True
+                | FormulaNode::False
+                | FormulaNode::BoolVar(_)
+                | FormulaNode::Cmp(..)
+                | FormulaNode::Divides(..)
+        ) {
+            return 1;
+        }
+        if let Some(&s) = self.memo_of_formula(f).size.get(&f) {
+            return s;
+        }
+        let s = match self.fnode(f) {
+            FormulaNode::True
+            | FormulaNode::False
+            | FormulaNode::BoolVar(_)
+            | FormulaNode::Cmp(..)
+            | FormulaNode::Divides(..) => 1,
+            FormulaNode::Not(inner) => 1 + self.size(*inner),
+            FormulaNode::And(parts) | FormulaNode::Or(parts) => {
+                1 + parts.iter().map(|p| self.size(*p)).sum::<usize>()
+            }
+            FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
+                1 + self.size(*a) + self.size(*b)
+            }
+            FormulaNode::Quant(_, _, body) => 1 + self.size(*body),
+        };
+        self.memo_of_formula(f).size.insert(f, s);
+        s
     }
 
     /// `true` when the interned formula contains a quantifier. Walks the DAG
-    /// (each shared node once) without reconstructing trees.
+    /// (each shared node once) without reconstructing trees or taking locks.
     pub fn has_quantifier(&self, f: FormulaId) -> bool {
-        let state = self.state.lock().unwrap();
         let mut visited = HashSet::new();
         let mut stack = vec![f];
         while let Some(id) = stack.pop() {
             if !visited.insert(id) {
                 continue;
             }
-            match &state.formulas[id.index()] {
+            match self.fnode(id) {
                 FormulaNode::Quant(..) => return true,
                 FormulaNode::True
                 | FormulaNode::False
@@ -321,7 +898,9 @@ impl Interner {
                 | FormulaNode::Cmp(..)
                 | FormulaNode::Divides(..) => {}
                 FormulaNode::Not(inner) => stack.push(*inner),
-                FormulaNode::And(parts) | FormulaNode::Or(parts) => stack.extend(parts),
+                FormulaNode::And(parts) | FormulaNode::Or(parts) => {
+                    stack.extend(parts.iter().copied())
+                }
                 FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
                     stack.push(*a);
                     stack.push(*b);
@@ -330,307 +909,27 @@ impl Interner {
         }
         false
     }
-}
 
-impl State {
-    // -- memoized free-variable and size queries --------------------------
+    // -- memoized constant folding -----------------------------------------
 
-    fn term_vars(&mut self, t: TermId) -> Arc<HashSet<Ident>> {
-        if let Some(cached) = self.term_vars_memo.get(&t) {
-            return Arc::clone(cached);
+    fn fold_term(&self, t: TermId) -> TermId {
+        // Leaf fast path: literals and variables fold to themselves.
+        if matches!(self.tnode(t), TermNode::Int(_) | TermNode::Var(_)) {
+            return t;
         }
-        let mut out = HashSet::new();
-        match self.terms[t.index()].clone() {
-            TermNode::Int(_) => {}
-            TermNode::Var(v) => {
-                out.insert(v);
-            }
-            TermNode::Add(parts) => {
-                for p in parts {
-                    out.extend(self.term_vars(p).iter().cloned());
-                }
-            }
-            TermNode::Sub(a, b) | TermNode::Mul(a, b) => {
-                out.extend(self.term_vars(a).iter().cloned());
-                out.extend(self.term_vars(b).iter().cloned());
-            }
-            TermNode::Neg(a) => out.extend(self.term_vars(a).iter().cloned()),
-            // Matching `Term::collect_vars`, the array name is not a variable;
-            // only the index contributes.
-            TermNode::Select(_, idx) => out.extend(self.term_vars(idx).iter().cloned()),
-        }
-        let arc = Arc::new(out);
-        self.term_vars_memo.insert(t, Arc::clone(&arc));
-        arc
-    }
-
-    fn formula_vars(&mut self, f: FormulaId) -> Arc<VarSets> {
-        if let Some(cached) = self.formula_vars_memo.get(&f) {
-            return Arc::clone(cached);
-        }
-        let mut sets = VarSets::default();
-        match self.formulas[f.index()].clone() {
-            FormulaNode::True | FormulaNode::False => {}
-            FormulaNode::BoolVar(b) => {
-                sets.bools.insert(b);
-            }
-            FormulaNode::Cmp(_, lhs, rhs) => {
-                sets.ints.extend(self.term_vars(lhs).iter().cloned());
-                sets.ints.extend(self.term_vars(rhs).iter().cloned());
-            }
-            FormulaNode::Divides(_, t) => sets.ints.extend(self.term_vars(t).iter().cloned()),
-            FormulaNode::Not(inner) => {
-                let inner = self.formula_vars(inner);
-                sets.ints.extend(inner.ints.iter().cloned());
-                sets.bools.extend(inner.bools.iter().cloned());
-            }
-            FormulaNode::And(parts) | FormulaNode::Or(parts) => {
-                for p in parts {
-                    let child = self.formula_vars(p);
-                    sets.ints.extend(child.ints.iter().cloned());
-                    sets.bools.extend(child.bools.iter().cloned());
-                }
-            }
-            FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
-                for child in [self.formula_vars(a), self.formula_vars(b)] {
-                    sets.ints.extend(child.ints.iter().cloned());
-                    sets.bools.extend(child.bools.iter().cloned());
-                }
-            }
-            FormulaNode::Quant(_, binders, body) => {
-                // Binders are integer-sorted, matching `Formula::collect_free_vars`:
-                // they shadow integer variables only.
-                let inner = self.formula_vars(body);
-                sets.ints
-                    .extend(inner.ints.iter().filter(|v| !binders.contains(v)).cloned());
-                sets.bools.extend(inner.bools.iter().cloned());
-            }
-        }
-        let arc = Arc::new(sets);
-        self.formula_vars_memo.insert(f, Arc::clone(&arc));
-        arc
-    }
-
-    fn formula_size(&mut self, f: FormulaId) -> usize {
-        if let Some(&s) = self.size_memo.get(&f) {
-            return s;
-        }
-        let s = match self.formulas[f.index()].clone() {
-            FormulaNode::True
-            | FormulaNode::False
-            | FormulaNode::BoolVar(_)
-            | FormulaNode::Cmp(..)
-            | FormulaNode::Divides(..) => 1,
-            FormulaNode::Not(inner) => 1 + self.formula_size(inner),
-            FormulaNode::And(parts) | FormulaNode::Or(parts) => {
-                1 + parts.iter().map(|p| self.formula_size(*p)).sum::<usize>()
-            }
-            FormulaNode::Implies(a, b) | FormulaNode::Iff(a, b) => {
-                1 + self.formula_size(a) + self.formula_size(b)
-            }
-            FormulaNode::Quant(_, _, body) => 1 + self.formula_size(body),
-        };
-        self.size_memo.insert(f, s);
-        s
-    }
-
-    // -- interning -------------------------------------------------------
-
-    fn put_term(&mut self, node: TermNode) -> TermId {
-        if let Some(&id) = self.term_ids.get(&node) {
-            return id;
-        }
-        let id = TermId(u32::try_from(self.terms.len()).expect("term arena overflow"));
-        self.terms.push(node.clone());
-        self.term_ids.insert(node, id);
-        id
-    }
-
-    fn put_formula(&mut self, node: FormulaNode) -> FormulaId {
-        if let Some(&id) = self.formula_ids.get(&node) {
-            return id;
-        }
-        let id = FormulaId(u32::try_from(self.formulas.len()).expect("formula arena overflow"));
-        self.formulas.push(node.clone());
-        self.formula_ids.insert(node, id);
-        id
-    }
-
-    fn intern_term(&mut self, term: &Term) -> TermId {
-        let node = match term {
-            Term::Int(v) => TermNode::Int(*v),
-            Term::Var(v) => TermNode::Var(v.clone()),
-            Term::Add(parts) => {
-                let ids = parts.iter().map(|p| self.intern_term(p)).collect();
-                TermNode::Add(ids)
-            }
-            Term::Sub(a, b) => TermNode::Sub(self.intern_term(a), self.intern_term(b)),
-            Term::Neg(a) => TermNode::Neg(self.intern_term(a)),
-            Term::Mul(a, b) => TermNode::Mul(self.intern_term(a), self.intern_term(b)),
-            Term::Select(arr, idx) => TermNode::Select(arr.clone(), self.intern_term(idx)),
-        };
-        self.put_term(node)
-    }
-
-    fn intern_formula(&mut self, formula: &Formula) -> FormulaId {
-        let node = match formula {
-            Formula::True => FormulaNode::True,
-            Formula::False => FormulaNode::False,
-            Formula::BoolVar(b) => FormulaNode::BoolVar(b.clone()),
-            Formula::Cmp(op, lhs, rhs) => {
-                FormulaNode::Cmp(*op, self.intern_term(lhs), self.intern_term(rhs))
-            }
-            Formula::Divides(d, t) => FormulaNode::Divides(*d, self.intern_term(t)),
-            Formula::Not(inner) => FormulaNode::Not(self.intern_formula(inner)),
-            Formula::And(parts) => {
-                let ids = parts.iter().map(|p| self.intern_formula(p)).collect();
-                FormulaNode::And(ids)
-            }
-            Formula::Or(parts) => {
-                let ids = parts.iter().map(|p| self.intern_formula(p)).collect();
-                FormulaNode::Or(ids)
-            }
-            Formula::Implies(a, b) => {
-                FormulaNode::Implies(self.intern_formula(a), self.intern_formula(b))
-            }
-            Formula::Iff(a, b) => FormulaNode::Iff(self.intern_formula(a), self.intern_formula(b)),
-            Formula::Quant(q, vars, body) => {
-                FormulaNode::Quant(*q, vars.clone(), self.intern_formula(body))
-            }
-        };
-        self.put_formula(node)
-    }
-
-    // -- reconstruction --------------------------------------------------
-
-    fn to_term(&self, id: TermId) -> Term {
-        match &self.terms[id.index()] {
-            TermNode::Int(v) => Term::Int(*v),
-            TermNode::Var(v) => Term::Var(v.clone()),
-            TermNode::Add(parts) => Term::Add(parts.iter().map(|p| self.to_term(*p)).collect()),
-            TermNode::Sub(a, b) => {
-                Term::Sub(Box::new(self.to_term(*a)), Box::new(self.to_term(*b)))
-            }
-            TermNode::Neg(a) => Term::Neg(Box::new(self.to_term(*a))),
-            TermNode::Mul(a, b) => {
-                Term::Mul(Box::new(self.to_term(*a)), Box::new(self.to_term(*b)))
-            }
-            TermNode::Select(arr, idx) => Term::Select(arr.clone(), Box::new(self.to_term(*idx))),
-        }
-    }
-
-    fn to_formula(&self, id: FormulaId) -> Formula {
-        match &self.formulas[id.index()] {
-            FormulaNode::True => Formula::True,
-            FormulaNode::False => Formula::False,
-            FormulaNode::BoolVar(b) => Formula::BoolVar(b.clone()),
-            FormulaNode::Cmp(op, lhs, rhs) => {
-                Formula::Cmp(*op, self.to_term(*lhs), self.to_term(*rhs))
-            }
-            FormulaNode::Divides(d, t) => Formula::Divides(*d, self.to_term(*t)),
-            FormulaNode::Not(inner) => Formula::Not(Box::new(self.to_formula(*inner))),
-            FormulaNode::And(parts) => {
-                Formula::And(parts.iter().map(|p| self.to_formula(*p)).collect())
-            }
-            FormulaNode::Or(parts) => {
-                Formula::Or(parts.iter().map(|p| self.to_formula(*p)).collect())
-            }
-            FormulaNode::Implies(a, b) => {
-                Formula::Implies(Box::new(self.to_formula(*a)), Box::new(self.to_formula(*b)))
-            }
-            FormulaNode::Iff(a, b) => {
-                Formula::Iff(Box::new(self.to_formula(*a)), Box::new(self.to_formula(*b)))
-            }
-            FormulaNode::Quant(q, vars, body) => {
-                Formula::Quant(*q, vars.clone(), Box::new(self.to_formula(*body)))
-            }
-        }
-    }
-
-    // -- smart constructors over ids -------------------------------------
-
-    fn mk_not(&mut self, f: FormulaId) -> FormulaId {
-        match self.formulas[f.index()].clone() {
-            FormulaNode::True => self.put_formula(FormulaNode::False),
-            FormulaNode::False => self.put_formula(FormulaNode::True),
-            FormulaNode::Not(inner) => inner,
-            _ => self.put_formula(FormulaNode::Not(f)),
-        }
-    }
-
-    fn mk_and(&mut self, parts: Vec<FormulaId>) -> FormulaId {
-        let mut flat = Vec::new();
-        for p in parts {
-            match self.formulas[p.index()].clone() {
-                FormulaNode::True => {}
-                FormulaNode::False => return self.put_formula(FormulaNode::False),
-                FormulaNode::And(inner) => flat.extend(inner),
-                _ => flat.push(p),
-            }
-        }
-        match flat.len() {
-            0 => self.put_formula(FormulaNode::True),
-            1 => flat[0],
-            _ => self.put_formula(FormulaNode::And(flat)),
-        }
-    }
-
-    fn mk_or(&mut self, parts: Vec<FormulaId>) -> FormulaId {
-        let mut flat = Vec::new();
-        for p in parts {
-            match self.formulas[p.index()].clone() {
-                FormulaNode::False => {}
-                FormulaNode::True => return self.put_formula(FormulaNode::True),
-                FormulaNode::Or(inner) => flat.extend(inner),
-                _ => flat.push(p),
-            }
-        }
-        match flat.len() {
-            0 => self.put_formula(FormulaNode::False),
-            1 => flat[0],
-            _ => self.put_formula(FormulaNode::Or(flat)),
-        }
-    }
-
-    fn mk_implies(&mut self, lhs: FormulaId, rhs: FormulaId) -> FormulaId {
-        match (
-            self.formulas[lhs.index()].clone(),
-            self.formulas[rhs.index()].clone(),
-        ) {
-            (FormulaNode::True, _) => rhs,
-            (FormulaNode::False, _) | (_, FormulaNode::True) => self.put_formula(FormulaNode::True),
-            _ => self.put_formula(FormulaNode::Implies(lhs, rhs)),
-        }
-    }
-
-    fn mk_quant(&mut self, q: Quantifier, vars: Vec<Ident>, body: FormulaId) -> FormulaId {
-        if vars.is_empty() {
-            body
-        } else {
-            self.put_formula(FormulaNode::Quant(q, vars, body))
-        }
-    }
-
-    fn mk_cmp(&mut self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
-        self.put_formula(FormulaNode::Cmp(op, lhs, rhs))
-    }
-
-    // -- memoized constant folding ---------------------------------------
-
-    fn fold_term(&mut self, t: TermId) -> TermId {
-        if let Some(&f) = self.fold_memo.get(&t) {
+        if let Some(&f) = self.memo_of_term(t).fold.get(&t) {
             return f;
         }
-        let out = match self.terms[t.index()].clone() {
+        let out = match self.tnode(t) {
             TermNode::Int(_) | TermNode::Var(_) => t,
             TermNode::Add(parts) => {
                 let mut constant = 0i64;
                 let mut rest: Vec<TermId> = Vec::new();
-                for p in parts {
+                for &p in parts {
                     let folded = self.fold_term(p);
-                    match self.terms[folded.index()].clone() {
-                        TermNode::Int(v) => constant = constant.saturating_add(v),
-                        TermNode::Add(inner) => rest.extend(inner),
+                    match self.tnode(folded) {
+                        TermNode::Int(v) => constant = constant.saturating_add(*v),
+                        TermNode::Add(inner) => rest.extend(inner.iter().copied()),
                         _ => rest.push(folded),
                     }
                 }
@@ -649,36 +948,30 @@ impl State {
                 }
             }
             TermNode::Sub(a, b) => {
-                let fa = self.fold_term(a);
-                let fb = self.fold_term(b);
-                match (
-                    self.terms[fa.index()].clone(),
-                    self.terms[fb.index()].clone(),
-                ) {
+                let fa = self.fold_term(*a);
+                let fb = self.fold_term(*b);
+                match (self.tnode(fa), self.tnode(fb)) {
                     (TermNode::Int(x), TermNode::Int(y)) => {
-                        self.put_term(TermNode::Int(x.saturating_sub(y)))
+                        self.put_term(TermNode::Int(x.saturating_sub(*y)))
                     }
                     (_, TermNode::Int(0)) => fa,
                     _ => self.put_term(TermNode::Sub(fa, fb)),
                 }
             }
             TermNode::Neg(a) => {
-                let fa = self.fold_term(a);
-                match self.terms[fa.index()].clone() {
+                let fa = self.fold_term(*a);
+                match self.tnode(fa) {
                     TermNode::Int(x) => self.put_term(TermNode::Int(x.wrapping_neg())),
-                    TermNode::Neg(inner) => inner,
+                    TermNode::Neg(inner) => *inner,
                     _ => self.put_term(TermNode::Neg(fa)),
                 }
             }
             TermNode::Mul(a, b) => {
-                let fa = self.fold_term(a);
-                let fb = self.fold_term(b);
-                match (
-                    self.terms[fa.index()].clone(),
-                    self.terms[fb.index()].clone(),
-                ) {
+                let fa = self.fold_term(*a);
+                let fb = self.fold_term(*b);
+                match (self.tnode(fa), self.tnode(fb)) {
                     (TermNode::Int(x), TermNode::Int(y)) => {
-                        self.put_term(TermNode::Int(x.saturating_mul(y)))
+                        self.put_term(TermNode::Int(x.saturating_mul(*y)))
                     }
                     (TermNode::Int(0), _) | (_, TermNode::Int(0)) => {
                         self.put_term(TermNode::Int(0))
@@ -689,50 +982,75 @@ impl State {
                 }
             }
             TermNode::Select(arr, idx) => {
-                let fi = self.fold_term(idx);
+                let arr = arr.clone();
+                let fi = self.fold_term(*idx);
                 self.put_term(TermNode::Select(arr, fi))
             }
         };
-        self.fold_memo.insert(t, out);
-        self.fold_memo.insert(out, out);
+        let (t_shard, _) = self.decode(t.0);
+        let (out_shard, _) = self.decode(out.0);
+        let mut memo = self.lock_memo(&self.shards[t_shard]);
+        memo.fold.insert(t, out);
+        if out != t {
+            if out_shard == t_shard {
+                memo.fold.insert(out, out);
+            } else {
+                drop(memo);
+                self.lock_memo(&self.shards[out_shard])
+                    .fold
+                    .insert(out, out);
+            }
+        }
         out
     }
 
-    // -- memoized simplification -----------------------------------------
+    // -- memoized simplification -------------------------------------------
 
-    fn simplify(&mut self, f: FormulaId) -> FormulaId {
-        if let Some(&s) = self.simplify_memo.get(&f) {
+    /// Memoized, per-node simplification (the arena analogue of
+    /// [`crate::simplify`]). Identical subtrees are simplified once per arena
+    /// lifetime, no matter how many formulas share them.
+    pub fn simplify(&self, f: FormulaId) -> FormulaId {
+        // Leaf fast path: constants and boolean variables are their own
+        // normal form — skip the memo lock entirely.
+        if matches!(
+            self.fnode(f),
+            FormulaNode::True | FormulaNode::False | FormulaNode::BoolVar(_)
+        ) {
+            return f;
+        }
+        if let Some(&s) = self.memo_of_formula(f).simplify.get(&f) {
             return s;
         }
-        let out = match self.formulas[f.index()].clone() {
+        let out = match self.fnode(f) {
             FormulaNode::True | FormulaNode::False | FormulaNode::BoolVar(_) => f,
-            FormulaNode::Cmp(op, lhs, rhs) => self.simplify_cmp(op, lhs, rhs),
+            FormulaNode::Cmp(op, lhs, rhs) => self.simplify_cmp(*op, *lhs, *rhs),
             FormulaNode::Divides(d, t) => {
-                let t = self.fold_term(t);
+                let d = *d;
+                let t = self.fold_term(*t);
                 if d == 1 {
-                    self.put_formula(FormulaNode::True)
-                } else if let TermNode::Int(v) = self.terms[t.index()] {
+                    self.const_true
+                } else if let TermNode::Int(v) = self.tnode(t) {
                     if v.rem_euclid(d as i64) == 0 {
-                        self.put_formula(FormulaNode::True)
+                        self.const_true
                     } else {
-                        self.put_formula(FormulaNode::False)
+                        self.const_false
                     }
                 } else {
                     self.put_formula(FormulaNode::Divides(d, t))
                 }
             }
             FormulaNode::Not(inner) => {
-                let si = self.simplify(inner);
+                let si = self.simplify(*inner);
                 self.mk_not(si)
             }
             FormulaNode::And(parts) => {
                 let simplified: Vec<FormulaId> = parts.iter().map(|p| self.simplify(*p)).collect();
                 let flat = self.mk_and(simplified);
-                match self.formulas[flat.index()].clone() {
+                match self.fnode(flat) {
                     FormulaNode::And(items) => {
-                        let dedup = dedup_preserving_order(items);
+                        let dedup = dedup_preserving_order(items.clone());
                         if self.has_complementary_pair(&dedup) {
-                            self.put_formula(FormulaNode::False)
+                            self.const_false
                         } else {
                             self.mk_and(dedup)
                         }
@@ -743,11 +1061,11 @@ impl State {
             FormulaNode::Or(parts) => {
                 let simplified: Vec<FormulaId> = parts.iter().map(|p| self.simplify(*p)).collect();
                 let flat = self.mk_or(simplified);
-                match self.formulas[flat.index()].clone() {
+                match self.fnode(flat) {
                     FormulaNode::Or(items) => {
-                        let dedup = dedup_preserving_order(items);
+                        let dedup = dedup_preserving_order(items.clone());
                         if self.has_complementary_pair(&dedup) {
-                            self.put_formula(FormulaNode::True)
+                            self.const_true
                         } else {
                             self.mk_or(dedup)
                         }
@@ -756,39 +1074,32 @@ impl State {
                 }
             }
             FormulaNode::Implies(a, b) => {
-                let sa = self.simplify(a);
-                let sb = self.simplify(b);
-                match (
-                    self.formulas[sa.index()].clone(),
-                    self.formulas[sb.index()].clone(),
-                ) {
+                let sa = self.simplify(*a);
+                let sb = self.simplify(*b);
+                match (self.fnode(sa), self.fnode(sb)) {
                     (FormulaNode::True, _) => sb,
-                    (FormulaNode::False, _) | (_, FormulaNode::True) => {
-                        self.put_formula(FormulaNode::True)
-                    }
+                    (FormulaNode::False, _) | (_, FormulaNode::True) => self.const_true,
                     (_, FormulaNode::False) => self.mk_not(sa),
-                    _ if sa == sb => self.put_formula(FormulaNode::True),
+                    _ if sa == sb => self.const_true,
                     _ => self.put_formula(FormulaNode::Implies(sa, sb)),
                 }
             }
             FormulaNode::Iff(a, b) => {
-                let sa = self.simplify(a);
-                let sb = self.simplify(b);
-                match (
-                    self.formulas[sa.index()].clone(),
-                    self.formulas[sb.index()].clone(),
-                ) {
+                let sa = self.simplify(*a);
+                let sb = self.simplify(*b);
+                match (self.fnode(sa), self.fnode(sb)) {
                     (FormulaNode::True, _) => sb,
                     (_, FormulaNode::True) => sa,
                     (FormulaNode::False, _) => self.mk_not(sb),
                     (_, FormulaNode::False) => self.mk_not(sa),
-                    _ if sa == sb => self.put_formula(FormulaNode::True),
+                    _ if sa == sb => self.const_true,
                     _ => self.put_formula(FormulaNode::Iff(sa, sb)),
                 }
             }
             FormulaNode::Quant(q, vars, body) => {
-                let sb = self.simplify(body);
-                match self.formulas[sb.index()] {
+                let q = *q;
+                let sb = self.simplify(*body);
+                match self.fnode(sb) {
                     FormulaNode::True | FormulaNode::False => sb,
                     _ => {
                         let free = self.formula_vars(sb);
@@ -802,33 +1113,45 @@ impl State {
                 }
             }
         };
-        self.simplify_memo.insert(f, out);
-        self.simplify_memo.insert(out, out);
+        // The result is its own fixpoint; record both facts, with one lock
+        // when the two ids share a shard.
+        let (f_shard, _) = self.decode(f.0);
+        let (out_shard, _) = self.decode(out.0);
+        let mut memo = self.lock_memo(&self.shards[f_shard]);
+        memo.simplify.insert(f, out);
+        if out != f {
+            if out_shard == f_shard {
+                memo.simplify.insert(out, out);
+            } else {
+                drop(memo);
+                self.lock_memo(&self.shards[out_shard])
+                    .simplify
+                    .insert(out, out);
+            }
+        }
         out
     }
 
-    fn simplify_cmp(&mut self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
+    fn simplify_cmp(&self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
         let lhs = self.fold_term(lhs);
         let rhs = self.fold_term(rhs);
-        if let (TermNode::Int(a), TermNode::Int(b)) =
-            (&self.terms[lhs.index()], &self.terms[rhs.index()])
-        {
+        if let (TermNode::Int(a), TermNode::Int(b)) = (self.tnode(lhs), self.tnode(rhs)) {
             return if op.eval(*a, *b) {
-                self.put_formula(FormulaNode::True)
+                self.const_true
             } else {
-                self.put_formula(FormulaNode::False)
+                self.const_false
             };
         }
         if lhs == rhs {
             return match op {
-                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => self.put_formula(FormulaNode::True),
-                CmpOp::Ne | CmpOp::Lt | CmpOp::Gt => self.put_formula(FormulaNode::False),
+                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => self.const_true,
+                CmpOp::Ne | CmpOp::Lt | CmpOp::Gt => self.const_false,
             };
         }
         self.mk_cmp(op, lhs, rhs)
     }
 
-    fn has_complementary_pair(&mut self, items: &[FormulaId]) -> bool {
+    fn has_complementary_pair(&self, items: &[FormulaId]) -> bool {
         let set: HashSet<FormulaId> = items.iter().copied().collect();
         items.iter().any(|&f| {
             let negated = self.mk_not(f);
@@ -836,23 +1159,41 @@ impl State {
         })
     }
 
-    // -- memoized negation normal form ------------------------------------
+    // -- memoized negation normal form -------------------------------------
 
-    fn nnf(&mut self, f: FormulaId, negate: bool) -> FormulaId {
-        if let Some(&n) = self.nnf_memo.get(&(f, negate)) {
+    /// Memoized negation normal form (the arena analogue of [`crate::to_nnf`]).
+    pub fn nnf(&self, f: FormulaId) -> FormulaId {
+        self.nnf_inner(f, false)
+    }
+
+    fn nnf_inner(&self, f: FormulaId, negate: bool) -> FormulaId {
+        // Leaf fast path: positive constants/variables/atoms are already in
+        // NNF — skip the memo lock entirely.
+        if !negate
+            && matches!(
+                self.fnode(f),
+                FormulaNode::True
+                    | FormulaNode::False
+                    | FormulaNode::BoolVar(_)
+                    | FormulaNode::Divides(..)
+            )
+        {
+            return f;
+        }
+        if let Some(&n) = self.memo_of_formula(f).nnf.get(&(f, negate)) {
             return n;
         }
-        let out = match self.formulas[f.index()].clone() {
+        let out = match self.fnode(f) {
             FormulaNode::True => {
                 if negate {
-                    self.put_formula(FormulaNode::False)
+                    self.const_false
                 } else {
                     f
                 }
             }
             FormulaNode::False => {
                 if negate {
-                    self.put_formula(FormulaNode::True)
+                    self.const_true
                 } else {
                     f
                 }
@@ -865,8 +1206,8 @@ impl State {
                 }
             }
             FormulaNode::Cmp(op, lhs, rhs) => {
-                let op = if negate { op.negate() } else { op };
-                self.rewrite_cmp(op, lhs, rhs)
+                let op = if negate { op.negate() } else { *op };
+                self.rewrite_cmp(op, *lhs, *rhs)
             }
             FormulaNode::Divides(..) => {
                 if negate {
@@ -875,10 +1216,10 @@ impl State {
                     f
                 }
             }
-            FormulaNode::Not(inner) => self.nnf(inner, !negate),
+            FormulaNode::Not(inner) => self.nnf_inner(*inner, !negate),
             FormulaNode::And(parts) => {
                 let converted: Vec<FormulaId> =
-                    parts.iter().map(|p| self.nnf(*p, negate)).collect();
+                    parts.iter().map(|p| self.nnf_inner(*p, negate)).collect();
                 if negate {
                     self.mk_or(converted)
                 } else {
@@ -887,7 +1228,7 @@ impl State {
             }
             FormulaNode::Or(parts) => {
                 let converted: Vec<FormulaId> =
-                    parts.iter().map(|p| self.nnf(*p, negate)).collect();
+                    parts.iter().map(|p| self.nnf_inner(*p, negate)).collect();
                 if negate {
                     self.mk_and(converted)
                 } else {
@@ -895,38 +1236,40 @@ impl State {
                 }
             }
             FormulaNode::Implies(a, b) => {
+                let (a, b) = (*a, *b);
                 if negate {
-                    let na = self.nnf(a, false);
-                    let nb = self.nnf(b, true);
+                    let na = self.nnf_inner(a, false);
+                    let nb = self.nnf_inner(b, true);
                     self.mk_and(vec![na, nb])
                 } else {
-                    let na = self.nnf(a, true);
-                    let nb = self.nnf(b, false);
+                    let na = self.nnf_inner(a, true);
+                    let nb = self.nnf_inner(b, false);
                     self.mk_or(vec![na, nb])
                 }
             }
             FormulaNode::Iff(a, b) => {
+                let (a, b) = (*a, *b);
                 let (p1, p2) = if negate {
                     let both = {
-                        let x = self.nnf(a, false);
-                        let y = self.nnf(b, true);
+                        let x = self.nnf_inner(a, false);
+                        let y = self.nnf_inner(b, true);
                         self.mk_and(vec![x, y])
                     };
                     let neither = {
-                        let x = self.nnf(a, true);
-                        let y = self.nnf(b, false);
+                        let x = self.nnf_inner(a, true);
+                        let y = self.nnf_inner(b, false);
                         self.mk_and(vec![x, y])
                     };
                     (both, neither)
                 } else {
                     let both = {
-                        let x = self.nnf(a, false);
-                        let y = self.nnf(b, false);
+                        let x = self.nnf_inner(a, false);
+                        let y = self.nnf_inner(b, false);
                         self.mk_and(vec![x, y])
                     };
                     let neither = {
-                        let x = self.nnf(a, true);
-                        let y = self.nnf(b, true);
+                        let x = self.nnf_inner(a, true);
+                        let y = self.nnf_inner(b, true);
                         self.mk_and(vec![x, y])
                     };
                     (both, neither)
@@ -940,17 +1283,18 @@ impl State {
                         Quantifier::Exists => Quantifier::Forall,
                     }
                 } else {
-                    q
+                    *q
                 };
-                let nb = self.nnf(body, negate);
+                let vars = vars.clone();
+                let nb = self.nnf_inner(*body, negate);
                 self.put_formula(FormulaNode::Quant(q, vars, nb))
             }
         };
-        self.nnf_memo.insert((f, negate), out);
+        self.memo_of_formula(f).nnf.insert((f, negate), out);
         out
     }
 
-    fn rewrite_cmp(&mut self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
+    fn rewrite_cmp(&self, op: CmpOp, lhs: TermId, rhs: TermId) -> FormulaId {
         match op {
             CmpOp::Ne => {
                 let lt = self.mk_cmp(CmpOp::Lt, lhs, rhs);
@@ -963,8 +1307,24 @@ impl State {
 
     // -- substitution ------------------------------------------------------
 
+    /// Applies a substitution to an interned formula. Sharing is exploited:
+    /// within one call every distinct subtree is rewritten at most once.
+    pub fn apply_subst(&self, subst: &Subst, f: FormulaId) -> FormulaId {
+        let int_map: HashMap<Ident, TermId> = subst
+            .iter_ints()
+            .map(|(v, t)| (v.clone(), self.intern_term(t)))
+            .collect();
+        let bool_map: HashMap<Ident, FormulaId> = subst
+            .iter_bools()
+            .map(|(v, g)| (v.clone(), self.intern(g)))
+            .collect();
+        let mut fmemo = HashMap::new();
+        let mut tmemo = HashMap::new();
+        self.subst_formula(&int_map, &bool_map, f, &mut fmemo, &mut tmemo)
+    }
+
     fn subst_term(
-        &mut self,
+        &self,
         int_map: &HashMap<Ident, TermId>,
         t: TermId,
         memo: &mut HashMap<TermId, TermId>,
@@ -972,9 +1332,9 @@ impl State {
         if let Some(&r) = memo.get(&t) {
             return r;
         }
-        let out = match self.terms[t.index()].clone() {
+        let out = match self.tnode(t) {
             TermNode::Int(_) => t,
-            TermNode::Var(v) => int_map.get(&v).copied().unwrap_or(t),
+            TermNode::Var(v) => int_map.get(v).copied().unwrap_or(t),
             TermNode::Add(parts) => {
                 let ids: Vec<TermId> = parts
                     .iter()
@@ -983,21 +1343,22 @@ impl State {
                 self.put_term(TermNode::Add(ids))
             }
             TermNode::Sub(a, b) => {
-                let sa = self.subst_term(int_map, a, memo);
-                let sb = self.subst_term(int_map, b, memo);
+                let sa = self.subst_term(int_map, *a, memo);
+                let sb = self.subst_term(int_map, *b, memo);
                 self.put_term(TermNode::Sub(sa, sb))
             }
             TermNode::Neg(a) => {
-                let sa = self.subst_term(int_map, a, memo);
+                let sa = self.subst_term(int_map, *a, memo);
                 self.put_term(TermNode::Neg(sa))
             }
             TermNode::Mul(a, b) => {
-                let sa = self.subst_term(int_map, a, memo);
-                let sb = self.subst_term(int_map, b, memo);
+                let sa = self.subst_term(int_map, *a, memo);
+                let sb = self.subst_term(int_map, *b, memo);
                 self.put_term(TermNode::Mul(sa, sb))
             }
             TermNode::Select(arr, idx) => {
-                let si = self.subst_term(int_map, idx, memo);
+                let arr = arr.clone();
+                let si = self.subst_term(int_map, *idx, memo);
                 self.put_term(TermNode::Select(arr, si))
             }
         };
@@ -1006,7 +1367,7 @@ impl State {
     }
 
     fn subst_formula(
-        &mut self,
+        &self,
         int_map: &HashMap<Ident, TermId>,
         bool_map: &HashMap<Ident, FormulaId>,
         f: FormulaId,
@@ -1016,20 +1377,22 @@ impl State {
         if let Some(&r) = fmemo.get(&f) {
             return r;
         }
-        let out = match self.formulas[f.index()].clone() {
+        let out = match self.fnode(f) {
             FormulaNode::True | FormulaNode::False => f,
-            FormulaNode::BoolVar(b) => bool_map.get(&b).copied().unwrap_or(f),
+            FormulaNode::BoolVar(b) => bool_map.get(b).copied().unwrap_or(f),
             FormulaNode::Cmp(op, lhs, rhs) => {
-                let sl = self.subst_term(int_map, lhs, tmemo);
-                let sr = self.subst_term(int_map, rhs, tmemo);
+                let op = *op;
+                let sl = self.subst_term(int_map, *lhs, tmemo);
+                let sr = self.subst_term(int_map, *rhs, tmemo);
                 self.mk_cmp(op, sl, sr)
             }
             FormulaNode::Divides(d, t) => {
-                let st = self.subst_term(int_map, t, tmemo);
+                let d = *d;
+                let st = self.subst_term(int_map, *t, tmemo);
                 self.put_formula(FormulaNode::Divides(d, st))
             }
             FormulaNode::Not(inner) => {
-                let si = self.subst_formula(int_map, bool_map, inner, fmemo, tmemo);
+                let si = self.subst_formula(int_map, bool_map, *inner, fmemo, tmemo);
                 self.mk_not(si)
             }
             FormulaNode::And(parts) => {
@@ -1047,16 +1410,17 @@ impl State {
                 self.mk_or(ids)
             }
             FormulaNode::Implies(a, b) => {
-                let sa = self.subst_formula(int_map, bool_map, a, fmemo, tmemo);
-                let sb = self.subst_formula(int_map, bool_map, b, fmemo, tmemo);
+                let sa = self.subst_formula(int_map, bool_map, *a, fmemo, tmemo);
+                let sb = self.subst_formula(int_map, bool_map, *b, fmemo, tmemo);
                 self.put_formula(FormulaNode::Implies(sa, sb))
             }
             FormulaNode::Iff(a, b) => {
-                let sa = self.subst_formula(int_map, bool_map, a, fmemo, tmemo);
-                let sb = self.subst_formula(int_map, bool_map, b, fmemo, tmemo);
+                let sa = self.subst_formula(int_map, bool_map, *a, fmemo, tmemo);
+                let sb = self.subst_formula(int_map, bool_map, *b, fmemo, tmemo);
                 self.put_formula(FormulaNode::Iff(sa, sb))
             }
             FormulaNode::Quant(q, binders, body) => {
+                let (q, binders, body) = (*q, binders.clone(), *body);
                 // Binders shadow the substitution; narrow the maps and use a
                 // fresh memo for the narrowed scope.
                 let shadowed = binders
@@ -1260,5 +1624,73 @@ mod tests {
         assert_eq!(arena.free_vars(id), f.free_vars());
         assert_eq!(arena.arrays(id), f.arrays());
         assert_eq!(arena.size(id), f.size());
+    }
+
+    #[test]
+    fn shard_counts_are_normalised_and_reported() {
+        assert_eq!(Interner::with_shards(1).shard_count(), 1);
+        assert_eq!(Interner::with_shards(3).shard_count(), 4);
+        assert_eq!(Interner::with_shards(16).shard_count(), 16);
+        assert_eq!(Interner::with_shards(0).shard_count(), 1);
+        assert_eq!(Interner::with_shards(100_000).shard_count(), 256);
+        let arena = Interner::with_shards(8);
+        arena.intern(&rw_invariant());
+        let stats = arena.stats();
+        assert_eq!(stats.shard_count, 8);
+        assert!(stats.formula_nodes > 0);
+        assert!(stats.term_nodes > 0);
+        assert_eq!(stats.lock_contentions, 0, "sequential use never contends");
+    }
+
+    #[test]
+    fn single_shard_and_many_shard_arenas_agree() {
+        let one = Interner::with_shards(1);
+        let many = Interner::with_shards(16);
+        let cases = vec![
+            rw_invariant(),
+            Formula::not(rw_invariant()),
+            Formula::implies(rw_invariant(), Formula::bool_var("p")),
+            Term::int(2).mul(Term::var("x")).le(Term::int(7)),
+            Formula::forall(vec!["x".into()], Term::var("x").ne(Term::int(0))),
+        ];
+        for f in &cases {
+            let a = one.intern(f);
+            let b = many.intern(f);
+            assert_eq!(one.formula(one.simplify(a)), many.formula(many.simplify(b)));
+            assert_eq!(one.formula(one.nnf(a)), many.formula(many.nnf(b)));
+            assert_eq!(one.free_vars(a), many.free_vars(b));
+            assert_eq!(one.size(a), many.size(b));
+        }
+        // Structural dedup is exact in both: the arenas hold the same node set.
+        assert_eq!(one.formula_count(), many.formula_count());
+        assert_eq!(one.term_count(), many.term_count());
+    }
+
+    #[test]
+    fn chunk_locate_covers_the_slot_space_contiguously() {
+        // Walking slots in order must walk chunks in order, starting each
+        // chunk at offset 0 and filling it completely before the next.
+        let (mut expect_k, mut expect_off) = (0usize, 0usize);
+        for slot in 0..(FIRST_CHUNK_LEN * 20) {
+            let (k, off) = locate(slot);
+            assert_eq!((k, off), (expect_k, expect_off), "slot {slot}");
+            expect_off += 1;
+            if expect_off == chunk_len(expect_k) {
+                expect_k += 1;
+                expect_off = 0;
+            }
+        }
+        // The table covers more than the id encoding can address.
+        let (k, _) = locate(u32::MAX as usize);
+        assert!(k < MAX_CHUNKS);
+    }
+
+    #[test]
+    fn ids_encode_shard_and_slot_stably() {
+        let arena = Interner::with_shards(16);
+        let id = arena.intern(&rw_invariant());
+        let (shard, slot) = arena.decode(id.index() as u32);
+        assert!(shard < arena.shard_count());
+        assert_eq!(arena.encode(shard, slot), id.index() as u32);
     }
 }

@@ -1,0 +1,66 @@
+//! Deterministic seeded pseudo-random generator.
+//!
+//! The workspace vendors no `rand`, so every property suite, stress test and
+//! conformance harness draws from this one linear congruential generator
+//! (Knuth's MMIX constants with a splitmix-style seed scramble). Failures
+//! therefore reproduce deterministically from the printed seed. It is **not**
+//! a statistical or cryptographic generator; it exists purely so test inputs
+//! are reproducible.
+
+/// Deterministic linear congruential generator. See the module documentation.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Creates a generator from `seed`; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    /// The next raw value of the stream.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
+    pub fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// A value in `0..n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// An index in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_yield_equal_streams() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = Lcg::new(43);
+        assert_ne!((0..4).map(|_| a.next()).sum::<u64>(), {
+            (0..4).map(|_| c.next()).sum::<u64>()
+        });
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut rng = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+            assert!(rng.index(5) < 5);
+        }
+    }
+}

@@ -25,6 +25,7 @@
 mod eval;
 mod formula;
 mod intern;
+mod lcg;
 mod nnf;
 mod simplify;
 mod subst;
@@ -32,7 +33,13 @@ mod term;
 
 pub use eval::{EvalError, Valuation};
 pub use formula::{CmpOp, Formula, Quantifier};
-pub use intern::{FormulaId, FormulaNode, Interner, TermId, TermNode};
+pub use intern::{
+    FormulaId, FormulaNode, Interner, InternerStats, TermId, TermNode, DEFAULT_INTERNER_SHARDS,
+};
+// Test-support only: the deterministic generator every workspace harness
+// shares (the workspace vendors no `rand`). Hidden from the documented API.
+#[doc(hidden)]
+pub use lcg::Lcg;
 pub use nnf::to_nnf;
 pub use simplify::simplify;
 pub use subst::Subst;

@@ -1,37 +1,16 @@
 //! Property-style cross-checks of the interned (arena) implementations
 //! against the reference tree implementations, over ~200 generated formulas.
 //!
-//! The workspace vendors no `rand`, so generation uses a seeded LCG; failures
-//! therefore reproduce deterministically. For every sample the arena's
-//! memoized simplify / NNF / constant folding must agree with the tree
-//! `simplify` / `to_nnf`, and the memoized per-node free-variable sets and
-//! sizes must match a recomputed tree baseline — including after the memo
+//! The workspace vendors no `rand`, so generation uses the crate's seeded
+//! [`Lcg`]; failures therefore reproduce deterministically. For every sample
+//! the arena's memoized simplify / NNF / constant folding must agree with the
+//! tree `simplify` / `to_nnf`, and the memoized per-node free-variable sets
+//! and sizes must match a recomputed tree baseline — including after the memo
 //! tables are warm.
 
-use expresso_logic::{simplify, to_nnf, Formula, Interner, Term};
+use expresso_logic::{simplify, to_nnf, Formula, Interner, Lcg, Term};
 
 const SAMPLES: usize = 200;
-
-/// Deterministic LCG (Knuth's MMIX constants).
-struct Lcg(u64);
-
-impl Lcg {
-    fn new(seed: u64) -> Self {
-        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
 
 fn term(rng: &mut Lcg, depth: usize) -> Term {
     if depth == 0 {

@@ -6,7 +6,7 @@ use crate::linear::{LinExpr, TranslateError};
 use crate::sat::{neg, pos, Lit, SatOutcome, SatSolver};
 use expresso_logic::{CmpOp, Formula, FormulaId, Ident, Interner, Term, Valuation};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -32,6 +32,11 @@ pub struct SolverConfig {
     /// global mutex. `1` degenerates to the unsharded behaviour; values are
     /// clamped to at least 1.
     pub cache_shards: usize,
+    /// Number of shards the formula arena is split into when this solver
+    /// constructs its own [`Interner`] (see [`Interner::with_shards`]).
+    /// Ignored by [`Solver::with_interner`], which adopts the given arena's
+    /// sharding as-is.
+    pub interner_shards: usize,
 }
 
 impl Default for SolverConfig {
@@ -42,6 +47,7 @@ impl Default for SolverConfig {
             model_search_limit: 20_000,
             enable_cache: true,
             cache_shards: 16,
+            interner_shards: expresso_logic::DEFAULT_INTERNER_SHARDS,
         }
     }
 }
@@ -292,6 +298,16 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
             .map(|(v, e)| (v.clone(), *e != epoch))
     }
 
+    /// Reads a cached value without epoch bookkeeping (used by the batch
+    /// scheduler to order obligations; never counted as a hit).
+    fn peek(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|(v, _)| v.clone())
+    }
+
     fn insert(&self, key: K, value: V, epoch: u32) {
         self.shard(&key).lock().unwrap().insert(key, (value, epoch));
     }
@@ -332,7 +348,8 @@ impl Solver {
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Self {
-        Solver::with_interner(config, Arc::new(Interner::new()))
+        let interner = Arc::new(Interner::with_shards(config.interner_shards));
+        Solver::with_interner(config, interner)
     }
 
     /// Creates a solver sharing an existing arena (so callers can build
@@ -506,12 +523,52 @@ impl Solver {
 
     /// Checks validity of a batch of interned formulas.
     ///
-    /// Results are index-aligned with the input. Batching keeps the call site
-    /// tight for callers that generate many obligations at once (signal
-    /// placement discharges a handful per `(CCR, guard)` pair); every query
-    /// still benefits from the shared cache.
+    /// Results are index-aligned with the input, but the batch is exploited:
+    /// duplicate ids are discharged once, and the distinct queries run in
+    /// expected-cost order — already-cached verdicts first (they are free),
+    /// then ascending structural size, so cheap refutations populate the
+    /// theory/QE memo tables before the expensive obligations re-derive the
+    /// overlapping cores. Ordering never changes a verdict (each query is a
+    /// pure function of its formula); it only shifts cache traffic.
     pub fn check_valid_batch(&self, ids: &[FormulaId]) -> Vec<ValidityResult> {
-        ids.iter().map(|&id| self.check_valid_id(id)).collect()
+        let mut distinct: Vec<FormulaId> = Vec::new();
+        let mut seen = HashSet::new();
+        for &id in ids {
+            if seen.insert(id) {
+                distinct.push(id);
+            }
+        }
+        distinct
+            .sort_by_cached_key(|&id| (self.cached_validity(id).is_none(), self.interner.size(id)));
+        let verdicts: HashMap<FormulaId, ValidityResult> = distinct
+            .into_iter()
+            .map(|id| (id, self.check_valid_id(id)))
+            .collect();
+        ids.iter().map(|id| verdicts[id].clone()).collect()
+    }
+
+    /// Peeks at the memo cache for the validity of `id` without solving,
+    /// without counting a query and without epoch bookkeeping. `None` when
+    /// the verdict is unknown to the cache (or caching is disabled).
+    ///
+    /// The batch discharge paths use this to schedule already-answered
+    /// obligations first.
+    pub fn cached_validity(&self, id: FormulaId) -> Option<ValidityResult> {
+        let norm = self.interner.simplify(self.interner.mk_not(id));
+        if self.interner.is_false(norm) {
+            return Some(ValidityResult::Valid);
+        }
+        if self.interner.is_true(norm) {
+            return Some(ValidityResult::Invalid(Some(Valuation::new())));
+        }
+        if !self.config.enable_cache {
+            return None;
+        }
+        self.cache.peek(&norm).map(|sat| match sat {
+            SatResult::Unsat => ValidityResult::Valid,
+            SatResult::Sat(model) => ValidityResult::Invalid(model),
+            SatResult::Unknown(e) => ValidityResult::Unknown(e),
+        })
     }
 
     /// Convenience wrapper: `true` exactly when `formula` is proven valid.
@@ -537,11 +594,15 @@ impl Solver {
     /// `check_equiv(a, b)` and `check_equiv(b, a)` share one cache entry —
     /// the commutativity precomputation asks both orders for every CCR pair.
     pub fn check_equiv(&self, lhs: &Formula, rhs: &Formula) -> ValidityResult {
-        let mut l = self.interner.intern(lhs);
-        let mut r = self.interner.intern(rhs);
-        if r < l {
-            std::mem::swap(&mut l, &mut r);
-        }
+        let l = self.interner.intern(lhs);
+        let r = self.interner.intern(rhs);
+        self.check_equiv_ids(l, r)
+    }
+
+    /// Checks logical equivalence of two interned formulas (canonicalized by
+    /// id like [`Solver::check_equiv`]).
+    pub fn check_equiv_ids(&self, lhs: FormulaId, rhs: FormulaId) -> ValidityResult {
+        let (l, r) = if rhs < lhs { (rhs, lhs) } else { (lhs, rhs) };
         self.check_valid_id(self.interner.mk_iff(l, r))
     }
 

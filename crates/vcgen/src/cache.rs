@@ -1,0 +1,213 @@
+//! Memoization of weakest-precondition results.
+//!
+//! Signal placement and the invariant fixpoint recompute `wp(body, post)` for
+//! the same `(CCR body, postcondition)` pair over and over: every fixpoint
+//! round re-proves consecution for each surviving candidate, the §4.3
+//! commutativity improvement asks for the same sequential compositions under
+//! both orders, and the `while` havoc path rebuilds an identical quantified
+//! exit condition each time. [`WpCache`] memoizes the interned result keyed
+//! on `(body, post-id)`; `wp` is a pure function of that pair (fresh-name
+//! generation depends only on the formulas involved), so a hit is always the
+//! exact id a recomputation would produce.
+//!
+//! The table is hash-striped like the solver's memo caches so parallel
+//! placement workers do not serialize on a single mutex, and statistics are
+//! relaxed atomics. One cache is only ever valid for one monitor's symbol
+//! table **and one formula arena** — keys embed table-dependent lowering and
+//! the cached [`FormulaId`]s are only meaningful in the arena that minted
+//! them. The pipeline therefore creates a fresh cache per analysis and
+//! shares it between abduction and placement of that monitor (which run
+//! against the same solver, hence the same arena).
+
+use crate::wp::WpError;
+use expresso_logic::FormulaId;
+use expresso_monitor_lang::Stmt;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const WP_CACHE_SHARDS: usize = 16;
+
+/// One stripe of the cache: statement → (post-id → memoized wp).
+type WpShard = HashMap<Stmt, HashMap<FormulaId, Result<FormulaId, WpError>>>;
+
+/// Hit/miss counters of one [`WpCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WpCacheStats {
+    /// `wp` computations answered from the cache.
+    pub hits: usize,
+    /// `wp` computations that had to run and were then cached.
+    pub misses: usize,
+}
+
+impl WpCacheStats {
+    /// Fraction of lookups answered from the cache (0.0 with no traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A striped `(body, post-id) → wp` memo table. See the module documentation.
+#[derive(Debug)]
+pub struct WpCache {
+    enabled: bool,
+    /// Outer key: the statement (cloned once on first insert); inner key: the
+    /// interned postcondition. The two-level shape lets lookups borrow the
+    /// caller's `&Stmt` instead of cloning it per query.
+    shards: Box<[Mutex<WpShard>]>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for WpCache {
+    fn default() -> Self {
+        WpCache::new(true)
+    }
+}
+
+impl WpCache {
+    /// Creates a cache; `enabled = false` yields a pass-through that always
+    /// recomputes (the differential baseline the equivalence tests use).
+    pub fn new(enabled: bool) -> Self {
+        WpCache {
+            enabled,
+            shards: (0..WP_CACHE_SHARDS)
+                .map(|_| Mutex::default())
+                .collect::<Vec<_>>()
+                .into(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether lookups are served (as opposed to pass-through recomputation).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> WpCacheStats {
+        WpCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, stmt: &Stmt) -> &Mutex<WpShard> {
+        let mut hasher = DefaultHasher::new();
+        stmt.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    /// Returns the memoized `wp(stmt, post)`, computing and recording it on a
+    /// miss. The computation runs outside the stripe lock; a racing duplicate
+    /// computes the same pure result, so last-write-wins is harmless.
+    pub fn get_or_compute(
+        &self,
+        stmt: &Stmt,
+        post: FormulaId,
+        compute: impl FnOnce() -> Result<FormulaId, WpError>,
+    ) -> Result<FormulaId, WpError> {
+        if !self.enabled {
+            return compute();
+        }
+        if let Some(cached) = self
+            .shard(stmt)
+            .lock()
+            .unwrap()
+            .get(stmt)
+            .and_then(|by_post| by_post.get(&post))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        let result = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard(stmt)
+            .lock()
+            .unwrap()
+            .entry(stmt.clone())
+            .or_default()
+            .insert(post, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_logic::Interner;
+
+    fn skip() -> Stmt {
+        Stmt::Skip
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let interner = Interner::new();
+        let post = interner.true_id();
+        let cache = WpCache::new(true);
+        let mut computed = 0;
+        for _ in 0..3 {
+            let got = cache.get_or_compute(&skip(), post, || {
+                computed += 1;
+                Ok(post)
+            });
+            assert_eq!(got, Ok(post));
+        }
+        assert_eq!(computed, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_every_time() {
+        let interner = Interner::new();
+        let post = interner.true_id();
+        let cache = WpCache::new(false);
+        let mut computed = 0;
+        for _ in 0..3 {
+            let _ = cache.get_or_compute(&skip(), post, || {
+                computed += 1;
+                Ok(post)
+            });
+        }
+        assert_eq!(computed, 3);
+        assert_eq!(cache.stats(), WpCacheStats::default());
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let interner = Interner::new();
+        let post = interner.false_id();
+        let cache = WpCache::new(true);
+        let mut computed = 0;
+        for _ in 0..2 {
+            let got = cache.get_or_compute(&skip(), post, || {
+                computed += 1;
+                Err(WpError::ArrayWrite("buf".into()))
+            });
+            assert_eq!(got, Err(WpError::ArrayWrite("buf".into())));
+        }
+        assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn distinct_posts_are_distinct_entries() {
+        let interner = Interner::new();
+        let cache = WpCache::new(true);
+        let t = interner.true_id();
+        let f = interner.false_id();
+        assert_eq!(cache.get_or_compute(&skip(), t, || Ok(t)), Ok(t));
+        assert_eq!(cache.get_or_compute(&skip(), f, || Ok(f)), Ok(f));
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

@@ -1,5 +1,6 @@
 //! Hoare-triple discharge and commutativity checking.
 
+use crate::cache::WpCache;
 use crate::wp::{wp, wp_id, WpError};
 use expresso_logic::{fresh_name, Formula, FormulaId, Interner, Subst, Term};
 use expresso_monitor_lang::{Monitor, Stmt, Type, VarTable};
@@ -58,16 +59,40 @@ pub struct VcGen<'a> {
     monitor: &'a Monitor,
     table: &'a VarTable,
     solver: &'a Solver,
+    /// Memoized `(body, post-id) → wp` results. Valid only for this
+    /// generator's monitor/table; the pipeline shares one cache between the
+    /// abduction and placement passes of a single analysis.
+    wp_cache: Arc<WpCache>,
 }
 
 impl<'a> VcGen<'a> {
-    /// Creates a generator for `monitor`.
+    /// Creates a generator for `monitor` with a fresh private WP cache.
     pub fn new(monitor: &'a Monitor, table: &'a VarTable, solver: &'a Solver) -> Self {
+        VcGen::with_wp_cache(monitor, table, solver, Arc::new(WpCache::default()))
+    }
+
+    /// Creates a generator sharing an existing WP cache. The cache must have
+    /// been populated against the **same monitor, symbol table and formula
+    /// arena** (`solver.interner()`): `(body, post)` keys from a different
+    /// table would alias unsoundly, and cached `FormulaId`s are only
+    /// meaningful in the arena that minted them.
+    pub fn with_wp_cache(
+        monitor: &'a Monitor,
+        table: &'a VarTable,
+        solver: &'a Solver,
+        wp_cache: Arc<WpCache>,
+    ) -> Self {
         VcGen {
             monitor,
             table,
             solver,
+            wp_cache,
         }
+    }
+
+    /// The WP memo cache this generator consults.
+    pub fn wp_cache(&self) -> &Arc<WpCache> {
+        &self.wp_cache
     }
 
     /// The monitor this generator reasons about.
@@ -106,7 +131,7 @@ impl<'a> VcGen<'a> {
 
     /// Discharges `{pre} stmt {post}` over interned formulas.
     pub fn check_triple_ids(&self, pre: FormulaId, stmt: &Stmt, post: FormulaId) -> TripleStatus {
-        match wp_id(stmt, post, self.table, self.interner()) {
+        match self.wp_id(stmt, post) {
             Ok(weakest) => match self.solver.check_implies_ids(pre, weakest) {
                 ValidityResult::Valid => TripleStatus::Valid,
                 ValidityResult::Invalid(_) => TripleStatus::Invalid,
@@ -123,11 +148,60 @@ impl<'a> VcGen<'a> {
 
     /// Discharges a batch of triples, returning index-aligned statuses.
     ///
-    /// All VCs go through the shared arena and solver cache, so a batch whose
-    /// members share subformulas (the common case for the O(n²) placement
-    /// obligations) pays for each distinct VC once.
+    /// Batch-aware: the `(body, post)` WP cache dedupes the shared weakest-
+    /// precondition work across the batch, structurally identical VCs are
+    /// discharged once, and the distinct VCs run in expected-cost order
+    /// (cached verdicts first, then ascending formula size) so cheap
+    /// refutations warm the solver's theory/QE memo tables before the
+    /// expensive obligations hit them. See [`VcGen::check_triples_ids`].
     pub fn check_triples(&self, triples: &[HoareTriple]) -> Vec<TripleStatus> {
-        triples.iter().map(|t| self.check(t)).collect()
+        let interner = self.interner().clone();
+        let obligations: Vec<(FormulaId, &Stmt, FormulaId)> = triples
+            .iter()
+            .map(|t| (interner.intern(&t.pre), &t.stmt, interner.intern(&t.post)))
+            .collect();
+        self.check_triples_ids(&obligations)
+    }
+
+    /// Discharges a batch of `(pre, stmt, post)` obligations over interned
+    /// formulas, returning index-aligned statuses. This is the batch-aware
+    /// core behind [`VcGen::check_triples`]; see there for the strategy.
+    pub fn check_triples_ids(
+        &self,
+        obligations: &[(FormulaId, &Stmt, FormulaId)],
+    ) -> Vec<TripleStatus> {
+        let interner = self.interner();
+        // Phase 1: one WP per distinct (body, post) — the cache collapses the
+        // duplicates — then the VC as an interned implication. `None` marks an
+        // obligation whose wp failed (conservatively Unknown).
+        let vcs: Vec<Option<FormulaId>> = obligations
+            .iter()
+            .map(|&(pre, stmt, post)| {
+                self.wp_id(stmt, post)
+                    .ok()
+                    .map(|weakest| interner.mk_implies(pre, weakest))
+            })
+            .collect();
+        // Phase 2: discharge each distinct VC once, scheduling the batch by
+        // expected cost. The solver's batch entry point implements the
+        // dedupe + (cached verdict, size) ordering.
+        let distinct: Vec<FormulaId> = vcs.iter().copied().flatten().collect();
+        let verdicts = self.solver.check_valid_batch(&distinct);
+        let status_of: std::collections::HashMap<FormulaId, TripleStatus> = distinct
+            .iter()
+            .zip(&verdicts)
+            .map(|(&vc, verdict)| {
+                let status = match verdict {
+                    ValidityResult::Valid => TripleStatus::Valid,
+                    ValidityResult::Invalid(_) => TripleStatus::Invalid,
+                    ValidityResult::Unknown(_) => TripleStatus::Unknown,
+                };
+                (vc, status)
+            })
+            .collect();
+        vcs.into_iter()
+            .map(|vc| vc.map_or(TripleStatus::Unknown, |vc| status_of[&vc]))
+            .collect()
     }
 
     /// Computes `wp(stmt, post)` using the monitor's symbol table.
@@ -139,13 +213,16 @@ impl<'a> VcGen<'a> {
         wp(stmt, post, self.table)
     }
 
-    /// Computes `wp(stmt, post)` over interned formulas.
+    /// Computes `wp(stmt, post)` over interned formulas, memoized on the
+    /// generator's `(body, post-id)` cache.
     ///
     /// # Errors
     ///
     /// Propagates [`WpError`] from the underlying computation.
     pub fn wp_id(&self, stmt: &Stmt, post: FormulaId) -> Result<FormulaId, WpError> {
-        wp_id(stmt, post, self.table, self.interner())
+        self.wp_cache.get_or_compute(stmt, post, || {
+            wp_id(stmt, post, self.table, self.interner())
+        })
     }
 
     /// Renames every thread-local variable occurring in `formula` to a fresh
@@ -202,6 +279,7 @@ impl<'a> VcGen<'a> {
         }
         let order_a = Stmt::seq(vec![s1.clone(), s2.clone()]);
         let order_b = Stmt::seq(vec![s2.clone(), s1.clone()]);
+        let interner = self.interner().clone();
         let mut affected: Vec<String> = s1
             .assigned_vars()
             .union(&s2.assigned_vars())
@@ -209,32 +287,25 @@ impl<'a> VcGen<'a> {
             .collect();
         affected.sort();
         for var in affected {
-            match self.table.ty(&var) {
-                Some(Type::Bool) => {
-                    let post = Formula::bool_var(var.clone());
-                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post))
-                    else {
-                        return false;
-                    };
-                    if !self.solver.check_equiv(&a, &b).is_valid() {
-                        return false;
-                    }
-                }
+            // Both orders run on interned ids so the (body, post) WP cache
+            // serves the symmetric recomputations across CCR pairs.
+            let post = match self.table.ty(&var) {
+                Some(Type::Bool) => Formula::bool_var(var.clone()),
                 Some(Type::Int) => {
                     let mut taken: HashSet<String> = s1.read_vars();
                     taken.extend(s2.read_vars());
                     taken.insert(var.clone());
                     let observer = fresh_name(&format!("{var}!obs"), &taken);
-                    let post = Term::var(var.clone()).eq(Term::var(observer));
-                    let (Ok(a), Ok(b)) = (self.wp(&order_a, &post), self.wp(&order_b, &post))
-                    else {
-                        return false;
-                    };
-                    if !self.solver.check_equiv(&a, &b).is_valid() {
-                        return false;
-                    }
+                    Term::var(var.clone()).eq(Term::var(observer))
                 }
                 _ => return false,
+            };
+            let post = interner.intern(&post);
+            let (Ok(a), Ok(b)) = (self.wp_id(&order_a, post), self.wp_id(&order_b, post)) else {
+                return false;
+            };
+            if !self.solver.check_equiv_ids(a, b).is_valid() {
+                return false;
             }
         }
         true

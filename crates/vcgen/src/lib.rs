@@ -7,8 +7,10 @@
 //! Fig. 3, discharges triples with the workspace SMT solver, and provides the
 //! commutativity check used by the §4.3 improvement.
 
+pub mod cache;
 pub mod hoare;
 pub mod wp;
 
+pub use cache::{WpCache, WpCacheStats};
 pub use hoare::{HoareTriple, TripleStatus, VcGen};
 pub use wp::{wp, wp_id, WpError};

@@ -121,6 +121,78 @@ fn each_flag_is_independent() {
 }
 
 #[test]
+fn interner_sharding_and_wp_cache_cannot_change_results() {
+    // Arena sharding and WP memoization are pure optimisations: for every
+    // suite monitor, every combination of `interner_shards ∈ {1, 16}` and
+    // `wp_cache` on/off must produce the identical explicit monitor,
+    // invariant and exploration counters as the default configuration.
+    for benchmark in all() {
+        let monitor = benchmark.monitor();
+        let reference = Expresso::new()
+            .analyze(&monitor)
+            .unwrap_or_else(|e| panic!("{}: reference analysis failed: {e}", benchmark.name));
+        for shards in [1usize, 16] {
+            for wp_cache in [true, false] {
+                let outcome = Expresso::with_config(ExpressoConfig {
+                    interner_shards: shards,
+                    wp_cache,
+                    ..ExpressoConfig::default()
+                })
+                .analyze(&monitor)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}: shards={shards} wp_cache={wp_cache}: analysis failed: {e}",
+                        benchmark.name
+                    )
+                });
+                let label = format!("{}: shards={shards} wp_cache={wp_cache}", benchmark.name);
+                assert_eq!(
+                    outcome.explicit, reference.explicit,
+                    "{label}: explicit diverged"
+                );
+                assert_eq!(
+                    outcome.invariant, reference.invariant,
+                    "{label}: invariant diverged"
+                );
+                assert_eq!(
+                    outcome.report.pairs_considered, reference.report.pairs_considered,
+                    "{label}: pairs_considered diverged"
+                );
+                assert_eq!(
+                    outcome.report.triples_checked, reference.report.triples_checked,
+                    "{label}: triples_checked diverged"
+                );
+                assert_eq!(
+                    outcome.report.skipped, reference.report.skipped,
+                    "{label}: skipped diverged"
+                );
+                assert_eq!(
+                    outcome.report.triples_per_pair().to_bits(),
+                    reference.report.triples_per_pair().to_bits(),
+                    "{label}: triples_per_pair diverged"
+                );
+                assert_eq!(
+                    outcome.stats.interner.shard_count, shards,
+                    "{label}: arena did not honour the shard knob"
+                );
+                if wp_cache {
+                    assert!(
+                        outcome.stats.wp_cache.hits > 0,
+                        "{label}: enabled WP cache saw no hits"
+                    );
+                } else {
+                    assert_eq!(
+                        outcome.stats.wp_cache.hits + outcome.stats.wp_cache.misses,
+                        0,
+                        "{label}: disabled WP cache recorded traffic"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn cached_run_reports_a_nonzero_hit_rate() {
     let rw = all()
         .into_iter()

@@ -26,6 +26,7 @@
 //! doubles as an end-to-end test of the suite-wide shared arena.
 
 use expresso_repro::core::{Expresso, SharedAnalysisContext};
+use expresso_repro::logic::Lcg;
 use expresso_repro::logic::Valuation;
 use expresso_repro::monitor_lang::{
     check_monitor, ExplicitMonitor, Interpreter, Monitor, VarTable,
@@ -35,10 +36,6 @@ use expresso_repro::runtime::{
 };
 use expresso_repro::suite::{all, Benchmark};
 use std::collections::BTreeMap;
-
-#[path = "common/lcg.rs"]
-mod lcg;
-use lcg::Lcg;
 
 /// Seeded schedules per monitor for the deterministic layer.
 const SCHEDULES_PER_MONITOR: u64 = 8;
@@ -67,32 +64,88 @@ fn enabled(monitor: &Monitor, interp: &Interpreter<'_>, state: &Valuation, op: &
     true
 }
 
-/// Drives one seeded schedule through both engines, asserting snapshot
-/// equality after every operation (identical observable traces).
-fn run_seeded_schedule(
+/// One executed step of a concrete interleaving: which thread ran which
+/// operation.
+#[derive(Clone)]
+struct Step {
+    thread: usize,
+    op: Operation,
+}
+
+/// Outcome of replaying a concrete interleaving through both engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Replay {
+    /// The observable traces were identical after every step.
+    Match,
+    /// The engines disagreed before any operation ran (constructor bug).
+    InitialStateMismatch,
+    /// The snapshots diverged after `steps[step]`.
+    Mismatch { step: usize },
+    /// `steps[step]`'s operation was not enabled — the interleaving is not a
+    /// valid execution (only arises for minimizer shrink candidates).
+    Stuck { step: usize },
+}
+
+/// Replays a concrete interleaving on fresh instances of both engines,
+/// comparing the shared-state snapshot before the first and after every
+/// operation.
+fn replay(
+    monitor: &Monitor,
+    table: &VarTable,
+    explicit: &ExplicitMonitor,
+    ctor: &Valuation,
+    steps: &[Step],
+) -> Replay {
+    let implicit_rt =
+        AutoSynchRuntime::new(monitor.clone(), ctor).expect("implicit runtime builds");
+    let explicit_rt =
+        ExplicitRuntime::new(explicit.clone(), ctor).expect("explicit runtime builds");
+    if implicit_rt.snapshot() != explicit_rt.snapshot() {
+        return Replay::InitialStateMismatch;
+    }
+    let interp = Interpreter::new(table);
+    for (step, s) in steps.iter().enumerate() {
+        if !enabled(monitor, &interp, &implicit_rt.snapshot(), &s.op) {
+            return Replay::Stuck { step };
+        }
+        implicit_rt.call(&s.op.method, &s.op.locals);
+        explicit_rt.call(&s.op.method, &s.op.locals);
+        if implicit_rt.snapshot() != explicit_rt.snapshot() {
+            return Replay::Mismatch { step };
+        }
+    }
+    Replay::Match
+}
+
+/// Generates the concrete interleaving of one seeded schedule while checking
+/// conformance along the way: at every step a seeded LCG picks among the
+/// threads whose next planned operation is currently enabled (so no call
+/// ever blocks and the result is deterministic in `seed`), both engines run
+/// the operation, and their snapshots are compared. Returns the executed
+/// interleaving plus the divergence outcome — `Match` on the happy path, so
+/// the engines run exactly once per schedule and `replay` is only needed for
+/// minimization.
+fn generate_and_check_schedule(
     benchmark: &Benchmark,
     monitor: &Monitor,
     table: &VarTable,
     explicit: &ExplicitMonitor,
+    ctor: &Valuation,
     seed: u64,
-) {
-    let ctor = (benchmark.ctor_args)(THREADS);
+) -> (Vec<Step>, Replay) {
     let plans: Vec<ThreadPlan> = (benchmark.plans)(THREADS, OPS_PER_THREAD);
-    let implicit_rt = AutoSynchRuntime::new(monitor.clone(), &ctor)
-        .unwrap_or_else(|e| panic!("{}: implicit runtime: {e}", benchmark.name));
-    let explicit_rt = ExplicitRuntime::new(explicit.clone(), &ctor)
-        .unwrap_or_else(|e| panic!("{}: explicit runtime: {e}", benchmark.name));
-    assert_eq!(
-        implicit_rt.snapshot(),
-        explicit_rt.snapshot(),
-        "{}: initial states differ",
-        benchmark.name
-    );
-
+    let implicit_rt =
+        AutoSynchRuntime::new(monitor.clone(), ctor).expect("implicit runtime builds");
+    let explicit_rt =
+        ExplicitRuntime::new(explicit.clone(), ctor).expect("explicit runtime builds");
+    if implicit_rt.snapshot() != explicit_rt.snapshot() {
+        return (Vec::new(), Replay::InitialStateMismatch);
+    }
     let interp = Interpreter::new(table);
     let mut rng = Lcg::new(seed);
     let mut cursors = vec![0usize; plans.len()];
     let total: usize = plans.iter().map(|p| p.len()).sum();
+    let mut steps = Vec::with_capacity(total);
     for step in 0..total {
         let state = implicit_rt.snapshot();
         let candidates: Vec<usize> = (0..plans.len())
@@ -108,18 +161,118 @@ fn run_seeded_schedule(
             benchmark.name
         );
         let thread = candidates[rng.index(candidates.len())];
-        let op = &plans[thread][cursors[thread]];
+        let op = plans[thread][cursors[thread]].clone();
         implicit_rt.call(&op.method, &op.locals);
         explicit_rt.call(&op.method, &op.locals);
         cursors[thread] += 1;
-        assert_eq!(
-            implicit_rt.snapshot(),
-            explicit_rt.snapshot(),
-            "{}: seed {seed}: observable traces diverged at step {step} \
-             (thread {thread} ran `{}`)",
-            benchmark.name,
-            op.method
-        );
+        steps.push(Step { thread, op });
+        if implicit_rt.snapshot() != explicit_rt.snapshot() {
+            return (steps, Replay::Mismatch { step });
+        }
+    }
+    (steps, Replay::Match)
+}
+
+/// Greedily shrinks a mismatching interleaving while the mismatch still
+/// reproduces: first truncate everything after the divergence point, then
+/// repeatedly try dropping each remaining step (scanning from the end, where
+/// drops are most likely to stay valid) until no single removal reproduces
+/// the mismatch. Shrink candidates that make a later operation run while
+/// disabled are invalid executions and are discarded.
+fn minimize_schedule(
+    monitor: &Monitor,
+    table: &VarTable,
+    explicit: &ExplicitMonitor,
+    ctor: &Valuation,
+    mut steps: Vec<Step>,
+) -> Vec<Step> {
+    match replay(monitor, table, explicit, ctor, &steps) {
+        Replay::Mismatch { step } => steps.truncate(step + 1),
+        // A constructor-level divergence needs no operations at all.
+        Replay::InitialStateMismatch => steps.clear(),
+        Replay::Match | Replay::Stuck { .. } => {}
+    }
+    loop {
+        let mut progressed = false;
+        let mut i = steps.len();
+        while i > 0 {
+            i -= 1;
+            if steps.len() <= 1 {
+                break;
+            }
+            let mut candidate = steps.clone();
+            candidate.remove(i);
+            if let Replay::Mismatch { step } = replay(monitor, table, explicit, ctor, &candidate) {
+                candidate.truncate(step + 1);
+                i = i.min(candidate.len());
+                steps = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return steps;
+        }
+    }
+}
+
+/// Renders an interleaving for the failure report.
+fn render_schedule(steps: &[Step]) -> String {
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut locals: Vec<String> =
+                s.op.locals
+                    .ints()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+            locals.extend(s.op.locals.bools().map(|(k, v)| format!("{k}={v}")));
+            locals.sort();
+            format!(
+                "  {i:>3}: thread {} calls {}({})",
+                s.thread,
+                s.op.method,
+                locals.join(", ")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Drives one seeded schedule through both engines. On a differential
+/// mismatch the failing interleaving is greedily minimized and the panic
+/// message prints the shrunken schedule, so a soundness failure arrives as a
+/// handful of operations instead of a 12-step interleaving.
+fn run_seeded_schedule(
+    benchmark: &Benchmark,
+    monitor: &Monitor,
+    table: &VarTable,
+    explicit: &ExplicitMonitor,
+    seed: u64,
+) {
+    let ctor = (benchmark.ctor_args)(THREADS);
+    let (steps, outcome) =
+        generate_and_check_schedule(benchmark, monitor, table, explicit, &ctor, seed);
+    match outcome {
+        Replay::Match => {}
+        Replay::InitialStateMismatch => panic!(
+            "{}: seed {seed}: initial states differ before any operation ran",
+            benchmark.name
+        ),
+        Replay::Stuck { step } => panic!(
+            "{}: seed {seed}: generated schedule ran a disabled operation at step {step}",
+            benchmark.name
+        ),
+        Replay::Mismatch { step } => {
+            let minimized = minimize_schedule(monitor, table, explicit, &ctor, steps);
+            panic!(
+                "{}: seed {seed}: observable traces diverged at step {step}; \
+                 minimized interleaving ({} steps):\n{}",
+                benchmark.name,
+                minimized.len(),
+                render_schedule(&minimized),
+            );
+        }
     }
 }
 
@@ -148,6 +301,87 @@ fn every_suite_monitor_is_trace_conformant_under_seeded_schedules() {
         context.stats().cross_analysis_hits > 0,
         "analysing the whole suite in one shared context produced zero \
          cross-monitor cache hits"
+    );
+}
+
+#[test]
+fn schedule_minimizer_shrinks_an_injected_divergence() {
+    // A correct implicit monitor paired with an explicit monitor synthesized
+    // from a *sabotaged* twin (inc bumps by 2 instead of 1): every `inc` call
+    // diverges, and the minimizer must shrink any failing interleaving down
+    // to a single operation.
+    use expresso_repro::monitor_lang::parse_monitor;
+    let good = parse_monitor(
+        r#"
+        monitor C {
+            int count = 0;
+            atomic void inc() { count = count + 1; }
+            atomic void dec() { waituntil (count > 0) { count = count - 1; } }
+        }
+        "#,
+    )
+    .unwrap();
+    let bad = parse_monitor(
+        r#"
+        monitor C {
+            int count = 0;
+            atomic void inc() { count = count + 2; }
+            atomic void dec() { waituntil (count > 0) { count = count - 1; } }
+        }
+        "#,
+    )
+    .unwrap();
+    let table = check_monitor(&good).unwrap();
+    let sabotaged = ExplicitMonitor::broadcast_all(bad);
+    let ctor = Valuation::new();
+
+    // A 4-step executable interleaving; the very first `inc` diverges.
+    let schedule: Vec<Step> = vec![
+        Step {
+            thread: 0,
+            op: Operation::new("inc"),
+        },
+        Step {
+            thread: 1,
+            op: Operation::new("dec"),
+        },
+        Step {
+            thread: 0,
+            op: Operation::new("inc"),
+        },
+        Step {
+            thread: 1,
+            op: Operation::new("dec"),
+        },
+    ];
+
+    match replay(&good, &table, &sabotaged, &ctor, &schedule) {
+        Replay::Mismatch { step } => assert_eq!(step, 0, "inc diverges immediately"),
+        other => panic!("expected a mismatch, got {other:?}"),
+    }
+    let minimized = minimize_schedule(&good, &table, &sabotaged, &ctor, schedule);
+    assert_eq!(
+        minimized.len(),
+        1,
+        "minimizer failed to shrink to one step:\n{}",
+        render_schedule(&minimized)
+    );
+    assert_eq!(minimized[0].op.method, "inc");
+    // The minimized interleaving still reproduces the divergence.
+    assert!(matches!(
+        replay(&good, &table, &sabotaged, &ctor, &minimized),
+        Replay::Mismatch { step: 0 }
+    ));
+
+    // And a valid-but-blocked shrink candidate is recognized as such: a lone
+    // `dec` from the initial state is not an executable interleaving.
+    let stuck = vec![Step {
+        thread: 0,
+        op: Operation::new("dec"),
+    }];
+    assert_eq!(
+        replay(&good, &table, &sabotaged, &ctor, &stuck),
+        Replay::Stuck { step: 0 }
     );
 }
 

@@ -5,13 +5,9 @@
 //! threads onto the same cache entries so stripe handoff, epoch tagging and
 //! the atomic counters all see real contention.
 
-use expresso_repro::logic::{Formula, Term};
+use expresso_repro::logic::{Formula, Lcg, Term};
 use expresso_repro::smt::{SatResult, Solver, SolverConfig, ValidityResult};
 use std::sync::Arc;
-
-#[path = "common/lcg.rs"]
-mod lcg;
-use lcg::Lcg;
 
 const THREADS: usize = 8;
 /// Distinct formulas in the pool; every thread visits an overlapping window.
