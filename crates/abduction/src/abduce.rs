@@ -27,12 +27,13 @@ pub struct AbductionConfig {
     /// results are folded back in enumeration order, so the output is
     /// identical to a sequential run.
     pub parallel: bool,
-    /// The `(body, post)` WP cache invariant inference builds its VCs
-    /// through. `None` (the default) gives the inference run a fresh private
-    /// cache; the pipeline passes the per-analysis cache it also hands to
+    /// The WP memo session invariant inference builds its VCs through.
+    /// `None` (the default) gives the inference run a fresh private cache;
+    /// the pipeline passes the per-analysis session it also hands to
     /// placement, so the fixpoint's consecution rounds and Algorithm 1's
-    /// later obligations share wp results. The cache must belong to the same
-    /// monitor/table as the triples being proven.
+    /// later obligations share wp results (and, through a suite-wide store,
+    /// other monitors' structurally identical bodies). The session's store
+    /// must belong to the same formula arena as the solver.
     pub wp_cache: Option<Arc<WpCache>>,
 }
 

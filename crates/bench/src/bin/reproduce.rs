@@ -7,14 +7,18 @@
 //! cargo run --release -p expresso-bench --bin reproduce -- fig9
 //! cargo run --release -p expresso-bench --bin reproduce -- table1
 //! cargo run --release -p expresso-bench --bin reproduce -- json
+//! cargo run --release -p expresso-bench --bin reproduce -- suite
 //! cargo run --release -p expresso-bench --bin reproduce -- summary
 //! cargo run --release -p expresso-bench --bin reproduce -- all
 //! ```
 //!
 //! `json` (also run by `all`) writes `BENCH_results.json`: per-benchmark
 //! analysis time for the cached/parallel pipeline and for a cache-disabled
-//! sequential run of the same binary, triples checked and the solver cache
-//! hit rate — the machine-readable perf trajectory tracked across PRs.
+//! sequential run of the same binary, triples checked, the solver cache
+//! hit rate, and the `scheduler_suite` section comparing the whole suite
+//! analyzed concurrently on the work-stealing pool against the sequential
+//! (`analysis_threads = 1`) configuration — the machine-readable perf
+//! trajectory tracked across PRs. `suite` runs only that comparison.
 //!
 //! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
 //! (default 200) scale the sweep; the paper uses up to 128 threads on a
@@ -24,11 +28,13 @@ use expresso_bench::{
     analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
     Series,
 };
-use expresso_core::{Expresso, ExpressoConfig, SharedAnalysisContext};
+use expresso_core::{Expresso, ExpressoConfig, SchedulerStats, SharedAnalysisContext};
 use expresso_suite::{
     all, autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark,
 };
+use expresso_vcgen::WpCacheStats;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -155,6 +161,7 @@ fn profile_benchmark(benchmark: &Benchmark) -> AnalysisProfile {
         group: match benchmark.group {
             expresso_suite::BenchmarkGroup::AutoSynch => "AutoSynch",
             expresso_suite::BenchmarkGroup::GitHub => "GitHub",
+            expresso_suite::BenchmarkGroup::Extended => "Extended",
         },
         cached_ms: cached.stats.total_time.as_secs_f64() * 1e3,
         uncached_ms: uncached.stats.total_time.as_secs_f64() * 1e3,
@@ -197,7 +204,7 @@ struct SharedArenaProfile {
     wp_cache_misses: usize,
 }
 
-/// Runs all 14 benchmarks through a single shared arena + solver, verifying
+/// Runs every suite benchmark through a single shared arena + solver, verifying
 /// the results agree with the per-monitor (private-context) pipeline.
 fn profile_shared_arena() -> SharedArenaProfile {
     let pipeline = Expresso::new();
@@ -244,9 +251,108 @@ fn profile_shared_arena() -> SharedArenaProfile {
     }
 }
 
+/// The whole suite analysed concurrently on the work-stealing pool vs. the
+/// fully sequential (`analysis_threads = 1`) configuration of the same
+/// binary, plus the scheduler and suite-wide WP-store counters of the pool
+/// run.
+struct SchedulerSuiteProfile {
+    suite_size: usize,
+    pool_wall_ms: f64,
+    sequential_wall_ms: f64,
+    scheduler: SchedulerStats,
+    wp: WpCacheStats,
+    outputs_identical: bool,
+}
+
+/// Wall-clock samples per scheduler mode; the minimum is reported (the
+/// stable point estimate for short deterministic workloads).
+const SCHEDULER_SUITE_SAMPLES: usize = 5;
+
+/// Runs the suite through [`Expresso::analyze_suite`] twice — once on the
+/// default work-stealing pool, once with `analysis_threads = 1` — verifying
+/// the outcomes are bit-identical and recording the pool counters.
+fn profile_scheduler_suite() -> SchedulerSuiteProfile {
+    let monitors: Vec<expresso_monitor_lang::Monitor> = all().iter().map(|b| b.monitor()).collect();
+    let names: Vec<&'static str> = all().iter().map(|b| b.name).collect();
+
+    let run_once = |threads: usize| {
+        let pipeline = Expresso::with_config(ExpressoConfig {
+            analysis_threads: threads,
+            ..ExpressoConfig::default()
+        });
+        let context = SharedAnalysisContext::new(pipeline.config());
+        // The default configuration shares the process-wide pool, whose
+        // counters accumulate across everything this binary has run; the
+        // before/after delta attributes exactly this suite pass.
+        let scheduler_before = context.scheduler_stats();
+        let start = Instant::now();
+        let outcomes = pipeline.analyze_suite(&context, &monitors);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let outcomes: Vec<expresso_core::AnalysisOutcome> = outcomes
+            .into_iter()
+            .zip(&names)
+            .map(|(o, name)| o.unwrap_or_else(|e| panic!("{name} failed suite analysis: {e}")))
+            .collect();
+        (
+            wall_ms,
+            outcomes,
+            context.wp_stats(),
+            context.scheduler_stats().delta_since(&scheduler_before),
+        )
+    };
+
+    // Interleave the two modes so process-level warm-up (allocator growth,
+    // page faults, lazy statics) does not bias either side; report the
+    // minimum wall time per mode. The scheduler counters are the summed
+    // per-pass deltas of every pool sample (each sample is one clean suite
+    // pass; which pass steals how much is scheduling-dependent, so the sum
+    // is the stable observable).
+    let mut pool_wall_ms = f64::INFINITY;
+    let mut sequential_wall_ms = f64::INFINITY;
+    let mut pool_kept = None;
+    let mut scheduler_total = SchedulerStats::default();
+    let mut sequential_outcomes = None;
+    for _ in 0..SCHEDULER_SUITE_SAMPLES {
+        let (seq_ms, seq_out, _, _) = run_once(1);
+        sequential_wall_ms = sequential_wall_ms.min(seq_ms);
+        sequential_outcomes = Some(seq_out);
+        let (pool_ms, pool_out, wp, scheduler) = run_once(0);
+        pool_wall_ms = pool_wall_ms.min(pool_ms);
+        scheduler_total.merge(&scheduler);
+        pool_kept = Some((pool_out, wp));
+    }
+    let (pool_outcomes, wp) = pool_kept.expect("at least one sample");
+    let scheduler = scheduler_total;
+    let sequential_outcomes = sequential_outcomes.expect("at least one sample");
+
+    let outputs_identical = pool_outcomes
+        .iter()
+        .zip(&sequential_outcomes)
+        .all(|(pool, seq)| {
+            pool.explicit == seq.explicit
+                && pool.invariant == seq.invariant
+                && pool.report.decisions == seq.report.decisions
+                && pool.report.triples_checked == seq.report.triples_checked
+                && pool.report.pairs_considered == seq.report.pairs_considered
+                && pool.report.skipped == seq.report.skipped
+        });
+    SchedulerSuiteProfile {
+        suite_size: monitors.len(),
+        pool_wall_ms,
+        sequential_wall_ms,
+        scheduler,
+        wp,
+        outputs_identical,
+    }
+}
+
 /// Serialises the profiles by hand (the workspace is dependency-free, so no
 /// serde): a stable, diffable JSON document tracked across PRs.
-fn render_json(profiles: &[AnalysisProfile], shared: &SharedArenaProfile) -> String {
+fn render_json(
+    profiles: &[AnalysisProfile],
+    shared: &SharedArenaProfile,
+    suite: &SchedulerSuiteProfile,
+) -> String {
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
     let speedup = if total_cached > 0.0 {
@@ -311,7 +417,7 @@ fn render_json(profiles: &[AnalysisProfile], shared: &SharedArenaProfile) -> Str
          \"cross_monitor_cache_hits\": {},\n    \"cross_monitor_hit_rate\": {:.4},\n    \
          \"formula_nodes\": {},\n    \"interner_shards\": {},\n    \
          \"arena_lock_contentions\": {},\n    \"wp_cache_hits\": {},\n    \
-         \"wp_cache_misses\": {}\n  }}\n}}\n",
+         \"wp_cache_misses\": {}\n  }},\n",
         shared.total_ms,
         shared.total_hits,
         shared.cross_analysis_hits,
@@ -321,6 +427,43 @@ fn render_json(profiles: &[AnalysisProfile], shared: &SharedArenaProfile) -> Str
         shared.arena_lock_contentions,
         shared.wp_cache_hits,
         shared.wp_cache_misses,
+    );
+    let per_worker = suite
+        .scheduler
+        .per_worker_executed
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let utilization = suite
+        .scheduler
+        .worker_utilization()
+        .iter()
+        .map(|u| format!("{u:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = write!(
+        out,
+        "  \"scheduler_suite\": {{\n    \"suite_size\": {},\n    \
+         \"pool_wall_ms\": {:.3},\n    \"sequential_wall_ms\": {:.3},\n    \
+         \"workers\": {},\n    \"tasks_executed\": {},\n    \"steals\": {},\n    \
+         \"injector_pops\": {},\n    \"helper_executed\": {},\n    \
+         \"per_worker_executed\": [{per_worker}],\n    \
+         \"worker_utilization\": [{utilization}],\n    \
+         \"wp_cache_hits\": {},\n    \"wp_cache_misses\": {},\n    \
+         \"wp_cross_monitor_hits\": {},\n    \"outputs_identical\": {}\n  }}\n}}\n",
+        suite.suite_size,
+        suite.pool_wall_ms,
+        suite.sequential_wall_ms,
+        suite.scheduler.workers,
+        suite.scheduler.tasks_executed,
+        suite.scheduler.steals,
+        suite.scheduler.injector_pops,
+        suite.scheduler.helper_executed,
+        suite.wp.hits,
+        suite.wp.misses,
+        suite.wp.cross_monitor_hits,
+        suite.outputs_identical,
     );
     out
 }
@@ -346,7 +489,8 @@ fn run_json() {
         .and_then(baseline_total_ms);
     let profiles: Vec<AnalysisProfile> = all().iter().map(profile_benchmark).collect();
     let shared = profile_shared_arena();
-    let json = render_json(&profiles, &shared);
+    let suite = profile_scheduler_suite();
+    let json = render_json(&profiles, &shared, &suite);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
@@ -378,6 +522,47 @@ fn run_json() {
         shared.arena_lock_contentions,
         shared.interner_shards,
     );
+    println!(
+        "scheduler suite: {} monitors analyzed concurrently in {:.1} ms on {} workers \
+         (sequential: {:.1} ms); {} tasks, {} steals, {} injector pops, {} helper-run",
+        suite.suite_size,
+        suite.pool_wall_ms,
+        suite.scheduler.workers,
+        suite.sequential_wall_ms,
+        suite.scheduler.tasks_executed,
+        suite.scheduler.steals,
+        suite.scheduler.injector_pops,
+        suite.scheduler.helper_executed,
+    );
+    println!(
+        "scheduler suite wp store: {} hits / {} misses, {} hits crossed a monitor boundary",
+        suite.wp.hits, suite.wp.misses, suite.wp.cross_monitor_hits,
+    );
+    // Scheduler tripwires: the pool and the sequential configuration must be
+    // bit-identical (a divergence is a determinism bug in the scheduler or a
+    // cache-keying unsoundness), and the suite-wide WP store must actually
+    // share work across monitors.
+    if !suite.outputs_identical {
+        eprintln!(
+            "error: suite outcomes differ between the default pool and the \
+             analysis_threads=1 run; the scheduler is not a pure optimisation"
+        );
+        std::process::exit(1);
+    }
+    if suite.wp.cross_monitor_hits == 0 {
+        eprintln!(
+            "error: suite-parallel run reported zero cross-monitor WP-cache hits; \
+             the fingerprinted suite-wide WP store is not sharing work"
+        );
+        std::process::exit(1);
+    }
+    if suite.pool_wall_ms > suite.sequential_wall_ms {
+        println!(
+            "note: pool wall-clock ({:.1} ms) exceeded the sequential run ({:.1} ms) — \
+             expected only on single-core machines or under heavy load",
+            suite.pool_wall_ms, suite.sequential_wall_ms,
+        );
+    }
     // Regression tripwire for the shared arena: if no memo hit ever crosses a
     // monitor boundary the suite-wide context has silently stopped sharing —
     // fail the run (and CI) loudly instead of drifting.
@@ -438,6 +623,25 @@ fn main() {
         }
         "table1" => run_table1(),
         "json" => run_json(),
+        "suite" => {
+            // Quick mode: only the scheduler-suite comparison, for iterating
+            // on pool behaviour without the full per-benchmark profiling.
+            let suite = profile_scheduler_suite();
+            println!(
+                "pool {:.1} ms vs sequential {:.1} ms on {} workers; {} tasks, {} steals, \
+                 {} injector pops, {} helper-run; wp {} hits / {} cross-monitor; identical: {}",
+                suite.pool_wall_ms,
+                suite.sequential_wall_ms,
+                suite.scheduler.workers,
+                suite.scheduler.tasks_executed,
+                suite.scheduler.steals,
+                suite.scheduler.injector_pops,
+                suite.scheduler.helper_executed,
+                suite.wp.hits,
+                suite.wp.cross_monitor_hits,
+                suite.outputs_identical,
+            );
+        }
         "summary" | "all" => {
             let mut m = run_figure(&autosynch_benchmarks(), "Figure 8: AutoSynch benchmarks");
             m.extend(run_figure(
@@ -450,7 +654,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | summary | all"
+                "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | suite | summary | all"
             );
             std::process::exit(2);
         }

@@ -27,6 +27,7 @@
 pub mod codegen;
 pub mod pipeline;
 pub mod placement;
+pub mod scheduler;
 
 pub use codegen::to_java;
 pub use pipeline::{
@@ -35,3 +36,4 @@ pub use pipeline::{
 pub use placement::{
     place_signals, place_signals_with, PlacementConfig, PlacementReport, SignalDecision,
 };
+pub use scheduler::{Scheduler, SchedulerStats, Scope};

@@ -1,11 +1,12 @@
 //! The end-to-end Expresso pipeline: check → infer invariant → place signals.
 
 use crate::placement::{place_signals_with, PlacementConfig, PlacementReport};
+use crate::scheduler::{Scheduler, SchedulerStats};
 use expresso_abduction::{infer_monitor_invariant_configured, AbductionConfig};
 use expresso_logic::{Formula, Interner, InternerStats};
 use expresso_monitor_lang::{check_monitor, CheckError, ExplicitMonitor, Monitor, VarTable};
 use expresso_smt::{Solver, SolverConfig, SolverStats};
-use expresso_vcgen::{WpCache, WpCacheStats};
+use expresso_vcgen::{WpCacheStats, WpStore};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,11 +36,21 @@ pub struct ExpressoConfig {
     /// to `[1, 256]`. `1` reproduces the old single-lock arena behaviour as a
     /// differential baseline.
     pub interner_shards: usize,
-    /// Memoize weakest preconditions per `(CCR body, postcondition)` across
-    /// the invariant fixpoint and the placement obligations of one analysis.
-    /// Disabling recomputes every wp from scratch; the equivalence tests pin
-    /// both settings to identical results.
+    /// Memoize weakest preconditions per `(fingerprint, CCR body,
+    /// postcondition)` across the invariant fixpoint and the placement
+    /// obligations — and, through a [`SharedAnalysisContext`]'s suite-wide
+    /// store, across every analysis sharing that context. Disabling
+    /// recomputes every wp from scratch; the equivalence tests pin both
+    /// settings to identical results.
     pub wp_cache: bool,
+    /// Concurrency of the work-stealing analysis [`Scheduler`]: `0` sizes
+    /// the pool automatically (one worker per available core — the thread
+    /// joining a scope always lends a hand too) and shares
+    /// the process-wide pool across contexts; `1` is the fully sequential
+    /// configuration (every task runs inline on the submitting thread, in
+    /// submission order); any other value builds a dedicated pool with that
+    /// many threads. Results are bit-identical across all settings.
+    pub analysis_threads: usize,
 }
 
 impl Default for ExpressoConfig {
@@ -52,35 +63,48 @@ impl Default for ExpressoConfig {
             solver_cache_shards: 16,
             interner_shards: expresso_logic::DEFAULT_INTERNER_SHARDS,
             wp_cache: true,
+            analysis_threads: 0,
         }
     }
 }
 
-/// One formula arena plus one memoizing solver shared across many analyses.
+/// One formula arena, one memoizing solver, one suite-wide WP store and one
+/// work-stealing scheduler shared across many analyses.
 ///
 /// `Expresso::analyze` builds a private context per monitor, which is the
 /// right default for isolated runs — but a suite harness that analyses many
-/// monitors back to back leaves cache value on the table: structurally common
+/// monitors leaves cache value on the table: structurally common
 /// verification conditions (guard shapes, invariant fragments, theory cores)
-/// recur across monitors. Constructing one `SharedAnalysisContext` and
-/// passing it to [`Expresso::analyze_with_context`] for every monitor lets
-/// all of them intern into the same arena and hit the same sharded memo
-/// tables; each analysis still reports a per-monitor [`SolverStats`] delta,
-/// and [`SolverStats::cross_analysis_hits`] counts exactly the hits served
-/// from an earlier monitor's work.
+/// and weakest preconditions of identical CCR bodies recur across monitors.
+/// Constructing one `SharedAnalysisContext` and passing it to
+/// [`Expresso::analyze_with_context`] (or handing the whole suite to
+/// [`Expresso::analyze_suite`]) lets every analysis intern into the same
+/// arena, hit the same sharded memo tables and share the fingerprinted WP
+/// store; each analysis still reports a per-monitor [`SolverStats`] delta,
+/// and [`SolverStats::cross_analysis_hits`] /
+/// [`WpCacheStats::cross_monitor_hits`] count the hits served from another
+/// monitor's work.
 ///
-/// **Accounting contract:** run the analyses that share one context *one at
-/// a time* (each may still parallelize internally). Solver results are
-/// correct regardless, but concurrent `analyze_with_context` calls interleave
-/// their epochs and stats snapshots, so the per-monitor deltas and the
-/// cross-analysis attribution become meaningless.
+/// **Accounting contract:** per-monitor *solver* deltas and the epoch-based
+/// cross-analysis attribution are exact only when the analyses sharing the
+/// context run one at a time (each may still parallelize internally).
+/// [`Expresso::analyze_suite`] runs them concurrently: results are still
+/// bit-identical and context-wide totals remain exact, but the per-monitor
+/// solver deltas overlap and become approximate. The per-monitor *WP* stats
+/// are session-scoped and stay exact even under suite-level concurrency.
 #[derive(Debug)]
 pub struct SharedAnalysisContext {
     solver: Arc<Solver>,
+    wp_store: Arc<WpStore>,
+    scheduler: Arc<Scheduler>,
 }
 
 impl SharedAnalysisContext {
-    /// Creates a context whose solver follows `config`'s cache settings.
+    /// Creates a context whose solver, WP store and scheduler follow
+    /// `config`'s cache and concurrency settings. With
+    /// [`ExpressoConfig::analysis_threads`] `== 0` the context shares the
+    /// process-wide [`Scheduler::global`] pool; any other value builds a
+    /// dedicated pool (torn down when the context is dropped).
     pub fn new(config: &ExpressoConfig) -> Self {
         let interner = Arc::new(Interner::with_shards(config.interner_shards));
         let solver = Arc::new(Solver::with_interner(
@@ -92,7 +116,16 @@ impl SharedAnalysisContext {
             },
             interner,
         ));
-        SharedAnalysisContext { solver }
+        let scheduler = if config.analysis_threads == 0 {
+            Arc::clone(Scheduler::global())
+        } else {
+            Arc::new(Scheduler::with_analysis_threads(config.analysis_threads))
+        };
+        SharedAnalysisContext {
+            solver,
+            wp_store: Arc::new(WpStore::new(config.wp_cache)),
+            scheduler,
+        }
     }
 
     /// The shared memoizing solver.
@@ -105,6 +138,16 @@ impl SharedAnalysisContext {
         self.solver.interner()
     }
 
+    /// The suite-wide fingerprinted WP store.
+    pub fn wp_store(&self) -> &Arc<WpStore> {
+        &self.wp_store
+    }
+
+    /// The work-stealing pool all analyses of this context run on.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
     /// Cumulative solver statistics across every analysis run so far.
     pub fn stats(&self) -> SolverStats {
         self.solver.stats()
@@ -113,6 +156,18 @@ impl SharedAnalysisContext {
     /// Node counts and lock-contention counters of the shared arena.
     pub fn interner_stats(&self) -> InternerStats {
         self.solver.interner().stats()
+    }
+
+    /// Cumulative WP-store counters across every analysis run so far,
+    /// including the cross-monitor hit attribution.
+    pub fn wp_stats(&self) -> WpCacheStats {
+        self.wp_store.stats()
+    }
+
+    /// Counters of the context's scheduler (cumulative; the pool may be the
+    /// shared process-wide one).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
     }
 }
 
@@ -155,14 +210,23 @@ pub struct AnalysisStats {
     pub invariant_candidates: usize,
     /// Number of candidates that survived the fixpoint.
     pub invariant_conjuncts: usize,
-    /// Solver statistics accumulated across the whole run.
+    /// Solver statistics accumulated across the whole run. Exact for
+    /// stand-alone runs; approximate (overlapping deltas) when many analyses
+    /// run concurrently against one shared context via
+    /// [`Expresso::analyze_suite`].
     pub solver: expresso_smt::SolverStats,
-    /// Hit/miss counters of this analysis's `(body, post)` WP cache.
+    /// Hit/miss counters of this analysis's WP session, including the hits
+    /// served from another monitor's entries in a suite-wide store. Exact
+    /// even under suite-level concurrency.
     pub wp_cache: WpCacheStats,
     /// Snapshot of the shared arena after this analysis (node counts, shard
     /// count and contended-lock counter). For a shared context the counters
     /// are cumulative across every analysis run against it so far.
     pub interner: InternerStats,
+    /// Snapshot of the work-stealing pool after this analysis (tasks
+    /// executed, steals, per-worker utilization). Cumulative for the pool,
+    /// which may be shared across contexts.
+    pub scheduler: SchedulerStats,
 }
 
 /// The result of analysing a monitor.
@@ -234,20 +298,65 @@ impl Expresso {
         context: &SharedAnalysisContext,
         monitor: &Monitor,
     ) -> Result<AnalysisOutcome, ExpressoError> {
+        self.analyze_inner(context, monitor, self.config.parallel_analysis)
+    }
+
+    /// Analyses every monitor of a suite concurrently on the context's
+    /// work-stealing pool: one task per monitor, whose placement obligations
+    /// fan out as further tasks on the same pool. Results are index-aligned
+    /// with `monitors` and bit-identical to analysing each monitor alone
+    /// against the same kind of context — the pool only changes wall-clock
+    /// time, never outcomes. With `analysis_threads == 1` everything runs
+    /// inline on the calling thread in a fixed deterministic order (a later
+    /// monitor's task may execute nested inside an earlier monitor's join
+    /// while that join helps the pool, exactly as if the analyses were
+    /// called recursively; on worker pools the scheduler's per-thread
+    /// help-depth cap additionally bounds that nesting on arbitrarily large
+    /// suites).
+    ///
+    /// Abduction's internal scoped-thread fan-out is disabled for suite
+    /// tasks: with every monitor in flight at once, monitor- and pair-level
+    /// tasks already saturate the pool, and per-task thread spawning would
+    /// only oversubscribe the machine. This does not change results.
+    pub fn analyze_suite(
+        &self,
+        context: &SharedAnalysisContext,
+        monitors: &[Monitor],
+    ) -> Vec<Result<AnalysisOutcome, ExpressoError>> {
+        let mut slots: Vec<Option<Result<AnalysisOutcome, ExpressoError>>> = Vec::new();
+        slots.resize_with(monitors.len(), || None);
+        context.scheduler().scope(|scope| {
+            for (monitor, slot) in monitors.iter().zip(slots.iter_mut()) {
+                scope.spawn(move || *slot = Some(self.analyze_inner(context, monitor, false)));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every monitor analyzed"))
+            .collect()
+    }
+
+    fn analyze_inner(
+        &self,
+        context: &SharedAnalysisContext,
+        monitor: &Monitor,
+        abduction_parallel: bool,
+    ) -> Result<AnalysisOutcome, ExpressoError> {
         let start = Instant::now();
         let table = check_monitor(monitor).map_err(ExpressoError::Check)?;
         let solver = context.solver();
         solver.begin_analysis_epoch();
         let stats_before = solver.stats();
-        // One WP cache per analysis, shared between the invariant fixpoint
-        // and placement (same monitor, same table — cross-monitor sharing
-        // would alias unsoundly).
-        let wp_cache = Arc::new(WpCache::new(self.config.wp_cache));
+        // One WP session per analysis, shared between the invariant fixpoint
+        // and placement. The underlying store is suite-wide: keys carry the
+        // statement's lowering fingerprint, so entries inserted by other
+        // monitors are shared exactly when that is sound.
+        let wp_cache = context.wp_store().session();
 
         let invariant_start = Instant::now();
         let (invariant, candidates, conjuncts) = if self.config.infer_invariant {
             let abduction = AbductionConfig {
-                parallel: self.config.parallel_analysis,
+                parallel: abduction_parallel,
                 wp_cache: Some(Arc::clone(&wp_cache)),
                 ..AbductionConfig::default()
             };
@@ -268,6 +377,7 @@ impl Expresso {
                 use_commutativity: self.config.use_commutativity,
                 parallel: self.config.parallel_analysis,
                 wp_cache: Some(Arc::clone(&wp_cache)),
+                scheduler: Some(Arc::clone(context.scheduler())),
             },
         );
         let placement_time = placement_start.elapsed();
@@ -282,6 +392,7 @@ impl Expresso {
             solver: solver.stats().delta_since(&stats_before),
             wp_cache: wp_cache.stats(),
             interner: context.interner_stats(),
+            scheduler: context.scheduler_stats(),
         };
         Ok(AnalysisOutcome {
             explicit,
@@ -423,6 +534,100 @@ mod tests {
             shared.report.pairs_considered,
             private.report.pairs_considered
         );
+    }
+
+    #[test]
+    fn analyze_suite_matches_individual_analyses() {
+        let sources = [
+            RW,
+            r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+            "#,
+        ];
+        let monitors: Vec<Monitor> = sources.iter().map(|s| parse_monitor(s).unwrap()).collect();
+        let pipeline = Expresso::new();
+        let reference: Vec<_> = monitors
+            .iter()
+            .map(|m| pipeline.analyze(m).unwrap())
+            .collect();
+        for threads in [1usize, 4] {
+            let pipeline = Expresso::with_config(ExpressoConfig {
+                analysis_threads: threads,
+                ..ExpressoConfig::default()
+            });
+            let context = SharedAnalysisContext::new(pipeline.config());
+            let outcomes = pipeline.analyze_suite(&context, &monitors);
+            assert_eq!(outcomes.len(), monitors.len());
+            for (outcome, expected) in outcomes.iter().zip(&reference) {
+                let outcome = outcome.as_ref().unwrap();
+                assert_eq!(outcome.explicit, expected.explicit, "threads={threads}");
+                assert_eq!(outcome.invariant, expected.invariant, "threads={threads}");
+                assert_eq!(
+                    outcome.report.triples_checked, expected.report.triples_checked,
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_shares_wp_entries_across_monitors() {
+        // RWLock and its ticketed sibling share structurally identical CCR
+        // bodies (`readers++`, the guarded decrement); the suite-wide WP
+        // store must serve the second monitor from the first one's entries.
+        let ticketed = r#"
+            monitor TicketedRWLock {
+                int readers = 0;
+                bool writerIn = false;
+                int serving = 0;
+                atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+                atomic void exitReader() { if (readers > 0) readers--; }
+                atomic void enterWriter(int ticket) {
+                    waituntil (readers == 0 && !writerIn && serving == ticket) { writerIn = true; }
+                }
+                atomic void exitWriter() { writerIn = false; serving = serving + 1; }
+            }
+        "#;
+        let monitors = vec![parse_monitor(RW).unwrap(), parse_monitor(ticketed).unwrap()];
+        let pipeline = Expresso::new();
+        let context = SharedAnalysisContext::new(pipeline.config());
+        let outcomes = pipeline.analyze_suite(&context, &monitors);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        let store = context.wp_stats();
+        assert!(
+            store.cross_monitor_hits > 0,
+            "expected cross-monitor WP reuse, got {store:?}"
+        );
+        // The per-session attribution sums to the store totals.
+        let per_monitor: usize = outcomes
+            .iter()
+            .map(|o| o.as_ref().unwrap().stats.wp_cache.cross_monitor_hits)
+            .sum();
+        assert_eq!(per_monitor, store.cross_monitor_hits);
+    }
+
+    #[test]
+    fn analysis_thread_count_does_not_change_results() {
+        let monitor = parse_monitor(RW).unwrap();
+        let reference = Expresso::new().analyze(&monitor).unwrap();
+        for threads in [1usize, 2, 8] {
+            let outcome = Expresso::with_config(ExpressoConfig {
+                analysis_threads: threads,
+                ..ExpressoConfig::default()
+            })
+            .analyze(&monitor)
+            .unwrap();
+            assert_eq!(outcome.explicit, reference.explicit, "threads={threads}");
+            assert_eq!(outcome.invariant, reference.invariant, "threads={threads}");
+            assert_eq!(
+                outcome.report.triples_checked, reference.report.triples_checked,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

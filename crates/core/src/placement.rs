@@ -3,19 +3,24 @@
 //! Every `(CCR, guard)` pair's obligations are constructed exactly once as
 //! interned formula ids ([`expresso_logic::FormulaId`]) against the solver's
 //! shared arena — no invariant or guard tree is ever cloned per pair — and
-//! independent pairs are discharged in parallel with scoped threads when
-//! [`PlacementConfig::parallel`] is on. Decisions are pure functions of the
-//! monitor and invariant, so the resulting [`ExplicitMonitor`] is identical in
-//! sequential and parallel runs (the equivalence tests in the workspace root
-//! assert exactly that).
+//! independent pairs are submitted as tasks to the work-stealing
+//! [`Scheduler`] when [`PlacementConfig::parallel`] is on (the same pool the
+//! suite-level analysis tasks run on, so a pair decided inside one monitor's
+//! task can be stolen by a worker that finished another monitor). Within a
+//! pair, the no-signal and conditional obligations are discharged as one
+//! speculative cancellable batch after a free cached-verdict peek. Decisions
+//! are pure functions of the monitor and invariant, so the resulting
+//! [`ExplicitMonitor`] is identical in sequential and parallel runs (the
+//! equivalence tests in the workspace root assert exactly that).
 
+use crate::scheduler::Scheduler;
 use expresso_logic::{Formula, FormulaId, Interner};
 use expresso_monitor_lang::{
     expr_to_formula, CcrId, ExplicitMonitor, Expr, Monitor, Notification, NotificationKind,
     SignalCondition, VarTable,
 };
-use expresso_smt::Solver;
-use expresso_vcgen::{VcGen, WpCache};
+use expresso_smt::{Solver, ValidityResult};
+use expresso_vcgen::{TripleStatus, VcGen, WpCache};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -24,13 +29,19 @@ use std::sync::Arc;
 pub struct PlacementConfig {
     /// Apply the §4.3 commutativity improvement.
     pub use_commutativity: bool,
-    /// Discharge independent `(CCR, guard)` pairs on multiple threads.
+    /// Discharge independent `(CCR, guard)` pairs as parallel scheduler
+    /// tasks.
     pub parallel: bool,
-    /// The `(body, post)` WP memo cache the placement VCs go through. `None`
-    /// gives this run a fresh private cache; the pipeline passes the
-    /// per-analysis cache shared with invariant inference. Must belong to the
-    /// same monitor/table as the placement run.
+    /// The WP memo session the placement VCs go through. `None` gives this
+    /// run a fresh private cache; the pipeline passes the per-analysis
+    /// session shared with invariant inference (whose store may be
+    /// suite-wide). Must belong to the same formula arena as the solver.
     pub wp_cache: Option<Arc<WpCache>>,
+    /// The work-stealing pool pair tasks are submitted to. `None` uses the
+    /// process-wide [`Scheduler::global`] pool; the pipeline passes its
+    /// context's pool so suite-, pair- and VC-level work share one
+    /// substrate.
+    pub scheduler: Option<Arc<Scheduler>>,
 }
 
 impl Default for PlacementConfig {
@@ -39,6 +50,7 @@ impl Default for PlacementConfig {
             use_commutativity: true,
             parallel: true,
             wp_cache: None,
+            scheduler: None,
         }
     }
 }
@@ -219,7 +231,11 @@ pub fn place_signals_with(
         .collect();
 
     let outcomes: Vec<(SignalDecision, usize)> = if config.parallel && pairs.len() > 1 {
-        discharge_parallel(&ctx, &pairs)
+        let scheduler = config
+            .scheduler
+            .clone()
+            .unwrap_or_else(|| Arc::clone(Scheduler::global()));
+        discharge_on_scheduler(&scheduler, &ctx, &pairs)
     } else {
         pairs
             .iter()
@@ -257,41 +273,22 @@ pub fn place_signals_with(
     (explicit, report)
 }
 
-/// Discharges all pairs on `min(cores, pairs)` scoped worker threads. Work is
-/// dealt round-robin and results are re-assembled in pair order, so the output
-/// is deterministic regardless of scheduling.
-fn discharge_parallel(ctx: &PairCtx<'_>, pairs: &[(CcrId, usize)]) -> Vec<(SignalDecision, usize)> {
-    // At least two workers whenever parallelism was requested: the split /
-    // reassembly path must be exercised (and tested) even on low-core hosts.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .max(2)
-        .min(pairs.len());
-    if workers <= 1 {
-        return pairs.iter().map(|&(c, g)| decide(ctx, c, g)).collect();
-    }
+/// Discharges all pairs as one task each on the work-stealing pool. Every
+/// task writes its own result slot, so the output is re-assembled in pair
+/// order and deterministic regardless of scheduling. When the placement runs
+/// inside a suite-level analysis task, these pair tasks land on that
+/// worker's own queue and idle workers steal them — the pool is the
+/// single load balancer across all three granularities of work.
+fn discharge_on_scheduler(
+    scheduler: &Scheduler,
+    ctx: &PairCtx<'_>,
+    pairs: &[(CcrId, usize)],
+) -> Vec<(SignalDecision, usize)> {
     let mut slots: Vec<Option<(SignalDecision, usize)>> = Vec::new();
     slots.resize_with(pairs.len(), || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut i = w;
-                    while i < pairs.len() {
-                        let (ccr, guard) = pairs[i];
-                        out.push((i, decide(ctx, ccr, guard)));
-                        i += workers;
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, outcome) in handle.join().expect("placement worker panicked") {
-                slots[i] = Some(outcome);
-            }
+    scheduler.scope(|scope| {
+        for (&(ccr, guard), slot) in pairs.iter().zip(slots.iter_mut()) {
+            scope.spawn(move || *slot = Some(decide(ctx, ccr, guard)));
         }
     });
     slots
@@ -334,14 +331,16 @@ fn decide(ctx: &PairCtx<'_>, ccr_id: CcrId, guard_idx: usize) -> (SignalDecision
     let p_other = interner.intern(&ctx.vcgen.rename_locals(p_tree, &avoid));
     let not_p_other = interner.mk_not(p_other);
 
-    // Line 7 of Algorithm 1: is signalling ever necessary?
+    // Line 7 of Algorithm 1 ("is signalling ever necessary?") and lines 9–12
+    // (conditional vs. unconditional) ask two triples over the same body and
+    // precondition. They are discharged speculatively as one cancellable
+    // batch — but only after a free cached-verdict peek, so a fully cached
+    // pair performs no solver work at all.
     triples += 1;
     let no_signal_pre = interner.mk_and(vec![ctx.invariant, own_guard, not_p_other]);
-    if ctx
-        .vcgen
-        .check_triple_ids(no_signal_pre, &ccr.body, not_p_other)
-        .is_valid()
-    {
+    let (no_signal, conditional_check) =
+        discharge_pair_speculatively(ctx, &ccr.body, no_signal_pre, not_p_other, p_other);
+    if no_signal.is_valid() {
         return (
             SignalDecision {
                 needed: false,
@@ -351,14 +350,8 @@ fn decide(ctx: &PairCtx<'_>, ccr_id: CcrId, guard_idx: usize) -> (SignalDecision
             triples,
         );
     }
-
-    // Lines 9–12: conditional vs. unconditional.
     triples += 1;
-    let condition = if ctx
-        .vcgen
-        .check_triple_ids(no_signal_pre, &ccr.body, p_other)
-        .is_valid()
-    {
+    let condition = if conditional_check.is_valid() {
         SignalCondition::Unconditional
     } else {
         SignalCondition::Conditional
@@ -418,6 +411,86 @@ fn decide(ctx: &PairCtx<'_>, ccr_id: CcrId, guard_idx: usize) -> (SignalDecision
         },
         triples,
     )
+}
+
+/// Discharges a pair's no-signal triple `{pre} body {¬p'}` and conditional
+/// triple `{pre} body {p'}` together. Returns their statuses; the second is
+/// meaningless (and never consulted) when the first comes back valid.
+///
+/// Strategy, in order:
+///
+/// 1. **Cached peek** — [`Solver::cached_validity`] answers the no-signal VC
+///    for free when an earlier analysis (or fixpoint round) already solved
+///    it; a pair whose no-signal obligation is cached-valid performs no
+///    solver work at all and never even materializes the conditional VC.
+/// 2. **Speculative batch** — otherwise both VCs are submitted through
+///    [`Solver::check_valid_batch_with`], which schedules them cheapest
+///    first; the moment the no-signal verdict lands `Valid`, the losing
+///    conditional query is cancelled.
+///
+/// Both steps are pure reorderings of the sequential early-exit control flow
+/// they replace: the verdicts (and hence the decision and the reported
+/// triple counts) are identical.
+fn discharge_pair_speculatively(
+    ctx: &PairCtx<'_>,
+    body: &expresso_monitor_lang::Stmt,
+    pre: FormulaId,
+    not_p_other: FormulaId,
+    p_other: FormulaId,
+) -> (TripleStatus, TripleStatus) {
+    let interner = ctx.interner;
+    let solver = ctx.vcgen.solver();
+    let to_status = |v: &ValidityResult| TripleStatus::from(v);
+    let vc_no = ctx
+        .vcgen
+        .wp_id(body, not_p_other)
+        .ok()
+        .map(|wp| interner.mk_implies(pre, wp));
+    // The conditional VC is only materialized once the no-signal verdict is
+    // known (or known to need solving): a pair whose no-signal obligation is
+    // already proven performs neither wp nor solver work for the loser.
+    let build_vc_cond = || {
+        ctx.vcgen
+            .wp_id(body, p_other)
+            .ok()
+            .map(|wp| interner.mk_implies(pre, wp))
+    };
+    let Some(vc_no) = vc_no else {
+        // The no-signal wp left the fragment: conservatively unproven. The
+        // conditional triple still gets its own verdict when its wp worked.
+        let conditional = build_vc_cond().map_or(TripleStatus::Unknown, |vc| {
+            to_status(&solver.check_valid_id(vc))
+        });
+        return (TripleStatus::Unknown, conditional);
+    };
+    if let Some(cached) = solver.cached_validity(vc_no) {
+        let no_signal = to_status(&cached);
+        if no_signal.is_valid() {
+            return (no_signal, TripleStatus::Unknown);
+        }
+        let conditional = build_vc_cond().map_or(TripleStatus::Unknown, |vc| {
+            // check_valid_id answers from the memo cache itself, so no
+            // separate peek is needed (and the query counters stay honest).
+            to_status(&solver.check_valid_id(vc))
+        });
+        return (no_signal, conditional);
+    }
+    let Some(vc_cond) = build_vc_cond() else {
+        return (
+            to_status(&solver.check_valid_id(vc_no)),
+            TripleStatus::Unknown,
+        );
+    };
+    let batch = [vc_no, vc_cond];
+    let results = solver.check_valid_batch_with(&batch, |index, verdict| {
+        !(batch[index] == vc_no && verdict.is_valid())
+    });
+    let no_signal = results[0]
+        .as_ref()
+        .map(to_status)
+        .expect("the no-signal verdict is never cancelled");
+    let conditional = results[1].as_ref().map_or(TripleStatus::Unknown, to_status);
+    (no_signal, conditional)
 }
 
 #[cfg(test)]

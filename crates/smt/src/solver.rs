@@ -531,6 +531,30 @@ impl Solver {
     /// overlapping cores. Ordering never changes a verdict (each query is a
     /// pure function of its formula); it only shifts cache traffic.
     pub fn check_valid_batch(&self, ids: &[FormulaId]) -> Vec<ValidityResult> {
+        self.check_valid_batch_with(ids, |_, _| true)
+            .into_iter()
+            .map(|r| r.expect("uncancelled batch answers every query"))
+            .collect()
+    }
+
+    /// Cancellable variant of [`Solver::check_valid_batch`]: the speculative
+    /// discharge path of signal placement submits a pair's no-signal and
+    /// conditional obligations together and cancels the loser once the
+    /// early-exit verdict lands.
+    ///
+    /// `keep_going` is invoked once per *input position* as its verdict
+    /// becomes available (duplicates of one formula are reported together,
+    /// in input order, after the single solve). Returning `false` cancels
+    /// every query that has not been solved yet; cancelled positions come
+    /// back as `None`. The solve order is the batch schedule of
+    /// [`Solver::check_valid_batch`] — cached verdicts first (they are
+    /// free), then ascending structural size — so a cancellation typically
+    /// saves exactly the expensive tail of the batch.
+    pub fn check_valid_batch_with(
+        &self,
+        ids: &[FormulaId],
+        mut keep_going: impl FnMut(usize, &ValidityResult) -> bool,
+    ) -> Vec<Option<ValidityResult>> {
         let mut distinct: Vec<FormulaId> = Vec::new();
         let mut seen = HashSet::new();
         for &id in ids {
@@ -540,11 +564,21 @@ impl Solver {
         }
         distinct
             .sort_by_cached_key(|&id| (self.cached_validity(id).is_none(), self.interner.size(id)));
-        let verdicts: HashMap<FormulaId, ValidityResult> = distinct
-            .into_iter()
-            .map(|id| (id, self.check_valid_id(id)))
-            .collect();
-        ids.iter().map(|id| verdicts[id].clone()).collect()
+        let mut verdicts: HashMap<FormulaId, ValidityResult> = HashMap::new();
+        'solve: for id in distinct {
+            let verdict = self.check_valid_id(id);
+            let mut cancelled = false;
+            for (position, &input) in ids.iter().enumerate() {
+                if input == id && !keep_going(position, &verdict) {
+                    cancelled = true;
+                }
+            }
+            verdicts.insert(id, verdict);
+            if cancelled {
+                break 'solve;
+            }
+        }
+        ids.iter().map(|id| verdicts.get(id).cloned()).collect()
     }
 
     /// Peeks at the memo cache for the validity of `id` without solving,
@@ -1484,6 +1518,27 @@ mod tests {
         assert!(results[0].is_valid());
         assert!(!results[1].is_valid());
         assert!(results[2].is_valid());
+    }
+
+    #[test]
+    fn cancelled_batch_queries_come_back_as_none() {
+        let s = solver();
+        let interner = s.interner().clone();
+        // The tautology is tiny, so the cost-ordered schedule solves it first;
+        // cancelling on it must leave the bigger query unanswered.
+        let valid = interner.intern(&Term::var("x").ge(Term::var("x")));
+        let big = interner.intern(&Formula::and(vec![
+            Term::var("x").ge(Term::int(0)),
+            Term::var("y").ge(Term::int(1)),
+            Term::var("z").ge(Term::int(2)),
+        ]));
+        let results = s.check_valid_batch_with(&[big, valid], |_, verdict| !verdict.is_valid());
+        assert_eq!(results[1], Some(ValidityResult::Valid));
+        assert_eq!(results[0], None);
+        // An uncancelled run answers everything, duplicates included.
+        let results = s.check_valid_batch_with(&[big, valid, big], |_, _| true);
+        assert!(results.iter().all(|r| r.is_some()));
+        assert_eq!(results[0], results[2]);
     }
 
     #[test]

@@ -298,6 +298,54 @@ pub fn readers_writers_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
         .collect()
 }
 
+/// Broadcast ring: publishers and consumers in pairs. Every published item
+/// must be acknowledged by `readers = 2` consume calls before its slot is
+/// reused, so each consumer performs twice the publisher's operations; an
+/// odd leftover thread runs a self-balanced publish/consume/consume mix.
+pub fn broadcast_ring_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let pairs = threads.max(2) / 2;
+    let mut plans = Vec::new();
+    for _ in 0..pairs {
+        plans.push((0..ops).map(|_| Operation::new("publish")).collect());
+        plans.push((0..2 * ops).map(|_| Operation::new("consume")).collect());
+    }
+    if threads > pairs * 2 {
+        let mut plan = Vec::new();
+        for _ in 0..ops {
+            plan.push(Operation::new("publish"));
+            plan.push(Operation::new("consume"));
+            plan.push(Operation::new("consume"));
+        }
+        plans.push(plan);
+    }
+    plans
+}
+
+/// Writer-priority lock: one quarter of the threads write (request, acquire,
+/// release), the rest read. Every `requestWrite` is matched by a
+/// `beginWrite`/`endWrite` pair, so the writer queue always drains and
+/// blocked readers are eventually released.
+pub fn writer_priority_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
+    let n = threads.max(2);
+    let writers = (n / 4).max(1);
+    (0..n)
+        .map(|t| {
+            let mut plan = Vec::new();
+            for _ in 0..ops {
+                if t < writers {
+                    plan.push(Operation::new("requestWrite"));
+                    plan.push(Operation::new("beginWrite"));
+                    plan.push(Operation::new("endWrite"));
+                } else {
+                    plan.push(Operation::new("beginRead"));
+                    plan.push(Operation::new("endRead"));
+                }
+            }
+            plan
+        })
+        .collect()
+}
+
 /// SimpleDecoder: input feeders, decoders and output drainers in a 1:1:1 ratio.
 pub fn decoder_plans(threads: usize, ops: usize) -> Vec<ThreadPlan> {
     let groups = (threads.max(3)) / 3;

@@ -1,45 +1,104 @@
-//! Memoization of weakest-precondition results.
+//! Memoization of weakest-precondition results, shared across a whole suite.
 //!
 //! Signal placement and the invariant fixpoint recompute `wp(body, post)` for
 //! the same `(CCR body, postcondition)` pair over and over: every fixpoint
 //! round re-proves consecution for each surviving candidate, the §4.3
 //! commutativity improvement asks for the same sequential compositions under
 //! both orders, and the `while` havoc path rebuilds an identical quantified
-//! exit condition each time. [`WpCache`] memoizes the interned result keyed
-//! on `(body, post-id)`; `wp` is a pure function of that pair (fresh-name
-//! generation depends only on the formulas involved), so a hit is always the
-//! exact id a recomputation would produce.
+//! exit condition each time. The same recomputation also happens *across*
+//! monitors: structurally identical CCR bodies (`readers++`,
+//! `if (readers > 0) readers--`) recur throughout a benchmark suite.
 //!
-//! The table is hash-striped like the solver's memo caches so parallel
+//! Two layers implement the memo:
+//!
+//! * [`WpStore`] is the suite-wide table. Entries are keyed on
+//!   `(lowering fingerprint, body, post-id)`, where the **fingerprint** is
+//!   the slice of the symbol table that `wp` actually consults for that
+//!   statement — the sorted `(variable, type)` pairs of every variable the
+//!   statement reads or writes, used verbatim as the key (hashing happens
+//!   only for shard selection, so distinct slices can never alias). `wp` is a pure function of that triple (fresh-name generation
+//!   depends only on the formulas involved, and lowering consults nothing
+//!   but variable types), so a hit is always the exact id a recomputation
+//!   would produce — even when the hit was inserted by a *different*
+//!   monitor's analysis. Restricting the fingerprint to the statement's own
+//!   variables (instead of hashing the whole table) is what makes that
+//!   cross-monitor reuse possible: two monitors rarely share a whole symbol
+//!   table, but they frequently share a counter update.
+//! * [`WpCache`] is a per-analysis **session** over a store: it carries the
+//!   analysis id used to attribute cross-monitor reuse and its own exact
+//!   hit/miss counters, which stay meaningful even when many analyses run
+//!   concurrently against one store on the work-stealing pool.
+//!
+//! The store is hash-striped like the solver's memo caches so parallel
 //! placement workers do not serialize on a single mutex, and statistics are
-//! relaxed atomics. One cache is only ever valid for one monitor's symbol
-//! table **and one formula arena** — keys embed table-dependent lowering and
+//! relaxed atomics. One store is only ever valid for **one formula arena**:
 //! the cached [`FormulaId`]s are only meaningful in the arena that minted
-//! them. The pipeline therefore creates a fresh cache per analysis and
-//! shares it between abduction and placement of that monitor (which run
-//! against the same solver, hence the same arena).
+//! them. `SharedAnalysisContext` therefore owns one store next to its arena
+//! and hands a fresh session to every analysis.
 
 use crate::wp::WpError;
 use expresso_logic::FormulaId;
-use expresso_monitor_lang::Stmt;
+use expresso_monitor_lang::{Stmt, Type, VarTable};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 const WP_CACHE_SHARDS: usize = 16;
 
-/// One stripe of the cache: statement → (post-id → memoized wp).
-type WpShard = HashMap<Stmt, HashMap<FormulaId, Result<FormulaId, WpError>>>;
+/// A memoized result plus the id of the analysis session that inserted it
+/// (which funds the cross-monitor reuse accounting).
+type WpEntry = (Result<FormulaId, WpError>, u32);
 
-/// Hit/miss counters of one [`WpCache`].
+/// One stripe of the store: lowering fingerprint → statement → (post-id →
+/// entry). The statement level lets lookups borrow the caller's `&Stmt`
+/// instead of cloning it per query; the clone happens once, on first insert.
+type WpShard = HashMap<LoweringFingerprint, HashMap<Stmt, HashMap<FormulaId, WpEntry>>>;
+
+/// The exact slice of a symbol table that `wp(stmt, _)` consults: the sorted
+/// `(variable, type)` pairs of every variable the statement reads or writes
+/// (guard expressions included). This is used *verbatim* as a cache-key
+/// component — not merely hashed — so two different table slices can never
+/// alias a store entry; hashing happens only for shard selection. Cheap to
+/// clone (it is an `Arc`), which is what lets [`VcGen`](crate::VcGen)
+/// memoize it per statement.
+///
+/// Two statements with equal ASTs and equal fingerprints have identical
+/// `wp` results for every postcondition, regardless of which monitor they
+/// came from — the soundness condition for sharing one [`WpStore`] across a
+/// suite.
+pub type LoweringFingerprint = Arc<[(String, Option<Type>)]>;
+
+/// Computes the [`LoweringFingerprint`] of `stmt` against `table`.
+pub fn lowering_fingerprint(stmt: &Stmt, table: &VarTable) -> LoweringFingerprint {
+    let mut vars: Vec<String> = stmt.assigned_vars().into_iter().collect();
+    for v in stmt.read_vars() {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    vars.sort_unstable();
+    vars.into_iter()
+        .map(|v| {
+            let ty = table.ty(&v);
+            (v, ty)
+        })
+        .collect()
+}
+
+/// Hit/miss counters of one [`WpCache`] session (or, via
+/// [`WpStore::stats`], of a whole store).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WpCacheStats {
     /// `wp` computations answered from the cache.
     pub hits: usize,
     /// `wp` computations that had to run and were then cached.
     pub misses: usize,
+    /// Hits served by an entry inserted by a *different* analysis session —
+    /// the cross-monitor reuse a suite-wide store buys. Always 0 for a
+    /// private per-analysis store.
+    pub cross_monitor_hits: usize,
 }
 
 impl WpCacheStats {
@@ -54,16 +113,137 @@ impl WpCacheStats {
     }
 }
 
-/// A striped `(body, post-id) → wp` memo table. See the module documentation.
-#[derive(Debug)]
-pub struct WpCache {
-    enabled: bool,
-    /// Outer key: the statement (cloned once on first insert); inner key: the
-    /// interned postcondition. The two-level shape lets lookups borrow the
-    /// caller's `&Stmt` instead of cloning it per query.
-    shards: Box<[Mutex<WpShard>]>,
+#[derive(Debug, Default)]
+struct WpCounters {
     hits: AtomicUsize,
     misses: AtomicUsize,
+    cross_monitor_hits: AtomicUsize,
+}
+
+impl WpCounters {
+    fn snapshot(&self) -> WpCacheStats {
+        WpCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            cross_monitor_hits: self.cross_monitor_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, hit: bool, cross: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if cross {
+                self.cross_monitor_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The suite-wide striped `(fingerprint, body, post-id) → wp` memo table.
+/// See the module documentation.
+#[derive(Debug)]
+pub struct WpStore {
+    enabled: bool,
+    shards: Box<[Mutex<WpShard>]>,
+    counters: WpCounters,
+    next_session: AtomicU32,
+}
+
+impl Default for WpStore {
+    fn default() -> Self {
+        WpStore::new(true)
+    }
+}
+
+impl WpStore {
+    /// Creates a store; `enabled = false` yields a pass-through that always
+    /// recomputes (the differential baseline the equivalence tests use).
+    pub fn new(enabled: bool) -> Self {
+        WpStore {
+            enabled,
+            shards: (0..WP_CACHE_SHARDS)
+                .map(|_| Mutex::default())
+                .collect::<Vec<_>>()
+                .into(),
+            counters: WpCounters::default(),
+            next_session: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether lookups are served (as opposed to pass-through recomputation).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a per-analysis session. Sessions share the store's entries but
+    /// carry their own exact counters and a fresh analysis id for the
+    /// cross-monitor attribution.
+    pub fn session(self: &Arc<Self>) -> Arc<WpCache> {
+        let analysis = self.next_session.fetch_add(1, Ordering::Relaxed);
+        Arc::new(WpCache {
+            store: Arc::clone(self),
+            analysis,
+            counters: WpCounters::default(),
+        })
+    }
+
+    /// Store-wide counters, cumulative across every session.
+    pub fn stats(&self) -> WpCacheStats {
+        self.counters.snapshot()
+    }
+
+    fn shard(&self, fingerprint: &LoweringFingerprint, stmt: &Stmt) -> &Mutex<WpShard> {
+        // DefaultHasher::new() is deterministic within a process, matching
+        // the shard selectors of every other memo table in the workspace.
+        let mut hasher = DefaultHasher::new();
+        fingerprint.hash(&mut hasher);
+        stmt.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    fn lookup(
+        &self,
+        fingerprint: &LoweringFingerprint,
+        stmt: &Stmt,
+        post: FormulaId,
+    ) -> Option<WpEntry> {
+        self.shard(fingerprint, stmt)
+            .lock()
+            .unwrap()
+            .get(fingerprint)
+            .and_then(|by_stmt| by_stmt.get(stmt))
+            .and_then(|by_post| by_post.get(&post))
+            .cloned()
+    }
+
+    fn insert(
+        &self,
+        fingerprint: &LoweringFingerprint,
+        stmt: &Stmt,
+        post: FormulaId,
+        entry: WpEntry,
+    ) {
+        self.shard(fingerprint, stmt)
+            .lock()
+            .unwrap()
+            .entry(Arc::clone(fingerprint))
+            .or_default()
+            .entry(stmt.clone())
+            .or_default()
+            .insert(post, entry);
+    }
+}
+
+/// A per-analysis session over a [`WpStore`]; this is the handle the
+/// pipeline threads through abduction and placement. See the module
+/// documentation.
+#[derive(Debug)]
+pub struct WpCache {
+    store: Arc<WpStore>,
+    analysis: u32,
+    counters: WpCounters,
 }
 
 impl Default for WpCache {
@@ -73,69 +253,75 @@ impl Default for WpCache {
 }
 
 impl WpCache {
-    /// Creates a cache; `enabled = false` yields a pass-through that always
-    /// recomputes (the differential baseline the equivalence tests use).
+    /// Creates a session over a fresh private store — the configuration of a
+    /// standalone (non-suite) analysis. `enabled = false` yields the
+    /// recompute-everything differential baseline.
     pub fn new(enabled: bool) -> Self {
         WpCache {
-            enabled,
-            shards: (0..WP_CACHE_SHARDS)
-                .map(|_| Mutex::default())
-                .collect::<Vec<_>>()
-                .into(),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            store: Arc::new(WpStore::new(enabled)),
+            analysis: 0,
+            counters: WpCounters::default(),
         }
     }
 
     /// Whether lookups are served (as opposed to pass-through recomputation).
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.store.enabled
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of this session's counters (exact even when other sessions
+    /// hammer the same store concurrently).
     pub fn stats(&self) -> WpCacheStats {
-        WpCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
-    fn shard(&self, stmt: &Stmt) -> &Mutex<WpShard> {
-        let mut hasher = DefaultHasher::new();
-        stmt.hash(&mut hasher);
-        &self.shards[hasher.finish() as usize % self.shards.len()]
+    /// The store this session reads and writes.
+    pub fn store(&self) -> &Arc<WpStore> {
+        &self.store
     }
 
-    /// Returns the memoized `wp(stmt, post)`, computing and recording it on a
-    /// miss. The computation runs outside the stripe lock; a racing duplicate
-    /// computes the same pure result, so last-write-wins is harmless.
+    /// Returns the memoized `wp(stmt, post)` under `stmt`'s lowering
+    /// fingerprint for `table`, computing and recording it on a miss. The
+    /// computation runs outside the stripe lock; a racing duplicate computes
+    /// the same pure result, so last-write-wins is harmless.
     pub fn get_or_compute(
         &self,
+        stmt: &Stmt,
+        table: &VarTable,
+        post: FormulaId,
+        compute: impl FnOnce() -> Result<FormulaId, WpError>,
+    ) -> Result<FormulaId, WpError> {
+        if !self.store.enabled {
+            return compute();
+        }
+        self.get_or_compute_fingerprinted(&lowering_fingerprint(stmt, table), stmt, post, compute)
+    }
+
+    /// [`WpCache::get_or_compute`] with a precomputed fingerprint — the hot
+    /// path for callers that memoize the fingerprint per statement (the
+    /// fingerprint of a given `(stmt, table)` pair never changes, and a
+    /// `VcGen` is bound to one table for its whole life).
+    pub fn get_or_compute_fingerprinted(
+        &self,
+        fingerprint: &LoweringFingerprint,
         stmt: &Stmt,
         post: FormulaId,
         compute: impl FnOnce() -> Result<FormulaId, WpError>,
     ) -> Result<FormulaId, WpError> {
-        if !self.enabled {
+        if !self.store.enabled {
             return compute();
         }
-        if let Some(cached) = self
-            .shard(stmt)
-            .lock()
-            .unwrap()
-            .get(stmt)
-            .and_then(|by_post| by_post.get(&post))
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+        if let Some((cached, inserted_by)) = self.store.lookup(fingerprint, stmt, post) {
+            let cross = inserted_by != self.analysis;
+            self.counters.record(true, cross);
+            self.store.counters.record(true, cross);
+            return cached;
         }
         let result = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.shard(stmt)
-            .lock()
-            .unwrap()
-            .entry(stmt.clone())
-            .or_default()
-            .insert(post, result.clone());
+        self.counters.record(false, false);
+        self.store.counters.record(false, false);
+        self.store
+            .insert(fingerprint, stmt, post, (result.clone(), self.analysis));
         result
     }
 }
@@ -144,19 +330,29 @@ impl WpCache {
 mod tests {
     use super::*;
     use expresso_logic::Interner;
+    use expresso_monitor_lang::{check_monitor, parse_monitor};
 
     fn skip() -> Stmt {
         Stmt::Skip
+    }
+
+    fn table() -> VarTable {
+        let monitor = parse_monitor(
+            "monitor M { int count = 0; bool stopped = false; atomic void nop() { skip; } }",
+        )
+        .unwrap();
+        check_monitor(&monitor).unwrap()
     }
 
     #[test]
     fn second_lookup_is_a_hit() {
         let interner = Interner::new();
         let post = interner.true_id();
+        let table = table();
         let cache = WpCache::new(true);
         let mut computed = 0;
         for _ in 0..3 {
-            let got = cache.get_or_compute(&skip(), post, || {
+            let got = cache.get_or_compute(&skip(), &table, post, || {
                 computed += 1;
                 Ok(post)
             });
@@ -165,6 +361,7 @@ mod tests {
         assert_eq!(computed, 1);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.cross_monitor_hits, 0);
         assert!(stats.hit_rate() > 0.5);
     }
 
@@ -172,10 +369,11 @@ mod tests {
     fn disabled_cache_recomputes_every_time() {
         let interner = Interner::new();
         let post = interner.true_id();
+        let table = table();
         let cache = WpCache::new(false);
         let mut computed = 0;
         for _ in 0..3 {
-            let _ = cache.get_or_compute(&skip(), post, || {
+            let _ = cache.get_or_compute(&skip(), &table, post, || {
                 computed += 1;
                 Ok(post)
             });
@@ -188,10 +386,11 @@ mod tests {
     fn errors_are_cached_too() {
         let interner = Interner::new();
         let post = interner.false_id();
+        let table = table();
         let cache = WpCache::new(true);
         let mut computed = 0;
         for _ in 0..2 {
-            let got = cache.get_or_compute(&skip(), post, || {
+            let got = cache.get_or_compute(&skip(), &table, post, || {
                 computed += 1;
                 Err(WpError::ArrayWrite("buf".into()))
             });
@@ -204,10 +403,99 @@ mod tests {
     fn distinct_posts_are_distinct_entries() {
         let interner = Interner::new();
         let cache = WpCache::new(true);
+        let table = table();
         let t = interner.true_id();
         let f = interner.false_id();
-        assert_eq!(cache.get_or_compute(&skip(), t, || Ok(t)), Ok(t));
-        assert_eq!(cache.get_or_compute(&skip(), f, || Ok(f)), Ok(f));
+        assert_eq!(cache.get_or_compute(&skip(), &table, t, || Ok(t)), Ok(t));
+        assert_eq!(cache.get_or_compute(&skip(), &table, f, || Ok(f)), Ok(f));
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn fingerprint_separates_conflicting_tables() {
+        // The same statement AST lowers differently when the assigned
+        // variable changes type; the fingerprint must keep the entries apart.
+        let int_table = check_monitor(
+            &parse_monitor("monitor A { int x = 0; atomic void nop() { skip; } }").unwrap(),
+        )
+        .unwrap();
+        let bool_table = check_monitor(
+            &parse_monitor("monitor B { bool x = false; atomic void nop() { skip; } }").unwrap(),
+        )
+        .unwrap();
+        let stmt = Stmt::Assign("x".into(), expresso_monitor_lang::parse_expr("x").unwrap());
+        assert_ne!(
+            lowering_fingerprint(&stmt, &int_table),
+            lowering_fingerprint(&stmt, &bool_table)
+        );
+
+        let interner = Interner::new();
+        let post = interner.true_id();
+        let store = Arc::new(WpStore::new(true));
+        let a = store.session();
+        let b = store.session();
+        let one = interner.intern(&expresso_logic::Formula::bool_var("one"));
+        let two = interner.intern(&expresso_logic::Formula::bool_var("two"));
+        assert_eq!(
+            a.get_or_compute(&stmt, &int_table, post, || Ok(one)),
+            Ok(one)
+        );
+        // Same statement, conflicting table: must not see A's entry.
+        assert_eq!(
+            b.get_or_compute(&stmt, &bool_table, post, || Ok(two)),
+            Ok(two)
+        );
+        assert_eq!(store.stats().hits, 0);
+        assert_eq!(store.stats().misses, 2);
+    }
+
+    #[test]
+    fn cross_monitor_hits_are_attributed_to_sessions() {
+        // Two monitors sharing a structurally identical statement over
+        // identically typed variables share one store entry; the second
+        // session's hit is counted as cross-monitor.
+        let table_a = check_monitor(
+            &parse_monitor("monitor A { int readers = 0; atomic void nop() { skip; } }").unwrap(),
+        )
+        .unwrap();
+        let table_b = check_monitor(
+            &parse_monitor(
+                "monitor B { int readers = 0; bool extra = false; atomic void nop() { skip; } }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let stmt = Stmt::Assign(
+            "readers".into(),
+            expresso_monitor_lang::parse_expr("readers + 1").unwrap(),
+        );
+        assert_eq!(
+            lowering_fingerprint(&stmt, &table_a),
+            lowering_fingerprint(&stmt, &table_b)
+        );
+
+        let interner = Interner::new();
+        let post = interner.true_id();
+        let store = Arc::new(WpStore::new(true));
+        let a = store.session();
+        let b = store.session();
+        let value = interner.intern(&expresso_logic::Formula::bool_var("wp"));
+        assert_eq!(
+            a.get_or_compute(&stmt, &table_a, post, || Ok(value)),
+            Ok(value)
+        );
+        assert_eq!(
+            b.get_or_compute(&stmt, &table_b, post, || {
+                panic!("must be served from A's entry")
+            }),
+            Ok(value)
+        );
+        assert_eq!(a.stats().cross_monitor_hits, 0);
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().cross_monitor_hits, 1);
+        let store_stats = store.stats();
+        assert_eq!(store_stats.hits, 1);
+        assert_eq!(store_stats.cross_monitor_hits, 1);
+        assert_eq!(store_stats.misses, 1);
     }
 }

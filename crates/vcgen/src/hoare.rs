@@ -1,13 +1,13 @@
 //! Hoare-triple discharge and commutativity checking.
 
-use crate::cache::WpCache;
+use crate::cache::{lowering_fingerprint, LoweringFingerprint, WpCache};
 use crate::wp::{wp, wp_id, WpError};
 use expresso_logic::{fresh_name, Formula, FormulaId, Interner, Subst, Term};
 use expresso_monitor_lang::{Monitor, Stmt, Type, VarTable};
 use expresso_smt::{Solver, ValidityResult};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A Hoare triple `{pre} stmt {post}` over a CCR body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +52,16 @@ impl TripleStatus {
     }
 }
 
+impl From<&ValidityResult> for TripleStatus {
+    fn from(verdict: &ValidityResult) -> TripleStatus {
+        match verdict {
+            ValidityResult::Valid => TripleStatus::Valid,
+            ValidityResult::Invalid(_) => TripleStatus::Invalid,
+            ValidityResult::Unknown(_) => TripleStatus::Unknown,
+        }
+    }
+}
+
 /// Verification-condition generator bound to a monitor, its symbol table and a
 /// solver.
 #[derive(Debug)]
@@ -59,10 +69,17 @@ pub struct VcGen<'a> {
     monitor: &'a Monitor,
     table: &'a VarTable,
     solver: &'a Solver,
-    /// Memoized `(body, post-id) → wp` results. Valid only for this
-    /// generator's monitor/table; the pipeline shares one cache between the
-    /// abduction and placement passes of a single analysis.
+    /// Memoized `(fingerprint, body, post-id) → wp` session. The pipeline
+    /// shares one session between the abduction and placement passes of a
+    /// single analysis; the session's store may be suite-wide.
     wp_cache: Arc<WpCache>,
+    /// Per-statement lowering fingerprints. A fingerprint is a pure function
+    /// of `(stmt, table)` and this generator is bound to one table, so it is
+    /// computed once per distinct statement instead of on every WP lookup
+    /// (recomputation walks the statement and allocates variable sets). The
+    /// map is read-locked on the hit path so parallel pair tasks sharing one
+    /// generator do not serialize on it.
+    fingerprints: RwLock<HashMap<Stmt, LoweringFingerprint>>,
 }
 
 impl<'a> VcGen<'a> {
@@ -71,11 +88,11 @@ impl<'a> VcGen<'a> {
         VcGen::with_wp_cache(monitor, table, solver, Arc::new(WpCache::default()))
     }
 
-    /// Creates a generator sharing an existing WP cache. The cache must have
-    /// been populated against the **same monitor, symbol table and formula
-    /// arena** (`solver.interner()`): `(body, post)` keys from a different
-    /// table would alias unsoundly, and cached `FormulaId`s are only
-    /// meaningful in the arena that minted them.
+    /// Creates a generator sharing an existing WP session. The session's
+    /// store must have been populated against the **same formula arena**
+    /// (`solver.interner()`): cached `FormulaId`s are only meaningful in the
+    /// arena that minted them. Entries from other monitors are safe — keys
+    /// carry a lowering fingerprint of the statement's table slice.
     pub fn with_wp_cache(
         monitor: &'a Monitor,
         table: &'a VarTable,
@@ -87,6 +104,7 @@ impl<'a> VcGen<'a> {
             table,
             solver,
             wp_cache,
+            fingerprints: RwLock::new(HashMap::new()),
         }
     }
 
@@ -132,11 +150,7 @@ impl<'a> VcGen<'a> {
     /// Discharges `{pre} stmt {post}` over interned formulas.
     pub fn check_triple_ids(&self, pre: FormulaId, stmt: &Stmt, post: FormulaId) -> TripleStatus {
         match self.wp_id(stmt, post) {
-            Ok(weakest) => match self.solver.check_implies_ids(pre, weakest) {
-                ValidityResult::Valid => TripleStatus::Valid,
-                ValidityResult::Invalid(_) => TripleStatus::Invalid,
-                ValidityResult::Unknown(_) => TripleStatus::Unknown,
-            },
+            Ok(weakest) => (&self.solver.check_implies_ids(pre, weakest)).into(),
             Err(WpError::ArrayWrite(_)) | Err(WpError::Lower(_)) => TripleStatus::Unknown,
         }
     }
@@ -190,14 +204,7 @@ impl<'a> VcGen<'a> {
         let status_of: std::collections::HashMap<FormulaId, TripleStatus> = distinct
             .iter()
             .zip(&verdicts)
-            .map(|(&vc, verdict)| {
-                let status = match verdict {
-                    ValidityResult::Valid => TripleStatus::Valid,
-                    ValidityResult::Invalid(_) => TripleStatus::Invalid,
-                    ValidityResult::Unknown(_) => TripleStatus::Unknown,
-                };
-                (vc, status)
-            })
+            .map(|(&vc, verdict)| (vc, TripleStatus::from(verdict)))
             .collect();
         vcs.into_iter()
             .map(|vc| vc.map_or(TripleStatus::Unknown, |vc| status_of[&vc]))
@@ -214,15 +221,33 @@ impl<'a> VcGen<'a> {
     }
 
     /// Computes `wp(stmt, post)` over interned formulas, memoized on the
-    /// generator's `(body, post-id)` cache.
+    /// generator's WP session under the statement's lowering fingerprint
+    /// (so a suite-wide store can serve hits across monitors soundly).
     ///
     /// # Errors
     ///
     /// Propagates [`WpError`] from the underlying computation.
     pub fn wp_id(&self, stmt: &Stmt, post: FormulaId) -> Result<FormulaId, WpError> {
-        self.wp_cache.get_or_compute(stmt, post, || {
-            wp_id(stmt, post, self.table, self.interner())
-        })
+        let fingerprint = self.fingerprint(stmt);
+        self.wp_cache
+            .get_or_compute_fingerprinted(&fingerprint, stmt, post, || {
+                wp_id(stmt, post, self.table, self.interner())
+            })
+    }
+
+    /// The statement's lowering fingerprint against this generator's table,
+    /// memoized per distinct statement (read-locked on the hit path).
+    fn fingerprint(&self, stmt: &Stmt) -> LoweringFingerprint {
+        if let Some(fingerprint) = self.fingerprints.read().unwrap().get(stmt) {
+            return Arc::clone(fingerprint);
+        }
+        let fingerprint = lowering_fingerprint(stmt, self.table);
+        self.fingerprints
+            .write()
+            .unwrap()
+            .entry(stmt.clone())
+            .or_insert_with(|| Arc::clone(&fingerprint));
+        fingerprint
     }
 
     /// Renames every thread-local variable occurring in `formula` to a fresh

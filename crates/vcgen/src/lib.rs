@@ -11,6 +11,6 @@ pub mod cache;
 pub mod hoare;
 pub mod wp;
 
-pub use cache::{WpCache, WpCacheStats};
+pub use cache::{lowering_fingerprint, LoweringFingerprint, WpCache, WpCacheStats, WpStore};
 pub use hoare::{HoareTriple, TripleStatus, VcGen};
 pub use wp::{wp, wp_id, WpError};

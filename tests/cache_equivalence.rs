@@ -6,7 +6,7 @@
 //! optimisations; any observable divergence here is a soundness bug in the
 //! arena, the cache keying or the parallel work split.
 
-use expresso_repro::core::{Expresso, ExpressoConfig};
+use expresso_repro::core::{Expresso, ExpressoConfig, SharedAnalysisContext};
 use expresso_repro::suite::all;
 
 fn config(cache: bool, parallel: bool) -> ExpressoConfig {
@@ -190,6 +190,101 @@ fn interner_sharding_and_wp_cache_cannot_change_results() {
             }
         }
     }
+}
+
+#[test]
+fn scheduler_modes_are_bit_identical_across_the_suite() {
+    // The work-stealing pool is a pure scheduling substrate: for every suite
+    // monitor, `analysis_threads ∈ {1, 8}` × suite-parallel on/off must all
+    // produce bit-identical outcomes and placement counters — both against
+    // each other and against a stand-alone private-context analysis.
+    let benchmarks = all();
+    let monitors: Vec<_> = benchmarks.iter().map(|b| b.monitor()).collect();
+    let reference: Vec<_> = monitors
+        .iter()
+        .zip(&benchmarks)
+        .map(|(monitor, b)| {
+            Expresso::new()
+                .analyze(monitor)
+                .unwrap_or_else(|e| panic!("{}: reference analysis failed: {e}", b.name))
+        })
+        .collect();
+    for threads in [1usize, 8] {
+        for suite_parallel in [false, true] {
+            let pipeline = Expresso::with_config(ExpressoConfig {
+                analysis_threads: threads,
+                ..ExpressoConfig::default()
+            });
+            let context = SharedAnalysisContext::new(pipeline.config());
+            let outcomes: Vec<_> = if suite_parallel {
+                pipeline.analyze_suite(&context, &monitors)
+            } else {
+                monitors
+                    .iter()
+                    .map(|m| pipeline.analyze_with_context(&context, m))
+                    .collect()
+            };
+            for ((outcome, expected), b) in outcomes.iter().zip(&reference).zip(&benchmarks) {
+                let label = format!(
+                    "{}: analysis_threads={threads} suite_parallel={suite_parallel}",
+                    b.name
+                );
+                let outcome = outcome
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{label}: analysis failed: {e}"));
+                assert_eq!(outcome.explicit, expected.explicit, "{label}: explicit");
+                assert_eq!(outcome.invariant, expected.invariant, "{label}: invariant");
+                assert_eq!(
+                    outcome.report.decisions, expected.report.decisions,
+                    "{label}: decisions"
+                );
+                assert_eq!(
+                    outcome.report.pairs_considered, expected.report.pairs_considered,
+                    "{label}: pairs_considered"
+                );
+                assert_eq!(
+                    outcome.report.triples_checked, expected.report.triples_checked,
+                    "{label}: triples_checked"
+                );
+                assert_eq!(outcome.report.skipped, expected.report.skipped, "{label}");
+                assert_eq!(
+                    outcome.report.triples_per_pair().to_bits(),
+                    expected.report.triples_per_pair().to_bits(),
+                    "{label}: triples_per_pair"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_run_shares_wp_work_across_monitors() {
+    // The fingerprinted suite-wide WP store must serve at least one monitor
+    // from another monitor's entries (the suite contains structurally
+    // overlapping counter and lock bodies by construction).
+    let monitors: Vec<_> = all().iter().map(|b| b.monitor()).collect();
+    let pipeline = Expresso::new();
+    let context = SharedAnalysisContext::new(pipeline.config());
+    let outcomes = pipeline.analyze_suite(&context, &monitors);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+    let store = context.wp_stats();
+    assert!(store.hits > 0, "suite WP store saw no hits: {store:?}");
+    assert!(
+        store.cross_monitor_hits > 0,
+        "no WP entry crossed a monitor boundary: {store:?}"
+    );
+    // Session counters partition the store counters exactly.
+    let (hits, misses, cross) = outcomes.iter().fold((0, 0, 0), |acc, o| {
+        let s = o.as_ref().unwrap().stats.wp_cache;
+        (
+            acc.0 + s.hits,
+            acc.1 + s.misses,
+            acc.2 + s.cross_monitor_hits,
+        )
+    });
+    assert_eq!(hits, store.hits);
+    assert_eq!(misses, store.misses);
+    assert_eq!(cross, store.cross_monitor_hits);
 }
 
 #[test]
