@@ -8,6 +8,7 @@
 //! cargo run --release -p expresso-bench --bin reproduce -- table1
 //! cargo run --release -p expresso-bench --bin reproduce -- json
 //! cargo run --release -p expresso-bench --bin reproduce -- suite
+//! cargo run --release -p expresso-bench --bin reproduce -- explore
 //! cargo run --release -p expresso-bench --bin reproduce -- summary
 //! cargo run --release -p expresso-bench --bin reproduce -- all
 //! ```
@@ -15,25 +16,35 @@
 //! `json` (also run by `all`) writes `BENCH_results.json`: per-benchmark
 //! analysis time for the cached/parallel pipeline and for a cache-disabled
 //! sequential run of the same binary, triples checked, the solver cache
-//! hit rate, and the `scheduler_suite` section comparing the whole suite
+//! hit rate, the `scheduler_suite` section comparing the whole suite
 //! analyzed concurrently on the work-stealing pool against the sequential
-//! (`analysis_threads = 1`) configuration — the machine-readable perf
-//! trajectory tracked across PRs. `suite` runs only that comparison.
+//! (`analysis_threads = 1`) configuration, and the `explore` section
+//! (bounded DPOR exploration of every suite monitor: executions checked,
+//! reduction factor vs. naive enumeration, divergences) — the
+//! machine-readable perf trajectory tracked across PRs. `suite` runs only
+//! the scheduler comparison.
+//!
+//! `explore` runs a deeper bounded exploration of a representative
+//! 6-benchmark subset under a preemption bound (sized for CI's budget) and
+//! exits nonzero on any implicit/explicit divergence.
 //!
 //! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
-//! (default 200) scale the sweep; the paper uses up to 128 threads on a
-//! 16-way Xeon, which is also valid here but takes correspondingly longer.
+//! (default 200) scale the saturation sweep; `REPRO_EXPLORE_THREADS` /
+//! `REPRO_EXPLORE_OPS` (defaults 3 / 2) bound the exploration workloads.
 
 use expresso_bench::{
     analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
     Series,
 };
-use expresso_core::{Expresso, ExpressoConfig, SchedulerStats, SharedAnalysisContext};
+use expresso_core::{Expresso, ExpressoConfig, Scheduler, SchedulerStats, SharedAnalysisContext};
+use expresso_explore::{benchmark_workload, explore, render_trace, ExploreConfig, Strategy};
+use expresso_monitor_lang::check_monitor;
 use expresso_suite::{
     all, autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark,
 };
 use expresso_vcgen::WpCacheStats;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -346,12 +357,137 @@ fn profile_scheduler_suite() -> SchedulerSuiteProfile {
     }
 }
 
+/// One benchmark's slice of the bounded schedule exploration.
+struct ExploreBenchmarkProfile {
+    name: &'static str,
+    dpor_executions: usize,
+    naive_executions: usize,
+    transitions: usize,
+    dedup_hits: usize,
+    sleep_prunes: usize,
+    capped_subtrees: usize,
+    divergences: usize,
+    dpor_ms: f64,
+    naive_ms: f64,
+}
+
+impl ExploreBenchmarkProfile {
+    /// Executions naive enumeration walks per execution DPOR walks.
+    fn reduction(&self) -> f64 {
+        if self.dpor_executions == 0 {
+            1.0
+        } else {
+            self.naive_executions as f64 / self.dpor_executions as f64
+        }
+    }
+}
+
+/// The whole suite systematically explored with small bounds: per-benchmark
+/// DPOR-vs-naive execution counts plus the aggregate reduction factor.
+struct ExplorationProfile {
+    threads: usize,
+    ops_per_thread: usize,
+    per_benchmark: Vec<ExploreBenchmarkProfile>,
+    total_dpor_executions: usize,
+    total_naive_executions: usize,
+    divergences: usize,
+}
+
+impl ExplorationProfile {
+    /// Executions naive enumeration walks per execution DPOR walks.
+    fn reduction_factor(&self) -> f64 {
+        if self.total_dpor_executions == 0 {
+            1.0
+        } else {
+            self.total_naive_executions as f64 / self.total_dpor_executions as f64
+        }
+    }
+}
+
+/// Runs the DPOR explorer (lockstep conformance checking on) and the naive
+/// enumerator (counting only) over each benchmark's bounded workload. Any
+/// divergence is printed with its minimized counterexample schedule; the
+/// caller tripwires on the count.
+fn profile_exploration(
+    benchmarks: &[Benchmark],
+    threads: usize,
+    ops_per_thread: usize,
+    dpor_config: &ExploreConfig,
+    run_naive: bool,
+) -> ExplorationProfile {
+    let pipeline = Expresso::new();
+    let context = SharedAnalysisContext::new(pipeline.config());
+    let naive_config = ExploreConfig {
+        strategy: Strategy::Naive,
+        check: false,
+        ..dpor_config.clone()
+    };
+    let mut per_benchmark = Vec::new();
+    for benchmark in benchmarks {
+        let monitor = benchmark.monitor();
+        let table = check_monitor(&monitor).expect("benchmark checks");
+        let outcome = pipeline
+            .analyze_with_context(&context, &monitor)
+            .unwrap_or_else(|e| panic!("{} failed analysis: {e}", benchmark.name));
+        let workload = benchmark_workload(benchmark, &monitor, &table, threads, ops_per_thread)
+            .unwrap_or_else(|e| panic!("{} failed workload construction: {e}", benchmark.name));
+        let start = Instant::now();
+        let dpor = explore(&monitor, &table, &outcome.explicit, &workload, dpor_config)
+            .unwrap_or_else(|e| panic!("{} failed exploration: {e}", benchmark.name));
+        let dpor_ms = start.elapsed().as_secs_f64() * 1e3;
+        for divergence in &dpor.divergences {
+            eprintln!(
+                "{}: implicit/explicit divergence ({:?} driver): {}\n{}",
+                benchmark.name,
+                divergence.driver,
+                divergence.reason,
+                render_trace(&monitor, &divergence.trace),
+            );
+        }
+        let (naive_executions, naive_ms) = if run_naive {
+            let start = Instant::now();
+            let naive = explore(
+                &monitor,
+                &table,
+                &outcome.explicit,
+                &workload,
+                &naive_config,
+            )
+            .unwrap_or_else(|e| panic!("{} failed naive enumeration: {e}", benchmark.name));
+            (naive.executions(), start.elapsed().as_secs_f64() * 1e3)
+        } else {
+            (dpor.executions(), 0.0)
+        };
+        per_benchmark.push(ExploreBenchmarkProfile {
+            name: benchmark.name,
+            dpor_executions: dpor.executions(),
+            naive_executions,
+            transitions: dpor.transitions(),
+            dedup_hits: dpor.implicit.dedup_hits + dpor.explicit.dedup_hits,
+            sleep_prunes: dpor.implicit.sleep_prunes + dpor.explicit.sleep_prunes,
+            capped_subtrees: dpor.implicit.capped_roots + dpor.explicit.capped_roots,
+            divergences: dpor.divergences.len(),
+            dpor_ms,
+            naive_ms,
+        });
+    }
+    ExplorationProfile {
+        threads,
+        ops_per_thread,
+        total_dpor_executions: per_benchmark.iter().map(|p| p.dpor_executions).sum(),
+        total_naive_executions: per_benchmark.iter().map(|p| p.naive_executions).sum(),
+        divergences: per_benchmark.iter().map(|p| p.divergences).sum(),
+        per_benchmark,
+    }
+}
+
 /// Serialises the profiles by hand (the workspace is dependency-free, so no
 /// serde): a stable, diffable JSON document tracked across PRs.
 fn render_json(
     profiles: &[AnalysisProfile],
     shared: &SharedArenaProfile,
     suite: &SchedulerSuiteProfile,
+    exploration: &ExplorationProfile,
 ) -> String {
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
@@ -451,7 +587,7 @@ fn render_json(
          \"per_worker_executed\": [{per_worker}],\n    \
          \"worker_utilization\": [{utilization}],\n    \
          \"wp_cache_hits\": {},\n    \"wp_cache_misses\": {},\n    \
-         \"wp_cross_monitor_hits\": {},\n    \"outputs_identical\": {}\n  }}\n}}\n",
+         \"wp_cross_monitor_hits\": {},\n    \"outputs_identical\": {}\n  }},\n",
         suite.suite_size,
         suite.pool_wall_ms,
         suite.sequential_wall_ms,
@@ -464,6 +600,48 @@ fn render_json(
         suite.wp.misses,
         suite.wp.cross_monitor_hits,
         suite.outputs_identical,
+    );
+    let _ = write!(
+        out,
+        "  \"explore\": {{\n    \"threads\": {},\n    \"ops_per_thread\": {},\n    \
+         \"per_benchmark\": [\n",
+        exploration.threads, exploration.ops_per_thread,
+    );
+    for (i, p) in exploration.per_benchmark.iter().enumerate() {
+        let reduction = p.reduction();
+        let _ = write!(
+            out,
+            "      {{\"name\": \"{}\", \"dpor_executions\": {}, \"naive_executions\": {}, \
+             \"reduction\": {:.3}, \"transitions\": {}, \"dedup_hits\": {}, \
+             \"sleep_prunes\": {}, \"capped_subtrees\": {}, \"divergences\": {}, \
+             \"dpor_ms\": {:.3}, \"naive_ms\": {:.3}}}",
+            p.name,
+            p.dpor_executions,
+            p.naive_executions,
+            reduction,
+            p.transitions,
+            p.dedup_hits,
+            p.sleep_prunes,
+            p.capped_subtrees,
+            p.divergences,
+            p.dpor_ms,
+            p.naive_ms,
+        );
+        out.push_str(if i + 1 < exploration.per_benchmark.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = write!(
+        out,
+        "    ],\n    \"total_dpor_executions\": {},\n    \
+         \"total_naive_executions\": {},\n    \"reduction_factor\": {:.3},\n    \
+         \"divergences\": {}\n  }}\n}}\n",
+        exploration.total_dpor_executions,
+        exploration.total_naive_executions,
+        exploration.reduction_factor(),
+        exploration.divergences,
     );
     out
 }
@@ -490,7 +668,18 @@ fn run_json() {
     let profiles: Vec<AnalysisProfile> = all().iter().map(profile_benchmark).collect();
     let shared = profile_shared_arena();
     let suite = profile_scheduler_suite();
-    let json = render_json(&profiles, &shared, &suite);
+    let explore_threads = env_usize("REPRO_EXPLORE_THREADS", 3);
+    let exploration = profile_exploration(
+        &all(),
+        explore_threads,
+        env_usize("REPRO_EXPLORE_OPS", 2),
+        &ExploreConfig {
+            scheduler: Some(Arc::clone(Scheduler::global())),
+            ..ExploreConfig::default()
+        },
+        true,
+    );
+    let json = render_json(&profiles, &shared, &suite, &exploration);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
@@ -538,6 +727,39 @@ fn run_json() {
         "scheduler suite wp store: {} hits / {} misses, {} hits crossed a monitor boundary",
         suite.wp.hits, suite.wp.misses, suite.wp.cross_monitor_hits,
     );
+    println!(
+        "exploration: {} monitors, {} threads x {} ops: {} DPOR executions vs {} naive \
+         ({:.2}x reduction), {} divergences",
+        exploration.per_benchmark.len(),
+        exploration.threads,
+        exploration.ops_per_thread,
+        exploration.total_dpor_executions,
+        exploration.total_naive_executions,
+        exploration.reduction_factor(),
+        exploration.divergences,
+    );
+    // Exploration tripwires: the synthesized monitors must be conformant on
+    // every bounded schedule, and partial-order reduction must actually
+    // reduce — a 1.0x factor means the dependence relation or the sleep/DPOR
+    // machinery silently degenerated to naive enumeration.
+    if exploration.divergences > 0 {
+        eprintln!(
+            "error: bounded exploration found {} implicit/explicit divergence(s); \
+             the synthesized monitors are not conformant",
+            exploration.divergences
+        );
+        std::process::exit(1);
+    }
+    // A single-thread workload has exactly one schedule, so reduction is
+    // impossible by construction — only enforce the tripwire when the
+    // configuration admits interleavings.
+    if explore_threads > 1 && exploration.reduction_factor() <= 1.0 {
+        eprintln!(
+            "error: DPOR explored {} executions vs {} naive — no partial-order reduction",
+            exploration.total_dpor_executions, exploration.total_naive_executions
+        );
+        std::process::exit(1);
+    }
     // Scheduler tripwires: the pool and the sequential configuration must be
     // bit-identical (a divergence is a determinism bug in the scheduler or a
     // cache-keying unsoundness), and the suite-wide WP store must actually
@@ -602,6 +824,66 @@ fn run_json() {
     }
 }
 
+/// Representative 6-benchmark subset for the CI-budgeted deeper exploration:
+/// a blocking buffer, a barrier, an order-sensitive token ring, the paper's
+/// motivating readers-writers, a stop-flagged dispatcher and the multi-reader
+/// broadcast ring — one of every synchronization shape in the suite.
+fn representative_subset() -> Vec<Benchmark> {
+    const NAMES: [&str; 6] = [
+        "BoundedBuffer",
+        "H2OBarrier",
+        "RoundRobin",
+        "ReadersWriters",
+        "AsyncDispatch",
+        "BroadcastRing",
+    ];
+    all()
+        .into_iter()
+        .filter(|b| NAMES.contains(&b.name))
+        .collect()
+}
+
+/// The CI exploration gate: deeper bounds than the `json` sweep (one more
+/// operation per thread), kept inside the CI budget by a preemption bound,
+/// DPOR-only (no naive baseline). Exits nonzero on any divergence.
+fn run_explore() {
+    println!("=== Bounded schedule exploration: representative subset, preemption-bounded ===\n");
+    let threads = env_usize("REPRO_EXPLORE_THREADS", 3);
+    let ops = env_usize("REPRO_EXPLORE_OPS", 3);
+    let config = ExploreConfig {
+        preemption_bound: Some(4),
+        scheduler: Some(Arc::clone(Scheduler::global())),
+        ..ExploreConfig::default()
+    };
+    let profile = profile_exploration(&representative_subset(), threads, ops, &config, false);
+    println!(
+        "{:<28} {:>12} {:>12} {:>10} {:>8} {:>10}",
+        "Benchmark", "executions", "transitions", "dedup", "capped", "time (ms)"
+    );
+    for p in &profile.per_benchmark {
+        println!(
+            "{:<28} {:>12} {:>12} {:>10} {:>8} {:>10.1}",
+            p.name, p.dpor_executions, p.transitions, p.dedup_hits, p.capped_subtrees, p.dpor_ms
+        );
+    }
+    println!(
+        "\n{} executions across {} monitors ({} threads x {} ops, preemption bound 4); \
+         {} divergences",
+        profile.total_dpor_executions,
+        profile.per_benchmark.len(),
+        threads,
+        ops,
+        profile.divergences,
+    );
+    if profile.divergences > 0 {
+        eprintln!(
+            "error: bounded exploration found {} implicit/explicit divergence(s)",
+            profile.divergences
+        );
+        std::process::exit(1);
+    }
+}
+
 fn summarise(measurements: &[Measurement]) {
     let vs_autosynch = geometric_speedup(measurements, Series::Expresso, Series::AutoSynch);
     let vs_explicit = geometric_speedup(measurements, Series::Expresso, Series::Explicit);
@@ -623,6 +905,7 @@ fn main() {
         }
         "table1" => run_table1(),
         "json" => run_json(),
+        "explore" => run_explore(),
         "suite" => {
             // Quick mode: only the scheduler-suite comparison, for iterating
             // on pool behaviour without the full per-benchmark profiling.
@@ -654,7 +937,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | suite | summary | all"
+                "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | suite | \
+                 explore | summary | all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,270 @@
+//! The static dependence relation DPOR and the sleep sets prune with.
+//!
+//! Two transitions are *independent* when, from any configuration where both
+//! are enabled, executing them in either order reaches the same configuration
+//! and neither enables or disables the other — in **both** semantics, since
+//! the explorer runs the implicit and explicit relations in lockstep. The
+//! relation below over-approximates dependence (sound for partial-order
+//! reduction; imprecision only costs reduction, never coverage) from three
+//! statically computed ingredients per `(CCR, fired)` transition shape:
+//!
+//! * **shared variables** — a transition that writes a shared variable is
+//!   dependent with any transition reading or writing it (guard evaluation
+//!   included);
+//! * **CCR queues** — a blocking guard identifies a wait queue; a block and
+//!   any notification (explicit `signal`/`broadcast`, or the implicit wake
+//!   loop, which notifies every queue whose guard mentions a written
+//!   variable) touching the same queue are dependent;
+//! * **the notified set** — rule (2b) serialises wake-ups through the global
+//!   minimum of the notified set, so any transition that can mutate that set
+//!   (a fire of a blocking CCR, which removes its own entry, or a fire that
+//!   can notify someone) is dependent with any fire whose enabledness can
+//!   hinge on being the minimum (a fire of a blocking CCR).
+
+use expresso_monitor_lang::{ExplicitMonitor, Monitor, VarTable};
+use expresso_semantics::Event;
+use std::collections::BTreeSet;
+
+/// Static footprint of one `(CCR, fired)` transition shape.
+#[derive(Debug, Default, Clone)]
+struct Footprint {
+    /// Shared variables read (guards passed through plus body reads).
+    reads: BTreeSet<String>,
+    /// Shared variables written by the body.
+    writes: BTreeSet<String>,
+    /// Wait queues touched: the CCR's own queue for blocking shapes, plus —
+    /// for fires — every queue this transition can notify under either
+    /// semantics.
+    queues: BTreeSet<usize>,
+    /// Fires only: this transition can insert into or remove from the
+    /// notified set.
+    notified_mutator: bool,
+    /// Fires only: this transition's enabledness can depend on the minimum
+    /// of the notified set (it may be a wake-up of a blocked thread).
+    notified_sensitive: bool,
+}
+
+/// The precomputed dependence relation for one monitor. See the module docs.
+///
+/// Footprints are static per `(CCR, fired)` shape, so the whole relation is
+/// flattened into a boolean adjacency matrix at construction time —
+/// [`Dependence::dependent`] sits on the explorer's hottest path (once per
+/// stack frame per executed transition, plus every sleep-set filter) and
+/// must not re-walk variable sets.
+#[derive(Debug)]
+pub struct Dependence {
+    /// Transition shapes: `2 * ccr_count` (block and fire per CCR).
+    shapes: usize,
+    /// Row-major `shapes x shapes` dependence matrix.
+    matrix: Vec<bool>,
+}
+
+/// Matrix index of an event's shape.
+fn shape(e: Event) -> usize {
+    e.ccr.0 * 2 + usize::from(e.fired)
+}
+
+impl Dependence {
+    /// Computes the footprints of every CCR of `monitor`, folding in the
+    /// notifications of `explicit` so the relation is sound for the paired
+    /// implicit/explicit system.
+    ///
+    /// `spurious` must be `true` when the exploration enumerates spurious
+    /// wake-ups: a rule-1b re-sleep *removes* its entry from the notified
+    /// set, which can shift the rule-2b minimum, so block shapes become
+    /// notified-set mutators. When spurious wake-ups are not scheduled (the
+    /// default), a block only ever inserts into the blocked set and the
+    /// extra dependence edges would just cost reduction.
+    pub fn new(
+        monitor: &Monitor,
+        table: &VarTable,
+        explicit: &ExplicitMonitor,
+        spurious: bool,
+    ) -> Self {
+        let guards = monitor.guards();
+        let queue_of = |guard: &expresso_monitor_lang::Expr| -> Option<usize> {
+            guards.iter().position(|g| g == guard)
+        };
+        let shared = |vars: std::collections::HashSet<String>| -> BTreeSet<String> {
+            vars.into_iter().filter(|v| table.is_shared(v)).collect()
+        };
+        let mut fire = Vec::with_capacity(monitor.ccrs.len());
+        let mut block = Vec::with_capacity(monitor.ccrs.len());
+        for ccr in monitor.all_ccrs() {
+            let guard_vars = shared(ccr.guard.vars());
+            let own_queue = queue_of(&ccr.guard);
+
+            let blocking = !ccr.never_blocks();
+            let mut b = Footprint {
+                reads: guard_vars.clone(),
+                notified_mutator: spurious && blocking,
+                ..Footprint::default()
+            };
+            b.queues.extend(own_queue);
+            block.push(b);
+
+            let writes = shared(ccr.body.assigned_vars());
+            let mut reads = shared(ccr.body.read_vars());
+            reads.extend(guard_vars);
+            let mut queues: BTreeSet<usize> = own_queue.into_iter().collect();
+            // The implicit wake loop notifies every queue whose guard reads a
+            // written variable; a conditional explicit signal re-evaluates
+            // those guards too.
+            for (q, g) in guards.iter().enumerate() {
+                if g.vars().iter().any(|v| writes.contains(v)) {
+                    queues.insert(q);
+                }
+            }
+            for notification in explicit.notifications_for(ccr.id) {
+                queues.extend(queue_of(&notification.predicate));
+            }
+            fire.push(Footprint {
+                reads,
+                writes,
+                notified_mutator: blocking || !queues.is_empty(),
+                notified_sensitive: blocking,
+                queues,
+            });
+        }
+        // Flatten the pairwise footprint comparison into the matrix; shape
+        // index = ccr * 2 + fired (matching `shape`).
+        let footprint = |s: usize| -> &Footprint {
+            if s % 2 == 1 {
+                &fire[s / 2]
+            } else {
+                &block[s / 2]
+            }
+        };
+        let shapes = 2 * monitor.ccrs.len();
+        let mut matrix = vec![false; shapes * shapes];
+        for a in 0..shapes {
+            for b in 0..shapes {
+                matrix[a * shapes + b] =
+                    footprints_dependent(footprint(a), a % 2 == 1, footprint(b), b % 2 == 1);
+            }
+        }
+        Dependence { shapes, matrix }
+    }
+
+    /// Whether two transitions are (conservatively) dependent. Same-thread
+    /// transitions are always dependent (program order).
+    pub fn dependent(&self, a: Event, b: Event) -> bool {
+        a.thread == b.thread || self.matrix[shape(a) * self.shapes + shape(b)]
+    }
+
+    /// The sleep set a child configuration inherits after `executed` runs:
+    /// every slept transition that is independent of it. Shared by the split
+    /// phase and the DFS so the two filters cannot drift.
+    pub(crate) fn inherit_sleep(
+        &self,
+        sleep: &BTreeSet<Event>,
+        executed: Event,
+    ) -> BTreeSet<Event> {
+        sleep
+            .iter()
+            .copied()
+            .filter(|ev| !self.dependent(*ev, executed))
+            .collect()
+    }
+}
+
+/// Pairwise dependence of two transition shapes (thread identity excluded —
+/// handled at query time).
+fn footprints_dependent(fa: &Footprint, a_fires: bool, fb: &Footprint, b_fires: bool) -> bool {
+    let conflict = |x: &Footprint, y: &Footprint| {
+        x.writes
+            .iter()
+            .any(|v| y.reads.contains(v) || y.writes.contains(v))
+    };
+    if conflict(fa, fb) || conflict(fb, fa) {
+        return true;
+    }
+    // Queue interactions require a fire on at least one side: two blocks
+    // only insert their own entries into the blocked *set*, which commutes
+    // even on one queue.
+    if (a_fires || b_fires) && fa.queues.intersection(&fb.queues).next().is_some() {
+        return true;
+    }
+    // Rule (2b) serialisation through the global minimum of N.
+    (fa.notified_mutator && fb.notified_sensitive) || (fb.notified_mutator && fa.notified_sensitive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_monitor_lang::{check_monitor, parse_monitor};
+
+    #[test]
+    fn blocks_commute_and_writers_conflict() {
+        let monitor = parse_monitor(
+            r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+        let dep = Dependence::new(&monitor, &table, &explicit, false);
+        let release = monitor.method("release").unwrap().ccrs[0];
+        let acquire = monitor.method("acquire").unwrap().ccrs[0];
+        let block = |t: usize| Event {
+            thread: t,
+            ccr: acquire,
+            fired: false,
+        };
+        let fire = |t: usize, ccr| Event {
+            thread: t,
+            ccr,
+            fired: true,
+        };
+        // Two different threads blocking on the same queue commute.
+        assert!(!dep.dependent(block(0), block(1)));
+        // A release writes `count`, which every acquire guard reads.
+        assert!(dep.dependent(fire(0, release), block(1)));
+        assert!(dep.dependent(fire(0, release), fire(1, release)));
+        // Same-thread transitions are always dependent.
+        assert!(dep.dependent(block(0), fire(0, acquire)));
+        // Blocking fires serialise through the notified-set minimum.
+        assert!(dep.dependent(fire(0, acquire), fire(1, acquire)));
+    }
+
+    #[test]
+    fn disjoint_non_blocking_updates_are_independent() {
+        let monitor = parse_monitor(
+            r#"
+            monitor Split {
+                int a = 0;
+                int b = 0;
+                atomic void bumpA() { a++; }
+                atomic void bumpB() { b++; }
+                atomic void waitA() { waituntil (a > 0) { a--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::without_signals(monitor.clone());
+        let dep = Dependence::new(&monitor, &table, &explicit, false);
+        let bump_a = monitor.method("bumpA").unwrap().ccrs[0];
+        let bump_b = monitor.method("bumpB").unwrap().ccrs[0];
+        let a0 = Event {
+            thread: 0,
+            ccr: bump_a,
+            fired: true,
+        };
+        let b1 = Event {
+            thread: 1,
+            ccr: bump_b,
+            fired: true,
+        };
+        // bumpB touches no guard variable and no queue.
+        assert!(!dep.dependent(a0, b1));
+        // bumpA notifies waitA's queue, so it is a notified-set mutator, but
+        // bumpB is not notified-sensitive — still independent.
+        assert!(!dep.dependent(b1, a0));
+    }
+}

@@ -1,0 +1,429 @@
+//! The per-root DFS engine: sleep sets, classic DPOR backtracking,
+//! preemption bounding and fingerprint dedup over the paired steppers.
+
+use crate::dependence::Dependence;
+use crate::{DirectionStats, ExploreConfig, Strategy};
+use expresso_semantics::{Event, ExecError, Stepper};
+use std::collections::{BTreeSet, HashMap};
+
+/// The two semantics run in lockstep: scheduling choices are drawn from the
+/// *driver*'s enabled set; the *follower* (absent in counting-only runs)
+/// must accept every chosen event under its own transition relation and
+/// agree on the shared-state snapshot after it — the per-step form of the
+/// Definition 3.4 trace-inclusion check.
+#[derive(Debug, Clone)]
+pub(crate) struct Pair<'a> {
+    pub driver: Stepper<'a>,
+    pub follower: Option<Stepper<'a>>,
+}
+
+/// Outcome of one lockstep step.
+pub(crate) enum StepOutcome {
+    Ok,
+    /// The follower rejected the event or disagreed on the resulting state.
+    Divergence(String),
+}
+
+impl Pair<'_> {
+    /// Steps both semantics. The event must come from the driver's enabled
+    /// set; a driver rejection is therefore an internal error, while a
+    /// follower rejection is a conformance divergence.
+    ///
+    /// A spurious re-block (rule 1b: the driver's thread is already blocked
+    /// and goes back to sleep) is driver-internal notified-set bookkeeping —
+    /// it changes no observable state, and the follower's notified set
+    /// legitimately differs (e.g. an unconditional signal notifies a
+    /// false-guard waiter the implicit wake loop never would). Forwarding it
+    /// would report a false divergence, so the follower skips the stutter.
+    pub fn step(&mut self, event: Event) -> Result<StepOutcome, ExecError> {
+        let stutter = !event.fired && self.driver.is_blocked(event.thread);
+        self.driver.step(event)?;
+        if stutter {
+            return Ok(StepOutcome::Ok);
+        }
+        if let Some(follower) = &mut self.follower {
+            match follower.step(event) {
+                Ok(()) => {
+                    if follower.shared() != self.driver.shared() {
+                        return Ok(StepOutcome::Divergence(format!(
+                            "shared-state snapshots diverged after {event}"
+                        )));
+                    }
+                }
+                Err(ExecError::Infeasible(reason)) => {
+                    return Ok(StepOutcome::Divergence(format!(
+                        "event {event} is infeasible for the other semantics: {reason}"
+                    )))
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(StepOutcome::Ok)
+    }
+
+    fn fingerprint(&self) -> (u64, u64) {
+        (
+            self.driver.fingerprint(),
+            self.follower.as_ref().map_or(0, |f| f.fingerprint()),
+        )
+    }
+}
+
+/// Dedup-cache key: the paired state plus everything else that determines
+/// the subtree a deterministic DFS explores from it — the sleep set, the
+/// remaining depth and preemption budget, and (since a preemption is
+/// relative to the previously scheduled thread) which thread ran last.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: (u64, u64),
+    sleep: Vec<Event>,
+    steps: usize,
+    budget: Option<usize>,
+    last_thread: Option<usize>,
+}
+
+/// What a fully explored subtree contributes on a dedup hit: its counters
+/// (merged so reported totals match a dedup-free run) and the set of events
+/// it executed (replayed through the DPOR update so backtrack points the cut
+/// subtree would have registered upstream are still registered).
+struct CacheEntry {
+    summary: BTreeSet<Event>,
+    stats: DirectionStats,
+}
+
+/// One frame of the DFS stack: the configuration *before* a scheduling
+/// choice, plus the exploration bookkeeping attached to it.
+struct Node<'a> {
+    pair: Pair<'a>,
+    /// The driver's enabled events, in deterministic thread order.
+    enabled: Vec<Event>,
+    /// Threads DPOR has scheduled for exploration from this node.
+    backtrack: BTreeSet<usize>,
+    /// Threads already explored (or pruned) from this node.
+    done: BTreeSet<usize>,
+    /// Events whose exploration from this node is redundant (sleep set).
+    sleep: BTreeSet<Event>,
+    /// Remaining preemption budget on the path to this node.
+    budget: Option<usize>,
+    /// Thread of the event that created this node (preemption accounting).
+    last_thread: Option<usize>,
+    /// Dedup key this node was created under, when caching is on.
+    key: Option<CacheKey>,
+    /// Counters of the subtree rooted here (cache merges included).
+    sub: DirectionStats,
+    /// Every event executed in the subtree rooted here.
+    summary: BTreeSet<Event>,
+}
+
+impl<'a> Node<'a> {
+    fn new(
+        pair: Pair<'a>,
+        enabled: Vec<Event>,
+        sleep: BTreeSet<Event>,
+        budget: Option<usize>,
+        last_thread: Option<usize>,
+        key: Option<CacheKey>,
+        dpor: bool,
+    ) -> Self {
+        let mut backtrack = BTreeSet::new();
+        if dpor {
+            // Seed with the first non-sleeping choice; DPOR adds the rest on
+            // demand as dependent events turn up deeper in the search.
+            if let Some(first) = enabled.iter().find(|ev| !sleep.contains(ev)) {
+                backtrack.insert(first.thread);
+            }
+        } else {
+            backtrack.extend(enabled.iter().map(|e| e.thread));
+        }
+        Node {
+            pair,
+            enabled,
+            backtrack,
+            done: BTreeSet::new(),
+            sleep,
+            budget,
+            last_thread,
+            key,
+            sub: DirectionStats::default(),
+            summary: BTreeSet::new(),
+        }
+    }
+}
+
+/// Registers the DPOR backtrack point for executing `target` after the
+/// events of `path` (`path[i]` was executed from `stack[i]`), with `extra`
+/// standing for an event conceptually executed from the top frame. Scans for
+/// the most recent dependent event: a same-thread hit means program order
+/// already serialises the pair (nothing to do); any other hit schedules
+/// `target`'s thread at the state before that event — or every enabled
+/// thread there when `target`'s thread was not enabled (the classic
+/// conservative fallback).
+fn dpor_update(
+    stack: &mut [Node<'_>],
+    path: &[Event],
+    extra: Option<Event>,
+    target: Event,
+    dep: &Dependence,
+) {
+    let len = path.len() + usize::from(extra.is_some());
+    for i in (0..len).rev() {
+        let executed = if i == path.len() {
+            extra.expect("index beyond path implies extra")
+        } else {
+            path[i]
+        };
+        if !dep.dependent(executed, target) {
+            continue;
+        }
+        if executed.thread == target.thread {
+            return;
+        }
+        let pre = &mut stack[i];
+        if pre.enabled.iter().any(|e| e.thread == target.thread) {
+            pre.backtrack.insert(target.thread);
+        } else {
+            let all: Vec<usize> = pre.enabled.iter().map(|e| e.thread).collect();
+            pre.backtrack.extend(all);
+        }
+        return;
+    }
+}
+
+/// Spends preemption budget for executing `event` after `last_thread`: a
+/// preemption is switching away from a thread that still has an enabled
+/// event. Returns the child's remaining budget, or `None` when the bound is
+/// exhausted and the choice must be pruned. Shared by the split phase and
+/// the DFS so the two cannot drift.
+pub(crate) fn spend_preemption_budget(
+    budget: Option<usize>,
+    last_thread: Option<usize>,
+    enabled: &[Event],
+    event: Event,
+) -> Option<Option<usize>> {
+    let preempts =
+        last_thread.is_some_and(|q| q != event.thread && enabled.iter().any(|e| e.thread == q));
+    match budget {
+        Some(0) if preempts => None,
+        Some(b) => Some(Some(b - usize::from(preempts))),
+        None => Some(None),
+    }
+}
+
+/// A subtree exploration result: the counters plus, when the lockstep check
+/// failed, the full diverging event sequence with the follower's reason.
+pub(crate) type RootOutcome = Result<(DirectionStats, Option<(Vec<Event>, String)>), ExecError>;
+
+/// Exhaustively explores the subtree rooted at `root` (created by executing
+/// `prefix` from the initial configuration). Returns the subtree's counters
+/// and, when the lockstep check failed, the full diverging event sequence
+/// with the follower's reason.
+pub(crate) fn explore_root<'a>(
+    root: Pair<'a>,
+    prefix: Vec<Event>,
+    sleep: BTreeSet<Event>,
+    budget: Option<usize>,
+    last_thread: Option<usize>,
+    dep: &Dependence,
+    cfg: &ExploreConfig,
+) -> RootOutcome {
+    let dpor = cfg.strategy == Strategy::Dpor;
+    let dedup = dpor && cfg.dedup_states;
+    let mut cache: HashMap<CacheKey, CacheEntry> = HashMap::new();
+    let mut stats = DirectionStats::default();
+    // Live executions actually walked by this DFS (cache merges excluded):
+    // the wall-clock governor behind `max_executions_per_root`.
+    let mut live_execs = 0usize;
+
+    let enabled = root.driver.enabled_events()?;
+    if root.driver.steps() >= cfg.max_steps {
+        stats.executions += 1;
+        stats.depth_capped += 1;
+        return Ok((stats, None));
+    }
+    if enabled.is_empty() {
+        stats.executions += 1;
+        return Ok((stats, None));
+    }
+    if enabled.iter().all(|ev| sleep.contains(ev)) {
+        stats.sleep_prunes += 1;
+        return Ok((stats, None));
+    }
+    let mut stack = vec![Node::new(
+        root,
+        enabled,
+        sleep,
+        budget,
+        last_thread,
+        None,
+        dpor,
+    )];
+    // path[i] is the event executed from stack[i]; len == stack.len() - 1.
+    let mut path: Vec<Event> = Vec::new();
+
+    loop {
+        if live_execs >= cfg.max_executions_per_root {
+            stats.capped_roots = 1;
+            for node in stack {
+                stats.merge(&node.sub);
+            }
+            return Ok((stats, None));
+        }
+        let top_idx = stack.len() - 1;
+        let choice = {
+            let top = &stack[top_idx];
+            top.enabled.iter().copied().find(|ev| {
+                top.backtrack.contains(&ev.thread)
+                    && !top.done.contains(&ev.thread)
+                    && !top.sleep.contains(ev)
+            })
+        };
+        let Some(event) = choice else {
+            // Node exhausted: account sleeping choices DPOR scheduled but the
+            // sleep set proved redundant, cache the completed subtree, and
+            // fold it into the parent.
+            let mut node = stack.pop().expect("loop runs with a non-empty stack");
+            for ev in &node.enabled {
+                if node.backtrack.contains(&ev.thread)
+                    && !node.done.contains(&ev.thread)
+                    && node.sleep.contains(ev)
+                {
+                    node.sub.sleep_prunes += 1;
+                }
+            }
+            if let Some(key) = node.key.take() {
+                cache.insert(
+                    key,
+                    CacheEntry {
+                        summary: node.summary.clone(),
+                        stats: node.sub.clone(),
+                    },
+                );
+            }
+            let Some(parent) = stack.last_mut() else {
+                stats.merge(&node.sub);
+                return Ok((stats, None));
+            };
+            let incoming = path.pop().expect("non-root frame has an incoming event");
+            parent.sub.merge(&node.sub);
+            if dpor {
+                parent.sleep.insert(incoming);
+            }
+            parent.summary.insert(incoming);
+            parent.summary.extend(node.summary.iter().copied());
+            continue;
+        };
+        stack[top_idx].done.insert(event.thread);
+
+        let child_budget = {
+            let top = &mut stack[top_idx];
+            match spend_preemption_budget(top.budget, top.last_thread, &top.enabled, event) {
+                Some(budget) => budget,
+                None => {
+                    top.sub.preemption_prunes += 1;
+                    // With the budget exhausted, the only affordable choice
+                    // is continuing the last-scheduled thread. DPOR may have
+                    // seeded the backtrack set with a (now pruned) preempting
+                    // thread only — schedule the free continuation so the
+                    // bound never leaves a node childless while an
+                    // affordable schedule remains.
+                    if let Some(q) = top.last_thread {
+                        if top.enabled.iter().any(|e| e.thread == q) {
+                            top.backtrack.insert(q);
+                        }
+                    }
+                    continue;
+                }
+            }
+        };
+
+        if dpor {
+            dpor_update(&mut stack, &path, None, event, dep);
+        }
+
+        let mut child_pair = stack[top_idx].pair.clone();
+        match child_pair.step(event)? {
+            StepOutcome::Ok => {}
+            StepOutcome::Divergence(reason) => {
+                let mut full = prefix;
+                full.extend(path.iter().copied());
+                full.push(event);
+                for node in stack {
+                    stats.merge(&node.sub);
+                }
+                stats.transitions += 1;
+                return Ok((stats, Some((full, reason))));
+            }
+        }
+        stack[top_idx].sub.transitions += 1;
+
+        let child_sleep: BTreeSet<Event> = if dpor {
+            dep.inherit_sleep(&stack[top_idx].sleep, event)
+        } else {
+            BTreeSet::new()
+        };
+        let child_enabled = child_pair.driver.enabled_events()?;
+
+        // Terminal child states are accounted without pushing a frame.
+        let terminal = if child_pair.driver.steps() >= cfg.max_steps {
+            Some((1usize, 1usize, 0usize)) // (executions, depth_capped, sleep)
+        } else if child_enabled.is_empty() {
+            Some((1, 0, 0))
+        } else if child_enabled.iter().all(|ev| child_sleep.contains(ev)) {
+            // Every continuation is equivalent to an explored execution.
+            Some((0, 0, 1))
+        } else {
+            None
+        };
+        if let Some((execs, capped, slept)) = terminal {
+            let top = &mut stack[top_idx];
+            top.sub.executions += execs;
+            top.sub.depth_capped += capped;
+            top.sub.sleep_prunes += slept;
+            live_execs += execs;
+            if dpor {
+                top.sleep.insert(event);
+            }
+            top.summary.insert(event);
+            continue;
+        }
+
+        let key = dedup.then(|| CacheKey {
+            fingerprint: child_pair.fingerprint(),
+            sleep: child_sleep.iter().copied().collect(),
+            steps: child_pair.driver.steps(),
+            budget: child_budget,
+            // Which thread ran last shapes the subtree only while a
+            // preemption bound is active; keying on it unconditionally would
+            // needlessly split identical unbounded subtrees.
+            last_thread: child_budget.and(Some(event.thread)),
+        });
+        if let Some(entry) = key.as_ref().and_then(|k| cache.get(k)) {
+            let merged_stats = entry.stats.clone();
+            let summary: Vec<Event> = entry.summary.iter().copied().collect();
+            // The cut subtree's events still owe their upstream backtrack
+            // registrations; replaying them against the current stack is a
+            // sound over-approximation (see the module docs of `lib.rs`).
+            for ev in summary.iter().copied() {
+                dpor_update(&mut stack, &path, Some(event), ev, dep);
+            }
+            let top = &mut stack[top_idx];
+            top.sub.dedup_hits += 1;
+            top.sub.merge(&merged_stats);
+            top.sleep.insert(event);
+            top.summary.insert(event);
+            top.summary.extend(summary);
+            continue;
+        }
+
+        path.push(event);
+        stack.push(Node::new(
+            child_pair,
+            child_enabled,
+            child_sleep,
+            child_budget,
+            Some(event.thread),
+            key,
+            dpor,
+        ));
+    }
+}

@@ -1,0 +1,790 @@
+//! Systematic schedule exploration: a DPOR-based stateless model checker for
+//! implicit-vs-explicit monitor conformance.
+//!
+//! The conformance harness samples seeded random schedules; this crate
+//! upgrades that to *bounded exhaustive* checking. For a bounded workload
+//! (each thread runs a fixed sequence of monitor calls) it enumerates every
+//! schedule of one semantics — the **driver** — through the shared
+//! [`expresso_semantics::Stepper`], while a **follower** stepper of the
+//! other semantics executes the same events in lockstep. A follower that
+//! rejects an event, or disagrees on the shared-state snapshot after one, is
+//! a Definition 3.4 violation, reported with a greedily minimized
+//! counterexample schedule. Running both directions (implicit driver, then
+//! explicit driver) covers both trace inclusions of the definition.
+//!
+//! # Reduction
+//!
+//! Naive enumeration is factorial in the schedule length, so the DFS prunes
+//! with the classic stateless toolkit, all keyed on the conservative
+//! dependence relation of [`dependence`] (same shared variable with a write,
+//! same CCR wait queue, or contention on the notified-set minimum of rule
+//! 2b):
+//!
+//! * **sleep sets** — a transition fully explored at a node is redundant in
+//!   every sibling subtree until a dependent transition executes;
+//! * **classic DPOR backtracking** — instead of trying every enabled
+//!   transition everywhere, each executed transition registers a backtrack
+//!   point at the most recent dependent transition it could reorder with;
+//! * **state-fingerprint dedup** — configurations are fingerprinted
+//!   (driver and follower state, via `expresso_logic`'s deterministic
+//!   `FxHasher`); a revisited `(fingerprint, sleep set, bounds)` key merges
+//!   the cached subtree's counters and replays its DPOR registrations
+//!   instead of re-walking the subtree. Replaying the cached subtree's event
+//!   summary keeps the cut sound: any backtrack point the subtree would have
+//!   registered against the *current* path is registered conservatively
+//!   (possibly at a higher frame than a full walk would pick, which only
+//!   adds exploration).
+//! * **preemption bounding** (optional) — schedules with more than
+//!   `preemption_bound` preemptions are cut off; unlike the above this
+//!   sacrifices completeness for depth, so it is off by default and meant
+//!   for CI-budgeted deep runs.
+//!
+//! # Parallelism
+//!
+//! Exploration fans out over the workspace's work-stealing
+//! [`expresso_core::Scheduler`]: every schedule prefix of length
+//! [`ExploreConfig::split_depth`] is expanded with *every* enabled choice —
+//! a superset of any DPOR backtrack set, so every cross-prefix reordering
+//! is covered by some sibling root — while later siblings still inherit
+//! earlier choices into their sleep sets; each prefix's subtree is then an
+//! independent DFS task. Per-subtree determinism plus exhaustive splitting
+//! makes the reported counters bit-identical across worker counts.
+
+mod dependence;
+mod dfs;
+
+pub use dependence::Dependence;
+
+use dfs::{explore_root, Pair, StepOutcome};
+use expresso_core::Scheduler;
+use expresso_logic::Valuation;
+use expresso_monitor_lang::{initial_state, ExplicitMonitor, Monitor, VarTable};
+use expresso_semantics::{
+    minimize_schedule, Event, ExecError, ReplayVerdict, SemanticsMode, Stepper, ThreadProgram,
+    ThreadSpec, Trace,
+};
+use expresso_suite::Benchmark;
+use std::sync::Arc;
+
+/// How schedules are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Sleep sets + classic DPOR backtracking (+ dedup when enabled):
+    /// explores at least one schedule per Mazurkiewicz trace.
+    Dpor,
+    /// Full enumeration of every schedule — the baseline the DPOR reduction
+    /// factor is measured against.
+    Naive,
+}
+
+/// Configuration of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum events per execution; longer schedules are cut and counted in
+    /// [`DirectionStats::depth_capped`].
+    pub max_steps: usize,
+    /// Maximum preemptions per schedule (`None` = unbounded, the default:
+    /// the bound trades completeness for depth).
+    pub preemption_bound: Option<usize>,
+    /// Per-subtree cap on DFS-walked executions — a deterministic time
+    /// governor for CI; capped subtrees are counted in
+    /// [`DirectionStats::capped_roots`].
+    pub max_executions_per_root: usize,
+    /// Prefix length expanded without pruning before subtrees are handed to
+    /// the scheduler.
+    pub split_depth: usize,
+    /// Enumeration strategy.
+    pub strategy: Strategy,
+    /// State-fingerprint dedup (DPOR strategy only).
+    pub dedup_states: bool,
+    /// Run the follower semantics in lockstep and flag divergences. Disabled
+    /// for pure schedule-counting (the naive baseline).
+    pub check: bool,
+    /// Also enumerate spurious wake-ups when the driver is the explicit
+    /// semantics (they re-block without changing state, so they multiply
+    /// schedules without adding coverage; off by default).
+    pub explore_spurious: bool,
+    /// Pool the per-prefix subtrees are submitted to; `None` explores them
+    /// sequentially on the calling thread. Counters are identical either
+    /// way.
+    pub scheduler: Option<Arc<Scheduler>>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_steps: 48,
+            preemption_bound: None,
+            max_executions_per_root: 50_000,
+            split_depth: 2,
+            strategy: Strategy::Dpor,
+            dedup_states: true,
+            check: true,
+            explore_spurious: false,
+            scheduler: None,
+        }
+    }
+}
+
+/// Counters of one exploration direction. With dedup enabled the counters
+/// still report the *logical* totals (cached subtrees contribute their
+/// stored counts), so they are comparable across dedup settings and worker
+/// counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirectionStats {
+    /// Complete executions checked: maximal schedules plus depth-capped ones.
+    pub executions: usize,
+    /// Events executed across the DFS.
+    pub transitions: usize,
+    /// Executions cut by [`ExploreConfig::max_steps`].
+    pub depth_capped: usize,
+    /// Choices and continuations skipped because the sleep set proved them
+    /// redundant.
+    pub sleep_prunes: usize,
+    /// Choices skipped by the preemption bound.
+    pub preemption_prunes: usize,
+    /// Subtrees answered by the state-fingerprint dedup cache.
+    pub dedup_hits: usize,
+    /// Independent subtree roots after prefix splitting.
+    pub frontier_roots: usize,
+    /// Subtrees that hit [`ExploreConfig::max_executions_per_root`].
+    pub capped_roots: usize,
+}
+
+impl DirectionStats {
+    /// Field-wise accumulation of a subtree's counters.
+    pub fn merge(&mut self, other: &DirectionStats) {
+        self.executions += other.executions;
+        self.transitions += other.transitions;
+        self.depth_capped += other.depth_capped;
+        self.sleep_prunes += other.sleep_prunes;
+        self.preemption_prunes += other.preemption_prunes;
+        self.dedup_hits += other.dedup_hits;
+        self.frontier_roots += other.frontier_roots;
+        self.capped_roots += other.capped_roots;
+    }
+}
+
+/// A conformance violation found by the explorer.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which semantics drove the scheduling when the divergence appeared.
+    pub driver: SemanticsMode,
+    /// The follower's rejection (or snapshot-mismatch) description.
+    pub reason: String,
+    /// The minimized event schedule reproducing the divergence.
+    pub trace: Trace,
+}
+
+/// The result of exploring one monitor's bounded workload.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Counters of the implicit-driver direction.
+    pub implicit: DirectionStats,
+    /// Counters of the explicit-driver direction.
+    pub explicit: DirectionStats,
+    /// Every divergence found (at most one per direction: a direction stops
+    /// at its first violation).
+    pub divergences: Vec<Divergence>,
+}
+
+impl ExploreReport {
+    /// Total executions checked across both directions.
+    pub fn executions(&self) -> usize {
+        self.implicit.executions + self.explicit.executions
+    }
+
+    /// Total events executed across both directions.
+    pub fn transitions(&self) -> usize {
+        self.implicit.transitions + self.explicit.transitions
+    }
+
+    /// `true` when no divergence was found.
+    pub fn holds(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// A bounded workload: the initial shared state plus one call sequence per
+/// thread.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Initial shared monitor state (constructor-initialised fields).
+    pub initial: Valuation,
+    /// One program per thread.
+    pub programs: Vec<ThreadProgram>,
+}
+
+/// Builds a bounded exploration workload from a suite benchmark: the
+/// benchmark's balanced per-thread operation plans, truncated only by the
+/// explorer's step bound.
+///
+/// # Errors
+///
+/// Propagates interpreter failures from constructing the initial state.
+pub fn benchmark_workload(
+    benchmark: &Benchmark,
+    monitor: &Monitor,
+    table: &VarTable,
+    threads: usize,
+    ops_per_thread: usize,
+) -> Result<Workload, ExecError> {
+    let ctor = (benchmark.ctor_args)(threads);
+    let initial = initial_state(monitor, table, &ctor).map_err(ExecError::Runtime)?;
+    let programs = (benchmark.plans)(threads, ops_per_thread)
+        .into_iter()
+        .map(|plan| {
+            plan.into_iter()
+                .map(|op| ThreadSpec::with_locals(op.method, op.locals))
+                .collect()
+        })
+        .collect();
+    Ok(Workload { initial, programs })
+}
+
+/// Systematically explores `workload`'s schedules in both directions,
+/// checking implicit-vs-explicit conformance on every execution (unless
+/// [`ExploreConfig::check`] is off).
+///
+/// # Errors
+///
+/// Propagates interpreter failures; divergences are *reported*, not errors.
+pub fn explore(
+    monitor: &Monitor,
+    table: &VarTable,
+    explicit: &ExplicitMonitor,
+    workload: &Workload,
+    config: &ExploreConfig,
+) -> Result<ExploreReport, ExecError> {
+    let dep = Dependence::new(monitor, table, explicit, config.explore_spurious);
+    let mut report = ExploreReport::default();
+    for mode in [SemanticsMode::Implicit, SemanticsMode::Explicit] {
+        let (stats, divergence) =
+            explore_direction(mode, monitor, table, explicit, workload, &dep, config)?;
+        match mode {
+            SemanticsMode::Implicit => report.implicit = stats,
+            SemanticsMode::Explicit => report.explicit = stats,
+        }
+        report.divergences.extend(divergence);
+    }
+    Ok(report)
+}
+
+/// Renders an event schedule for failure reports, one line per event with
+/// the CCR's method label.
+pub fn render_trace(monitor: &Monitor, trace: &[Event]) -> String {
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            format!(
+                "  {i:>3}: thread {} {} {}",
+                e.thread,
+                if e.fired { "fires " } else { "blocks" },
+                monitor.ccr_label(e.ccr),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A schedule prefix produced by the split phase.
+struct Prefix<'a> {
+    pair: Pair<'a>,
+    path: Vec<Event>,
+    /// Sleep set inherited across earlier siblings (DPOR strategy only): the
+    /// split phase takes *every* enabled choice — a superset of any DPOR
+    /// backtrack set, so the split stays complete — but later siblings still
+    /// needn't re-explore schedules equivalent to an earlier sibling's.
+    sleep: std::collections::BTreeSet<Event>,
+    budget: Option<usize>,
+    last_thread: Option<usize>,
+}
+
+fn explore_direction(
+    mode: SemanticsMode,
+    monitor: &Monitor,
+    table: &VarTable,
+    explicit: &ExplicitMonitor,
+    workload: &Workload,
+    dep: &Dependence,
+    cfg: &ExploreConfig,
+) -> Result<(DirectionStats, Option<Divergence>), ExecError> {
+    let make_pair = || build_pair(mode, monitor, table, explicit, workload, cfg);
+
+    let mut stats = DirectionStats::default();
+    let minimize = |trace: Vec<Event>, reason: String| -> Divergence {
+        minimize_divergence(mode, &make_pair, trace, reason)
+    };
+
+    // Phase 1: expand every schedule prefix of length `split_depth`, with no
+    // pruning, so sibling roots cover every cross-prefix reordering.
+    let dpor = cfg.strategy == Strategy::Dpor;
+    let mut frontier = vec![Prefix {
+        pair: make_pair()?,
+        path: Vec::new(),
+        sleep: Default::default(),
+        budget: cfg.preemption_bound,
+        last_thread: None,
+    }];
+    for _ in 0..cfg.split_depth {
+        let mut next = Vec::new();
+        for prefix in frontier {
+            if prefix.pair.driver.steps() >= cfg.max_steps {
+                stats.executions += 1;
+                stats.depth_capped += 1;
+                continue;
+            }
+            let enabled = prefix.pair.driver.enabled_events()?;
+            if enabled.is_empty() {
+                stats.executions += 1;
+                continue;
+            }
+            if enabled.iter().all(|ev| prefix.sleep.contains(ev)) {
+                stats.sleep_prunes += 1;
+                continue;
+            }
+            // Later siblings inherit earlier choices into their sleep set.
+            let mut sibling_sleep = prefix.sleep.clone();
+            for event in enabled.iter().copied() {
+                if sibling_sleep.contains(&event) {
+                    stats.sleep_prunes += 1;
+                    continue;
+                }
+                let budget = match dfs::spend_preemption_budget(
+                    prefix.budget,
+                    prefix.last_thread,
+                    &enabled,
+                    event,
+                ) {
+                    Some(budget) => budget,
+                    None => {
+                        stats.preemption_prunes += 1;
+                        continue;
+                    }
+                };
+                let mut pair = prefix.pair.clone();
+                match pair.step(event)? {
+                    StepOutcome::Ok => {}
+                    StepOutcome::Divergence(reason) => {
+                        stats.transitions += 1;
+                        let mut trace = prefix.path.clone();
+                        trace.push(event);
+                        return Ok((stats, Some(minimize(trace, reason))));
+                    }
+                }
+                stats.transitions += 1;
+                let mut path = prefix.path.clone();
+                path.push(event);
+                next.push(Prefix {
+                    pair,
+                    path,
+                    sleep: dep.inherit_sleep(&sibling_sleep, event),
+                    budget,
+                    last_thread: Some(event.thread),
+                });
+                if dpor {
+                    sibling_sleep.insert(event);
+                }
+            }
+        }
+        frontier = next;
+    }
+    stats.frontier_roots = frontier.len();
+
+    // Phase 2: one independent DFS per prefix, fanned out on the pool when
+    // one is configured. Results are merged in frontier order either way, so
+    // counters and the reported divergence are deterministic.
+    use dfs::RootOutcome;
+    let outcomes: Vec<RootOutcome> = match &cfg.scheduler {
+        None => frontier
+            .into_iter()
+            .map(|p| explore_root(p.pair, p.path, p.sleep, p.budget, p.last_thread, dep, cfg))
+            .collect(),
+        Some(scheduler) => {
+            let mut slots: Vec<Option<RootOutcome>> = Vec::new();
+            slots.resize_with(frontier.len(), || None);
+            scheduler.scope(|scope| {
+                for (prefix, slot) in frontier.into_iter().zip(slots.iter_mut()) {
+                    scope.spawn(move || {
+                        *slot = Some(explore_root(
+                            prefix.pair,
+                            prefix.path,
+                            prefix.sleep,
+                            prefix.budget,
+                            prefix.last_thread,
+                            dep,
+                            cfg,
+                        ));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every subtree explored"))
+                .collect()
+        }
+    };
+    let mut divergence = None;
+    for outcome in outcomes {
+        let (sub, div) = outcome?;
+        stats.merge(&sub);
+        if divergence.is_none() {
+            divergence = div.map(|(trace, reason)| minimize(trace, reason));
+        }
+    }
+    Ok((stats, divergence))
+}
+
+/// Builds the lockstep pair of one direction: the driver stepper plus —
+/// when checking is on — the follower of the other semantics.
+fn build_pair<'a>(
+    mode: SemanticsMode,
+    monitor: &'a Monitor,
+    table: &'a VarTable,
+    explicit: &'a ExplicitMonitor,
+    workload: &Workload,
+    cfg: &ExploreConfig,
+) -> Result<Pair<'a>, ExecError> {
+    // The explorer reconstructs counterexamples from its own search path, so
+    // neither stepper records a trace — the DFS clones them per transition.
+    let implicit = || {
+        Stepper::implicit(
+            monitor,
+            table,
+            workload.initial.clone(),
+            workload.programs.clone(),
+        )
+        .map(|s| s.record_trace(false))
+    };
+    let explicit_stepper = || {
+        Stepper::explicit(
+            explicit,
+            table,
+            workload.initial.clone(),
+            workload.programs.clone(),
+        )
+        .map(|s| s.record_trace(false))
+    };
+    Ok(match mode {
+        SemanticsMode::Implicit => Pair {
+            driver: implicit()?,
+            follower: cfg.check.then(explicit_stepper).transpose()?,
+        },
+        SemanticsMode::Explicit => Pair {
+            driver: explicit_stepper()?.with_spurious_wakeups(cfg.explore_spurious),
+            follower: cfg.check.then(implicit).transpose()?,
+        },
+    })
+}
+
+/// Shrinks a diverging schedule with the shared greedy minimizer, replaying
+/// candidates through fresh lockstep pairs.
+fn minimize_divergence<'a>(
+    mode: SemanticsMode,
+    make_pair: &impl Fn() -> Result<Pair<'a>, ExecError>,
+    trace: Vec<Event>,
+    reason: String,
+) -> Divergence {
+    let trace = minimize_schedule(trace, |steps: &[Event]| {
+        let Ok(mut pair) = make_pair() else {
+            return ReplayVerdict::Stuck { step: 0 };
+        };
+        for (i, &event) in steps.iter().enumerate() {
+            // One implementation of the lockstep rules: `Pair::step`. An
+            // error (the driver rejecting the event, or an interpreter
+            // failure) means the shrink produced an invalid schedule; a
+            // reported divergence means the candidate still reproduces.
+            match pair.step(event) {
+                Err(_) => return ReplayVerdict::Stuck { step: i },
+                Ok(StepOutcome::Divergence(_)) => return ReplayVerdict::Mismatch { step: i },
+                Ok(StepOutcome::Ok) => {}
+            }
+        }
+        ReplayVerdict::Match
+    });
+    Divergence {
+        driver: mode,
+        reason,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_monitor_lang::{check_monitor, parse_monitor};
+
+    const COUNTER: &str = r#"
+        monitor Counter {
+            int count = 0;
+            atomic void release() { count++; }
+            atomic void acquire() { waituntil (count > 0) { count--; } }
+        }
+    "#;
+
+    fn workload(monitor: &Monitor, table: &VarTable, threads: &[&str]) -> Workload {
+        Workload {
+            initial: initial_state(monitor, table, &Valuation::new()).unwrap(),
+            programs: threads.iter().map(|m| vec![ThreadSpec::new(*m)]).collect(),
+        }
+    }
+
+    #[test]
+    fn broadcast_all_counter_is_conformant_and_dpor_reduces() {
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+        let w = workload(
+            &monitor,
+            &table,
+            &["acquire", "release", "acquire", "release"],
+        );
+        let dpor = explore(&monitor, &table, &explicit, &w, &ExploreConfig::default()).unwrap();
+        assert!(dpor.holds(), "divergences: {:?}", dpor.divergences);
+        assert!(dpor.executions() > 0);
+        let naive = explore(
+            &monitor,
+            &table,
+            &explicit,
+            &w,
+            &ExploreConfig {
+                strategy: Strategy::Naive,
+                check: false,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            naive.executions() > dpor.executions(),
+            "naive {} vs dpor {}",
+            naive.executions(),
+            dpor.executions()
+        );
+    }
+
+    #[test]
+    fn silent_monitor_divergence_is_found_and_minimized() {
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let silent = ExplicitMonitor::without_signals(monitor.clone());
+        let w = workload(&monitor, &table, &["acquire", "release"]);
+        let report = explore(&monitor, &table, &silent, &w, &ExploreConfig::default()).unwrap();
+        assert!(!report.holds(), "a never-signalling monitor must diverge");
+        let divergence = &report.divergences[0];
+        // Minimal reproduction: block, then the wake-up the explicit monitor
+        // cannot deliver.
+        assert!(
+            divergence.trace.len() <= 3,
+            "not minimized:\n{}",
+            render_trace(&monitor, &divergence.trace)
+        );
+        assert!(divergence.trace.iter().any(|e| e.fired));
+    }
+
+    #[test]
+    fn preemption_bound_prunes_schedules() {
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+        // Two producers with two calls each: switching away from a producer
+        // mid-plan is a preemption, so a bound of 0 serialises them.
+        let w = Workload {
+            initial: initial_state(&monitor, &table, &Valuation::new()).unwrap(),
+            programs: vec![
+                vec![ThreadSpec::new("release"), ThreadSpec::new("release")],
+                vec![ThreadSpec::new("release"), ThreadSpec::new("release")],
+            ],
+        };
+        let unbounded =
+            explore(&monitor, &table, &explicit, &w, &ExploreConfig::default()).unwrap();
+        let bounded = explore(
+            &monitor,
+            &table,
+            &explicit,
+            &w,
+            &ExploreConfig {
+                preemption_bound: Some(0),
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(bounded.holds());
+        assert!(
+            bounded.executions() < unbounded.executions(),
+            "bounded {} vs unbounded {}",
+            bounded.executions(),
+            unbounded.executions()
+        );
+        assert!(bounded.implicit.preemption_prunes > 0);
+    }
+
+    #[test]
+    fn dedup_changes_work_not_counters() {
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+        let w = workload(
+            &monitor,
+            &table,
+            &["acquire", "release", "acquire", "release"],
+        );
+        let with = explore(&monitor, &table, &explicit, &w, &ExploreConfig::default()).unwrap();
+        let without = explore(
+            &monitor,
+            &table,
+            &explicit,
+            &w,
+            &ExploreConfig {
+                dedup_states: false,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.executions(), without.executions());
+        assert_eq!(without.implicit.dedup_hits + without.explicit.dedup_hits, 0);
+        assert!(with.implicit.dedup_hits + with.explicit.dedup_hits > 0);
+    }
+
+    #[test]
+    fn spurious_wakeups_are_not_false_divergences() {
+        // Regression: an *unconditional* signal notifies a waiter whose guard
+        // is false; the waiter's rule-1b re-block is a driver-internal
+        // stutter the implicit follower would reject (its wake loop never
+        // notifies false-guard entries). The lockstep check must treat the
+        // stutter as a no-op, not a Def-3.4 violation.
+        use expresso_monitor_lang::{Notification, NotificationKind, SignalCondition};
+        let monitor = parse_monitor(
+            r#"
+            monitor Pair {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 1) { count = count - 2; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let release = monitor.method("release").unwrap().ccrs[0];
+        let guard = monitor.method("acquire").map(|m| m.ccrs[0]).unwrap();
+        let mut explicit = ExplicitMonitor::without_signals(monitor.clone());
+        explicit.notifications.insert(
+            release,
+            vec![Notification {
+                predicate: monitor.ccr(guard).guard.clone(),
+                condition: SignalCondition::Unconditional,
+                kind: NotificationKind::Broadcast,
+            }],
+        );
+        let w = workload(&monitor, &table, &["acquire", "release", "release"]);
+        for spurious in [false, true] {
+            let report = explore(
+                &monitor,
+                &table,
+                &explicit,
+                &w,
+                &ExploreConfig {
+                    explore_spurious: spurious,
+                    ..ExploreConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                report.holds(),
+                "spurious={spurious}: {:?}",
+                report.divergences
+            );
+            assert!(report.executions() > 0);
+        }
+    }
+
+    #[test]
+    fn bounded_dpor_keeps_every_affordable_schedule() {
+        // Regression: two producers whose fires are all pairwise dependent —
+        // every schedule is its own Mazurkiewicz class, so within the
+        // preemption bound DPOR must enumerate exactly what naive does (the
+        // 4 schedules with ≤1 preemption: AABB, ABBA, BAAB, BBAA per
+        // direction). A preemption-pruned backtrack seed used to leave nodes
+        // childless, silently dropping affordable schedules.
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+        let w = Workload {
+            initial: initial_state(&monitor, &table, &Valuation::new()).unwrap(),
+            programs: vec![
+                vec![ThreadSpec::new("release"), ThreadSpec::new("release")],
+                vec![ThreadSpec::new("release"), ThreadSpec::new("release")],
+            ],
+        };
+        let base = ExploreConfig {
+            preemption_bound: Some(1),
+            ..ExploreConfig::default()
+        };
+        let dpor = explore(&monitor, &table, &explicit, &w, &base).unwrap();
+        let naive = explore(
+            &monitor,
+            &table,
+            &explicit,
+            &w,
+            &ExploreConfig {
+                strategy: Strategy::Naive,
+                check: false,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            naive.executions(),
+            8,
+            "4 affordable schedules per direction"
+        );
+        assert_eq!(
+            dpor.executions(),
+            naive.executions(),
+            "fully dependent workload: bounded DPOR must match bounded naive"
+        );
+    }
+
+    #[test]
+    fn dedup_respects_the_preemption_bound() {
+        // Regression: under a preemption bound the subtree below a state also
+        // depends on which thread ran last (switching away from it is what
+        // costs budget), so the dedup key must include it — otherwise a
+        // cached subtree pruned from one entry path is wrongly reused on a
+        // path where those schedules were affordable.
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+        let w = Workload {
+            initial: initial_state(&monitor, &table, &Valuation::new()).unwrap(),
+            programs: vec![
+                vec![ThreadSpec::new("release"), ThreadSpec::new("release")],
+                vec![ThreadSpec::new("release"), ThreadSpec::new("release")],
+                vec![ThreadSpec::new("acquire"), ThreadSpec::new("acquire")],
+            ],
+        };
+        for bound in [Some(0), Some(1), Some(2)] {
+            let base = ExploreConfig {
+                preemption_bound: bound,
+                ..ExploreConfig::default()
+            };
+            let with = explore(&monitor, &table, &explicit, &w, &base).unwrap();
+            let without = explore(
+                &monitor,
+                &table,
+                &explicit,
+                &w,
+                &ExploreConfig {
+                    dedup_states: false,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                with.executions(),
+                without.executions(),
+                "bound {bound:?}: dedup changed the explored schedule set"
+            );
+        }
+    }
+}

@@ -58,8 +58,12 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 /// small keys involved. Deterministic within and across processes, which the
 /// shard selection relies on. Not DoS-resistant; keys are internal ids and
 /// formula nodes, never attacker-controlled.
-#[derive(Default)]
-struct FxHasher(u64);
+///
+/// Public because other layers reuse the same deterministic hashing: the
+/// schedule explorer fingerprints simulator states with it, so its dedup
+/// cache is reproducible across runs and thread counts.
+#[derive(Debug, Default)]
+pub struct FxHasher(u64);
 
 impl FxHasher {
     const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;

@@ -14,9 +14,13 @@
 //! comparing feasibility and final states.
 
 pub mod equivalence;
+pub mod minimize;
+pub mod step;
 pub mod trace;
 
 pub use equivalence::{check_equivalence, EquivalenceConfig, EquivalenceReport};
+pub use minimize::{minimize_schedule, ReplayVerdict};
+pub use step::{SemanticsMode, Stepper, ThreadProgram};
 pub use trace::{
     run_explicit, run_implicit, Event, ExecError, Simulator, ThreadSpec, Trace, TraceOutcome,
 };

@@ -1,0 +1,112 @@
+//! Greedy schedule minimization, shared by the runtime conformance harness
+//! and the systematic schedule explorer.
+//!
+//! Both harnesses produce a *failing interleaving* — a sequence of scheduling
+//! decisions after which two engines diverge — and want to report the
+//! smallest interleaving that still reproduces the divergence. The shrink
+//! strategy is identical in both worlds, so it lives here once, generic over
+//! the step type: first truncate everything after the divergence point, then
+//! repeatedly try dropping each remaining step (scanning from the end, where
+//! drops are most likely to stay valid) until no single removal reproduces
+//! the mismatch.
+
+/// Outcome of replaying a candidate interleaving during minimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayVerdict {
+    /// The engines agreed after every step.
+    Match,
+    /// The engines disagreed before any step ran (constructor bug).
+    InitialStateMismatch,
+    /// The engines diverged at `steps[step]`.
+    Mismatch {
+        /// Index of the diverging step.
+        step: usize,
+    },
+    /// `steps[step]` was not executable — the candidate is not a valid
+    /// interleaving (only arises for shrink candidates) and is discarded.
+    Stuck {
+        /// Index of the non-executable step.
+        step: usize,
+    },
+}
+
+/// Greedily shrinks a mismatching interleaving while the mismatch still
+/// reproduces under `replay`. See the module docs for the strategy.
+///
+/// `replay` must be deterministic: the same candidate always yields the same
+/// verdict. Candidates that come back [`ReplayVerdict::Stuck`] or
+/// [`ReplayVerdict::Match`] are discarded (the shrink was invalid or lost
+/// the bug); candidates that still mismatch become the new baseline.
+pub fn minimize_schedule<S: Clone>(
+    mut steps: Vec<S>,
+    mut replay: impl FnMut(&[S]) -> ReplayVerdict,
+) -> Vec<S> {
+    match replay(&steps) {
+        ReplayVerdict::Mismatch { step } => steps.truncate(step + 1),
+        // A constructor-level divergence needs no steps at all.
+        ReplayVerdict::InitialStateMismatch => steps.clear(),
+        ReplayVerdict::Match | ReplayVerdict::Stuck { .. } => {}
+    }
+    loop {
+        let mut progressed = false;
+        let mut i = steps.len();
+        while i > 0 {
+            i -= 1;
+            if steps.len() <= 1 {
+                break;
+            }
+            let mut candidate = steps.clone();
+            candidate.remove(i);
+            if let ReplayVerdict::Mismatch { step } = replay(&candidate) {
+                candidate.truncate(step + 1);
+                i = i.min(candidate.len());
+                steps = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return steps;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic divergence: replay mismatches at the first occurrence of
+    /// the "bad" step value, provided at least `need` benign steps precede
+    /// it (modelling enabledness).
+    fn verdict(steps: &[u32], bad: u32, need: usize) -> ReplayVerdict {
+        match steps.iter().position(|&s| s == bad) {
+            Some(step) if step >= need => ReplayVerdict::Mismatch { step },
+            Some(step) => ReplayVerdict::Stuck { step },
+            None => ReplayVerdict::Match,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_reproducer() {
+        let steps = vec![1, 2, 3, 9, 4, 5];
+        let minimized = minimize_schedule(steps, |s| verdict(s, 9, 2));
+        // Two benign steps must survive as the enabling prefix.
+        assert_eq!(minimized.len(), 3);
+        assert_eq!(*minimized.last().unwrap(), 9);
+        assert!(matches!(
+            verdict(&minimized, 9, 2),
+            ReplayVerdict::Mismatch { step: 2 }
+        ));
+    }
+
+    #[test]
+    fn initial_mismatch_clears_everything() {
+        let minimized = minimize_schedule(vec![1, 2, 3], |_| ReplayVerdict::InitialStateMismatch);
+        assert!(minimized.is_empty());
+    }
+
+    #[test]
+    fn matching_schedules_are_left_alone() {
+        let minimized = minimize_schedule(vec![1, 2], |_| ReplayVerdict::Match);
+        assert_eq!(minimized, vec![1, 2]);
+    }
+}

@@ -1,0 +1,639 @@
+//! The controllable step API shared by the random simulator and the
+//! systematic schedule explorer.
+//!
+//! A [`Stepper`] holds one configuration of either transition relation — the
+//! shared state, each thread's position in its call sequence, and the paper's
+//! B (blocked) and N (notified) sets — and exposes the three operations a
+//! scheduler needs:
+//!
+//! * [`Stepper::enabled_events`] — enumerate every transition the relation
+//!   permits from the current configuration, in deterministic thread order;
+//! * [`Stepper::step`] — take one transition, validating it against the
+//!   relation (so replaying a recorded prefix through a fresh stepper is the
+//!   feasibility check of `run_implicit` / `run_explicit`);
+//! * [`Stepper::fingerprint`] — a deterministic hash of the full
+//!   configuration (shared state, locals, program counters, B and N), used by
+//!   the explorer's state-dedup cache.
+//!
+//! The random `Simulator` in [`crate::trace`] and the systematic explorer in
+//! `expresso-explore` both drive this one stepper, so the two modes cannot
+//! drift apart semantically.
+//!
+//! Unlike the trace-replay entry points, a stepper runs each thread through a
+//! *sequence* of monitor-method calls (a [`ThreadProgram`]), which is what a
+//! bounded exploration workload needs; a single-call program reproduces the
+//! classic `ThreadSpec` behaviour exactly.
+
+use crate::trace::{eval_guard, exec_body, Entry, Event, ExecError, ThreadSpec, Trace};
+use expresso_logic::{FxHasher, Valuation};
+use expresso_monitor_lang::{
+    ExplicitMonitor, Interpreter, Monitor, NotificationKind, SignalCondition, VarTable,
+};
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+/// One thread's workload: the monitor-method calls it performs, in order.
+pub type ThreadProgram = Vec<ThreadSpec>;
+
+/// Which transition relation a [`Stepper`] follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemanticsMode {
+    /// The implicit-signal relation (paper Fig. 4).
+    Implicit,
+    /// The explicit-signal relation (paper Figs. 5–6).
+    Explicit,
+}
+
+/// A stepwise executor for one transition relation. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Stepper<'a> {
+    monitor: &'a Monitor,
+    table: &'a VarTable,
+    /// `Some` when following the explicit relation.
+    explicit: Option<&'a ExplicitMonitor>,
+    /// Whether [`Stepper::enabled_events`] offers spurious wake-ups (a
+    /// notified thread re-checking a false guard and going back to sleep).
+    /// [`Stepper::step`] always *accepts* them, mirroring `run_implicit`'s
+    /// rule (1b) — the flag only controls enumeration.
+    allow_spurious: bool,
+    shared: Valuation,
+    /// Immutable after construction; shared so cloning a stepper (the DFS
+    /// explorer does it once per transition) is a refcount bump, not a deep
+    /// copy of every thread's call sequence.
+    programs: std::sync::Arc<[ThreadProgram]>,
+    /// Live per-thread view: the current call's method name and its working
+    /// locals (method parameters plus locals written by executed bodies).
+    threads: Vec<ThreadSpec>,
+    /// Per-thread index of the current call in its program.
+    call_idx: Vec<usize>,
+    /// Per-thread index of the next CCR within the current call's method.
+    ccr_idx: Vec<usize>,
+    blocked: BTreeSet<Entry>,
+    notified: BTreeSet<Entry>,
+    /// Executed events, when recording is on (see [`Stepper::record_trace`]).
+    trace: Trace,
+    /// Events executed so far (tracked independently of recording).
+    steps: usize,
+    recording: bool,
+    used_spurious: bool,
+}
+
+impl<'a> Stepper<'a> {
+    /// Creates a stepper for the implicit-signal relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::MalformedTrace`] when a program references an
+    /// unknown method.
+    pub fn implicit(
+        monitor: &'a Monitor,
+        table: &'a VarTable,
+        initial: Valuation,
+        programs: Vec<ThreadProgram>,
+    ) -> Result<Self, ExecError> {
+        Stepper::new(monitor, table, None, initial, programs)
+    }
+
+    /// Creates a stepper for the explicit-signal relation of `explicit`
+    /// (which must wrap the same monitor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::MalformedTrace`] when a program references an
+    /// unknown method.
+    pub fn explicit(
+        explicit: &'a ExplicitMonitor,
+        table: &'a VarTable,
+        initial: Valuation,
+        programs: Vec<ThreadProgram>,
+    ) -> Result<Self, ExecError> {
+        Stepper::new(&explicit.monitor, table, Some(explicit), initial, programs)
+    }
+
+    fn new(
+        monitor: &'a Monitor,
+        table: &'a VarTable,
+        explicit: Option<&'a ExplicitMonitor>,
+        initial: Valuation,
+        programs: Vec<ThreadProgram>,
+    ) -> Result<Self, ExecError> {
+        for program in &programs {
+            for spec in program {
+                if monitor.method(&spec.method).is_none() {
+                    return Err(ExecError::MalformedTrace(spec.method.clone()));
+                }
+            }
+        }
+        let threads: Vec<ThreadSpec> = programs
+            .iter()
+            .map(|p| p.first().cloned().unwrap_or_else(|| ThreadSpec::new("")))
+            .collect();
+        let n = programs.len();
+        Ok(Stepper {
+            monitor,
+            table,
+            explicit,
+            allow_spurious: explicit.is_some(),
+            shared: initial,
+            programs: programs.into(),
+            threads,
+            call_idx: vec![0; n],
+            ccr_idx: vec![0; n],
+            blocked: BTreeSet::new(),
+            notified: BTreeSet::new(),
+            trace: Vec::new(),
+            steps: 0,
+            recording: true,
+            used_spurious: false,
+        })
+    }
+
+    /// Sets whether spurious wake-ups are *enumerated* (they are always
+    /// accepted by [`Stepper::step`]). Defaults to the historical simulator
+    /// behaviour: off for implicit steppers (normalized traces), on for
+    /// explicit ones.
+    pub fn with_spurious_wakeups(mut self, allow: bool) -> Self {
+        self.allow_spurious = allow;
+        self
+    }
+
+    /// Sets whether executed events are recorded in [`Stepper::trace`]
+    /// (default: on). A DFS explorer that clones the stepper at every
+    /// transition and reconstructs counterexamples from its own search path
+    /// turns recording off to avoid copying an O(depth) trace per clone.
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.recording = record;
+        self
+    }
+
+    /// The mode this stepper follows.
+    pub fn mode(&self) -> SemanticsMode {
+        if self.explicit.is_some() {
+            SemanticsMode::Explicit
+        } else {
+            SemanticsMode::Implicit
+        }
+    }
+
+    /// The shared monitor state of the current configuration.
+    pub fn shared(&self) -> &Valuation {
+        &self.shared
+    }
+
+    /// The events executed so far (empty when recording is off).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the stepper, returning the executed trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Number of events executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Whether any executed step relied on a spurious wake-up (rule 1b).
+    pub fn used_spurious_wakeup(&self) -> bool {
+        self.used_spurious
+    }
+
+    /// Number of threads in the workload.
+    pub fn thread_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// `true` when thread `t` has finished every call of its program.
+    pub fn thread_finished(&self, t: usize) -> bool {
+        self.call_idx[t] >= self.programs[t].len()
+    }
+
+    /// `true` when every thread has run its whole program to completion.
+    pub fn all_finished(&self) -> bool {
+        (0..self.programs.len()).all(|t| self.thread_finished(t))
+    }
+
+    /// `true` when thread `t` is currently blocked on its CCR — i.e. a
+    /// `fired = false` event for it would be a rule-1b spurious re-block
+    /// rather than a first-time block.
+    pub fn is_blocked(&self, t: usize) -> bool {
+        self.current_entry(t)
+            .is_some_and(|entry| self.blocked.contains(&entry))
+    }
+
+    /// The `(thread, ccr)` entry thread `t` is currently at, or `None` when
+    /// the thread has finished its program.
+    pub fn current_entry(&self, t: usize) -> Option<Entry> {
+        if self.thread_finished(t) {
+            return None;
+        }
+        let method = self
+            .monitor
+            .method(&self.threads[t].method)
+            .expect("validated in the constructor");
+        Some((t, method.ccrs[self.ccr_idx[t]]))
+    }
+
+    /// Enumerates every event the transition relation permits from the
+    /// current configuration, in ascending thread order. Empty when the
+    /// workload has terminated *or* deadlocked (remaining threads all blocked
+    /// without a wake-up).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures from guard evaluation.
+    pub fn enabled_events(&self) -> Result<Vec<Event>, ExecError> {
+        let interp = Interpreter::new(self.table);
+        let mut actions = Vec::new();
+        for t in 0..self.programs.len() {
+            let Some(entry) = self.current_entry(t) else {
+                continue;
+            };
+            let (_, ccr) = entry;
+            let guard = eval_guard(&interp, self.monitor, &self.shared, &self.threads, entry)?;
+            if self.blocked.contains(&entry) {
+                if self.notified.contains(&entry) {
+                    if guard && self.notified.iter().next() == Some(&entry) {
+                        // Rule (2b): only the minimum notified entry resumes.
+                        actions.push(Event {
+                            thread: t,
+                            ccr,
+                            fired: true,
+                        });
+                    } else if !guard && self.allow_spurious {
+                        // Rule (1b): a spurious wake-up re-blocks the thread.
+                        actions.push(Event {
+                            thread: t,
+                            ccr,
+                            fired: false,
+                        });
+                    }
+                }
+            } else if guard {
+                actions.push(Event {
+                    thread: t,
+                    ccr,
+                    fired: true,
+                });
+            } else {
+                actions.push(Event {
+                    thread: t,
+                    ccr,
+                    fired: false,
+                });
+            }
+        }
+        Ok(actions)
+    }
+
+    /// Executes one event, validating it against the transition relation —
+    /// the same feasibility rules `run_implicit` / `run_explicit` enforce
+    /// during whole-trace replay, including acceptance of spurious wake-ups.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Infeasible`] when the relation does not permit the event
+    /// from the current configuration, [`ExecError::MalformedTrace`] when the
+    /// event does not match the thread's current program position.
+    pub fn step(&mut self, event: Event) -> Result<(), ExecError> {
+        let Event { thread: t, ccr, .. } = event;
+        if t >= self.programs.len() {
+            return Err(ExecError::MalformedTrace(format!("unknown thread {t}")));
+        }
+        let entry = self.current_entry(t).ok_or_else(|| {
+            ExecError::MalformedTrace(format!("{event}: thread {t} has finished its program"))
+        })?;
+        if entry.1 != ccr {
+            return Err(ExecError::MalformedTrace(format!(
+                "{event}: thread {t} is at {}, not {ccr}",
+                entry.1
+            )));
+        }
+        let interp = Interpreter::new(self.table);
+        let guard = eval_guard(&interp, self.monitor, &self.shared, &self.threads, entry)?;
+        if !event.fired {
+            if guard {
+                return Err(ExecError::Infeasible(format!(
+                    "{event}: guard is true but the event records blocking"
+                )));
+            }
+            if self.blocked.contains(&entry) {
+                if !self.notified.remove(&entry) {
+                    return Err(ExecError::Infeasible(format!(
+                        "{event}: thread is blocked but was never notified"
+                    )));
+                }
+                self.used_spurious = true;
+            } else {
+                self.blocked.insert(entry);
+            }
+        } else {
+            if !guard {
+                return Err(ExecError::Infeasible(format!(
+                    "{event}: guard is false but the event records firing"
+                )));
+            }
+            if self.blocked.contains(&entry) {
+                match self.notified.iter().next() {
+                    Some(min) if *min == entry => {}
+                    _ => {
+                        return Err(ExecError::Infeasible(format!(
+                            "{event}: a blocked thread fired without being the minimum \
+                             notified entry"
+                        )))
+                    }
+                }
+                self.blocked.remove(&entry);
+                self.notified.remove(&entry);
+            }
+            exec_body(
+                &interp,
+                self.monitor,
+                self.table,
+                &mut self.shared,
+                &mut self.threads,
+                entry,
+            )?;
+            match self.explicit {
+                // Implicit (Fig. 4): wake everything whose predicate became true.
+                None => {
+                    for other in self.blocked.iter().copied().collect::<Vec<_>>() {
+                        if eval_guard(&interp, self.monitor, &self.shared, &self.threads, other)? {
+                            self.notified.insert(other);
+                        }
+                    }
+                }
+                // Explicit (Fig. 6): GetSignals / GetBroadcasts.
+                Some(explicit) => {
+                    for notification in explicit.notifications_for(ccr) {
+                        let candidates: Vec<Entry> = self
+                            .blocked
+                            .iter()
+                            .copied()
+                            .filter(|e| self.monitor.ccr(e.1).guard == notification.predicate)
+                            .collect();
+                        let eligible: Vec<Entry> = match notification.condition {
+                            SignalCondition::Unconditional => candidates,
+                            SignalCondition::Conditional => {
+                                let mut kept = Vec::new();
+                                for c in candidates {
+                                    if eval_guard(
+                                        &interp,
+                                        self.monitor,
+                                        &self.shared,
+                                        &self.threads,
+                                        c,
+                                    )? {
+                                        kept.push(c);
+                                    }
+                                }
+                                kept
+                            }
+                        };
+                        match notification.kind {
+                            NotificationKind::Signal => {
+                                // A signalled waiter leaves the condition
+                                // queue, so signals go to waiters that have
+                                // not been notified yet.
+                                if let Some(first) = eligible
+                                    .into_iter()
+                                    .filter(|e| !self.notified.contains(e))
+                                    .min()
+                                {
+                                    self.notified.insert(first);
+                                }
+                            }
+                            NotificationKind::Broadcast => self.notified.extend(eligible),
+                        }
+                    }
+                }
+            }
+            self.advance(t);
+        }
+        self.steps += 1;
+        if self.recording {
+            self.trace.push(event);
+        }
+        Ok(())
+    }
+
+    /// Advances thread `t` past a fired CCR, rolling into the next call of
+    /// its program when the current method is exhausted.
+    fn advance(&mut self, t: usize) {
+        self.ccr_idx[t] += 1;
+        let method = self
+            .monitor
+            .method(&self.threads[t].method)
+            .expect("validated in the constructor");
+        if self.ccr_idx[t] >= method.ccrs.len() {
+            self.call_idx[t] += 1;
+            self.ccr_idx[t] = 0;
+            if let Some(next) = self.programs[t].get(self.call_idx[t]) {
+                // A fresh call starts from its own parameter valuation.
+                self.threads[t] = next.clone();
+            }
+        }
+    }
+
+    /// A deterministic fingerprint of the full configuration: shared state,
+    /// per-thread locals and program counters, and the B and N sets. Two
+    /// configurations with equal fingerprints are (modulo hash collisions)
+    /// identical, so the explorer may treat a revisited fingerprint as an
+    /// already-explored subtree.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = FxHasher::default();
+        hash_valuation(&self.shared, &mut hasher);
+        for t in 0..self.programs.len() {
+            self.call_idx[t].hash(&mut hasher);
+            self.ccr_idx[t].hash(&mut hasher);
+            hash_valuation(&self.threads[t].locals, &mut hasher);
+        }
+        self.blocked.len().hash(&mut hasher);
+        for &(t, c) in &self.blocked {
+            t.hash(&mut hasher);
+            c.0.hash(&mut hasher);
+        }
+        self.notified.len().hash(&mut hasher);
+        for &(t, c) in &self.notified {
+            t.hash(&mut hasher);
+            c.0.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
+/// Hashes a valuation deterministically (sorted iteration order).
+fn hash_valuation(v: &Valuation, hasher: &mut impl Hasher) {
+    let mut ints: Vec<(&str, i64)> = v.ints().map(|(k, &n)| (k.as_str(), n)).collect();
+    ints.sort_unstable();
+    for (k, n) in ints {
+        k.hash(hasher);
+        n.hash(hasher);
+    }
+    let mut bools: Vec<(&str, bool)> = v.bools().map(|(k, &b)| (k.as_str(), b)).collect();
+    bools.sort_unstable();
+    for (k, b) in bools {
+        k.hash(hasher);
+        b.hash(hasher);
+    }
+    let mut arrays: Vec<(&str, &Vec<i64>)> = v.arrays().map(|(k, a)| (k.as_str(), a)).collect();
+    arrays.sort_unstable_by_key(|(k, _)| *k);
+    for (k, a) in arrays {
+        k.hash(hasher);
+        a.hash(hasher);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{run_implicit, TraceOutcome};
+    use expresso_monitor_lang::{check_monitor, parse_monitor};
+
+    fn counter() -> (Monitor, VarTable) {
+        let m = parse_monitor(
+            r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let t = check_monitor(&m).unwrap();
+        (m, t)
+    }
+
+    fn init(m: &Monitor, t: &VarTable) -> Valuation {
+        expresso_monitor_lang::initial_state(m, t, &Valuation::new()).unwrap()
+    }
+
+    #[test]
+    fn stepper_traces_replay_under_run_implicit() {
+        let (m, t) = counter();
+        let programs: Vec<ThreadProgram> = vec![
+            vec![ThreadSpec::new("acquire"), ThreadSpec::new("acquire")],
+            vec![ThreadSpec::new("release"), ThreadSpec::new("release")],
+        ];
+        let mut stepper = Stepper::implicit(&m, &t, init(&m, &t), programs).unwrap();
+        // Drive to completion taking the first enabled event each time.
+        while let Some(&event) = stepper.enabled_events().unwrap().first() {
+            stepper.step(event).unwrap();
+        }
+        assert!(stepper.all_finished());
+        assert_eq!(stepper.shared().int("count"), Some(0));
+        // Single-call threads replay through the classic entry point; the
+        // multi-call trace reuses CCR ids across calls, which run_implicit's
+        // single-method model also accepts for this monitor.
+        let flat: Vec<ThreadSpec> = vec![ThreadSpec::new("acquire"), ThreadSpec::new("release")];
+        let TraceOutcome { final_state, .. } =
+            run_implicit(&m, &t, &init(&m, &t), &flat, stepper.trace()).unwrap();
+        assert_eq!(final_state.int("count"), Some(0));
+    }
+
+    #[test]
+    fn step_rejects_infeasible_events() {
+        let (m, t) = counter();
+        let acquire = m.method("acquire").unwrap().ccrs[0];
+        let programs = vec![vec![ThreadSpec::new("acquire")]];
+        let mut stepper = Stepper::implicit(&m, &t, init(&m, &t), programs).unwrap();
+        let err = stepper
+            .step(Event {
+                thread: 0,
+                ccr: acquire,
+                fired: true,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Infeasible(_)));
+        // Blocking is the feasible move; the trace records it.
+        stepper
+            .step(Event {
+                thread: 0,
+                ccr: acquire,
+                fired: false,
+            })
+            .unwrap();
+        assert_eq!(stepper.steps(), 1);
+        assert!(stepper.enabled_events().unwrap().is_empty(), "deadlocked");
+        assert!(!stepper.all_finished());
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_state_sensitive() {
+        let (m, t) = counter();
+        let programs = vec![
+            vec![ThreadSpec::new("release")],
+            vec![ThreadSpec::new("acquire")],
+        ];
+        let a = Stepper::implicit(&m, &t, init(&m, &t), programs.clone()).unwrap();
+        let b = Stepper::implicit(&m, &t, init(&m, &t), programs).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = b.clone();
+        let release = m.method("release").unwrap().ccrs[0];
+        c.step(Event {
+            thread: 0,
+            ccr: release,
+            fired: true,
+        })
+        .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn explicit_stepper_follows_notifications() {
+        let (m, t) = counter();
+        let acquire = m.method("acquire").unwrap().ccrs[0];
+        let release = m.method("release").unwrap().ccrs[0];
+        let silent = ExplicitMonitor::without_signals(m.clone());
+        let programs = vec![
+            vec![ThreadSpec::new("acquire")],
+            vec![ThreadSpec::new("release")],
+        ];
+        let mut stepper = Stepper::explicit(&silent, &t, init(&m, &t), programs.clone()).unwrap();
+        stepper
+            .step(Event {
+                thread: 0,
+                ccr: acquire,
+                fired: false,
+            })
+            .unwrap();
+        stepper
+            .step(Event {
+                thread: 1,
+                ccr: release,
+                fired: true,
+            })
+            .unwrap();
+        // No signal was emitted, so the blocked acquirer stays asleep.
+        assert!(stepper.enabled_events().unwrap().is_empty());
+        // The broadcast-everything monitor wakes it.
+        let noisy = ExplicitMonitor::broadcast_all(m.clone());
+        let mut stepper = Stepper::explicit(&noisy, &t, init(&m, &t), programs).unwrap();
+        stepper
+            .step(Event {
+                thread: 0,
+                ccr: acquire,
+                fired: false,
+            })
+            .unwrap();
+        stepper
+            .step(Event {
+                thread: 1,
+                ccr: release,
+                fired: true,
+            })
+            .unwrap();
+        let enabled = stepper.enabled_events().unwrap();
+        assert_eq!(
+            enabled,
+            vec![Event {
+                thread: 0,
+                ccr: acquire,
+                fired: true,
+            }]
+        );
+    }
+}

@@ -10,7 +10,7 @@ use std::fmt;
 
 /// A monitor event: thread `thread` attempted CCR `ccr`; `fired` tells whether
 /// the guard held (body executed) or the thread blocked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Event {
     /// Thread identifier (index into the simulator's thread list).
     pub thread: usize,
@@ -104,9 +104,9 @@ pub struct TraceOutcome {
 }
 
 /// A blocked/notified entry: `(thread, ccr)` as in the paper's B and N sets.
-type Entry = (usize, CcrId);
+pub(crate) type Entry = (usize, CcrId);
 
-fn eval_guard(
+pub(crate) fn eval_guard(
     interp: &Interpreter<'_>,
     monitor: &Monitor,
     shared: &Valuation,
@@ -118,7 +118,7 @@ fn eval_guard(
     Ok(interp.eval_bool(&monitor.ccr(entry.1).guard, &view)?)
 }
 
-fn exec_body(
+pub(crate) fn exec_body(
     interp: &Interpreter<'_>,
     monitor: &Monitor,
     table: &VarTable,
@@ -416,94 +416,45 @@ impl<'a> Simulator<'a> {
         &self.initial
     }
 
+    /// The per-thread single-call programs this simulator's threads run.
+    fn programs(&self) -> Vec<crate::step::ThreadProgram> {
+        self.threads
+            .iter()
+            .cloned()
+            .map(|spec| vec![spec])
+            .collect()
+    }
+
     /// Generates one feasible, normalized trace of the *implicit* semantics by
     /// running a random scheduler for at most `max_events` events.
+    ///
+    /// The scheduler draws from the same [`crate::step::Stepper`] the
+    /// systematic explorer uses; only the choice of the next event differs.
     ///
     /// # Errors
     ///
     /// Propagates interpreter failures; scheduling deadlocks simply end the
     /// trace early (the trace stays feasible).
     pub fn random_implicit_trace(&mut self, max_events: usize) -> Result<Trace, ExecError> {
-        let interp = Interpreter::new(self.table);
-        let mut shared = self.initial.clone();
-        let mut threads = self.threads.clone();
-        let mut pc: Vec<usize> = vec![0; threads.len()];
-        let mut blocked: BTreeSet<Entry> = BTreeSet::new();
-        let mut notified: BTreeSet<Entry> = BTreeSet::new();
-        let mut trace = Vec::new();
-
+        let mut stepper = crate::step::Stepper::implicit(
+            self.monitor,
+            self.table,
+            self.initial.clone(),
+            self.programs(),
+        )?;
         for _ in 0..max_events {
-            // Collect enabled actions.
-            let mut actions: Vec<Event> = Vec::new();
-            for (t, spec) in threads.iter().enumerate() {
-                let method = self
-                    .monitor
-                    .method(&spec.method)
-                    .ok_or_else(|| ExecError::MalformedTrace(spec.method.clone()))?;
-                if pc[t] >= method.ccrs.len() {
-                    continue;
-                }
-                let ccr = method.ccrs[pc[t]];
-                let entry = (t, ccr);
-                let guard = eval_guard(&interp, self.monitor, &shared, &threads, entry)?;
-                if blocked.contains(&entry) {
-                    // Only the minimum notified entry may resume (rule 2b); we
-                    // never schedule rule 1b so traces stay normalized.
-                    if guard && notified.iter().next() == Some(&entry) {
-                        actions.push(Event {
-                            thread: t,
-                            ccr,
-                            fired: true,
-                        });
-                    }
-                } else if guard {
-                    actions.push(Event {
-                        thread: t,
-                        ccr,
-                        fired: true,
-                    });
-                } else {
-                    actions.push(Event {
-                        thread: t,
-                        ccr,
-                        fired: false,
-                    });
-                }
-            }
+            let actions = stepper.enabled_events()?;
             if actions.is_empty() {
                 break;
             }
-            let event = actions[self.rng.gen_index(actions.len())];
-            let entry = (event.thread, event.ccr);
-            if event.fired {
-                if blocked.contains(&entry) {
-                    blocked.remove(&entry);
-                    notified.remove(&entry);
-                }
-                exec_body(
-                    &interp,
-                    self.monitor,
-                    self.table,
-                    &mut shared,
-                    &mut threads,
-                    entry,
-                )?;
-                for other in blocked.iter().copied().collect::<Vec<_>>() {
-                    if eval_guard(&interp, self.monitor, &shared, &threads, other)? {
-                        notified.insert(other);
-                    }
-                }
-                pc[event.thread] += 1;
-            } else {
-                blocked.insert(entry);
-            }
-            trace.push(event);
+            stepper.step(actions[self.rng.gen_index(actions.len())])?;
         }
-        Ok(trace)
+        Ok(stepper.into_trace())
     }
 
     /// Generates one feasible trace of the *explicit* semantics for the given
     /// explicit monitor (same fields/methods as the simulator's monitor).
+    /// Spurious wake-ups are scheduled, as the explicit relation allows.
     ///
     /// # Errors
     ///
@@ -513,115 +464,24 @@ impl<'a> Simulator<'a> {
         explicit: &ExplicitMonitor,
         max_events: usize,
     ) -> Result<Trace, ExecError> {
-        let interp = Interpreter::new(self.table);
-        let mut shared = self.initial.clone();
-        let mut threads = self.threads.clone();
-        let mut pc: Vec<usize> = vec![0; threads.len()];
-        let mut blocked: BTreeSet<Entry> = BTreeSet::new();
-        let mut notified: BTreeSet<Entry> = BTreeSet::new();
-        let mut trace = Vec::new();
-
+        let mut stepper = crate::step::Stepper::explicit(
+            explicit,
+            self.table,
+            self.initial.clone(),
+            self.programs(),
+        )?;
         for _ in 0..max_events {
-            let mut actions: Vec<Event> = Vec::new();
-            for (t, spec) in threads.iter().enumerate() {
-                let method = self
-                    .monitor
-                    .method(&spec.method)
-                    .ok_or_else(|| ExecError::MalformedTrace(spec.method.clone()))?;
-                if pc[t] >= method.ccrs.len() {
-                    continue;
-                }
-                let ccr = method.ccrs[pc[t]];
-                let entry = (t, ccr);
-                let guard = eval_guard(&interp, self.monitor, &shared, &threads, entry)?;
-                if blocked.contains(&entry) {
-                    if notified.contains(&entry) {
-                        if guard && notified.iter().next() == Some(&entry) {
-                            actions.push(Event {
-                                thread: t,
-                                ccr,
-                                fired: true,
-                            });
-                        } else if !guard {
-                            // A spurious wake-up: allowed by the semantics.
-                            actions.push(Event {
-                                thread: t,
-                                ccr,
-                                fired: false,
-                            });
-                        }
-                    }
-                } else if guard {
-                    actions.push(Event {
-                        thread: t,
-                        ccr,
-                        fired: true,
-                    });
-                } else {
-                    actions.push(Event {
-                        thread: t,
-                        ccr,
-                        fired: false,
-                    });
-                }
-            }
+            let actions = stepper.enabled_events()?;
             if actions.is_empty() {
                 break;
             }
-            let event = actions[self.rng.gen_index(actions.len())];
-            let entry = (event.thread, event.ccr);
-            if event.fired {
-                if blocked.contains(&entry) {
-                    blocked.remove(&entry);
-                    notified.remove(&entry);
-                }
-                exec_body(
-                    &interp,
-                    self.monitor,
-                    self.table,
-                    &mut shared,
-                    &mut threads,
-                    entry,
-                )?;
-                for notification in explicit.notifications_for(event.ccr) {
-                    let candidates: Vec<Entry> = blocked
-                        .iter()
-                        .copied()
-                        .filter(|e| self.monitor.ccr(e.1).guard == notification.predicate)
-                        .collect();
-                    let eligible: Vec<Entry> = match notification.condition {
-                        SignalCondition::Unconditional => candidates,
-                        SignalCondition::Conditional => {
-                            let mut kept = Vec::new();
-                            for c in candidates {
-                                if eval_guard(&interp, self.monitor, &shared, &threads, c)? {
-                                    kept.push(c);
-                                }
-                            }
-                            kept
-                        }
-                    };
-                    match notification.kind {
-                        NotificationKind::Signal => {
-                            if let Some(first) =
-                                eligible.into_iter().filter(|e| !notified.contains(e)).min()
-                            {
-                                notified.insert(first);
-                            }
-                        }
-                        NotificationKind::Broadcast => notified.extend(eligible),
-                    }
-                }
-                pc[event.thread] += 1;
-            } else if blocked.contains(&entry) {
-                notified.remove(&entry);
-            } else {
-                blocked.insert(entry);
-            }
-            trace.push(event);
+            stepper.step(actions[self.rng.gen_index(actions.len())])?;
+            // Historical stream compatibility: the pre-stepper scheduler drew
+            // one extra value per explicit step; keeping the draw preserves
+            // every seeded trace the test suite was tuned on.
             let _ = self.rng.next_u64();
         }
-        Ok(trace)
+        Ok(stepper.into_trace())
     }
 }
 

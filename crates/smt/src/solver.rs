@@ -10,7 +10,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Configuration knobs for [`Solver`].
 #[derive(Debug, Clone)]
@@ -68,6 +68,11 @@ pub struct SolverStats {
     /// from a previous monitor when the solver is shared across a suite (see
     /// [`Solver::begin_analysis_epoch`]). Always 0 for a single-epoch solver.
     pub cross_analysis_hits: usize,
+    /// Memo hits (across all three tables) that waited out another worker's
+    /// in-flight computation of the same cold key instead of recomputing it —
+    /// the identical-query races the per-shard in-flight guard deduplicates
+    /// under suite-level concurrency. Always 0 for a single-threaded solver.
+    pub deduped_races: usize,
     /// Quantifier eliminations answered from the memo cache.
     pub qe_cache_hits: usize,
     /// Quantifier eliminations that had to be computed and were then cached.
@@ -129,6 +134,7 @@ impl SolverStats {
             cross_analysis_hits: self
                 .cross_analysis_hits
                 .saturating_sub(earlier.cross_analysis_hits),
+            deduped_races: self.deduped_races.saturating_sub(earlier.deduped_races),
             qe_cache_hits: self.qe_cache_hits.saturating_sub(earlier.qe_cache_hits),
             qe_cache_misses: self.qe_cache_misses.saturating_sub(earlier.qe_cache_misses),
             theory_cache_hits: self
@@ -227,6 +233,7 @@ struct StatsCells {
     cache_hits: AtomicUsize,
     cache_misses: AtomicUsize,
     cross_analysis_hits: AtomicUsize,
+    deduped_races: AtomicUsize,
     qe_cache_hits: AtomicUsize,
     qe_cache_misses: AtomicUsize,
     theory_cache_hits: AtomicUsize,
@@ -247,6 +254,7 @@ impl StatsCells {
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
             cross_analysis_hits: load(&self.cross_analysis_hits),
+            deduped_races: load(&self.deduped_races),
             qe_cache_hits: load(&self.qe_cache_hits),
             qe_cache_misses: load(&self.qe_cache_misses),
             theory_cache_hits: load(&self.theory_cache_hits),
@@ -264,24 +272,107 @@ fn bump(counter: &AtomicUsize) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
+/// One stripe of a [`ShardedCache`]: the memo map plus the keys whose values
+/// are being computed right now by some thread.
+#[derive(Debug)]
+struct ShardState<K, V> {
+    map: HashMap<K, (V, u32)>,
+    inflight: HashSet<K>,
+}
+
+impl<K, V> Default for ShardState<K, V> {
+    fn default() -> Self {
+        ShardState {
+            map: HashMap::new(),
+            inflight: HashSet::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard<K, V> {
+    state: Mutex<ShardState<K, V>>,
+    /// Signalled whenever an in-flight computation completes (or aborts).
+    ready: Condvar,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            state: Mutex::new(ShardState::default()),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Outcome of [`ShardedCache::begin`].
+enum Lookup<'c, K: Hash + Eq + Clone, V: Clone> {
+    /// The value was cached (possibly after waiting out another worker's
+    /// in-flight computation, flagged by `deduped`).
+    Hit {
+        value: V,
+        /// Whether the entry predates `epoch` (cross-analysis accounting).
+        cross_epoch: bool,
+        /// Whether this thread waited for a racing computation of the same
+        /// key instead of recomputing it.
+        deduped: bool,
+    },
+    /// The key is cold and now registered in-flight: the caller must compute
+    /// the value and call [`InFlight::complete`].
+    Compute(InFlight<'c, K, V>),
+}
+
+/// Registration token for a cold key. Dropping it without completing (a
+/// panicking computation) deregisters the key and wakes the waiters, which
+/// then race to become the computing thread themselves — nobody deadlocks.
+struct InFlight<'c, K: Hash + Eq + Clone, V: Clone> {
+    cache: &'c ShardedCache<K, V>,
+    key: Option<K>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> InFlight<'_, K, V> {
+    /// Publishes the computed value and wakes every worker waiting on it.
+    fn complete(mut self, value: V, epoch: u32) {
+        let key = self.key.take().expect("completed only once");
+        let shard = self.cache.shard(&key);
+        let mut state = shard.state.lock().unwrap();
+        state.inflight.remove(&key);
+        state.map.insert(key, (value, epoch));
+        shard.ready.notify_all();
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Drop for InFlight<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let shard = self.cache.shard(&key);
+            let mut state = shard.state.lock().unwrap();
+            state.inflight.remove(&key);
+            shard.ready.notify_all();
+        }
+    }
+}
+
 /// A hash-striped memo table: the key space is split across `N` independently
 /// locked `HashMap` shards, so concurrent queries only contend when they hash
 /// to the same stripe. Entries remember the analysis epoch they were inserted
 /// in, which funds the cross-monitor reuse accounting of a suite-shared
-/// solver.
+/// solver. Cold keys are guarded by a per-shard in-flight set: when two
+/// workers race the same cold key, the second waits for the first instead of
+/// recomputing the identical query (counted as a deduped race by the caller).
 #[derive(Debug)]
 struct ShardedCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, (V, u32)>>>,
+    shards: Vec<Shard<K, V>>,
 }
 
-impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     fn new(shards: usize) -> Self {
         ShardedCache {
-            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, (V, u32)>> {
+    fn shard(&self, key: &K) -> &Shard<K, V> {
         // DefaultHasher::new() is deterministic within a process, so the same
         // key always lands on the same stripe.
         let mut hasher = DefaultHasher::new();
@@ -289,27 +380,44 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         &self.shards[hasher.finish() as usize % self.shards.len()]
     }
 
-    /// Returns the cached value and whether the entry predates `epoch`.
-    fn get(&self, key: &K, epoch: u32) -> Option<(V, bool)> {
-        self.shard(key)
-            .lock()
-            .unwrap()
-            .get(key)
-            .map(|(v, e)| (v.clone(), *e != epoch))
+    /// Looks the key up, waiting out a racing in-flight computation; on a
+    /// cold key, registers the caller as its computing thread.
+    fn begin(&self, key: &K, epoch: u32) -> Lookup<'_, K, V> {
+        let shard = self.shard(key);
+        let mut state = shard.state.lock().unwrap();
+        let mut deduped = false;
+        loop {
+            if let Some((value, entry_epoch)) = state.map.get(key) {
+                return Lookup::Hit {
+                    value: value.clone(),
+                    cross_epoch: *entry_epoch != epoch,
+                    deduped,
+                };
+            }
+            if state.inflight.contains(key) {
+                deduped = true;
+                state = shard.ready.wait(state).unwrap();
+                continue;
+            }
+            state.inflight.insert(key.clone());
+            return Lookup::Compute(InFlight {
+                cache: self,
+                key: Some(key.clone()),
+            });
+        }
     }
 
-    /// Reads a cached value without epoch bookkeeping (used by the batch
-    /// scheduler to order obligations; never counted as a hit).
+    /// Reads a cached value without epoch bookkeeping and without waiting on
+    /// in-flight computations (used by the batch scheduler to order
+    /// obligations; never counted as a hit).
     fn peek(&self, key: &K) -> Option<V> {
         self.shard(key)
+            .state
             .lock()
             .unwrap()
+            .map
             .get(key)
             .map(|(v, _)| v.clone())
-    }
-
-    fn insert(&self, key: K, value: V, epoch: u32) {
-        self.shard(&key).lock().unwrap().insert(key, (value, epoch));
     }
 }
 
@@ -392,10 +500,13 @@ impl Solver {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    fn record_hit(&self, hit_counter: &AtomicUsize, cross_epoch: bool) {
+    fn record_hit(&self, hit_counter: &AtomicUsize, cross_epoch: bool, deduped: bool) {
         bump(hit_counter);
         if cross_epoch {
             bump(&self.stats.cross_analysis_hits);
+        }
+        if deduped {
+            bump(&self.stats.deduped_races);
         }
     }
 
@@ -432,17 +543,26 @@ impl Solver {
             return Ok(norm);
         }
         let epoch = self.current_epoch();
-        if self.config.enable_cache {
-            if let Some((cached, cross)) = self.qe_cache.get(&norm, epoch) {
-                self.record_hit(&self.stats.qe_cache_hits, cross);
-                return cached;
+        let registration = if self.config.enable_cache {
+            match self.qe_cache.begin(&norm, epoch) {
+                Lookup::Hit {
+                    value,
+                    cross_epoch,
+                    deduped,
+                } => {
+                    self.record_hit(&self.stats.qe_cache_hits, cross_epoch, deduped);
+                    return value;
+                }
+                Lookup::Compute(registration) => Some(registration),
             }
-        }
+        } else {
+            None
+        };
         bump(&self.stats.quantifier_eliminations);
         let result = cooper::eliminate_quantifiers_id(&self.interner, norm);
-        if self.config.enable_cache {
+        if let Some(registration) = registration {
             bump(&self.stats.qe_cache_misses);
-            self.qe_cache.insert(norm, result.clone(), epoch);
+            registration.complete(result.clone(), epoch);
         }
         result
     }
@@ -468,16 +588,25 @@ impl Solver {
             return SatResult::Unsat;
         }
         let epoch = self.current_epoch();
-        if self.config.enable_cache {
-            if let Some((result, cross)) = self.cache.get(&norm, epoch) {
-                self.record_hit(&self.stats.cache_hits, cross);
-                return result;
+        let registration = if self.config.enable_cache {
+            match self.cache.begin(&norm, epoch) {
+                Lookup::Hit {
+                    value,
+                    cross_epoch,
+                    deduped,
+                } => {
+                    self.record_hit(&self.stats.cache_hits, cross_epoch, deduped);
+                    return value;
+                }
+                Lookup::Compute(registration) => Some(registration),
             }
-        }
+        } else {
+            None
+        };
         let result = self.solve_uncached(norm);
-        if self.config.enable_cache {
+        if let Some(registration) = registration {
             bump(&self.stats.cache_misses);
-            self.cache.insert(norm, result.clone(), epoch);
+            registration.complete(result.clone(), epoch);
         }
         result
     }
@@ -750,23 +879,29 @@ impl Solver {
             return TheoryVerdict::Consistent;
         }
         let epoch = self.current_epoch();
-        let key: Option<Vec<(FormulaId, bool)>> = if self.config.enable_cache {
+        let registration = if self.config.enable_cache {
             let mut key: Vec<(FormulaId, bool)> =
                 literals.iter().map(|l| (l.id, l.value)).collect();
             key.sort_unstable();
             key.dedup();
-            if let Some((verdict, cross)) = self.theory_cache.get(&key, epoch) {
-                self.record_hit(&self.stats.theory_cache_hits, cross);
-                return verdict;
+            match self.theory_cache.begin(&key, epoch) {
+                Lookup::Hit {
+                    value,
+                    cross_epoch,
+                    deduped,
+                } => {
+                    self.record_hit(&self.stats.theory_cache_hits, cross_epoch, deduped);
+                    return value;
+                }
+                Lookup::Compute(registration) => Some(registration),
             }
-            Some(key)
         } else {
             None
         };
         let verdict = self.theory_consistent_uncached(literals);
-        if let Some(key) = key {
+        if let Some(registration) = registration {
             bump(&self.stats.theory_cache_misses);
-            self.theory_cache.insert(key, verdict.clone(), epoch);
+            registration.complete(verdict.clone(), epoch);
         }
         verdict
     }

@@ -34,6 +34,7 @@ use expresso_repro::monitor_lang::{
 use expresso_repro::runtime::{
     run_saturation, AutoSynchRuntime, ExplicitRuntime, MonitorRuntime, Operation, ThreadPlan,
 };
+use expresso_repro::semantics::{minimize_schedule, ReplayVerdict};
 use expresso_repro::suite::{all, Benchmark};
 use std::collections::BTreeMap;
 
@@ -72,49 +73,37 @@ struct Step {
     op: Operation,
 }
 
-/// Outcome of replaying a concrete interleaving through both engines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Replay {
-    /// The observable traces were identical after every step.
-    Match,
-    /// The engines disagreed before any operation ran (constructor bug).
-    InitialStateMismatch,
-    /// The snapshots diverged after `steps[step]`.
-    Mismatch { step: usize },
-    /// `steps[step]`'s operation was not enabled — the interleaving is not a
-    /// valid execution (only arises for minimizer shrink candidates).
-    Stuck { step: usize },
-}
-
 /// Replays a concrete interleaving on fresh instances of both engines,
 /// comparing the shared-state snapshot before the first and after every
-/// operation.
+/// operation. The verdict vocabulary is the shared
+/// [`expresso_repro::semantics::minimize`] one, so the greedy minimizer is
+/// the same implementation the schedule explorer uses.
 fn replay(
     monitor: &Monitor,
     table: &VarTable,
     explicit: &ExplicitMonitor,
     ctor: &Valuation,
     steps: &[Step],
-) -> Replay {
+) -> ReplayVerdict {
     let implicit_rt =
         AutoSynchRuntime::new(monitor.clone(), ctor).expect("implicit runtime builds");
     let explicit_rt =
         ExplicitRuntime::new(explicit.clone(), ctor).expect("explicit runtime builds");
     if implicit_rt.snapshot() != explicit_rt.snapshot() {
-        return Replay::InitialStateMismatch;
+        return ReplayVerdict::InitialStateMismatch;
     }
     let interp = Interpreter::new(table);
     for (step, s) in steps.iter().enumerate() {
         if !enabled(monitor, &interp, &implicit_rt.snapshot(), &s.op) {
-            return Replay::Stuck { step };
+            return ReplayVerdict::Stuck { step };
         }
         implicit_rt.call(&s.op.method, &s.op.locals);
         explicit_rt.call(&s.op.method, &s.op.locals);
         if implicit_rt.snapshot() != explicit_rt.snapshot() {
-            return Replay::Mismatch { step };
+            return ReplayVerdict::Mismatch { step };
         }
     }
-    Replay::Match
+    ReplayVerdict::Match
 }
 
 /// Generates the concrete interleaving of one seeded schedule while checking
@@ -122,7 +111,7 @@ fn replay(
 /// threads whose next planned operation is currently enabled (so no call
 /// ever blocks and the result is deterministic in `seed`), both engines run
 /// the operation, and their snapshots are compared. Returns the executed
-/// interleaving plus the divergence outcome — `Match` on the happy path, so
+/// interleaving plus the divergence verdict — `Match` on the happy path, so
 /// the engines run exactly once per schedule and `replay` is only needed for
 /// minimization.
 fn generate_and_check_schedule(
@@ -132,14 +121,14 @@ fn generate_and_check_schedule(
     explicit: &ExplicitMonitor,
     ctor: &Valuation,
     seed: u64,
-) -> (Vec<Step>, Replay) {
+) -> (Vec<Step>, ReplayVerdict) {
     let plans: Vec<ThreadPlan> = (benchmark.plans)(THREADS, OPS_PER_THREAD);
     let implicit_rt =
         AutoSynchRuntime::new(monitor.clone(), ctor).expect("implicit runtime builds");
     let explicit_rt =
         ExplicitRuntime::new(explicit.clone(), ctor).expect("explicit runtime builds");
     if implicit_rt.snapshot() != explicit_rt.snapshot() {
-        return (Vec::new(), Replay::InitialStateMismatch);
+        return (Vec::new(), ReplayVerdict::InitialStateMismatch);
     }
     let interp = Interpreter::new(table);
     let mut rng = Lcg::new(seed);
@@ -167,52 +156,26 @@ fn generate_and_check_schedule(
         cursors[thread] += 1;
         steps.push(Step { thread, op });
         if implicit_rt.snapshot() != explicit_rt.snapshot() {
-            return (steps, Replay::Mismatch { step });
+            return (steps, ReplayVerdict::Mismatch { step });
         }
     }
-    (steps, Replay::Match)
+    (steps, ReplayVerdict::Match)
 }
 
 /// Greedily shrinks a mismatching interleaving while the mismatch still
-/// reproduces: first truncate everything after the divergence point, then
-/// repeatedly try dropping each remaining step (scanning from the end, where
-/// drops are most likely to stay valid) until no single removal reproduces
-/// the mismatch. Shrink candidates that make a later operation run while
-/// disabled are invalid executions and are discarded.
-fn minimize_schedule(
+/// reproduces, delegating the shrink strategy to the shared
+/// `semantics::minimize_schedule` (also used by the schedule explorer) with
+/// this harness's engine-level replay as the oracle.
+fn minimize_steps(
     monitor: &Monitor,
     table: &VarTable,
     explicit: &ExplicitMonitor,
     ctor: &Valuation,
-    mut steps: Vec<Step>,
+    steps: Vec<Step>,
 ) -> Vec<Step> {
-    match replay(monitor, table, explicit, ctor, &steps) {
-        Replay::Mismatch { step } => steps.truncate(step + 1),
-        // A constructor-level divergence needs no operations at all.
-        Replay::InitialStateMismatch => steps.clear(),
-        Replay::Match | Replay::Stuck { .. } => {}
-    }
-    loop {
-        let mut progressed = false;
-        let mut i = steps.len();
-        while i > 0 {
-            i -= 1;
-            if steps.len() <= 1 {
-                break;
-            }
-            let mut candidate = steps.clone();
-            candidate.remove(i);
-            if let Replay::Mismatch { step } = replay(monitor, table, explicit, ctor, &candidate) {
-                candidate.truncate(step + 1);
-                i = i.min(candidate.len());
-                steps = candidate;
-                progressed = true;
-            }
-        }
-        if !progressed {
-            return steps;
-        }
-    }
+    minimize_schedule(steps, |candidate| {
+        replay(monitor, table, explicit, ctor, candidate)
+    })
 }
 
 /// Renders an interleaving for the failure report.
@@ -254,17 +217,17 @@ fn run_seeded_schedule(
     let (steps, outcome) =
         generate_and_check_schedule(benchmark, monitor, table, explicit, &ctor, seed);
     match outcome {
-        Replay::Match => {}
-        Replay::InitialStateMismatch => panic!(
+        ReplayVerdict::Match => {}
+        ReplayVerdict::InitialStateMismatch => panic!(
             "{}: seed {seed}: initial states differ before any operation ran",
             benchmark.name
         ),
-        Replay::Stuck { step } => panic!(
+        ReplayVerdict::Stuck { step } => panic!(
             "{}: seed {seed}: generated schedule ran a disabled operation at step {step}",
             benchmark.name
         ),
-        Replay::Mismatch { step } => {
-            let minimized = minimize_schedule(monitor, table, explicit, &ctor, steps);
+        ReplayVerdict::Mismatch { step } => {
+            let minimized = minimize_steps(monitor, table, explicit, &ctor, steps);
             panic!(
                 "{}: seed {seed}: observable traces diverged at step {step}; \
                  minimized interleaving ({} steps):\n{}",
@@ -356,10 +319,10 @@ fn schedule_minimizer_shrinks_an_injected_divergence() {
     ];
 
     match replay(&good, &table, &sabotaged, &ctor, &schedule) {
-        Replay::Mismatch { step } => assert_eq!(step, 0, "inc diverges immediately"),
+        ReplayVerdict::Mismatch { step } => assert_eq!(step, 0, "inc diverges immediately"),
         other => panic!("expected a mismatch, got {other:?}"),
     }
-    let minimized = minimize_schedule(&good, &table, &sabotaged, &ctor, schedule);
+    let minimized = minimize_steps(&good, &table, &sabotaged, &ctor, schedule);
     assert_eq!(
         minimized.len(),
         1,
@@ -370,7 +333,7 @@ fn schedule_minimizer_shrinks_an_injected_divergence() {
     // The minimized interleaving still reproduces the divergence.
     assert!(matches!(
         replay(&good, &table, &sabotaged, &ctor, &minimized),
-        Replay::Mismatch { step: 0 }
+        ReplayVerdict::Mismatch { step: 0 }
     ));
 
     // And a valid-but-blocked shrink candidate is recognized as such: a lone
@@ -381,7 +344,7 @@ fn schedule_minimizer_shrinks_an_injected_divergence() {
     }];
     assert_eq!(
         replay(&good, &table, &sabotaged, &ctor, &stuck),
-        Replay::Stuck { step: 0 }
+        ReplayVerdict::Stuck { step: 0 }
     );
 }
 

@@ -170,6 +170,116 @@ fn sharded_caches_agree_with_unsharded_solver_under_contention() {
 }
 
 #[test]
+fn racing_cold_keys_compute_once() {
+    // Every thread issues the same query sequence, synchronised per key with
+    // a barrier so cold keys are raced as hard as the harness can manage.
+    // The in-flight guard must collapse each distinct normalized query to
+    // exactly ONE solve: the miss counter equals the number of distinct
+    // normalized non-constant formulas, deterministically, no matter how the
+    // races resolve.
+    let formulas = pool();
+    let solver = Solver::with_config(SolverConfig {
+        model_search_limit: 64,
+        ..SolverConfig::default()
+    });
+    let interner = solver.interner().clone();
+    let mut distinct = std::collections::HashSet::new();
+    let mut constants = 0usize;
+    for f in &formulas {
+        let norm = interner.simplify(interner.intern(f));
+        if interner.is_true(norm) || interner.is_false(norm) {
+            // Constant queries are answered before the cache is consulted.
+            constants += 1;
+        } else {
+            distinct.insert(norm);
+        }
+    }
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let barrier = &barrier;
+            let solver = &solver;
+            let formulas = &formulas;
+            scope.spawn(move || {
+                for f in formulas {
+                    barrier.wait();
+                    let _ = solver.check_sat(f);
+                }
+            });
+        }
+    });
+    let stats = solver.stats();
+    assert_eq!(
+        stats.cache_misses,
+        distinct.len(),
+        "each distinct cold key must be solved exactly once"
+    );
+    assert_eq!(
+        stats.cache_hits,
+        THREADS * (POOL - constants) - distinct.len(),
+        "every other query must be a hit (deduped waits included)"
+    );
+    assert!(stats.deduped_races <= stats.cache_hits);
+}
+
+#[test]
+fn racing_threads_share_one_expensive_solve() {
+    // A quantifier alternation heavy enough (~hundreds of ms of Cooper
+    // elimination) that the racing threads are guaranteed to catch the first
+    // one mid-solve: they must wait on the in-flight entry — counted as
+    // deduped races — rather than burn the same CPU seconds in parallel.
+    use expresso_repro::logic::Term;
+    let sum = Term::int(2)
+        .mul(Term::var("y"))
+        .add(Term::int(3).mul(Term::var("z")))
+        .add(Term::int(5).mul(Term::var("w")));
+    let body = Formula::and(vec![
+        Term::var("x").lt(sum.clone()),
+        sum.lt(Term::var("x").add(Term::int(9))),
+        Formula::divides(4, Term::var("y").add(Term::var("z"))),
+        Formula::divides(3, Term::var("w")),
+        Term::var("y").ge(Term::int(0)),
+        Term::var("z").ge(Term::int(0)),
+        Term::var("w").ge(Term::int(0)),
+    ]);
+    let f = Formula::forall(
+        vec!["x".into()],
+        Formula::implies(
+            Formula::and(vec![
+                Term::var("x").ge(Term::int(0)),
+                Term::var("x").le(Term::int(40)),
+            ]),
+            Formula::exists(vec!["y".into(), "z".into(), "w".into()], body),
+        ),
+    );
+    let solver = Solver::new();
+    std::thread::scope(|scope| {
+        let solver = &solver;
+        let f = &f;
+        scope.spawn(move || {
+            assert!(solver.check_sat(f).is_sat());
+        });
+        for _ in 0..3 {
+            scope.spawn(move || {
+                // Stagger the followers into the middle of the first
+                // thread's solve (orders of magnitude shorter than the
+                // elimination), so they deterministically find the key
+                // in-flight rather than racing scheduler timing.
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                assert!(solver.check_sat(f).is_sat());
+            });
+        }
+    });
+    let stats = solver.stats();
+    assert_eq!(stats.cache_misses, 1, "one solve serves all four threads");
+    assert_eq!(stats.cache_hits, 3);
+    assert!(
+        stats.deduped_races >= 1,
+        "late arrivals must wait out the in-flight solve, not recompute it"
+    );
+}
+
+#[test]
 fn epoch_accounting_survives_contention() {
     let formulas = pool();
     let solver = Solver::with_config(SolverConfig {
