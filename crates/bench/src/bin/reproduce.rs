@@ -9,6 +9,7 @@
 //! cargo run --release -p expresso-bench --bin reproduce -- json
 //! cargo run --release -p expresso-bench --bin reproduce -- suite
 //! cargo run --release -p expresso-bench --bin reproduce -- explore
+//! cargo run --release -p expresso-bench --bin reproduce -- load
 //! cargo run --release -p expresso-bench --bin reproduce -- summary
 //! cargo run --release -p expresso-bench --bin reproduce -- all
 //! ```
@@ -18,9 +19,12 @@
 //! sequential run of the same binary, triples checked, the solver cache
 //! hit rate, the `scheduler_suite` section comparing the whole suite
 //! analyzed concurrently on the work-stealing pool against the sequential
-//! (`analysis_threads = 1`) configuration, and the `explore` section
-//! (bounded DPOR exploration of every suite monitor: executions checked,
-//! reduction factor vs. naive enumeration, divergences) — the
+//! (`analysis_threads = 1`) configuration, the `runtime_load` section
+//! (every suite monitor hammered by the session load generator under the
+//! implicit, explicit-static and explicit-targeted engines: throughput,
+//! p50/p99/p999 latency, wakeups, avoided wakeups), and the `explore`
+//! section (bounded DPOR exploration of every suite monitor: executions
+//! checked, reduction factor vs. naive enumeration, divergences) — the
 //! machine-readable perf trajectory tracked across PRs. `suite` runs only
 //! the scheduler comparison.
 //!
@@ -28,9 +32,15 @@
 //! 6-benchmark subset under a preemption bound (sized for CI's budget) and
 //! exits nonzero on any implicit/explicit divergence.
 //!
+//! `load` is the fast CI gate for the runtime: the representative subset
+//! under the load generator, tripwiring on targeted-mode wakeups exceeding
+//! the implicit engine's and on the fast path never avoiding a wakeup.
+//!
 //! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
 //! (default 200) scale the saturation sweep; `REPRO_EXPLORE_THREADS` /
-//! `REPRO_EXPLORE_OPS` (defaults 3 / 2) bound the exploration workloads.
+//! `REPRO_EXPLORE_OPS` (defaults 3 / 2) bound the exploration workloads;
+//! `REPRO_LOAD_WORKERS` / `REPRO_LOAD_SESSIONS` / `REPRO_LOAD_ROUNDS`
+//! (defaults 4 / 256 / 2) shape the load runs.
 
 use expresso_bench::{
     analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
@@ -38,6 +48,7 @@ use expresso_bench::{
 };
 use expresso_core::{Expresso, ExpressoConfig, Scheduler, SchedulerStats, SharedAnalysisContext};
 use expresso_explore::{benchmark_workload, explore, render_trace, ExploreConfig, Strategy};
+use expresso_loadgen::{measure as measure_load, EngineKind, LoadConfig, LoadReport};
 use expresso_monitor_lang::check_monitor;
 use expresso_suite::{
     all, autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark,
@@ -481,12 +492,194 @@ fn profile_exploration(
     }
 }
 
+/// One benchmark under the session load generator: one report per engine.
+struct LoadBenchmarkProfile {
+    name: &'static str,
+    reports: Vec<LoadReport>,
+}
+
+impl LoadBenchmarkProfile {
+    fn report(&self, kind: EngineKind) -> &LoadReport {
+        self.reports
+            .iter()
+            .find(|r| r.engine == kind)
+            .expect("every engine was measured")
+    }
+}
+
+/// The suite under closed-loop session load, implicit vs explicit engines.
+struct RuntimeLoadProfile {
+    config: LoadConfig,
+    sessions: u64,
+    samples: usize,
+    per_benchmark: Vec<LoadBenchmarkProfile>,
+}
+
+/// Load-run samples per engine; the best-throughput run is reported (thread
+/// spawn and first-touch page faults dominate the worst run at these sizes).
+const LOAD_SAMPLES: usize = 3;
+
+/// Additive tolerance for the per-benchmark wakeup tripwire: which threads
+/// happen to find a guard already true at startup (never blocking at all) vs
+/// blocking once is a scheduling coin flip, so raw counts jitter by a few per
+/// worker between any two runs. Regressions the tripwire exists to catch
+/// (broadcast storms re-waking every waiter) scale with the session count,
+/// orders of magnitude above this bound.
+fn load_wakeup_slack(workers: usize) -> usize {
+    16.max(4 * workers)
+}
+
+fn load_config() -> LoadConfig {
+    LoadConfig::closed_loop(
+        env_usize("REPRO_LOAD_WORKERS", 4),
+        env_usize("REPRO_LOAD_SESSIONS", 256) as u64,
+        env_usize("REPRO_LOAD_ROUNDS", 2),
+        42,
+    )
+}
+
+/// Drives every benchmark's session script through all three engines,
+/// keeping the best-throughput sample per engine.
+fn profile_runtime_load(benchmarks: &[Benchmark]) -> RuntimeLoadProfile {
+    let config = load_config();
+    let mut per_benchmark = Vec::new();
+    for benchmark in benchmarks {
+        let outcome = analyze(benchmark);
+        let mut reports = Vec::new();
+        for kind in EngineKind::all() {
+            let mut best: Option<LoadReport> = None;
+            for _ in 0..LOAD_SAMPLES {
+                let report = measure_load(benchmark, &outcome.explicit, kind, &config);
+                assert_eq!(
+                    report.call_errors,
+                    0,
+                    "{}: load calls failed under {}",
+                    benchmark.name,
+                    kind.label()
+                );
+                let better = best
+                    .as_ref()
+                    .map(|b| report.ops_per_sec() > b.ops_per_sec())
+                    .unwrap_or(true);
+                if better {
+                    best = Some(report);
+                }
+            }
+            reports.push(best.expect("at least one sample"));
+        }
+        per_benchmark.push(LoadBenchmarkProfile {
+            name: benchmark.name,
+            reports,
+        });
+    }
+    RuntimeLoadProfile {
+        sessions: config.effective_sessions(),
+        config,
+        samples: LOAD_SAMPLES,
+        per_benchmark,
+    }
+}
+
+fn print_load_table(profile: &RuntimeLoadProfile) {
+    println!(
+        "{:<28} {:<18} {:>9} {:>12} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "Benchmark",
+        "engine",
+        "ops",
+        "ops/sec",
+        "p50us",
+        "p99us",
+        "p999us",
+        "wakeups",
+        "avoided",
+        "elided"
+    );
+    for b in &profile.per_benchmark {
+        for report in &b.reports {
+            println!(
+                "{:<28} {:<18} {:>9} {:>12.0} {:>9.2} {:>9.2} {:>9.2} {:>8} {:>8} {:>8}",
+                b.name,
+                report.engine.label(),
+                report.operations,
+                report.ops_per_sec(),
+                report.latency.p50() as f64 / 1e3,
+                report.latency.p99() as f64 / 1e3,
+                report.latency.p999() as f64 / 1e3,
+                report.wakeups,
+                report.avoided_wakeups,
+                report.elided_notifications,
+            );
+        }
+    }
+}
+
+/// The runtime tripwires shared by `json` and the fast `load` gate:
+///
+/// 1. per benchmark, the targeted explicit engine may not wake more threads
+///    than the implicit engine beyond the startup-race slack;
+/// 2. summed over the whole run the targeted engine must stay within one
+///    (not per-benchmark) slack of the implicit engine — on benchmarks where
+///    both wake exactly one thread per blocked call the totals are tied in
+///    expectation, so a strict comparison would be a coin flip, while a real
+///    regression (re-waking every waiter) scales with the session count;
+/// 3. the fast path must prove its existence: at least one benchmark with
+///    avoided wakeups and one with elided notifications.
+fn enforce_load_tripwires(profile: &RuntimeLoadProfile) {
+    let slack = load_wakeup_slack(profile.config.workers);
+    let mut implicit_total = 0usize;
+    let mut targeted_total = 0usize;
+    let mut any_avoided = false;
+    let mut any_elided = false;
+    for b in &profile.per_benchmark {
+        let implicit = b.report(EngineKind::Implicit);
+        let targeted = b.report(EngineKind::ExplicitTargeted);
+        implicit_total += implicit.wakeups;
+        targeted_total += targeted.wakeups;
+        any_avoided |= targeted.avoided_wakeups > 0;
+        any_elided |= targeted.elided_notifications > 0;
+        if targeted.wakeups > implicit.wakeups + slack {
+            eprintln!(
+                "error: {}: targeted explicit engine woke {} threads vs {} implicit \
+                 (slack {slack}); the targeted-signal fast path regressed into a storm",
+                b.name, targeted.wakeups, implicit.wakeups
+            );
+            std::process::exit(1);
+        }
+    }
+    if targeted_total > implicit_total + slack {
+        eprintln!(
+            "error: suite-wide targeted wakeups ({targeted_total}) exceed implicit \
+             wakeups ({implicit_total}) beyond the startup-race slack ({slack})"
+        );
+        std::process::exit(1);
+    }
+    if !any_avoided {
+        eprintln!(
+            "error: no benchmark reported avoided wakeups; the targeted-signal \
+             coalescing is dead code under load"
+        );
+        std::process::exit(1);
+    }
+    if !any_elided {
+        eprintln!(
+            "error: no benchmark reported elided notifications; the empty-slot \
+             fast path is dead code under load"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "load tripwires: targeted wakeups {targeted_total} vs implicit {implicit_total} \
+         suite-wide (slack {slack}); fast paths exercised"
+    );
+}
+
 /// Serialises the profiles by hand (the workspace is dependency-free, so no
 /// serde): a stable, diffable JSON document tracked across PRs.
 fn render_json(
     profiles: &[AnalysisProfile],
     shared: &SharedArenaProfile,
     suite: &SchedulerSuiteProfile,
+    load: &RuntimeLoadProfile,
     exploration: &ExplorationProfile,
 ) -> String {
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
@@ -603,6 +796,41 @@ fn render_json(
     );
     let _ = write!(
         out,
+        "  \"runtime_load\": {{\n    \"config\": {{\"workers\": {}, \"sessions\": {}, \
+         \"rounds\": {}, \"samples\": {}}},\n    \"measurements\": [\n",
+        load.config.workers, load.sessions, load.config.rounds, load.samples,
+    );
+    let total = load.per_benchmark.len() * 3;
+    let mut written = 0usize;
+    for b in &load.per_benchmark {
+        for report in &b.reports {
+            written += 1;
+            let _ = write!(
+                out,
+                "      {{\"benchmark\": \"{}\", \"engine\": \"{}\", \"operations\": {}, \
+                 \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"p999_us\": {:.3}, \"mean_us\": {:.3}, \"wakeups\": {}, \
+                 \"predicate_evaluations\": {}, \"avoided_wakeups\": {}, \
+                 \"elided_notifications\": {}}}",
+                b.name,
+                report.engine.label(),
+                report.operations,
+                report.ops_per_sec(),
+                report.latency.p50() as f64 / 1e3,
+                report.latency.p99() as f64 / 1e3,
+                report.latency.p999() as f64 / 1e3,
+                report.latency.mean() / 1e3,
+                report.wakeups,
+                report.predicate_evaluations,
+                report.avoided_wakeups,
+                report.elided_notifications,
+            );
+            out.push_str(if written < total { ",\n" } else { "\n" });
+        }
+    }
+    out.push_str("    ]\n  },\n");
+    let _ = write!(
+        out,
         "  \"explore\": {{\n    \"threads\": {},\n    \"ops_per_thread\": {},\n    \
          \"per_benchmark\": [\n",
         exploration.threads, exploration.ops_per_thread,
@@ -658,16 +886,117 @@ fn baseline_total_ms(json: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Pulls one `"key": "value"` string field out of a single JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\": \"");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Pulls one `"key": number` field out of a single JSON line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\": ");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// A committed `runtime_load` baseline: the run shape plus throughput per
+/// (benchmark, engine). Each measurement is written on its own line, so the
+/// hand-rolled reader is a line scan.
+struct LoadBaseline {
+    workers: usize,
+    sessions: u64,
+    rounds: usize,
+    ops_per_sec: Vec<(String, String, f64)>,
+}
+
+fn baseline_load(json: &str) -> Option<LoadBaseline> {
+    let section = &json[json.find("\"runtime_load\"")?..];
+    let config = section.lines().find(|l| l.contains("\"config\""))?;
+    let mut ops_per_sec = Vec::new();
+    for line in section.lines() {
+        if let (Some(benchmark), Some(engine), Some(ops)) = (
+            field_str(line, "benchmark"),
+            field_str(line, "engine"),
+            field_num(line, "ops_per_sec"),
+        ) {
+            ops_per_sec.push((benchmark.to_string(), engine.to_string(), ops));
+        }
+    }
+    Some(LoadBaseline {
+        workers: field_num(config, "workers")? as usize,
+        sessions: field_num(config, "sessions")? as u64,
+        rounds: field_num(config, "rounds")? as usize,
+        ops_per_sec,
+    })
+}
+
+/// Perf tripwire for the runtime: any (benchmark, engine) whose throughput
+/// collapsed below a third of the committed baseline fails the run. Only
+/// meaningful when the committed run had the same shape — a different
+/// worker/session/round configuration changes what is being measured, so the
+/// comparison is skipped (with a note) instead of firing spuriously.
+fn enforce_load_throughput(profile: &RuntimeLoadProfile, baseline: Option<&LoadBaseline>) {
+    let Some(baseline) = baseline else {
+        println!("load perf tripwire: no committed runtime_load baseline; skipping comparison");
+        return;
+    };
+    if baseline.workers != profile.config.workers
+        || baseline.sessions != profile.sessions
+        || baseline.rounds != profile.config.rounds
+    {
+        println!(
+            "load perf tripwire: committed baseline has a different shape \
+             ({}w/{}s/{}r vs {}w/{}s/{}r); skipping comparison",
+            baseline.workers,
+            baseline.sessions,
+            baseline.rounds,
+            profile.config.workers,
+            profile.sessions,
+            profile.config.rounds,
+        );
+        return;
+    }
+    let mut compared = 0usize;
+    for b in &profile.per_benchmark {
+        for report in &b.reports {
+            let Some((_, _, committed)) = baseline
+                .ops_per_sec
+                .iter()
+                .find(|(name, engine, _)| name == b.name && engine == report.engine.label())
+            else {
+                continue;
+            };
+            compared += 1;
+            if *committed > 0.0 && report.ops_per_sec() < committed / 3.0 {
+                eprintln!(
+                    "error: {} under {}: {:.0} ops/sec regressed more than 3x below the \
+                     committed baseline {:.0} ops/sec",
+                    b.name,
+                    report.engine.label(),
+                    report.ops_per_sec(),
+                    committed
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("load perf tripwire: {compared} (benchmark, engine) points within 3x of baseline");
+}
+
 fn run_json() {
     println!("=== BENCH_results.json: analysis-time trajectory ===\n");
     let path = "BENCH_results.json";
-    let baseline = std::fs::read_to_string(path)
-        .ok()
-        .as_deref()
-        .and_then(baseline_total_ms);
+    let committed = std::fs::read_to_string(path).ok();
+    let baseline = committed.as_deref().and_then(baseline_total_ms);
+    let load_baseline = committed.as_deref().and_then(baseline_load);
     let profiles: Vec<AnalysisProfile> = all().iter().map(profile_benchmark).collect();
     let shared = profile_shared_arena();
     let suite = profile_scheduler_suite();
+    let load = profile_runtime_load(&all());
     let explore_threads = env_usize("REPRO_EXPLORE_THREADS", 3);
     let exploration = profile_exploration(
         &all(),
@@ -679,7 +1008,7 @@ fn run_json() {
         },
         true,
     );
-    let json = render_json(&profiles, &shared, &suite, &exploration);
+    let json = render_json(&profiles, &shared, &suite, &load, &exploration);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
@@ -738,6 +1067,25 @@ fn run_json() {
         exploration.reduction_factor(),
         exploration.divergences,
     );
+    let load_ops: u64 = load
+        .per_benchmark
+        .iter()
+        .flat_map(|b| b.reports.iter())
+        .map(|r| r.operations)
+        .sum();
+    println!(
+        "runtime load: {} benchmarks x 3 engines, {} sessions on {} workers \
+         ({} ops total); tripwires follow",
+        load.per_benchmark.len(),
+        load.sessions,
+        load.config.workers,
+        load_ops,
+    );
+    // Runtime tripwires: the targeted-signal fast path must dominate the
+    // implicit engine on wakeups, actually exercise its fast paths, and hold
+    // throughput within 3x of the committed baseline.
+    enforce_load_tripwires(&load);
+    enforce_load_throughput(&load, load_baseline.as_ref());
     // Exploration tripwires: the synthesized monitors must be conformant on
     // every bounded schedule, and partial-order reduction must actually
     // reduce — a 1.0x factor means the dependence relation or the sleep/DPOR
@@ -884,6 +1232,22 @@ fn run_explore() {
     }
 }
 
+/// The fast runtime CI gate: the representative subset under the session
+/// load generator, all three engines, with the wakeup/fast-path tripwires
+/// (throughput is gated against the committed baseline by `json`, which runs
+/// the full suite).
+fn run_load_gate() {
+    println!("=== Session load gate: representative subset, implicit vs explicit ===\n");
+    let profile = profile_runtime_load(&representative_subset());
+    println!(
+        "workers={} sessions={} rounds={} (closed loop, best of {} samples)\n",
+        profile.config.workers, profile.sessions, profile.config.rounds, profile.samples,
+    );
+    print_load_table(&profile);
+    println!();
+    enforce_load_tripwires(&profile);
+}
+
 fn summarise(measurements: &[Measurement]) {
     let vs_autosynch = geometric_speedup(measurements, Series::Expresso, Series::AutoSynch);
     let vs_explicit = geometric_speedup(measurements, Series::Expresso, Series::Explicit);
@@ -906,6 +1270,7 @@ fn main() {
         "table1" => run_table1(),
         "json" => run_json(),
         "explore" => run_explore(),
+        "load" => run_load_gate(),
         "suite" => {
             // Quick mode: only the scheduler-suite comparison, for iterating
             // on pool behaviour without the full per-benchmark profiling.
@@ -938,7 +1303,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | suite | \
-                 explore | summary | all"
+                 explore | load | summary | all"
             );
             std::process::exit(2);
         }

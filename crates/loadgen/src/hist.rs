@@ -1,0 +1,202 @@
+//! A constant-memory HDR-style latency histogram.
+//!
+//! Values (nanoseconds) are binned logarithmically with 5 bits of sub-bucket
+//! precision: values below 32 are exact, larger values land in one of 32
+//! sub-buckets per power of two, bounding the relative quantile error at
+//! `1/32` (~3.1%). The whole structure is ~2000 `u64` counters regardless of
+//! how many samples are recorded, so per-worker histograms stay cache-resident
+//! at millions of sessions and merge in microseconds.
+
+/// Sub-bucket precision: 2^5 = 32 linear sub-buckets per power of two.
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Exponents 0..=4 share the exact block 0; exponents 5..=63 get one block of
+/// 32 sub-buckets each, so `32 * (1 + 59)` buckets cover the full `u64` range.
+const BUCKETS: usize = (SUB_BUCKETS as usize) * 60;
+
+/// A mergeable fixed-size latency histogram (values in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            value as usize
+        } else {
+            let exp = 63 - value.leading_zeros();
+            let sub = (value >> (exp - SUB_BITS)) & (SUB_BUCKETS - 1);
+            (SUB_BUCKETS as u32 * (exp - SUB_BITS + 1)) as usize + sub as usize
+        }
+    }
+
+    /// Upper bound of the bucket at `index` — quantiles report this, so the
+    /// estimate errs toward *over*-stating latency, never hiding it.
+    fn bucket_upper(index: usize) -> u64 {
+        let block = index as u64 / SUB_BUCKETS;
+        if block == 0 {
+            return index as u64;
+        }
+        let exp = block as u32 + SUB_BITS - 1;
+        let sub = index as u64 % SUB_BUCKETS;
+        let lower = (SUB_BUCKETS + sub) << (exp - SUB_BITS);
+        lower + ((1u64 << (exp - SUB_BITS)) - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::index(nanos)] += 1;
+        self.count += 1;
+        self.total += nanos as u128;
+        self.max = self.max.max(nanos);
+    }
+
+    /// Adds every sample of `other` into `self` (used to combine the
+    /// per-worker histograms after a run).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` — the upper bound of the bucket the
+    /// rank-`ceil(q * count)` sample fell into, clamped to the exact observed
+    /// maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50) in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile in nanoseconds.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_logic::Lcg;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn quantiles_are_within_the_bucket_error_bound() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let est = h.quantile(q) as f64;
+            assert!(
+                est >= exact && est <= exact * (1.0 + 1.0 / 32.0 + 1e-9),
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+        assert!((h.mean() - 50_000.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut rng = Lcg::new(7);
+        let mut whole = Histogram::new();
+        let mut parts = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        for i in 0..10_000 {
+            let v = rng.below(1 << 40);
+            whole.record(v);
+            parts[i % 3].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

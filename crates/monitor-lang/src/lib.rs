@@ -36,4 +36,7 @@ pub use interp::{initial_state, Interpreter, RuntimeError};
 pub use lexer::{tokenize, LexError};
 pub use lower::{expr_to_formula, expr_to_term, LowerError};
 pub use parser::{parse_expr, parse_monitor, ParseError};
-pub use target::{ExplicitMonitor, Notification, NotificationKind, SignalCondition};
+pub use target::{
+    canonical_guard_key, ExplicitMonitor, GuardId, GuardInfo, Notification, NotificationKind,
+    NotificationPlan, ResolvedNotification, SignalCondition,
+};

@@ -6,6 +6,8 @@
 //! which blocked predicates must be woken after the body executes.
 
 use crate::ast::{Ccr, CcrId, Expr, Monitor};
+use crate::check::VarTable;
+use expresso_logic::Ident;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -168,6 +170,182 @@ impl ExplicitMonitor {
     }
 }
 
+/// Dense identifier of a distinct blocking guard, assigned at build time.
+///
+/// Guards are grouped by *alpha-equivalence*: two guards that differ only in
+/// the names of thread-local variables (method parameters, locals) denote the
+/// same waiting class and share one id. The id doubles as an index into
+/// [`NotificationPlan::guards`], so runtimes can keep per-guard state in a
+/// plain `Vec` instead of hashing guard text on every call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GuardId(pub usize);
+
+impl fmt::Display for GuardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "guard{}", self.0)
+    }
+}
+
+/// Build-time information about one distinct guard class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardInfo {
+    /// A representative expression of the class (the first guard seen).
+    pub expr: Expr,
+    /// Whether the guard reads any thread-local variable. Local-mentioning
+    /// guards cannot be decided by the notifier alone (paper §6): each waiter
+    /// must be judged against its own local snapshot.
+    pub mentions_local: bool,
+}
+
+/// A [`Notification`] whose predicate has been resolved to a [`GuardId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedNotification {
+    /// The guard slot to notify; `None` when the predicate matches no blocking
+    /// guard of the monitor (the notification is a no-op at run time).
+    pub target: Option<GuardId>,
+    /// The predicate as written by the analysis.
+    pub predicate: Expr,
+    /// Conditional (`?`) or unconditional (`✓`).
+    pub condition: SignalCondition,
+    /// Signal one waiter or broadcast to all of them.
+    pub kind: NotificationKind,
+    /// Whether the predicate reads any thread-local variable.
+    pub mentions_local: bool,
+}
+
+/// The build-time resolution of an [`ExplicitMonitor`]'s guards and
+/// notifications to dense ids.
+///
+/// Constructing the plan once per runtime removes all string hashing from the
+/// signalling hot path and fixes two defects of text keying: structurally
+/// identical guards rendered differently never arise (keys are canonical), and
+/// alpha-renamed guards — `count >= need` vs `count >= want` — land in the
+/// *same* slot instead of silently missing each other's notifications.
+#[derive(Debug, Clone)]
+pub struct NotificationPlan {
+    guards: Vec<GuardInfo>,
+    /// Guard slot of each CCR, indexed by `CcrId.0` (`None` for `true` guards).
+    ccr_guards: Vec<Option<GuardId>>,
+    /// Resolved notifications per CCR, indexed by `CcrId.0`.
+    resolved: Vec<Vec<ResolvedNotification>>,
+}
+
+impl NotificationPlan {
+    /// Resolves every guard and notification of `explicit` against the
+    /// variable table produced by checking the monitor.
+    pub fn new(explicit: &ExplicitMonitor, table: &VarTable) -> Self {
+        let monitor = &explicit.monitor;
+        let mut key_to_id: HashMap<String, GuardId> = HashMap::new();
+        let mut guards: Vec<GuardInfo> = Vec::new();
+        let mut ccr_guards = Vec::with_capacity(monitor.ccrs.len());
+        for ccr in monitor.all_ccrs() {
+            if ccr.never_blocks() {
+                ccr_guards.push(None);
+                continue;
+            }
+            let key = canonical_guard_key(&ccr.guard, table);
+            let id = *key_to_id.entry(key).or_insert_with(|| {
+                guards.push(GuardInfo {
+                    expr: ccr.guard.clone(),
+                    mentions_local: mentions_local(&ccr.guard, table),
+                });
+                GuardId(guards.len() - 1)
+            });
+            ccr_guards.push(Some(id));
+        }
+        let resolved = monitor
+            .all_ccrs()
+            .map(|ccr| {
+                explicit
+                    .notifications_for(ccr.id)
+                    .iter()
+                    .map(|n| ResolvedNotification {
+                        target: key_to_id
+                            .get(&canonical_guard_key(&n.predicate, table))
+                            .copied(),
+                        predicate: n.predicate.clone(),
+                        condition: n.condition,
+                        kind: n.kind,
+                        mentions_local: mentions_local(&n.predicate, table),
+                    })
+                    .collect()
+            })
+            .collect();
+        NotificationPlan {
+            guards,
+            ccr_guards,
+            resolved,
+        }
+    }
+
+    /// Number of distinct guard classes (the size a runtime's slot vector
+    /// must have).
+    pub fn guard_count(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Build-time information about a guard class.
+    pub fn guard(&self, id: GuardId) -> &GuardInfo {
+        &self.guards[id.0]
+    }
+
+    /// Iterates over all guard classes in id order.
+    pub fn guards(&self) -> impl Iterator<Item = (GuardId, &GuardInfo)> {
+        self.guards.iter().enumerate().map(|(i, g)| (GuardId(i), g))
+    }
+
+    /// The guard slot a CCR waits on (`None` when the CCR never blocks).
+    pub fn guard_of(&self, id: CcrId) -> Option<GuardId> {
+        self.ccr_guards.get(id.0).copied().flatten()
+    }
+
+    /// The resolved notifications to perform after a CCR's body.
+    pub fn notifications(&self, id: CcrId) -> &[ResolvedNotification] {
+        self.resolved.get(id.0).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+fn mentions_local(expr: &Expr, table: &VarTable) -> bool {
+    expr.vars().iter().any(|v| table.is_local(v))
+}
+
+/// Canonical text of a guard with thread-local variables alpha-renamed to
+/// positional placeholders (`%0`, `%1`, … in first-occurrence order). Guards
+/// that differ only in local names produce identical keys; `%` cannot appear
+/// in a source identifier, so placeholders never collide with shared names.
+pub fn canonical_guard_key(expr: &Expr, table: &VarTable) -> String {
+    let mut map: HashMap<Ident, Ident> = HashMap::new();
+    canonicalize(expr, table, &mut map).to_string()
+}
+
+fn canonicalize(expr: &Expr, table: &VarTable, map: &mut HashMap<Ident, Ident>) -> Expr {
+    match expr {
+        Expr::Int(_) | Expr::Bool(_) => expr.clone(),
+        Expr::Var(v) => Expr::Var(rename(v, table, map)),
+        Expr::Index(a, idx) => Expr::Index(
+            rename(a, table, map),
+            Box::new(canonicalize(idx, table, map)),
+        ),
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(canonicalize(e, table, map))),
+        Expr::Binary(op, l, r) => {
+            let l = canonicalize(l, table, map);
+            let r = canonicalize(r, table, map);
+            Expr::Binary(*op, Box::new(l), Box::new(r))
+        }
+    }
+}
+
+fn rename(v: &Ident, table: &VarTable, map: &mut HashMap<Ident, Ident>) -> Ident {
+    if table.is_local(v) {
+        let next = map.len();
+        map.entry(v.clone())
+            .or_insert_with(|| format!("%{next}"))
+            .clone()
+    } else {
+        v.clone()
+    }
+}
+
 impl fmt::Display for ExplicitMonitor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "explicit monitor {} {{", self.monitor.name)?;
@@ -228,5 +406,69 @@ mod tests {
         let text = em.to_string();
         assert!(text.contains("broadcast"));
         assert!(text.contains("enterWriter[0]"));
+    }
+
+    #[test]
+    fn plan_assigns_dense_guard_ids() {
+        let monitor = rw();
+        let table = crate::check::check_monitor(&monitor).unwrap();
+        let em = ExplicitMonitor::broadcast_all(monitor);
+        let plan = NotificationPlan::new(&em, &table);
+        // Two distinct guards: `!writerIn` and `readers == 0 && !writerIn`.
+        assert_eq!(plan.guard_count(), 2);
+        let enter_reader = em.monitor.method("enterReader").unwrap().ccrs[0];
+        let exit_reader = em.monitor.method("exitReader").unwrap().ccrs[0];
+        assert!(plan.guard_of(enter_reader).is_some());
+        assert_eq!(plan.guard_of(exit_reader), None);
+        // Every broadcast-all notification resolves to a slot.
+        for ccr in em.monitor.all_ccrs() {
+            for n in plan.notifications(ccr.id) {
+                assert!(n.target.is_some(), "unresolved predicate {}", n.predicate);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_equivalent_guards_share_a_slot() {
+        let monitor = parse_monitor(
+            r#"
+            monitor Pool {
+                int count = 0;
+                atomic void take(int need) { waituntil (count >= need) { count = count - need; } }
+                atomic void grab(int want) { waituntil (count >= want) { count = count - want; } }
+                atomic void put(int n) { count = count + n; }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = crate::check::check_monitor(&monitor).unwrap();
+        // Structurally distinct texts …
+        assert_eq!(monitor.guards().len(), 2);
+        let em = ExplicitMonitor::broadcast_all(monitor);
+        let plan = NotificationPlan::new(&em, &table);
+        // … but one alpha-equivalence class, so notifications aimed at either
+        // rendering reach the same waiters.
+        assert_eq!(plan.guard_count(), 1);
+        let take = em.monitor.method("take").unwrap().ccrs[0];
+        let grab = em.monitor.method("grab").unwrap().ccrs[0];
+        assert_eq!(plan.guard_of(take), plan.guard_of(grab));
+        assert!(plan.guard(plan.guard_of(take).unwrap()).mentions_local);
+    }
+
+    #[test]
+    fn canonical_keys_rename_locals_positionally() {
+        let monitor = parse_monitor(
+            r#"
+            monitor M {
+                int count = 0;
+                atomic void a(int x, int y) { waituntil (count + x >= y) { count++; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = crate::check::check_monitor(&monitor).unwrap();
+        let guard = &monitor.guards()[0];
+        let key = canonical_guard_key(guard, &table);
+        assert_eq!(key, "((count + %0) >= %1)");
     }
 }

@@ -2,10 +2,9 @@
 
 use expresso_logic::Valuation;
 use expresso_monitor_lang::{
-    Ccr, CcrId, ExplicitMonitor, Expr, Interpreter, Monitor, NotificationKind, RuntimeError,
-    SignalCondition, VarTable,
+    Ccr, CcrId, ExplicitMonitor, Expr, Interpreter, Monitor, NotificationKind, NotificationPlan,
+    ResolvedNotification, RuntimeError, SignalCondition, VarTable,
 };
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,11 +30,72 @@ impl fmt::Display for RuntimeBuildError {
 
 impl std::error::Error for RuntimeBuildError {}
 
+/// Errors raised by a monitor call.
+///
+/// A failing call leaves the shared state exactly as it was before the failing
+/// CCR body: bodies execute on a scratch view that is only merged back on
+/// success, and the error is returned by value instead of unwinding through
+/// the state mutex — so a bad workload can never poison the monitor for the
+/// other threads hammering it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// The monitor has no method with this name.
+    UnknownMethod(String),
+    /// A CCR body hit a run-time fault (unbound variable, division by zero …).
+    Runtime {
+        /// The method whose CCR faulted.
+        method: String,
+        /// The underlying interpreter error.
+        error: RuntimeError,
+    },
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::UnknownMethod(m) => write!(f, "unknown method `{m}`"),
+            CallError::Runtime { method, error } => {
+                write!(f, "runtime error in `{method}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// How the explicit engine delivers the statically-decided notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalMode {
+    /// Execute notifications exactly as written: `signal` → `notify_one`,
+    /// `broadcast` → `notify_all`, conditional predicates evaluated once at
+    /// the notifier (the paper's generated-code semantics).
+    Static,
+    /// Use the per-guard predicate information to cut wakeup storms: skip
+    /// notifications aimed at empty slots, coalesce local-free broadcasts into
+    /// a cascade of single signals, and judge waiters on local-mentioning
+    /// guards individually against their own snapshots, waking only matches.
+    Targeted,
+}
+
+impl fmt::Display for SignalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalMode::Static => f.write_str("static"),
+            SignalMode::Targeted => f.write_str("targeted"),
+        }
+    }
+}
+
 /// A monitor engine callable from many threads.
 pub trait MonitorRuntime: Sync + Send {
     /// Executes one monitor method to completion on behalf of the calling
     /// thread, blocking on `waituntil` guards as required.
-    fn call(&self, method: &str, locals: &Valuation);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError`] when the method does not exist or a CCR body
+    /// faults; the shared state is left untouched by the failing CCR.
+    fn call(&self, method: &str, locals: &Valuation) -> Result<(), CallError>;
 
     /// A snapshot of the shared monitor state (for assertions in tests).
     fn snapshot(&self) -> Valuation;
@@ -47,28 +107,95 @@ pub trait MonitorRuntime: Sync + Send {
     /// Number of guard-predicate evaluations performed while deciding whom to
     /// notify (run-time reasoning overhead; zero for unconditional signals).
     fn predicate_evaluations(&self) -> usize;
+
+    /// Wakeups the engine proved unnecessary and skipped (only nonzero for
+    /// the explicit engine in [`SignalMode::Targeted`]).
+    fn avoided_wakeups(&self) -> usize {
+        0
+    }
+
+    /// Notifications dropped entirely because no thread was waiting on the
+    /// targeted guard (only nonzero in [`SignalMode::Targeted`]).
+    fn elided_notifications(&self) -> usize {
+        0
+    }
 }
 
 struct Shared {
     state: Mutex<Valuation>,
     wakeups: AtomicUsize,
     predicate_evaluations: AtomicUsize,
+    avoided_wakeups: AtomicUsize,
+    elided_notifications: AtomicUsize,
 }
 
-/// Executes an [`ExplicitMonitor`]: one condition variable per distinct guard,
-/// `while (!guard) wait()` at every CCR, and the statically-decided
-/// notifications after each body.
+impl Shared {
+    fn new(initial: Valuation) -> Self {
+        Shared {
+            state: Mutex::new(initial),
+            wakeups: AtomicUsize::new(0),
+            predicate_evaluations: AtomicUsize::new(0),
+            avoided_wakeups: AtomicUsize::new(0),
+            elided_notifications: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A thread blocked on a local-mentioning guard in targeted mode: it carries
+/// its own condition variable plus a snapshot of its locals so the notifier
+/// can judge (and wake) it individually — the paper's §6 per-waiter strategy
+/// applied to statically-placed notifications.
+struct LocalWaiter {
+    guard: Expr,
+    locals: Valuation,
+    ready: AtomicBool,
+    condvar: Condvar,
+}
+
+/// Per-guard runtime state, indexed densely by [`expresso_monitor_lang::GuardId`].
+struct GuardSlot {
+    condvar: Condvar,
+    /// Threads currently blocked on this guard. Only mutated while holding the
+    /// state mutex, so notifiers (who also hold it) read a stable count.
+    waiters: AtomicUsize,
+    /// Set when a coalesced broadcast still owes wakeups: each thread that
+    /// passes through this guard re-checks it after its body and passes the
+    /// signal on while the guard stays true (cascade/baton signalling).
+    cascade: AtomicBool,
+    /// Waiters registered for per-waiter judging (targeted mode, guards that
+    /// mention thread-local variables).
+    local_waiters: Mutex<Vec<Arc<LocalWaiter>>>,
+}
+
+impl GuardSlot {
+    fn new() -> Self {
+        GuardSlot {
+            condvar: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            cascade: AtomicBool::new(false),
+            local_waiters: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Executes an [`ExplicitMonitor`]: one condition-variable slot per distinct
+/// guard (resolved to dense ids at build time), `while (!guard) wait()` at
+/// every CCR, and the statically-decided notifications after each body.
 pub struct ExplicitRuntime {
     explicit: ExplicitMonitor,
     table: VarTable,
+    plan: NotificationPlan,
+    mode: SignalMode,
     shared: Shared,
-    /// Condition variable per distinct guard text.
-    conditions: HashMap<String, Condvar>,
+    /// One slot per guard class, indexed by `GuardId.0` — no string hashing on
+    /// the signalling hot path.
+    slots: Vec<GuardSlot>,
 }
 
 impl ExplicitRuntime {
-    /// Builds a runtime for `explicit`, constructing the initial shared state
-    /// from `ctor_args`.
+    /// Builds a runtime for `explicit` in [`SignalMode::Static`] (the paper's
+    /// generated-code semantics), constructing the initial shared state from
+    /// `ctor_args`.
     ///
     /// # Errors
     ///
@@ -78,32 +205,48 @@ impl ExplicitRuntime {
         explicit: ExplicitMonitor,
         ctor_args: &Valuation,
     ) -> Result<Self, RuntimeBuildError> {
+        Self::with_mode(explicit, ctor_args, SignalMode::Static)
+    }
+
+    /// Builds a runtime with an explicit [`SignalMode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeBuildError`] when the monitor is ill-formed or the
+    /// constructor arguments are incomplete.
+    pub fn with_mode(
+        explicit: ExplicitMonitor,
+        ctor_args: &Valuation,
+        mode: SignalMode,
+    ) -> Result<Self, RuntimeBuildError> {
         let table = expresso_monitor_lang::check_monitor(&explicit.monitor)
             .map_err(|e| RuntimeBuildError::Check(format!("{} error(s)", e.len())))?;
         let initial = expresso_monitor_lang::initial_state(&explicit.monitor, &table, ctor_args)
             .map_err(RuntimeBuildError::Init)?;
-        let conditions = explicit
-            .monitor
-            .guards()
-            .into_iter()
-            .map(|g| (g.to_string(), Condvar::new()))
-            .collect();
+        let plan = NotificationPlan::new(&explicit, &table);
+        let slots = (0..plan.guard_count()).map(|_| GuardSlot::new()).collect();
         Ok(ExplicitRuntime {
             explicit,
             table,
-            shared: Shared {
-                state: Mutex::new(initial),
-                wakeups: AtomicUsize::new(0),
-                predicate_evaluations: AtomicUsize::new(0),
-            },
-            conditions,
+            plan,
+            mode,
+            shared: Shared::new(initial),
+            slots,
         })
     }
 
-    fn condition(&self, guard: &Expr) -> &Condvar {
-        self.conditions
-            .get(&guard.to_string())
-            .expect("every blocking guard has a condition variable")
+    /// The signalling mode this runtime was built with.
+    pub fn mode(&self) -> SignalMode {
+        self.mode
+    }
+
+    /// Number of threads currently blocked inside the monitor (all slots).
+    /// Used by tests and the load harness to wait for quiescence.
+    pub fn waiting_threads(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.waiters.load(Ordering::SeqCst))
+            .sum()
     }
 
     fn eval_guard(
@@ -118,67 +261,223 @@ impl ExplicitRuntime {
         interp.eval_bool(guard, &view).unwrap_or(false)
     }
 
-    fn run_ccr(&self, interp: &Interpreter<'_>, ccr: &Ccr, locals: &mut Valuation) {
+    fn run_ccr(
+        &self,
+        interp: &Interpreter<'_>,
+        ccr: &Ccr,
+        locals: &mut Valuation,
+    ) -> Result<(), RuntimeError> {
+        let gid = self.plan.guard_of(ccr.id);
         let mut state = self.shared.state.lock().unwrap();
-        while !ccr.never_blocks() && !self.eval_guard(interp, &ccr.guard, &state, locals) {
-            state = self.condition(&ccr.guard).wait(state).unwrap();
-            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        if let Some(gid) = gid {
+            let slot = &self.slots[gid.0];
+            let per_waiter =
+                self.mode == SignalMode::Targeted && self.plan.guard(gid).mentions_local;
+            if per_waiter {
+                if !self.eval_guard(interp, &ccr.guard, &state, locals) {
+                    let waiter = Arc::new(LocalWaiter {
+                        guard: ccr.guard.clone(),
+                        locals: locals.clone(),
+                        ready: AtomicBool::new(false),
+                        condvar: Condvar::new(),
+                    });
+                    slot.local_waiters.lock().unwrap().push(Arc::clone(&waiter));
+                    slot.waiters.fetch_add(1, Ordering::SeqCst);
+                    loop {
+                        state = waiter.condvar.wait(state).unwrap();
+                        self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                        if waiter.ready.swap(false, Ordering::SeqCst)
+                            && self.eval_guard(interp, &ccr.guard, &state, locals)
+                        {
+                            break;
+                        }
+                    }
+                    slot.waiters.fetch_sub(1, Ordering::SeqCst);
+                    slot.local_waiters
+                        .lock()
+                        .unwrap()
+                        .retain(|w| !Arc::ptr_eq(w, &waiter));
+                }
+            } else {
+                while !self.eval_guard(interp, &ccr.guard, &state, locals) {
+                    slot.waiters.fetch_add(1, Ordering::SeqCst);
+                    state = slot.condvar.wait(state).unwrap();
+                    slot.waiters.fetch_sub(1, Ordering::SeqCst);
+                    self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
-        // Execute the body on a merged view, then split shared/local updates.
+        // Execute the body on a merged scratch view; only merge back on
+        // success so a faulting body leaves the shared state untouched.
         let mut view = state.clone();
         view.extend_with(locals);
-        let _ = interp.exec(&ccr.body, &mut view);
+        interp.exec(&ccr.body, &mut view)?;
         split_back(&self.table, &view, &mut state, locals);
 
         // Perform the statically-decided notifications.
-        for notification in self.explicit.notifications_for(ccr.id) {
-            let fire = match notification.condition {
-                SignalCondition::Unconditional => true,
-                SignalCondition::Conditional => {
+        for notification in self.plan.notifications(ccr.id) {
+            let Some(target) = notification.target else {
+                continue;
+            };
+            let slot = &self.slots[target.0];
+            match self.mode {
+                SignalMode::Static => self.fire_static(interp, notification, slot, &state, locals),
+                SignalMode::Targeted => {
+                    self.fire_targeted(interp, notification, slot, &state);
+                }
+            }
+        }
+
+        // Cascade baton: a thread that just passed through a coalesced
+        // broadcast's guard re-checks it and passes the signal on while the
+        // guard stays true, so the single coalesced signal eventually reaches
+        // every waiter a broadcast would have woken usefully.
+        if self.mode == SignalMode::Targeted {
+            if let Some(gid) = gid {
+                let info = self.plan.guard(gid);
+                let slot = &self.slots[gid.0];
+                if !info.mentions_local && slot.cascade.load(Ordering::SeqCst) {
                     self.shared
                         .predicate_evaluations
                         .fetch_add(1, Ordering::Relaxed);
-                    // Predicates over waiter-local state cannot be decided here;
-                    // the woken waiters re-check their own guard (§6 strategy).
-                    let mentions_local = notification
-                        .predicate
-                        .vars()
-                        .iter()
-                        .any(|v| self.table.is_local(v));
-                    mentions_local
-                        || self.eval_guard(interp, &notification.predicate, &state, locals)
-                }
-            };
-            if fire {
-                if let Some(cv) = self.conditions.get(&notification.predicate.to_string()) {
-                    match notification.kind {
-                        NotificationKind::Signal => {
-                            cv.notify_one();
-                        }
-                        NotificationKind::Broadcast => {
-                            cv.notify_all();
-                        }
+                    let enabled = self.eval_guard(interp, &info.expr, &state, locals);
+                    let waiting = slot.waiters.load(Ordering::SeqCst);
+                    if enabled && waiting > 0 {
+                        slot.condvar.notify_one();
+                    } else {
+                        slot.cascade.store(false, Ordering::SeqCst);
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's generated-code semantics: evaluate conditional predicates
+    /// once at the notifier and execute `signal`/`broadcast` literally.
+    fn fire_static(
+        &self,
+        interp: &Interpreter<'_>,
+        notification: &ResolvedNotification,
+        slot: &GuardSlot,
+        state: &Valuation,
+        locals: &Valuation,
+    ) {
+        let fire = match notification.condition {
+            SignalCondition::Unconditional => true,
+            SignalCondition::Conditional => {
+                self.shared
+                    .predicate_evaluations
+                    .fetch_add(1, Ordering::Relaxed);
+                // Predicates over waiter-local state cannot be decided here;
+                // the woken waiters re-check their own guard (§6 strategy).
+                notification.mentions_local
+                    || self.eval_guard(interp, &notification.predicate, state, locals)
+            }
+        };
+        if fire {
+            match notification.kind {
+                NotificationKind::Signal => {
+                    slot.condvar.notify_one();
+                }
+                NotificationKind::Broadcast => {
+                    slot.condvar.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Targeted delivery: never wake a thread the predicate information proves
+    /// cannot proceed. `avoided_wakeups` counts the wakeups the static
+    /// semantics would have issued beyond what this mode issued.
+    fn fire_targeted(
+        &self,
+        interp: &Interpreter<'_>,
+        notification: &ResolvedNotification,
+        slot: &GuardSlot,
+        state: &Valuation,
+    ) {
+        let waiting = slot.waiters.load(Ordering::SeqCst);
+        if waiting == 0 {
+            // Nobody to wake: skip the notification and its predicate check.
+            self.shared
+                .elided_notifications
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let static_would_wake = match notification.kind {
+            NotificationKind::Signal => 1,
+            NotificationKind::Broadcast => waiting,
+        };
+        if notification.mentions_local {
+            // Judge each waiter against its own guard and local snapshot and
+            // wake only the matches (§6 applied to a placed notification).
+            let registry = slot.local_waiters.lock().unwrap();
+            let mut woken = 0usize;
+            for waiter in registry.iter() {
+                self.shared
+                    .predicate_evaluations
+                    .fetch_add(1, Ordering::Relaxed);
+                if self.eval_guard(interp, &waiter.guard, state, &waiter.locals) {
+                    waiter.ready.store(true, Ordering::SeqCst);
+                    waiter.condvar.notify_one();
+                    woken += 1;
+                    if notification.kind == NotificationKind::Signal {
+                        break;
+                    }
+                }
+            }
+            self.shared
+                .avoided_wakeups
+                .fetch_add(static_would_wake.saturating_sub(woken), Ordering::Relaxed);
+            return;
+        }
+        // Local-free predicate: one evaluation at the notifier decides for
+        // every waiter on the slot (they are interchangeable).
+        if notification.condition == SignalCondition::Conditional {
+            self.shared
+                .predicate_evaluations
+                .fetch_add(1, Ordering::Relaxed);
+            if !self.eval_guard(interp, &notification.predicate, state, &Valuation::new()) {
+                return;
+            }
+        }
+        match notification.kind {
+            NotificationKind::Signal => {
+                slot.condvar.notify_one();
+            }
+            NotificationKind::Broadcast => {
+                // Coalesce the storm: wake one waiter now and let the cascade
+                // baton pass the signal on while the guard stays true.
+                slot.cascade.store(true, Ordering::SeqCst);
+                slot.condvar.notify_one();
+                self.shared
+                    .avoided_wakeups
+                    .fetch_add(static_would_wake - 1, Ordering::Relaxed);
             }
         }
     }
 }
 
 impl MonitorRuntime for ExplicitRuntime {
-    fn call(&self, method: &str, locals: &Valuation) {
+    fn call(&self, method: &str, locals: &Valuation) -> Result<(), CallError> {
         let interp = Interpreter::new(&self.table);
         let mut locals = locals.clone();
-        let method = self
+        let found = self
             .explicit
             .monitor
             .method(method)
-            .unwrap_or_else(|| panic!("unknown method `{method}`"));
-        let ccr_ids: Vec<CcrId> = method.ccrs.clone();
+            .ok_or_else(|| CallError::UnknownMethod(method.to_string()))?;
+        let ccr_ids: Vec<CcrId> = found.ccrs.clone();
         for id in ccr_ids {
             let ccr = self.explicit.monitor.ccr(id).clone();
-            self.run_ccr(&interp, &ccr, &mut locals);
+            self.run_ccr(&interp, &ccr, &mut locals)
+                .map_err(|error| CallError::Runtime {
+                    method: method.to_string(),
+                    error,
+                })?;
         }
+        Ok(())
     }
 
     fn snapshot(&self) -> Valuation {
@@ -191,6 +490,14 @@ impl MonitorRuntime for ExplicitRuntime {
 
     fn predicate_evaluations(&self) -> usize {
         self.shared.predicate_evaluations.load(Ordering::Relaxed)
+    }
+
+    fn avoided_wakeups(&self) -> usize {
+        self.shared.avoided_wakeups.load(Ordering::Relaxed)
+    }
+
+    fn elided_notifications(&self) -> usize {
+        self.shared.elided_notifications.load(Ordering::Relaxed)
     }
 }
 
@@ -228,11 +535,7 @@ impl AutoSynchRuntime {
         Ok(AutoSynchRuntime {
             monitor,
             table,
-            shared: Shared {
-                state: Mutex::new(initial),
-                wakeups: AtomicUsize::new(0),
-                predicate_evaluations: AtomicUsize::new(0),
-            },
+            shared: Shared::new(initial),
             waiters: Mutex::new(Vec::new()),
         })
     }
@@ -249,7 +552,12 @@ impl AutoSynchRuntime {
         interp.eval_bool(guard, &view).unwrap_or(false)
     }
 
-    fn run_ccr(&self, interp: &Interpreter<'_>, ccr: &Ccr, locals: &mut Valuation) {
+    fn run_ccr(
+        &self,
+        interp: &Interpreter<'_>,
+        ccr: &Ccr,
+        locals: &mut Valuation,
+    ) -> Result<(), RuntimeError> {
         let mut state = self.shared.state.lock().unwrap();
         if !ccr.never_blocks() && !self.eval_with(interp, &ccr.guard, &state, locals) {
             // Register as a waiter with a snapshot of the local variables.
@@ -275,7 +583,7 @@ impl AutoSynchRuntime {
         }
         let mut view = state.clone();
         view.extend_with(locals);
-        let _ = interp.exec(&ccr.body, &mut view);
+        interp.exec(&ccr.body, &mut view)?;
         split_back(&self.table, &view, &mut state, locals);
 
         // AutoSynch's post-CCR work: evaluate every waiter's predicate with its
@@ -290,22 +598,28 @@ impl AutoSynchRuntime {
                 waiter.condvar.notify_one();
             }
         }
+        Ok(())
     }
 }
 
 impl MonitorRuntime for AutoSynchRuntime {
-    fn call(&self, method: &str, locals: &Valuation) {
+    fn call(&self, method: &str, locals: &Valuation) -> Result<(), CallError> {
         let interp = Interpreter::new(&self.table);
         let mut locals = locals.clone();
-        let method = self
+        let found = self
             .monitor
             .method(method)
-            .unwrap_or_else(|| panic!("unknown method `{method}`"));
-        let ccr_ids: Vec<CcrId> = method.ccrs.clone();
+            .ok_or_else(|| CallError::UnknownMethod(method.to_string()))?;
+        let ccr_ids: Vec<CcrId> = found.ccrs.clone();
         for id in ccr_ids {
             let ccr = self.monitor.ccr(id).clone();
-            self.run_ccr(&interp, &ccr, &mut locals);
+            self.run_ccr(&interp, &ccr, &mut locals)
+                .map_err(|error| CallError::Runtime {
+                    method: method.to_string(),
+                    error,
+                })?;
         }
+        Ok(())
     }
 
     fn snapshot(&self) -> Valuation {
@@ -350,6 +664,7 @@ mod tests {
     use super::*;
     use expresso_core::Expresso;
     use expresso_monitor_lang::parse_monitor;
+    use std::time::Duration;
 
     const COUNTER: &str = r#"
         monitor Counter {
@@ -371,19 +686,45 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..50 {
-                        rt.call("acquire", &Valuation::new());
+                        rt.call("acquire", &Valuation::new()).unwrap();
                     }
                 });
             }
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..50 {
-                        rt.call("release", &Valuation::new());
+                        rt.call("release", &Valuation::new()).unwrap();
                     }
                 });
             }
         });
         assert_eq!(rt.snapshot().int("count"), Some(0));
+    }
+
+    #[test]
+    fn targeted_mode_reaches_the_same_final_state() {
+        let rt =
+            ExplicitRuntime::with_mode(explicit_counter(), &Valuation::new(), SignalMode::Targeted)
+                .unwrap();
+        assert_eq!(rt.mode(), SignalMode::Targeted);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        rt.call("acquire", &Valuation::new()).unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        rt.call("release", &Valuation::new()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(rt.snapshot().int("count"), Some(0));
+        assert_eq!(rt.waiting_threads(), 0);
     }
 
     #[test]
@@ -394,14 +735,14 @@ mod tests {
             for _ in 0..3 {
                 scope.spawn(|| {
                     for _ in 0..40 {
-                        rt.call("acquire", &Valuation::new());
+                        rt.call("acquire", &Valuation::new()).unwrap();
                     }
                 });
             }
             for _ in 0..3 {
                 scope.spawn(|| {
                     for _ in 0..40 {
-                        rt.call("release", &Valuation::new());
+                        rt.call("release", &Valuation::new()).unwrap();
                     }
                 });
             }
@@ -430,7 +771,7 @@ mod tests {
                     let mut locals = Valuation::new();
                     locals.set_int("amount", amount);
                     for _ in 0..10 {
-                        rt.call("add", &locals);
+                        rt.call("add", &locals).unwrap();
                     }
                 });
             }
@@ -452,5 +793,150 @@ mod tests {
             ExplicitRuntime::new(explicit, &Valuation::new()),
             Err(RuntimeBuildError::Init(_))
         ));
+    }
+
+    #[test]
+    fn unknown_method_is_an_error_not_a_panic() {
+        let rt = ExplicitRuntime::new(explicit_counter(), &Valuation::new()).unwrap();
+        assert_eq!(
+            rt.call("frobnicate", &Valuation::new()),
+            Err(CallError::UnknownMethod("frobnicate".into()))
+        );
+        let monitor = parse_monitor(COUNTER).unwrap();
+        let implicit = AutoSynchRuntime::new(monitor, &Valuation::new()).unwrap();
+        assert!(matches!(
+            implicit.call("nope", &Valuation::new()),
+            Err(CallError::UnknownMethod(_))
+        ));
+    }
+
+    #[test]
+    fn faulting_body_leaves_state_clean_and_mutex_unpoisoned() {
+        let src = r#"
+            monitor Arr {
+                int[] data = new int[4];
+                int writes = 0;
+                atomic void store(int idx) { writes++; data[idx] = 1; }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let explicit = Expresso::new().analyze(&monitor).unwrap().explicit;
+        let rt = ExplicitRuntime::new(explicit, &Valuation::new()).unwrap();
+        let mut bad = Valuation::new();
+        bad.set_int("idx", 99);
+        let err = rt.call("store", &bad).unwrap_err();
+        assert!(matches!(err, CallError::Runtime { .. }));
+        // The faulting CCR must not have published any partial update …
+        assert_eq!(rt.snapshot().int("writes"), Some(0));
+        // … and the monitor keeps working for everyone else.
+        let mut good = Valuation::new();
+        good.set_int("idx", 2);
+        rt.call("store", &good).unwrap();
+        assert_eq!(rt.snapshot().int("writes"), Some(1));
+        assert_eq!(rt.snapshot().array("data"), Some(&vec![0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn alpha_renamed_guards_share_wakeups() {
+        // `take` and `grab` block on alpha-equivalent guards. Text keying gave
+        // them separate condvars, so a `put` signalling one rendering could
+        // strand waiters on the other; dense ids make them one slot.
+        let src = r#"
+            monitor Pool {
+                int count = 0;
+                atomic void take(int need) { waituntil (count >= need) { count = count - need; } }
+                atomic void grab(int want) { waituntil (count >= want) { count = count - want; } }
+                atomic void put(int n) { count = count + n; }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let explicit = Expresso::new().analyze(&monitor).unwrap().explicit;
+        for mode in [SignalMode::Static, SignalMode::Targeted] {
+            let rt = ExplicitRuntime::with_mode(explicit.clone(), &Valuation::new(), mode).unwrap();
+            std::thread::scope(|scope| {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut locals = Valuation::new();
+                    locals.set_int("need", 1);
+                    for _ in 0..20 {
+                        rt.call("take", &locals).unwrap();
+                    }
+                });
+                scope.spawn(move || {
+                    let mut locals = Valuation::new();
+                    locals.set_int("want", 1);
+                    for _ in 0..20 {
+                        rt.call("grab", &locals).unwrap();
+                    }
+                });
+                scope.spawn(move || {
+                    let mut locals = Valuation::new();
+                    locals.set_int("n", 1);
+                    for _ in 0..40 {
+                        rt.call("put", &locals).unwrap();
+                    }
+                });
+            });
+            assert_eq!(rt.snapshot().int("count"), Some(0), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn targeted_mode_coalesces_broadcast_storms() {
+        // RWLock's exitWriter broadcasts `!writerIn` (paper Fig. 2). With
+        // several blocked readers, static mode wakes them all at once while
+        // targeted mode wakes one and lets the cascade pass the signal on.
+        let src = r#"
+            monitor RWLock {
+                int readers = 0;
+                bool writerIn = false;
+                atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+                atomic void exitReader() { if (readers > 0) readers--; }
+                atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+                atomic void exitWriter() { writerIn = false; }
+            }
+        "#;
+        let monitor = parse_monitor(src).unwrap();
+        let explicit = Expresso::new().analyze(&monitor).unwrap().explicit;
+        let rt =
+            ExplicitRuntime::with_mode(explicit, &Valuation::new(), SignalMode::Targeted).unwrap();
+        rt.call("enterWriter", &Valuation::new()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    rt.call("enterReader", &Valuation::new()).unwrap();
+                });
+            }
+            // Wait until all four readers are actually blocked, then release.
+            while rt.waiting_threads() < 4 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            rt.call("exitWriter", &Valuation::new()).unwrap();
+        });
+        assert_eq!(rt.snapshot().int("readers"), Some(4));
+        // The broadcast to four waiters was coalesced into a cascade: at
+        // least three of the four storm wakeups were avoided at fire time.
+        assert!(
+            rt.avoided_wakeups() >= 3,
+            "avoided = {}",
+            rt.avoided_wakeups()
+        );
+        assert_eq!(rt.waiting_threads(), 0);
+    }
+
+    #[test]
+    fn targeted_mode_elides_notifications_without_waiters() {
+        let rt =
+            ExplicitRuntime::with_mode(explicit_counter(), &Valuation::new(), SignalMode::Targeted)
+                .unwrap();
+        // Nobody is waiting: every release's notification is dropped before
+        // its predicate is even evaluated.
+        for _ in 0..10 {
+            rt.call("release", &Valuation::new()).unwrap();
+        }
+        assert_eq!(rt.elided_notifications(), 10);
+        assert_eq!(rt.predicate_evaluations(), 0);
+        assert_eq!(rt.wakeups(), 0);
     }
 }

@@ -22,7 +22,9 @@
 pub mod engine;
 pub mod workload;
 
-pub use engine::{AutoSynchRuntime, ExplicitRuntime, MonitorRuntime, RuntimeBuildError};
+pub use engine::{
+    AutoSynchRuntime, CallError, ExplicitRuntime, MonitorRuntime, RuntimeBuildError, SignalMode,
+};
 pub use workload::{run_saturation, Operation, SaturationResult, ThreadPlan};
 
 pub use expresso_monitor_lang::ExplicitMonitor;

@@ -74,6 +74,12 @@ impl SaturationResult {
 ///
 /// The caller is responsible for providing plans that terminate (balanced
 /// producers/consumers, matching enter/exit pairs, …).
+///
+/// # Panics
+///
+/// Panics when a call fails — saturation plans are trusted test fixtures, so a
+/// [`crate::CallError`] here is a harness bug. The load generator in
+/// `expresso-loadgen` handles call errors gracefully instead.
 pub fn run_saturation(runtime: &dyn MonitorRuntime, plans: &[ThreadPlan]) -> SaturationResult {
     let operations: usize = plans.iter().map(|p| p.len()).sum();
     let start = Instant::now();
@@ -81,7 +87,9 @@ pub fn run_saturation(runtime: &dyn MonitorRuntime, plans: &[ThreadPlan]) -> Sat
         for plan in plans {
             scope.spawn(move || {
                 for op in plan {
-                    runtime.call(&op.method, &op.locals);
+                    runtime
+                        .call(&op.method, &op.locals)
+                        .unwrap_or_else(|e| panic!("saturation plan failed: {e}"));
                 }
             });
         }

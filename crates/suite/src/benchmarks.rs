@@ -1,5 +1,6 @@
 //! The benchmark monitors.
 
+use crate::loadmix::{self, SessionScript};
 use crate::workloads;
 use expresso_logic::Valuation;
 use expresso_monitor_lang::{parse_monitor, Monitor};
@@ -32,6 +33,9 @@ pub struct Benchmark {
     /// Builds one operation plan per thread such that the whole workload is
     /// balanced (it always terminates).
     pub plans: fn(threads: usize, ops_per_thread: usize) -> Vec<ThreadPlan>,
+    /// Generates one logical client session's operations for the load harness
+    /// (see [`crate::loadmix`] for the termination contract).
+    pub session_script: SessionScript,
 }
 
 impl Benchmark {
@@ -377,6 +381,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
             source: BOUNDED_BUFFER,
             ctor_args: capacity_args,
             plans: workloads::producer_consumer_plans("put", "take", true),
+            session_script: loadmix::bounded_buffer_session,
         },
         Benchmark {
             name: "H2OBarrier",
@@ -384,6 +389,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
             source: H2O_BARRIER,
             ctor_args: no_args,
             plans: workloads::h2o_plans,
+            session_script: loadmix::h2o_session,
         },
         Benchmark {
             name: "SleepingBarber",
@@ -395,6 +401,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
                 v
             },
             plans: workloads::producer_consumer_plans("customerArrives", "barberCut", false),
+            session_script: loadmix::sleeping_barber_session,
         },
         Benchmark {
             name: "RoundRobin",
@@ -406,6 +413,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
                 v
             },
             plans: workloads::round_robin_plans,
+            session_script: loadmix::round_robin_session,
         },
         Benchmark {
             name: "TicketedReadersWriters",
@@ -413,6 +421,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
             source: TICKETED_READERS_WRITERS,
             ctor_args: no_args,
             plans: workloads::ticketed_rw_plans,
+            session_script: loadmix::ticketed_rw_session,
         },
         Benchmark {
             name: "ParameterizedBoundedBuffer",
@@ -420,6 +429,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
             source: PARAM_BOUNDED_BUFFER,
             ctor_args: capacity_args,
             plans: workloads::parameterized_buffer_plans,
+            session_script: loadmix::parameterized_buffer_session,
         },
         Benchmark {
             name: "DiningPhilosophers",
@@ -431,6 +441,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
                 v
             },
             plans: workloads::dining_philosopher_plans,
+            session_script: loadmix::dining_philosophers_session,
         },
         Benchmark {
             name: "ReadersWriters",
@@ -438,6 +449,7 @@ pub fn autosynch_benchmarks() -> Vec<Benchmark> {
             source: READERS_WRITERS,
             ctor_args: no_args,
             plans: workloads::readers_writers_plans,
+            session_script: loadmix::readers_writers_session,
         },
     ]
 }
@@ -455,6 +467,7 @@ pub fn github_benchmarks() -> Vec<Benchmark> {
                 v
             },
             plans: workloads::enter_exit_plans("beforeAccess", "afterAccess"),
+            session_script: loadmix::throttle_session,
         },
         Benchmark {
             name: "PendingPostQueue",
@@ -462,6 +475,7 @@ pub fn github_benchmarks() -> Vec<Benchmark> {
             source: PENDING_POST_QUEUE,
             ctor_args: no_args,
             plans: workloads::producer_consumer_plans("enqueue", "poll", false),
+            session_script: loadmix::pending_post_session,
         },
         Benchmark {
             name: "AsyncDispatch",
@@ -473,6 +487,7 @@ pub fn github_benchmarks() -> Vec<Benchmark> {
                 v
             },
             plans: workloads::producer_consumer_plans("dispatch", "runOne", false),
+            session_script: loadmix::async_dispatch_session,
         },
         Benchmark {
             name: "SimpleBlockingDeployment",
@@ -480,6 +495,7 @@ pub fn github_benchmarks() -> Vec<Benchmark> {
             source: SIMPLE_BLOCKING_DEPLOYMENT,
             ctor_args: no_args,
             plans: workloads::enter_exit_plans("startDeployment", "finishDeployment"),
+            session_script: loadmix::deployment_session,
         },
         Benchmark {
             name: "SimpleDecoder",
@@ -491,6 +507,7 @@ pub fn github_benchmarks() -> Vec<Benchmark> {
                 v
             },
             plans: workloads::decoder_plans,
+            session_script: loadmix::decoder_session,
         },
         Benchmark {
             name: "AsyncOperationExecutor",
@@ -506,6 +523,7 @@ pub fn github_benchmarks() -> Vec<Benchmark> {
                 "completeOperation",
                 false,
             ),
+            session_script: loadmix::async_executor_session,
         },
     ]
 }
@@ -523,6 +541,7 @@ pub fn extended_benchmarks() -> Vec<Benchmark> {
                 v
             },
             plans: workloads::broadcast_ring_plans,
+            session_script: loadmix::broadcast_ring_session,
         },
         Benchmark {
             name: "WriterPriorityLock",
@@ -530,6 +549,7 @@ pub fn extended_benchmarks() -> Vec<Benchmark> {
             source: WRITER_PRIORITY_LOCK,
             ctor_args: no_args,
             plans: workloads::writer_priority_plans,
+            session_script: loadmix::writer_priority_session,
         },
     ]
 }

@@ -1,0 +1,393 @@
+//! Per-benchmark *session scripts* for the load harness (`expresso-loadgen`).
+//!
+//! A logical client session is a short, self-balanced sequence of monitor
+//! calls (a bounded-buffer session puts one item and takes one back, an H2O
+//! session delivers two hydrogens and bonds one molecule, …). The load
+//! generator multiplexes millions of such sessions onto a handful of OS
+//! worker threads, so the scripts must guarantee global termination under the
+//! harness contract:
+//!
+//! * sessions are striped over workers (`worker = session % workers`) and
+//!   each worker executes its sessions in increasing session order, one
+//!   script to completion at a time;
+//! * the driver rounds the session count up to a multiple of `workers`
+//!   (benchmarks like `RoundRobin` need every worker to perform the same
+//!   number of operations);
+//! * constructor arguments are built with `threads = workers`
+//!   ([`crate::Benchmark::ctor_args`]), so identity-based scripts (round
+//!   robin turns, philosopher forks) line up with the driver's worker count.
+//!
+//! Under that contract every script below is deadlock-free for any
+//! interleaving of the per-worker streams: each script re-balances the
+//! monitor, so whenever all workers sit at a session boundary the monitor is
+//! back in a state where every script can start.
+
+use expresso_logic::{Lcg, Valuation};
+use expresso_runtime::Operation;
+
+/// Everything a script needs to know about the session it generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// The worker executing this session (`session % workers`).
+    pub worker: usize,
+    /// Total number of driver workers.
+    pub workers: usize,
+    /// Global session index (`0..sessions`).
+    pub session: u64,
+    /// Total number of sessions in the run.
+    pub sessions: u64,
+    /// Rounds of the script's base pattern per session.
+    pub rounds: usize,
+    /// Workload seed; scripts derive per-session randomness from it.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// A deterministic per-session random stream: the same `(seed, session)`
+    /// always yields the same operations, so runs are reproducible and a
+    /// session never needs to be materialised before its worker reaches it.
+    pub fn rng(&self) -> Lcg {
+        Lcg::new(
+            self.seed
+                ^ self.session.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (self.worker as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        )
+    }
+}
+
+/// A capture-free session generator, stored on every [`crate::Benchmark`].
+pub type SessionScript = fn(&SessionSpec) -> Vec<Operation>;
+
+fn locals(pairs: &[(&str, i64)]) -> Valuation {
+    let mut v = Valuation::new();
+    for (name, value) in pairs {
+        v.set_int((*name).to_string(), *value);
+    }
+    v
+}
+
+/// BoundedBuffer: put one seeded item, take one back.
+pub fn bounded_buffer_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut rng = s.rng();
+    let mut ops = Vec::with_capacity(2 * s.rounds);
+    for _ in 0..s.rounds {
+        let item = rng.below(1_000_000) as i64;
+        ops.push(Operation::with_locals("put", locals(&[("item", item)])));
+        ops.push(Operation::new("take"));
+    }
+    ops
+}
+
+/// H2OBarrier: two hydrogens then one bond, so hydrogen never runs dry.
+pub fn h2o_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut ops = Vec::with_capacity(3 * s.rounds);
+    for _ in 0..s.rounds {
+        ops.push(Operation::new("hydrogenReady"));
+        ops.push(Operation::new("hydrogenReady"));
+        ops.push(Operation::new("oxygenBond"));
+    }
+    ops
+}
+
+/// SleepingBarber: one arriving customer per haircut.
+pub fn sleeping_barber_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut ops = Vec::with_capacity(2 * s.rounds);
+    for _ in 0..s.rounds {
+        ops.push(Operation::new("customerArrives"));
+        ops.push(Operation::new("barberCut"));
+    }
+    ops
+}
+
+/// RoundRobin: worker `w` passes the token when `turn == w`. Termination
+/// needs every worker to pass equally often — guaranteed by the harness
+/// rounding sessions to a multiple of `workers`.
+pub fn round_robin_session(s: &SessionSpec) -> Vec<Operation> {
+    (0..s.rounds)
+        .map(|_| Operation::with_locals("pass", locals(&[("id", s.worker as i64)])))
+        .collect()
+}
+
+/// TicketedReadersWriters: every fourth session writes with a globally
+/// sequential ticket; striping keeps each worker's tickets increasing, which
+/// is exactly the order the monitor serves them in.
+pub fn ticketed_rw_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut ops = Vec::new();
+    if s.session.is_multiple_of(4) {
+        let base = (s.session / 4) as i64 * s.rounds as i64;
+        for j in 0..s.rounds {
+            ops.push(Operation::new("drawTicket"));
+            ops.push(Operation::with_locals(
+                "enterWriter",
+                locals(&[("ticket", base + j as i64)]),
+            ));
+            ops.push(Operation::new("exitWriter"));
+        }
+    } else {
+        for _ in 0..s.rounds {
+            ops.push(Operation::new("enterReader"));
+            ops.push(Operation::new("exitReader"));
+        }
+    }
+    ops
+}
+
+/// ParameterizedBoundedBuffer: produce and consume the same seeded amount
+/// (1–3 units against capacity 8, so a session can always start).
+pub fn parameterized_buffer_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut rng = s.rng();
+    let mut ops = Vec::with_capacity(2 * s.rounds);
+    for _ in 0..s.rounds {
+        let amount = 1 + rng.below(3) as i64;
+        ops.push(Operation::with_locals(
+            "produce",
+            locals(&[("amount", amount)]),
+        ));
+        ops.push(Operation::with_locals(
+            "consume",
+            locals(&[("need", amount)]),
+        ));
+    }
+    ops
+}
+
+/// DiningPhilosophers: worker `w` always uses the adjacent forks
+/// `(w, w+1 mod seats)`; the single atomic pick-up excludes circular waits.
+pub fn dining_philosophers_session(s: &SessionSpec) -> Vec<Operation> {
+    let seats = s.workers.max(2);
+    let left = (s.worker % seats) as i64;
+    let right = ((s.worker + 1) % seats) as i64;
+    let mut ops = Vec::with_capacity(2 * s.rounds);
+    for _ in 0..s.rounds {
+        ops.push(Operation::with_locals(
+            "pickUp",
+            locals(&[("left", left), ("right", right)]),
+        ));
+        ops.push(Operation::with_locals(
+            "putDown",
+            locals(&[("doneLeft", left), ("doneRight", right)]),
+        ));
+    }
+    ops
+}
+
+/// ReadersWriters: every fourth session writes, the rest read.
+pub fn readers_writers_session(s: &SessionSpec) -> Vec<Operation> {
+    let (enter, exit) = if s.session.is_multiple_of(4) {
+        ("enterWriter", "exitWriter")
+    } else {
+        ("enterReader", "exitReader")
+    };
+    let mut ops = Vec::with_capacity(2 * s.rounds);
+    for _ in 0..s.rounds {
+        ops.push(Operation::new(enter));
+        ops.push(Operation::new(exit));
+    }
+    ops
+}
+
+/// ConcurrencyThrottle: enter/exit the throttled region.
+pub fn throttle_session(s: &SessionSpec) -> Vec<Operation> {
+    enter_exit(s, "beforeAccess", "afterAccess")
+}
+
+/// PendingPostQueue: enqueue one post, poll one.
+pub fn pending_post_session(s: &SessionSpec) -> Vec<Operation> {
+    enter_exit(s, "enqueue", "poll")
+}
+
+/// AsyncDispatch: dispatch one task, run one (the queue never sticks at
+/// either bound while all workers sit at a session boundary).
+pub fn async_dispatch_session(s: &SessionSpec) -> Vec<Operation> {
+    enter_exit(s, "dispatch", "runOne")
+}
+
+/// SimpleBlockingDeployment: start and finish one deployment.
+pub fn deployment_session(s: &SessionSpec) -> Vec<Operation> {
+    enter_exit(s, "startDeployment", "finishDeployment")
+}
+
+/// SimpleDecoder: feed one input, decode it, drain one output.
+pub fn decoder_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut ops = Vec::with_capacity(3 * s.rounds);
+    for _ in 0..s.rounds {
+        ops.push(Operation::new("queueInput"));
+        ops.push(Operation::new("decode"));
+        ops.push(Operation::new("dequeueOutput"));
+    }
+    ops
+}
+
+/// AsyncOperationExecutor: enqueue one operation, complete one.
+pub fn async_executor_session(s: &SessionSpec) -> Vec<Operation> {
+    enter_exit(s, "enqueueOperation", "completeOperation")
+}
+
+/// BroadcastRing: publish one item and acknowledge it from both readers
+/// (the suite constructs the ring with `readers = 2`).
+pub fn broadcast_ring_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut ops = Vec::with_capacity(3 * s.rounds);
+    for _ in 0..s.rounds {
+        ops.push(Operation::new("publish"));
+        ops.push(Operation::new("consume"));
+        ops.push(Operation::new("consume"));
+    }
+    ops
+}
+
+/// WriterPriorityLock: every fourth session requests, takes and releases the
+/// write lock; the rest read. Each request is matched immediately, so the
+/// writer queue always drains and blocked readers are released.
+pub fn writer_priority_session(s: &SessionSpec) -> Vec<Operation> {
+    let mut ops = Vec::new();
+    if s.session.is_multiple_of(4) {
+        for _ in 0..s.rounds {
+            ops.push(Operation::new("requestWrite"));
+            ops.push(Operation::new("beginWrite"));
+            ops.push(Operation::new("endWrite"));
+        }
+    } else {
+        for _ in 0..s.rounds {
+            ops.push(Operation::new("beginRead"));
+            ops.push(Operation::new("endRead"));
+        }
+    }
+    ops
+}
+
+fn enter_exit(s: &SessionSpec, enter: &'static str, exit: &'static str) -> Vec<Operation> {
+    let mut ops = Vec::with_capacity(2 * s.rounds);
+    for _ in 0..s.rounds {
+        ops.push(Operation::new(enter));
+        ops.push(Operation::new(exit));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::all;
+    use std::collections::HashMap;
+
+    fn spec(session: u64, workers: usize, rounds: usize) -> SessionSpec {
+        SessionSpec {
+            worker: (session % workers as u64) as usize,
+            workers,
+            session,
+            sessions: 64,
+            rounds,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic() {
+        for b in all() {
+            let a = (b.session_script)(&spec(7, 4, 3));
+            let c = (b.session_script)(&spec(7, 4, 3));
+            assert_eq!(a.len(), c.len(), "{}", b.name);
+            for (x, y) in a.iter().zip(c.iter()) {
+                assert_eq!(x.method, y.method, "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_script_is_non_empty_and_balanced_per_session_count() {
+        // Summed over a striped batch of sessions, method counts must match
+        // the balance each monitor needs to return to a neutral state.
+        for b in all() {
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            for session in 0..64u64 {
+                for op in (b.session_script)(&spec(session, 4, 2)) {
+                    *counts.entry(op.method.clone()).or_default() += 1;
+                }
+            }
+            assert!(!counts.is_empty(), "{} generated nothing", b.name);
+            match b.name {
+                "BoundedBuffer" => assert_eq!(counts["put"], counts["take"]),
+                "H2OBarrier" => {
+                    assert_eq!(counts["hydrogenReady"], 2 * counts["oxygenBond"]);
+                }
+                "BroadcastRing" => assert_eq!(counts["consume"], 2 * counts["publish"]),
+                "TicketedReadersWriters" => {
+                    assert_eq!(counts["drawTicket"], counts["enterWriter"]);
+                    assert_eq!(counts["enterWriter"], counts["exitWriter"]);
+                    assert_eq!(counts["enterReader"], counts["exitReader"]);
+                }
+                "WriterPriorityLock" => {
+                    assert_eq!(counts["requestWrite"], counts["beginWrite"]);
+                    assert_eq!(counts["beginWrite"], counts["endWrite"]);
+                    assert_eq!(counts["beginRead"], counts["endRead"]);
+                }
+                "SimpleDecoder" => {
+                    assert_eq!(counts["queueInput"], counts["decode"]);
+                    assert_eq!(counts["decode"], counts["dequeueOutput"]);
+                }
+                _ => {
+                    // Generic enter/exit pairs: exactly two methods, equal counts.
+                    if counts.len() == 2 {
+                        let values: Vec<usize> = counts.values().copied().collect();
+                        assert_eq!(values[0], values[1], "{}", b.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ticketed_tickets_are_sequential_globally_and_increasing_per_worker() {
+        let workers = 4usize;
+        let rounds = 3usize;
+        let mut all_tickets = Vec::new();
+        let mut per_worker: HashMap<usize, Vec<i64>> = HashMap::new();
+        for session in 0..32u64 {
+            let s = spec(session, workers, rounds);
+            for op in ticketed_rw_session(&s) {
+                if op.method == "enterWriter" {
+                    let t = op.locals.int("ticket").unwrap();
+                    all_tickets.push(t);
+                    per_worker.entry(s.worker).or_default().push(t);
+                }
+            }
+        }
+        let mut sorted = all_tickets.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..all_tickets.len() as i64).collect::<Vec<_>>());
+        for (worker, tickets) in per_worker {
+            assert!(
+                tickets.windows(2).all(|w| w[0] < w[1]),
+                "worker {worker} tickets not increasing: {tickets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_sessions_use_the_worker_id() {
+        let s = spec(5, 4, 2);
+        let ops = round_robin_session(&s);
+        assert_eq!(ops.len(), 2);
+        for op in ops {
+            assert_eq!(op.locals.int("id"), Some(s.worker as i64));
+        }
+    }
+
+    #[test]
+    fn parameterized_buffer_produces_what_it_consumes() {
+        for session in 0..16u64 {
+            let ops = parameterized_buffer_session(&spec(session, 4, 4));
+            let mut produced = 0i64;
+            let mut consumed = 0i64;
+            for op in &ops {
+                match op.method.as_str() {
+                    "produce" => produced += op.locals.int("amount").unwrap(),
+                    "consume" => consumed += op.locals.int("need").unwrap(),
+                    other => panic!("unexpected {other}"),
+                }
+            }
+            assert_eq!(produced, consumed);
+            assert!(produced >= ops.len() as i64 / 2);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 pub use expresso_abduction as abduction;
 pub use expresso_core as core;
 pub use expresso_explore as explore;
+pub use expresso_loadgen as loadgen;
 pub use expresso_logic as logic;
 pub use expresso_monitor_lang as monitor_lang;
 pub use expresso_runtime as runtime;

@@ -97,8 +97,12 @@ fn replay(
         if !enabled(monitor, &interp, &implicit_rt.snapshot(), &s.op) {
             return ReplayVerdict::Stuck { step };
         }
-        implicit_rt.call(&s.op.method, &s.op.locals);
-        explicit_rt.call(&s.op.method, &s.op.locals);
+        implicit_rt
+            .call(&s.op.method, &s.op.locals)
+            .expect("replayed operation succeeds");
+        explicit_rt
+            .call(&s.op.method, &s.op.locals)
+            .expect("replayed operation succeeds");
         if implicit_rt.snapshot() != explicit_rt.snapshot() {
             return ReplayVerdict::Mismatch { step };
         }
@@ -151,8 +155,12 @@ fn generate_and_check_schedule(
         );
         let thread = candidates[rng.index(candidates.len())];
         let op = plans[thread][cursors[thread]].clone();
-        implicit_rt.call(&op.method, &op.locals);
-        explicit_rt.call(&op.method, &op.locals);
+        implicit_rt
+            .call(&op.method, &op.locals)
+            .expect("enabled operation succeeds");
+        explicit_rt
+            .call(&op.method, &op.locals)
+            .expect("enabled operation succeeds");
         cursors[thread] += 1;
         steps.push(Step { thread, op });
         if implicit_rt.snapshot() != explicit_rt.snapshot() {

@@ -1,0 +1,235 @@
+//! Service-scale runtime stress: every suite monitor is hammered by 8 OS
+//! worker threads running thousands of monitor calls through its session
+//! load mix, then the *same* session stream is replayed sequentially on one
+//! thread against a fresh engine.
+//!
+//! Three properties per (benchmark, engine):
+//!
+//! 1. **Counter consistency** — the scripts are self-balanced and every
+//!    shared *scalar* in these monitors is an order-independent total
+//!    (counts, turns, tickets; order-dependent data lives in arrays), so the
+//!    concurrent run's scalar state must equal the sequential replay's
+//!    exactly. A lost update under contention shows up here.
+//! 2. **Conservation** — the final state must be neutral: buffers empty,
+//!    no readers inside, every fork back on the table. A lost wakeup shows
+//!    up as a deadlock instead (CI runs the test under a wall-clock budget).
+//! 3. **Blocking accounting** — the sequential replay never blocks (each
+//!    script is enabled from the states the session boundaries produce), so
+//!    its engine must report zero wakeups; every wakeup in the concurrent
+//!    run is genuine contention.
+//!
+//! The explicit engine runs in both signalling modes, so the targeted-wakeup
+//! fast path faces the same 8-thread storm as the paper's static semantics.
+
+use expresso_repro::core::Expresso;
+use expresso_repro::loadgen::{build_engine, run_load, EngineKind, LoadConfig};
+use expresso_repro::runtime::MonitorRuntime;
+use expresso_repro::suite::{all, Benchmark, SessionSpec};
+use std::collections::BTreeMap;
+
+const WORKERS: usize = 8;
+/// A multiple of [`WORKERS`], so identity-striped scripts stay balanced and
+/// the round-robin turn returns to zero.
+const SESSIONS: u64 = 1024;
+const SEED: u64 = 0xC0FFEE;
+
+type Ints = BTreeMap<String, i64>;
+type Bools = BTreeMap<String, bool>;
+
+/// The shared scalar state, arrays excluded: array *contents* (which item
+/// sits in which buffer slot) legitimately depend on the interleaving.
+fn scalar_state(runtime: &dyn MonitorRuntime) -> (Ints, Bools) {
+    let snapshot = runtime.snapshot();
+    (
+        snapshot
+            .ints()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect(),
+        snapshot
+            .bools()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect(),
+    )
+}
+
+/// Replays the exact session stream of the load run in session-major order
+/// on the calling thread, returning the number of operations performed.
+fn replay_sequentially(runtime: &dyn MonitorRuntime, benchmark: &Benchmark) -> u64 {
+    let mut operations = 0u64;
+    for session in 0..SESSIONS {
+        let spec = SessionSpec {
+            worker: (session % WORKERS as u64) as usize,
+            workers: WORKERS,
+            session,
+            sessions: SESSIONS,
+            rounds: 1,
+            seed: SEED,
+        };
+        for op in (benchmark.session_script)(&spec) {
+            runtime
+                .call(&op.method, &op.locals)
+                .unwrap_or_else(|e| panic!("{}: sequential replay: {e}", benchmark.name));
+            operations += 1;
+        }
+    }
+    operations
+}
+
+/// Per-benchmark conservation: the balanced session mixes must leave the
+/// monitor in its neutral state.
+fn assert_neutral(benchmark: &Benchmark, runtime: &dyn MonitorRuntime, ints: &Ints, bools: &Bools) {
+    let name = benchmark.name;
+    let zero = |key: &str| {
+        assert_eq!(
+            ints.get(key),
+            Some(&0),
+            "{name}: `{key}` not conserved: {ints:?}"
+        )
+    };
+    let clear = |key: &str| assert_eq!(bools.get(key), Some(&false), "{name}: `{key}` still set");
+    match name {
+        "BoundedBuffer" | "ParameterizedBoundedBuffer" => zero("count"),
+        "H2OBarrier" => zero("hydrogen"),
+        "SleepingBarber" => zero("waiting"),
+        // 1024 sessions of one pass each over 8 participants: 128 full laps.
+        "RoundRobin" => {
+            zero("turn");
+            assert_eq!(ints["rounds"], (SESSIONS / WORKERS as u64) as i64, "{name}");
+        }
+        "TicketedReadersWriters" => {
+            zero("readers");
+            clear("writerIn");
+            assert_eq!(
+                ints["nextWriterTicket"], ints["servingWriter"],
+                "{name}: a drawn ticket was never served"
+            );
+        }
+        "DiningPhilosophers" => {
+            let forks = runtime
+                .snapshot()
+                .array("forks")
+                .expect("forks array")
+                .clone();
+            assert!(
+                forks.iter().all(|&f| f == 0),
+                "{name}: forks still held: {forks:?}"
+            );
+        }
+        "ReadersWriters" => {
+            zero("readers");
+            clear("writerIn");
+        }
+        "ConcurrencyThrottle" => zero("threadCount"),
+        "PendingPostQueue" => zero("size"),
+        "AsyncDispatch" => {
+            zero("queueSize");
+            clear("stopped");
+        }
+        "SimpleBlockingDeployment" => clear("busy"),
+        "SimpleDecoder" => {
+            zero("queuedInputs");
+            zero("queuedOutputs");
+        }
+        "AsyncOperationExecutor" => zero("pending"),
+        "BroadcastRing" => zero("inFlight"),
+        "WriterPriorityLock" => {
+            zero("activeReaders");
+            zero("waitingWriters");
+            clear("writerActive");
+        }
+        other => panic!("no conservation invariant for benchmark {other}"),
+    }
+}
+
+#[test]
+fn suite_under_eight_worker_load_matches_its_sequential_replay() {
+    let config = LoadConfig::closed_loop(WORKERS, SESSIONS, 1, SEED);
+    for benchmark in all() {
+        let explicit = Expresso::new()
+            .analyze(&benchmark.monitor())
+            .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name))
+            .explicit;
+        for kind in EngineKind::all() {
+            let label = kind.label();
+            let concurrent = build_engine(kind, &benchmark, &explicit, WORKERS)
+                .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+            let report = run_load(concurrent.as_ref(), kind, benchmark.session_script, &config);
+            assert_eq!(report.call_errors, 0, "{} under {label}", benchmark.name);
+            assert!(
+                report.operations >= SESSIONS,
+                "{} under {label}: only {} operations",
+                benchmark.name,
+                report.operations
+            );
+
+            let sequential = build_engine(kind, &benchmark, &explicit, WORKERS)
+                .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+            let sequential_ops = replay_sequentially(sequential.as_ref(), &benchmark);
+            assert_eq!(
+                report.operations, sequential_ops,
+                "{} under {label}: concurrent and sequential streams diverge",
+                benchmark.name
+            );
+            assert_eq!(
+                sequential.wakeups(),
+                0,
+                "{} under {label}: the sequential replay blocked",
+                benchmark.name
+            );
+
+            let (concurrent_ints, concurrent_bools) = scalar_state(concurrent.as_ref());
+            let (sequential_ints, sequential_bools) = scalar_state(sequential.as_ref());
+            assert_eq!(
+                concurrent_ints, sequential_ints,
+                "{} under {label}: scalar state diverged from the sequential replay",
+                benchmark.name
+            );
+            assert_eq!(
+                concurrent_bools, sequential_bools,
+                "{} under {label}: boolean state diverged from the sequential replay",
+                benchmark.name
+            );
+            assert_neutral(
+                &benchmark,
+                concurrent.as_ref(),
+                &concurrent_ints,
+                &concurrent_bools,
+            );
+        }
+    }
+}
+
+/// The targeted mode's extra bookkeeping must never cost correctness under
+/// real contention: pin many more sessions than workers on the benchmark
+/// with the heaviest blocking (every pass waits for its turn) and check the
+/// fast-path counters stay coherent with the static mode's behaviour.
+#[test]
+fn round_robin_contention_exercises_the_targeted_fast_path() {
+    let benchmark = all()
+        .into_iter()
+        .find(|b| b.name == "RoundRobin")
+        .expect("RoundRobin in suite");
+    let explicit = Expresso::new()
+        .analyze(&benchmark.monitor())
+        .expect("analysis succeeds")
+        .explicit;
+    let config = LoadConfig::closed_loop(WORKERS, 2048, 1, SEED);
+    let runtime = build_engine(EngineKind::ExplicitTargeted, &benchmark, &explicit, WORKERS)
+        .expect("engine builds");
+    let report = run_load(
+        runtime.as_ref(),
+        EngineKind::ExplicitTargeted,
+        benchmark.session_script,
+        &config,
+    );
+    assert_eq!(report.call_errors, 0);
+    assert_eq!(report.operations, 2048);
+    // With 8 workers fighting for one turn the run must both block (real
+    // wakeups) and save wakeups vs broadcast-everyone (avoided > 0).
+    assert!(report.wakeups > 0, "no contention observed");
+    assert!(
+        report.avoided_wakeups > 0,
+        "targeted signalling never avoided a wakeup under contention"
+    );
+    assert_eq!(runtime.snapshot().int("turn"), Some(0));
+}
