@@ -7,6 +7,7 @@
 //! of "kept" variables and eliminating the quantifiers; iterating over kept
 //! variable sets of increasing size yields the simplest explanations first.
 
+use expresso_exec::{Executor, Inline, Task};
 use expresso_logic::{Formula, FormulaId, Ident, Interner, Subst};
 use expresso_smt::Solver;
 use expresso_vcgen::WpCache;
@@ -22,11 +23,14 @@ pub struct AbductionConfig {
     pub max_subsets: usize,
     /// Maximum number of candidates returned.
     pub max_results: usize,
-    /// Evaluate candidate kept-variable subsets on multiple threads. Each
-    /// subset's quantifier elimination and solver checks are independent, and
-    /// results are folded back in enumeration order, so the output is
-    /// identical to a sequential run.
-    pub parallel: bool,
+    /// The executor candidate-subset evaluations are dispatched on, in
+    /// [`max_results`](AbductionConfig::max_results)-sized waves (see
+    /// [`abduce_ids`]). `None` (the default) evaluates inline on the calling
+    /// thread; the pipeline passes the shared analysis scheduler here, so the
+    /// fixpoint's candidate evaluations fan out on the same pool that runs
+    /// suite- and pair-level tasks. Results are bit-identical across every
+    /// executor: each wave's outcomes are folded back in enumeration order.
+    pub executor: Option<Arc<dyn Executor>>,
     /// The WP memo session invariant inference builds its VCs through.
     /// `None` (the default) gives the inference run a fresh private cache;
     /// the pipeline passes the per-analysis session it also hands to
@@ -43,7 +47,7 @@ impl Default for AbductionConfig {
             max_kept_vars: 2,
             max_subsets: 48,
             max_results: 4,
-            parallel: true,
+            executor: None,
             wp_cache: None,
         }
     }
@@ -110,7 +114,7 @@ pub fn abduce_ids(
     // Each subset is evaluated independently: quantifier elimination produces
     // the candidate, then the consistency and sufficiency checks accept or
     // reject it. This is the expensive part (Cooper's procedure), so it fans
-    // out across threads when `config.parallel` is on.
+    // out as executor tasks below.
     let evaluate = |kept: &BTreeSet<Ident>| -> Option<FormulaId> {
         let eliminate: Vec<Ident> = all_vars
             .iter()
@@ -134,16 +138,29 @@ pub fn abduce_ids(
         }
         Some(candidate)
     };
+    // Budget-aware wave dispatch: subsets become executor tasks in
+    // `max_results`-sized waves, each wave's outcomes are folded back in
+    // enumeration order, and dispatching stops as soon as the result budget
+    // is met. The accepted set is therefore exactly the first `max_results`
+    // distinct candidates a fully sequential scan would have kept —
+    // bit-identical across every executor — while speculation is bounded to
+    // one wave instead of the whole subset space.
+    let executor: &dyn Executor = config.executor.as_deref().unwrap_or(&Inline);
+    let wave = config.max_results.max(1);
     let mut results: Vec<FormulaId> = Vec::new();
-    if config.parallel && kept_sets.len() > 1 {
-        // Evaluate every subset speculatively across threads, then fold the
-        // accepted candidates back in enumeration order: the first
-        // `max_results` distinct candidates are exactly the ones the
-        // sequential loop would have kept.
-        for candidate in evaluate_parallel(&kept_sets, &evaluate)
-            .into_iter()
-            .flatten()
-        {
+    let mut next = 0usize;
+    while next < kept_sets.len() && results.len() < config.max_results {
+        let end = kept_sets.len().min(next + wave);
+        let batch = &kept_sets[next..end];
+        let mut slots: Vec<Option<FormulaId>> = vec![None; batch.len()];
+        executor.run_batch(
+            batch
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(kept, slot)| Box::new(move || *slot = evaluate(kept)) as Task<'_>)
+                .collect(),
+        );
+        for candidate in slots.into_iter().flatten() {
             if results.len() >= config.max_results {
                 break;
             }
@@ -151,61 +168,9 @@ pub fn abduce_ids(
                 results.push(candidate);
             }
         }
-    } else {
-        // Sequential path stops evaluating as soon as the result budget is
-        // reached (no speculative work).
-        for kept in &kept_sets {
-            if results.len() >= config.max_results {
-                break;
-            }
-            if let Some(candidate) = evaluate(kept) {
-                if !results.contains(&candidate) {
-                    results.push(candidate);
-                }
-            }
-        }
+        next = end;
     }
     finalize(&interner, results)
-}
-
-/// Evaluates every subset on `min(cores, subsets)` scoped threads, dealing
-/// work round-robin and reassembling outcomes in enumeration order.
-fn evaluate_parallel<T: Send>(
-    kept_sets: &[BTreeSet<Ident>],
-    evaluate: &(impl Fn(&BTreeSet<Ident>) -> Option<T> + Sync),
-) -> Vec<Option<T>> {
-    // At least two workers whenever parallelism was requested: the split /
-    // reassembly path must be exercised (and tested) even on low-core hosts.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .max(2)
-        .min(kept_sets.len());
-    if workers <= 1 {
-        return kept_sets.iter().map(evaluate).collect();
-    }
-    let mut slots: Vec<Option<T>> = (0..kept_sets.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut i = w;
-                    while i < kept_sets.len() {
-                        out.push((i, evaluate(&kept_sets[i])));
-                        i += workers;
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, outcome) in handle.join().expect("abduction worker panicked") {
-                slots[i] = outcome;
-            }
-        }
-    });
-    slots
 }
 
 fn finalize(interner: &Interner, mut results: Vec<FormulaId>) -> Vec<FormulaId> {

@@ -31,7 +31,8 @@ pub mod scheduler;
 
 pub use codegen::to_java;
 pub use pipeline::{
-    AnalysisOutcome, AnalysisStats, Expresso, ExpressoConfig, ExpressoError, SharedAnalysisContext,
+    AbductionExecutor, AnalysisOutcome, AnalysisStats, Expresso, ExpressoConfig, ExpressoError,
+    SharedAnalysisContext,
 };
 pub use placement::{
     place_signals, place_signals_with, PlacementConfig, PlacementReport, SignalDecision,

@@ -3,6 +3,7 @@
 use crate::placement::{place_signals_with, PlacementConfig, PlacementReport};
 use crate::scheduler::{Scheduler, SchedulerStats};
 use expresso_abduction::{infer_monitor_invariant_configured, AbductionConfig};
+use expresso_exec::Executor;
 use expresso_logic::{Formula, Interner, InternerStats};
 use expresso_monitor_lang::{check_monitor, CheckError, ExplicitMonitor, Monitor, VarTable};
 use expresso_smt::{Solver, SolverConfig, SolverStats};
@@ -10,6 +11,21 @@ use expresso_vcgen::{WpCacheStats, WpStore};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which [`Executor`] abduction's candidate-subset waves are dispatched on
+/// (see [`ExpressoConfig::abduction_executor`]). Results are bit-identical
+/// across both choices; only wall-clock time and pool counters differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbductionExecutor {
+    /// Evaluate candidate subsets inline on the thread running the analysis
+    /// (the zero-dependency `expresso_exec::Inline` executor).
+    Inline,
+    /// Fan candidate subsets out on the context's shared work-stealing
+    /// [`Scheduler`] — the same pool that runs suite- and pair-level tasks,
+    /// so abduction stays parallel under [`Expresso::analyze_suite`] without
+    /// oversubscribing the machine.
+    Pool,
+}
 
 /// Configuration of the [`Expresso`] pipeline.
 #[derive(Debug, Clone)]
@@ -51,6 +67,12 @@ pub struct ExpressoConfig {
     /// submission order); any other value builds a dedicated pool with that
     /// many threads. Results are bit-identical across all settings.
     pub analysis_threads: usize,
+    /// The executor abduction's candidate-subset evaluations fan out on:
+    /// the context's shared scheduler (the default) or the sequential inline
+    /// executor. Ignored — always inline — when
+    /// [`parallel_analysis`](ExpressoConfig::parallel_analysis) is off, which
+    /// keeps that flag the single switch for a fully sequential analysis.
+    pub abduction_executor: AbductionExecutor,
 }
 
 impl Default for ExpressoConfig {
@@ -64,6 +86,7 @@ impl Default for ExpressoConfig {
             interner_shards: expresso_logic::DEFAULT_INTERNER_SHARDS,
             wp_cache: true,
             analysis_threads: 0,
+            abduction_executor: AbductionExecutor::Pool,
         }
     }
 }
@@ -298,7 +321,7 @@ impl Expresso {
         context: &SharedAnalysisContext,
         monitor: &Monitor,
     ) -> Result<AnalysisOutcome, ExpressoError> {
-        self.analyze_inner(context, monitor, self.config.parallel_analysis)
+        self.analyze_inner(context, monitor)
     }
 
     /// Analyses every monitor of a suite concurrently on the context's
@@ -314,10 +337,13 @@ impl Expresso {
     /// help-depth cap additionally bounds that nesting on arbitrarily large
     /// suites).
     ///
-    /// Abduction's internal scoped-thread fan-out is disabled for suite
-    /// tasks: with every monitor in flight at once, monitor- and pair-level
-    /// tasks already saturate the pool, and per-task thread spawning would
-    /// only oversubscribe the machine. This does not change results.
+    /// Abduction's candidate-subset waves run on the same pool as everything
+    /// else (see [`AbductionExecutor`]): a suite task mid-inference submits
+    /// its waves as nested scoped tasks and helps drain them while it joins,
+    /// so the most expensive phase — invariant inference — stays parallel
+    /// under suite analysis without spawning a single extra thread. The
+    /// pool's [`SchedulerStats::abduction_tasks`] counter attributes exactly
+    /// that work.
     pub fn analyze_suite(
         &self,
         context: &SharedAnalysisContext,
@@ -327,7 +353,7 @@ impl Expresso {
         slots.resize_with(monitors.len(), || None);
         context.scheduler().scope(|scope| {
             for (monitor, slot) in monitors.iter().zip(slots.iter_mut()) {
-                scope.spawn(move || *slot = Some(self.analyze_inner(context, monitor, false)));
+                scope.spawn(move || *slot = Some(self.analyze_inner(context, monitor)));
             }
         });
         slots
@@ -336,11 +362,23 @@ impl Expresso {
             .collect()
     }
 
+    /// The executor handed to abduction: the context's shared scheduler when
+    /// the configuration asks for the pool, `None` (inline) otherwise.
+    /// `parallel_analysis = false` always forces inline, preserving that
+    /// flag's contract as the single fully-sequential switch.
+    fn abduction_executor(&self, context: &SharedAnalysisContext) -> Option<Arc<dyn Executor>> {
+        match self.config.abduction_executor {
+            AbductionExecutor::Pool if self.config.parallel_analysis => {
+                Some(Arc::clone(context.scheduler()) as Arc<dyn Executor>)
+            }
+            _ => None,
+        }
+    }
+
     fn analyze_inner(
         &self,
         context: &SharedAnalysisContext,
         monitor: &Monitor,
-        abduction_parallel: bool,
     ) -> Result<AnalysisOutcome, ExpressoError> {
         let start = Instant::now();
         let table = check_monitor(monitor).map_err(ExpressoError::Check)?;
@@ -356,7 +394,7 @@ impl Expresso {
         let invariant_start = Instant::now();
         let (invariant, candidates, conjuncts) = if self.config.infer_invariant {
             let abduction = AbductionConfig {
-                parallel: abduction_parallel,
+                executor: self.abduction_executor(context),
                 wp_cache: Some(Arc::clone(&wp_cache)),
                 ..AbductionConfig::default()
             };
@@ -626,6 +664,40 @@ mod tests {
             assert_eq!(
                 outcome.report.triples_checked, reference.report.triples_checked,
                 "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn abduction_executor_kinds_agree_and_pool_counts_tasks() {
+        let monitor = parse_monitor(RW).unwrap();
+        let reference = Expresso::new().analyze(&monitor).unwrap();
+        for kind in [AbductionExecutor::Inline, AbductionExecutor::Pool] {
+            // analysis_threads != 0 builds a dedicated pool, so the counter
+            // below is exactly this analysis's traffic.
+            let pipeline = Expresso::with_config(ExpressoConfig {
+                abduction_executor: kind,
+                analysis_threads: 2,
+                ..ExpressoConfig::default()
+            });
+            let context = SharedAnalysisContext::new(pipeline.config());
+            let outcome = pipeline.analyze_with_context(&context, &monitor).unwrap();
+            assert_eq!(outcome.explicit, reference.explicit, "{kind:?}");
+            assert_eq!(outcome.invariant, reference.invariant, "{kind:?}");
+            let abduction_tasks = context.scheduler_stats().abduction_tasks;
+            match kind {
+                AbductionExecutor::Pool => assert!(
+                    abduction_tasks > 0,
+                    "pool executor dispatched no abduction tasks"
+                ),
+                AbductionExecutor::Inline => assert_eq!(
+                    abduction_tasks, 0,
+                    "inline executor leaked tasks onto the pool"
+                ),
+            }
+            assert_eq!(
+                outcome.stats.scheduler.abduction_tasks, abduction_tasks,
+                "AnalysisStats must surface the pool's abduction counter"
             );
         }
     }

@@ -70,6 +70,13 @@ pub struct SchedulerStats {
     /// Tasks executed by threads outside the pool while waiting in
     /// [`Scheduler::scope`] (the "help while joining" path).
     pub helper_executed: usize,
+    /// Tasks submitted through the [`expresso_exec::Executor`] façade — the
+    /// batch-shaped entry point lower crates fan work out on. Today its only
+    /// client is abduction's candidate-subset evaluation, so this counts the
+    /// invariant-inference tasks the pool absorbed; zero under a suite
+    /// analysis means abduction silently fell off the shared pool (the
+    /// `reproduce` tripwire fails loud on exactly that).
+    pub abduction_tasks: usize,
     /// Tasks executed by each worker, index-aligned with the pool.
     pub per_worker_executed: Vec<usize>,
 }
@@ -84,6 +91,7 @@ impl SchedulerStats {
         self.steals += other.steals;
         self.injector_pops += other.injector_pops;
         self.helper_executed += other.helper_executed;
+        self.abduction_tasks += other.abduction_tasks;
         if self.per_worker_executed.len() < other.per_worker_executed.len() {
             self.per_worker_executed
                 .resize(other.per_worker_executed.len(), 0);
@@ -106,6 +114,7 @@ impl SchedulerStats {
             steals: self.steals.saturating_sub(earlier.steals),
             injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
             helper_executed: self.helper_executed.saturating_sub(earlier.helper_executed),
+            abduction_tasks: self.abduction_tasks.saturating_sub(earlier.abduction_tasks),
             per_worker_executed: self
                 .per_worker_executed
                 .iter()
@@ -145,6 +154,7 @@ struct Counters {
     steals: AtomicUsize,
     injector_pops: AtomicUsize,
     helper_executed: AtomicUsize,
+    abduction_tasks: AtomicUsize,
     per_worker_executed: Box<[AtomicUsize]>,
 }
 
@@ -272,6 +282,7 @@ impl Scheduler {
             steals: c.steals.load(Ordering::Relaxed),
             injector_pops: c.injector_pops.load(Ordering::Relaxed),
             helper_executed: c.helper_executed.load(Ordering::Relaxed),
+            abduction_tasks: c.abduction_tasks.load(Ordering::Relaxed),
             per_worker_executed: c
                 .per_worker_executed
                 .iter()
@@ -481,6 +492,34 @@ impl Shared {
             c.helper_executed.fetch_add(1, Ordering::Relaxed);
         }
         job();
+    }
+}
+
+/// The work-stealing pool as an [`expresso_exec::Executor`]: each task of a
+/// batch becomes one scoped pool job, and `run_batch` joins the whole batch
+/// before returning (helping with pool work while it waits). Crates below
+/// `core` — abduction's candidate-subset waves — fan out on the *same* pool
+/// that runs suite- and pair-level tasks through this impl, with the
+/// dependency arrow still pointing down: they see only the trait. Dispatch
+/// from inside a pool task is deadlock-free because the joining task is a
+/// worker for as long as its scope is open (see the module docs), which is
+/// what lets `Expresso::analyze_suite` keep abduction parallel instead of
+/// serializing its most expensive phase.
+impl expresso_exec::Executor for Scheduler {
+    fn run_batch(&self, tasks: Vec<expresso_exec::Task<'_>>) {
+        self.shared
+            .counters
+            .abduction_tasks
+            .fetch_add(tasks.len(), Ordering::Relaxed);
+        self.scope(|scope| {
+            for task in tasks {
+                scope.spawn(task);
+            }
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "pool"
     }
 }
 

@@ -73,6 +73,17 @@ fn parse_options() -> Options {
         eprintln!("--workers must be at least 1");
         usage();
     }
+    // A zero-session or zero-round run performs no operations at all, then
+    // prints a degenerate all-zero report that reads like a passing run —
+    // reject the shape up front instead.
+    if options.config.sessions == 0 {
+        eprintln!("--sessions must be at least 1");
+        usage();
+    }
+    if options.config.rounds == 0 {
+        eprintln!("--rounds must be at least 1");
+        usage();
+    }
     options
 }
 

@@ -9,6 +9,7 @@
 
 pub use expresso_abduction as abduction;
 pub use expresso_core as core;
+pub use expresso_exec as exec;
 pub use expresso_explore as explore;
 pub use expresso_loadgen as loadgen;
 pub use expresso_logic as logic;

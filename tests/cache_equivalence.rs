@@ -6,7 +6,7 @@
 //! optimisations; any observable divergence here is a soundness bug in the
 //! arena, the cache keying or the parallel work split.
 
-use expresso_repro::core::{Expresso, ExpressoConfig, SharedAnalysisContext};
+use expresso_repro::core::{AbductionExecutor, Expresso, ExpressoConfig, SharedAnalysisContext};
 use expresso_repro::suite::all;
 
 fn config(cache: bool, parallel: bool) -> ExpressoConfig {
@@ -194,10 +194,12 @@ fn interner_sharding_and_wp_cache_cannot_change_results() {
 
 #[test]
 fn scheduler_modes_are_bit_identical_across_the_suite() {
-    // The work-stealing pool is a pure scheduling substrate: for every suite
-    // monitor, `analysis_threads ∈ {1, 8}` × suite-parallel on/off must all
-    // produce bit-identical outcomes and placement counters — both against
-    // each other and against a stand-alone private-context analysis.
+    // The work-stealing pool and the abduction executor are pure scheduling
+    // substrates: for every suite monitor, `abduction_executor ∈ {Inline,
+    // Pool}` × `analysis_threads ∈ {1, 8}` × suite-parallel on/off must all
+    // produce bit-identical outcomes, candidate counts and placement
+    // counters — both against each other and against a stand-alone
+    // private-context analysis.
     let benchmarks = all();
     let monitors: Vec<_> = benchmarks.iter().map(|b| b.monitor()).collect();
     let reference: Vec<_> = monitors
@@ -209,49 +211,77 @@ fn scheduler_modes_are_bit_identical_across_the_suite() {
                 .unwrap_or_else(|e| panic!("{}: reference analysis failed: {e}", b.name))
         })
         .collect();
-    for threads in [1usize, 8] {
-        for suite_parallel in [false, true] {
-            let pipeline = Expresso::with_config(ExpressoConfig {
-                analysis_threads: threads,
-                ..ExpressoConfig::default()
-            });
-            let context = SharedAnalysisContext::new(pipeline.config());
-            let outcomes: Vec<_> = if suite_parallel {
-                pipeline.analyze_suite(&context, &monitors)
-            } else {
-                monitors
-                    .iter()
-                    .map(|m| pipeline.analyze_with_context(&context, m))
-                    .collect()
-            };
-            for ((outcome, expected), b) in outcomes.iter().zip(&reference).zip(&benchmarks) {
-                let label = format!(
-                    "{}: analysis_threads={threads} suite_parallel={suite_parallel}",
-                    b.name
-                );
-                let outcome = outcome
-                    .as_ref()
-                    .unwrap_or_else(|e| panic!("{label}: analysis failed: {e}"));
-                assert_eq!(outcome.explicit, expected.explicit, "{label}: explicit");
-                assert_eq!(outcome.invariant, expected.invariant, "{label}: invariant");
-                assert_eq!(
-                    outcome.report.decisions, expected.report.decisions,
-                    "{label}: decisions"
-                );
-                assert_eq!(
-                    outcome.report.pairs_considered, expected.report.pairs_considered,
-                    "{label}: pairs_considered"
-                );
-                assert_eq!(
-                    outcome.report.triples_checked, expected.report.triples_checked,
-                    "{label}: triples_checked"
-                );
-                assert_eq!(outcome.report.skipped, expected.report.skipped, "{label}");
-                assert_eq!(
-                    outcome.report.triples_per_pair().to_bits(),
-                    expected.report.triples_per_pair().to_bits(),
-                    "{label}: triples_per_pair"
-                );
+    for executor in [AbductionExecutor::Inline, AbductionExecutor::Pool] {
+        for threads in [1usize, 8] {
+            for suite_parallel in [false, true] {
+                let pipeline = Expresso::with_config(ExpressoConfig {
+                    analysis_threads: threads,
+                    abduction_executor: executor,
+                    ..ExpressoConfig::default()
+                });
+                let context = SharedAnalysisContext::new(pipeline.config());
+                let outcomes: Vec<_> = if suite_parallel {
+                    pipeline.analyze_suite(&context, &monitors)
+                } else {
+                    monitors
+                        .iter()
+                        .map(|m| pipeline.analyze_with_context(&context, m))
+                        .collect()
+                };
+                for ((outcome, expected), b) in outcomes.iter().zip(&reference).zip(&benchmarks) {
+                    let label = format!(
+                        "{}: executor={executor:?} analysis_threads={threads} \
+                         suite_parallel={suite_parallel}",
+                        b.name
+                    );
+                    let outcome = outcome
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{label}: analysis failed: {e}"));
+                    assert_eq!(outcome.explicit, expected.explicit, "{label}: explicit");
+                    assert_eq!(outcome.invariant, expected.invariant, "{label}: invariant");
+                    assert_eq!(
+                        outcome.stats.invariant_candidates, expected.stats.invariant_candidates,
+                        "{label}: invariant_candidates"
+                    );
+                    assert_eq!(
+                        outcome.stats.invariant_conjuncts, expected.stats.invariant_conjuncts,
+                        "{label}: invariant_conjuncts"
+                    );
+                    assert_eq!(
+                        outcome.report.decisions, expected.report.decisions,
+                        "{label}: decisions"
+                    );
+                    assert_eq!(
+                        outcome.report.pairs_considered, expected.report.pairs_considered,
+                        "{label}: pairs_considered"
+                    );
+                    assert_eq!(
+                        outcome.report.triples_checked, expected.report.triples_checked,
+                        "{label}: triples_checked"
+                    );
+                    assert_eq!(outcome.report.skipped, expected.report.skipped, "{label}");
+                    assert_eq!(
+                        outcome.report.triples_per_pair().to_bits(),
+                        expected.report.triples_per_pair().to_bits(),
+                        "{label}: triples_per_pair"
+                    );
+                }
+                // The executor knob must actually route abduction: the pool
+                // façade counts every dispatched closure, the inline path
+                // never touches the scheduler.
+                let abduction_tasks = context.scheduler_stats().abduction_tasks;
+                match executor {
+                    AbductionExecutor::Pool => assert!(
+                        abduction_tasks > 0,
+                        "executor=Pool analysis_threads={threads} \
+                         suite_parallel={suite_parallel}: no abduction tasks reached the pool"
+                    ),
+                    AbductionExecutor::Inline => assert_eq!(
+                        abduction_tasks, 0,
+                        "executor=Inline analysis_threads={threads} \
+                         suite_parallel={suite_parallel}: abduction leaked onto the pool"
+                    ),
+                }
             }
         }
     }
