@@ -10,6 +10,7 @@
 //! cargo run --release -p expresso-bench --bin reproduce -- suite
 //! cargo run --release -p expresso-bench --bin reproduce -- explore
 //! cargo run --release -p expresso-bench --bin reproduce -- load
+//! cargo run --release -p expresso-bench --bin reproduce -- persist
 //! cargo run --release -p expresso-bench --bin reproduce -- summary
 //! cargo run --release -p expresso-bench --bin reproduce -- all
 //! ```
@@ -38,11 +39,21 @@
 //! path never avoiding a wakeup. `json` additionally tripwires when suite
 //! analysis dispatches zero abduction tasks onto the shared scheduler.
 //!
+//! `persist` (also folded into `json` as the `persistence` section) is the
+//! warm-start gate: a seeded generated corpus (`REPRO_CORPUS_SIZE` monitors,
+//! default 500) analysed cold into an empty cache directory, then warm from
+//! the saved artifact, then once more with exactly one monitor mutated. It
+//! tripwires unless the warm run is faster (≥2x at 64+ monitors), served
+//! from disk, bit-identical to the cold run, and the mutation re-analyses
+//! exactly one monitor.
+//!
 //! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
 //! (default 200) scale the saturation sweep; `REPRO_EXPLORE_THREADS` /
 //! `REPRO_EXPLORE_OPS` (defaults 3 / 2) bound the exploration workloads;
 //! `REPRO_LOAD_WORKERS` / `REPRO_LOAD_SESSIONS` / `REPRO_LOAD_ROUNDS`
-//! (defaults 4 / 256 / 2) shape the load runs.
+//! (defaults 4 / 256 / 2) shape the load runs; `REPRO_CORPUS_SIZE` sizes
+//! the persistence corpus and `EXPRESSO_CACHE_DIR` overrides its cache
+//! directory.
 
 use expresso_bench::{
     analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
@@ -368,6 +379,264 @@ fn profile_scheduler_suite() -> SchedulerSuiteProfile {
         wp,
         outputs_identical,
     }
+}
+
+/// The persistent warm-start cache proven at service scale: a seeded
+/// generated corpus analysed cold (empty cache directory), then warm (fresh
+/// process-equivalent context seeded from the artifact the cold run saved),
+/// then with exactly one monitor mutated (the incremental-invalidation
+/// probe).
+struct PersistenceProfile {
+    corpus_monitors: usize,
+    corpus_seed: u64,
+    cache_dir: String,
+    /// Where the cache directory came from: the `EXPRESSO_CACHE_DIR`
+    /// environment variable or the built-in default.
+    cache_dir_source: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_speedup: f64,
+    dirty_ms: f64,
+    artifact_bytes: u64,
+    saved_sat: usize,
+    saved_qe: usize,
+    saved_theory: usize,
+    saved_wp: usize,
+    seeded_entries: usize,
+    solver_disk_hits: usize,
+    wp_disk_hits: usize,
+    outcomes_identical: bool,
+    /// Monitors whose warm-start analysis recomputed at least one weakest
+    /// precondition after the one-monitor mutation. The invalidation-
+    /// precision pin: must be exactly 1.
+    dirty_reanalyzed: usize,
+    /// WP misses summed over the *unmutated* monitors of the dirty run.
+    /// Must be 0 — content-addressing may not spill invalidation across
+    /// monitor boundaries.
+    dirty_clean_misses: usize,
+}
+
+/// Outcome fields the cold/warm equivalence check compares; everything the
+/// analysis decides, none of what it merely times.
+fn outcomes_equal(
+    a: &[expresso_core::AnalysisOutcome],
+    b: &[expresso_core::AnalysisOutcome],
+) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.explicit == y.explicit
+                && x.invariant == y.invariant
+                && x.report.decisions == y.report.decisions
+                && x.report.triples_checked == y.report.triples_checked
+                && x.report.pairs_considered == y.report.pairs_considered
+                && x.report.skipped == y.report.skipped
+        })
+}
+
+/// Generates the corpus, runs cold → save → warm → dirty, and collects the
+/// timing, disk-hit and invalidation-precision counters.
+///
+/// The cache directory is `EXPRESSO_CACHE_DIR` when set, else
+/// `./.expresso-cache`; any artifact already there is removed first so the
+/// cold phase is genuinely cold.
+fn profile_persistence() -> PersistenceProfile {
+    let spec = expresso_suite::CorpusSpec {
+        size: env_usize("REPRO_CORPUS_SIZE", 500),
+        ..expresso_suite::CorpusSpec::default()
+    };
+    let (cache_dir, cache_dir_source) = match std::env::var_os(expresso_core::CACHE_DIR_ENV) {
+        Some(dir) => (std::path::PathBuf::from(dir), "env"),
+        None => (
+            std::path::PathBuf::from(expresso_persist::DEFAULT_CACHE_DIR),
+            "default",
+        ),
+    };
+    match std::fs::remove_file(expresso_persist::artifact_path(&cache_dir)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => panic!(
+            "cannot clear stale artifact in {}: {e}",
+            cache_dir.display()
+        ),
+    }
+
+    let corpus = expresso_suite::corpusgen::generate(&spec);
+    let monitors: Vec<expresso_monitor_lang::Monitor> =
+        corpus.iter().map(|v| v.monitor()).collect();
+    let config = ExpressoConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..ExpressoConfig::default()
+    };
+    let pipeline = Expresso::with_config(config.clone());
+
+    let run_suite = |monitors: &[expresso_monitor_lang::Monitor]| {
+        let context = SharedAnalysisContext::new(&config);
+        let start = Instant::now();
+        let outcomes: Vec<expresso_core::AnalysisOutcome> = pipeline
+            .analyze_suite(&context, monitors)
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| o.unwrap_or_else(|e| panic!("corpus monitor {i} failed analysis: {e}")))
+            .collect();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        (context, outcomes, wall_ms)
+    };
+
+    // Cold: empty cache directory, so the context starts with empty tables.
+    let (cold_context, cold_outcomes, cold_ms) = run_suite(&monitors);
+    assert!(
+        cold_context.warm_start().is_none(),
+        "cold phase unexpectedly found an artifact"
+    );
+    let saved = cold_context
+        .persist()
+        .expect("persisting the cold run's caches")
+        .expect("a cache directory is configured");
+
+    // Warm: a fresh context (fresh arena — ids cannot carry over) auto-loads
+    // the artifact during construction, exactly as a new process would.
+    let (warm_context, warm_outcomes, warm_ms) = run_suite(&monitors);
+    let seeded = warm_context
+        .warm_start()
+        .expect("warm phase must load the artifact the cold phase saved");
+    let warm_stats = warm_context.stats();
+    let wp_disk_hits = warm_context.wp_stats().disk_hits;
+
+    // Dirty: mutate exactly one monitor and warm-start again; only that
+    // monitor's keys can miss.
+    let mut dirty_sources: Vec<String> = corpus.iter().map(|v| v.source.clone()).collect();
+    dirty_sources[0] = expresso_suite::mutate_source(&dirty_sources[0]);
+    let dirty_monitors: Vec<expresso_monitor_lang::Monitor> = dirty_sources
+        .iter()
+        .map(|s| expresso_monitor_lang::parse_monitor(s).expect("mutated corpus source parses"))
+        .collect();
+    let (_dirty_context, dirty_outcomes, dirty_ms) = run_suite(&dirty_monitors);
+    let dirty_reanalyzed = dirty_outcomes
+        .iter()
+        .filter(|o| o.stats.wp_cache.misses > 0)
+        .count();
+    let dirty_clean_misses: usize = dirty_outcomes
+        .iter()
+        .skip(1)
+        .map(|o| o.stats.wp_cache.misses)
+        .sum();
+
+    PersistenceProfile {
+        corpus_monitors: corpus.len(),
+        corpus_seed: spec.seed,
+        cache_dir: cache_dir.display().to_string(),
+        cache_dir_source,
+        cold_ms,
+        warm_ms,
+        warm_speedup: if warm_ms > 0.0 {
+            cold_ms / warm_ms
+        } else {
+            1.0
+        },
+        dirty_ms,
+        artifact_bytes: saved.bytes,
+        saved_sat: saved.sat,
+        saved_qe: saved.qe,
+        saved_theory: saved.theory,
+        saved_wp: saved.wp,
+        seeded_entries: seeded.total(),
+        solver_disk_hits: warm_stats.disk_hits,
+        wp_disk_hits,
+        outcomes_identical: outcomes_equal(&cold_outcomes, &warm_outcomes),
+        dirty_reanalyzed,
+        dirty_clean_misses,
+    }
+}
+
+/// Fail-loud gates on the persistence profile: warm must actually be faster
+/// (≥2x at scale), served from disk, bit-identical, and invalidation must be
+/// surgical. Exits nonzero on any violation.
+fn enforce_persistence_tripwires(p: &PersistenceProfile) {
+    if !p.outcomes_identical {
+        eprintln!(
+            "error: warm-start outcomes differ from the cold run; the persisted \
+             cache is not a pure optimisation"
+        );
+        std::process::exit(1);
+    }
+    if p.warm_ms >= p.cold_ms {
+        eprintln!(
+            "error: warm run ({:.1} ms) is no faster than the cold run ({:.1} ms); \
+             the artifact is not being served",
+            p.warm_ms, p.cold_ms
+        );
+        std::process::exit(1);
+    }
+    // At service scale the analysis dominates fixed per-run overhead and the
+    // headline claim must hold; tiny smoke corpora only assert direction.
+    if p.corpus_monitors >= 64 && p.warm_speedup < 2.0 {
+        eprintln!(
+            "error: warm speedup {:.2}x is below the 2x floor on a {}-monitor corpus",
+            p.warm_speedup, p.corpus_monitors
+        );
+        std::process::exit(1);
+    }
+    // Every monitor asks at least one WP and one solver query; a warm run
+    // below one disk hit per monitor means seeding silently went dead.
+    if p.wp_disk_hits < p.corpus_monitors || p.solver_disk_hits < p.corpus_monitors {
+        eprintln!(
+            "error: warm run served only {} WP / {} solver hits from disk over a \
+             {}-monitor corpus; the artifact is not seeding the caches",
+            p.wp_disk_hits, p.solver_disk_hits, p.corpus_monitors
+        );
+        std::process::exit(1);
+    }
+    if p.dirty_reanalyzed != 1 {
+        eprintln!(
+            "error: mutating one monitor re-analysed {} monitors (expected exactly 1); \
+             invalidation is not content-addressed",
+            p.dirty_reanalyzed
+        );
+        std::process::exit(1);
+    }
+    if p.dirty_clean_misses != 0 {
+        eprintln!(
+            "error: unmutated monitors recomputed {} weakest preconditions after a \
+             one-monitor edit; invalidation spilled across monitor boundaries",
+            p.dirty_clean_misses
+        );
+        std::process::exit(1);
+    }
+}
+
+fn print_persistence(p: &PersistenceProfile) {
+    println!(
+        "corpus: {} monitors (seed {:#x}), cache dir {} ({})",
+        p.corpus_monitors, p.corpus_seed, p.cache_dir, p.cache_dir_source
+    );
+    println!(
+        "cold {:.1} ms -> warm {:.1} ms ({:.2}x); dirty re-run {:.1} ms",
+        p.cold_ms, p.warm_ms, p.warm_speedup, p.dirty_ms
+    );
+    println!(
+        "artifact: {} bytes ({} sat, {} qe, {} theory, {} wp entries); {} seeded on load",
+        p.artifact_bytes, p.saved_sat, p.saved_qe, p.saved_theory, p.saved_wp, p.seeded_entries
+    );
+    println!(
+        "warm run served {} solver + {} WP hits from disk; outcomes identical: {}",
+        p.solver_disk_hits, p.wp_disk_hits, p.outcomes_identical
+    );
+    println!(
+        "one-monitor mutation re-analysed {} monitor(s); clean-monitor WP misses: {}",
+        p.dirty_reanalyzed, p.dirty_clean_misses
+    );
+}
+
+/// The persistence gate (`reproduce persist`): cold → warm → dirty over the
+/// generated corpus, with the fail-loud tripwires. `REPRO_CORPUS_SIZE`
+/// scales the corpus (CI uses a small one; the committed BENCH_results.json
+/// uses the full 500).
+fn run_persist() {
+    println!("=== Persistent warm-start cache: cold -> warm -> dirty ===\n");
+    let profile = profile_persistence();
+    print_persistence(&profile);
+    enforce_persistence_tripwires(&profile);
+    println!("\npersistence tripwires passed");
 }
 
 /// One benchmark's slice of the bounded schedule exploration.
@@ -699,6 +968,7 @@ fn render_json(
     shared: &SharedArenaProfile,
     suite: &SchedulerSuiteProfile,
     load: &RuntimeLoadProfile,
+    persistence: &PersistenceProfile,
     exploration: &ExplorationProfile,
 ) -> String {
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
@@ -851,6 +1121,36 @@ fn render_json(
         }
     }
     out.push_str("    ]\n  },\n");
+    let _ = write!(
+        out,
+        "  \"persistence\": {{\n    \"corpus_monitors\": {},\n    \"corpus_seed\": {},\n    \
+         \"cache_dir\": \"{}\",\n    \"cache_dir_source\": \"{}\",\n    \
+         \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"warm_speedup\": {:.3},\n    \
+         \"dirty_ms\": {:.3},\n    \"artifact_bytes\": {},\n    \
+         \"artifact_entries\": {{\"sat\": {}, \"qe\": {}, \"theory\": {}, \"wp\": {}}},\n    \
+         \"seeded_entries\": {},\n    \"solver_disk_hits\": {},\n    \"wp_disk_hits\": {},\n    \
+         \"outcomes_identical\": {},\n    \"dirty_reanalyzed\": {},\n    \
+         \"dirty_clean_misses\": {}\n  }},\n",
+        persistence.corpus_monitors,
+        persistence.corpus_seed,
+        persistence.cache_dir,
+        persistence.cache_dir_source,
+        persistence.cold_ms,
+        persistence.warm_ms,
+        persistence.warm_speedup,
+        persistence.dirty_ms,
+        persistence.artifact_bytes,
+        persistence.saved_sat,
+        persistence.saved_qe,
+        persistence.saved_theory,
+        persistence.saved_wp,
+        persistence.seeded_entries,
+        persistence.solver_disk_hits,
+        persistence.wp_disk_hits,
+        persistence.outcomes_identical,
+        persistence.dirty_reanalyzed,
+        persistence.dirty_clean_misses,
+    );
     let _ = write!(
         out,
         "  \"explore\": {{\n    \"threads\": {},\n    \"ops_per_thread\": {},\n    \
@@ -1030,7 +1330,15 @@ fn run_json() {
         },
         true,
     );
-    let json = render_json(&profiles, &shared, &suite, &load, &exploration);
+    let persistence = profile_persistence();
+    let json = render_json(
+        &profiles,
+        &shared,
+        &suite,
+        &load,
+        &persistence,
+        &exploration,
+    );
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
@@ -1105,6 +1413,19 @@ fn run_json() {
         load.config.workers,
         load_ops,
     );
+    println!(
+        "persistence: {}-monitor corpus cold {:.1} ms -> warm {:.1} ms ({:.2}x), \
+         {} disk hits, dirty re-analysed {} monitor(s)",
+        persistence.corpus_monitors,
+        persistence.cold_ms,
+        persistence.warm_ms,
+        persistence.warm_speedup,
+        persistence.solver_disk_hits + persistence.wp_disk_hits,
+        persistence.dirty_reanalyzed,
+    );
+    // Persistence tripwires: warm must be served from disk, bit-identical
+    // and surgically invalidated.
+    enforce_persistence_tripwires(&persistence);
     // Runtime tripwires: the targeted-signal fast path must dominate the
     // implicit engine on wakeups, actually exercise its fast paths, and hold
     // throughput within 3x of the committed baseline.
@@ -1306,6 +1627,7 @@ fn main() {
         "json" => run_json(),
         "explore" => run_explore(),
         "load" => run_load_gate(),
+        "persist" => run_persist(),
         "suite" => {
             // Quick mode: only the scheduler-suite comparison, for iterating
             // on pool behaviour without the full per-benchmark profiling.
@@ -1340,7 +1662,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | suite | \
-                 explore | load | summary | all"
+                 explore | load | persist | summary | all"
             );
             std::process::exit(2);
         }

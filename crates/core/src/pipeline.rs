@@ -6,11 +6,19 @@ use expresso_abduction::{infer_monitor_invariant_configured, AbductionConfig};
 use expresso_exec::Executor;
 use expresso_logic::{Formula, Interner, InternerStats};
 use expresso_monitor_lang::{check_monitor, CheckError, ExplicitMonitor, Monitor, VarTable};
+use expresso_persist::{LoadResult, SaveReport, SeedReport};
 use expresso_smt::{Solver, SolverConfig, SolverStats};
 use expresso_vcgen::{WpCacheStats, WpStore};
 use std::fmt;
+use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Environment variable naming the warm-start cache directory, consulted when
+/// [`ExpressoConfig::cache_dir`] is `None`. Unset (and no configured path)
+/// means persistence is off — the pre-persistence in-process behaviour.
+pub const CACHE_DIR_ENV: &str = "EXPRESSO_CACHE_DIR";
 
 /// Which [`Executor`] abduction's candidate-subset waves are dispatched on
 /// (see [`ExpressoConfig::abduction_executor`]). Results are bit-identical
@@ -73,6 +81,13 @@ pub struct ExpressoConfig {
     /// [`parallel_analysis`](ExpressoConfig::parallel_analysis) is off, which
     /// keeps that flag the single switch for a fully sequential analysis.
     pub abduction_executor: AbductionExecutor,
+    /// Directory of the persistent warm-start cache. `None` (the default)
+    /// consults the `EXPRESSO_CACHE_DIR` environment variable; when that is
+    /// unset too, persistence is disabled and every run starts cold. With a
+    /// directory in effect, [`SharedAnalysisContext::new`] seeds the solver
+    /// and WP caches from the on-disk artifact before the first analysis,
+    /// and [`SharedAnalysisContext::persist`] writes the tables back.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ExpressoConfig {
@@ -87,6 +102,7 @@ impl Default for ExpressoConfig {
             wp_cache: true,
             analysis_threads: 0,
             abduction_executor: AbductionExecutor::Pool,
+            cache_dir: None,
         }
     }
 }
@@ -120,6 +136,8 @@ pub struct SharedAnalysisContext {
     solver: Arc<Solver>,
     wp_store: Arc<WpStore>,
     scheduler: Arc<Scheduler>,
+    cache_dir: Option<PathBuf>,
+    warm_start: Option<SeedReport>,
 }
 
 impl SharedAnalysisContext {
@@ -128,6 +146,18 @@ impl SharedAnalysisContext {
     /// [`ExpressoConfig::analysis_threads`] `== 0` the context shares the
     /// process-wide [`Scheduler::global`] pool; any other value builds a
     /// dedicated pool (torn down when the context is dropped).
+    ///
+    /// When a cache directory is in effect ([`ExpressoConfig::cache_dir`],
+    /// else the `EXPRESSO_CACHE_DIR` environment variable), the on-disk
+    /// artifact is loaded and seeded into the fresh caches here, before any
+    /// analysis runs: every entry is re-interned through this context's own
+    /// arena, so arena-local ids never cross processes. A corrupt artifact
+    /// (truncated, bit-flipped, wrong format version) degrades to a cold
+    /// start with a warning on stderr — it never panics and never seeds a
+    /// partial table. Note that [`Expresso::analyze`] builds a private
+    /// context per call, so with the environment variable set each such call
+    /// warm-starts (and pays one artifact load) individually; suite harnesses
+    /// should build one context and use [`Expresso::analyze_suite`].
     pub fn new(config: &ExpressoConfig) -> Self {
         let interner = Arc::new(Interner::with_shards(config.interner_shards));
         let solver = Arc::new(Solver::with_interner(
@@ -144,10 +174,58 @@ impl SharedAnalysisContext {
         } else {
             Arc::new(Scheduler::with_analysis_threads(config.analysis_threads))
         };
+        let wp_store = Arc::new(WpStore::new(config.wp_cache));
+        let cache_dir = config
+            .cache_dir
+            .clone()
+            .or_else(|| std::env::var_os(CACHE_DIR_ENV).map(PathBuf::from));
+        let warm_start = cache_dir
+            .as_deref()
+            .and_then(|dir| match expresso_persist::load(dir) {
+                LoadResult::Loaded(artifact) => {
+                    Some(expresso_persist::seed(&artifact, &solver, &wp_store))
+                }
+                LoadResult::Absent => None,
+                LoadResult::Corrupt(reason) => {
+                    eprintln!(
+                        "expresso: ignoring unusable warm-start cache, starting cold: {reason}"
+                    );
+                    None
+                }
+            });
         SharedAnalysisContext {
             solver,
-            wp_store: Arc::new(WpStore::new(config.wp_cache)),
+            wp_store,
             scheduler,
+            cache_dir,
+            warm_start,
+        }
+    }
+
+    /// The warm-start cache directory in effect for this context, if any.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// What the artifact seeded into this context's caches at construction:
+    /// `None` for a cold start (no cache directory, no artifact yet, or a
+    /// corrupt one), per-table entry counts otherwise.
+    pub fn warm_start(&self) -> Option<SeedReport> {
+        self.warm_start
+    }
+
+    /// Writes the context's current memo tables to the warm-start cache
+    /// directory (atomically — temp file plus rename — so concurrent writers
+    /// sharing the directory never produce a torn artifact). Returns `None`
+    /// when no cache directory is in effect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating the directory or writing the file.
+    pub fn persist(&self) -> io::Result<Option<SaveReport>> {
+        match self.cache_dir.as_deref() {
+            None => Ok(None),
+            Some(dir) => expresso_persist::save(dir, &self.solver, &self.wp_store).map(Some),
         }
     }
 

@@ -1,0 +1,218 @@
+//! Byte-level primitives of the artifact format: a little-endian writer, a
+//! bounds-checked reader and the FNV-1a payload checksum.
+//!
+//! Everything is hand-rolled on `std` — the workspace carries no serde — and
+//! deliberately boring: fixed-width little-endian integers, length-prefixed
+//! strings and sequences, one-byte tags for enums. The reader never panics on
+//! malformed input; every failure is a [`DecodeError`] the artifact loader
+//! turns into a cold start.
+
+use std::fmt;
+
+/// A decoding failure (truncation, invalid tag, bad UTF-8, …). The loader
+/// reports it and falls back to a cold start; it is never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed cache artifact: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+pub(crate) fn err<T>(message: impl Into<String>) -> Result<T, DecodeError> {
+    Err(DecodeError(message.into()))
+}
+
+/// FNV-1a 64-bit hash over `bytes` — the artifact's payload checksum. Not
+/// cryptographic; it guards against truncation and bit rot, not adversaries.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Length prefix of a sequence whose items the caller writes next.
+    pub fn seq(&mut self, len: usize) {
+        self.u32(len as u32);
+    }
+
+    /// Raw bytes of an already-encoded entry (used when assembling sorted
+    /// sections from per-entry buffers).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian byte source over a borrowed payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| DecodeError(format!("truncated: wanted {n} bytes at {}", self.pos)))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => err(format!("invalid bool byte {other}")),
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid UTF-8".into()))
+    }
+
+    /// Reads a sequence length, sanity-capped against the remaining payload
+    /// so a corrupt length cannot trigger a huge allocation.
+    pub fn seq(&mut self) -> Result<usize, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len().saturating_sub(self.pos) {
+            return err(format!("sequence length {len} exceeds remaining payload"));
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let bytes = &w.into_bytes()[..5];
+        let mut r = Reader::new(bytes);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn oversized_sequence_length_is_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.seq().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let mut r = Reader::new(&[3]);
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn checksum_changes_on_any_bit_flip() {
+        let data = b"expresso artifact payload";
+        let base = checksum(data);
+        for i in 0..data.len() {
+            let mut flipped = data.to_vec();
+            flipped[i] ^= 1;
+            assert_ne!(checksum(&flipped), base, "flip at byte {i}");
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Tree codecs: formulas, terms, statements, expressions, verdicts and the
+//! error enums that appear inside cached values.
+//!
+//! Every enum is encoded as a one-byte tag followed by its fields in
+//! declaration order. The decoders mirror the encoders exactly; an unknown
+//! tag is a [`DecodeError`], never a panic, so a schema drift that slips past
+//! the format version check still degrades to a cold start.
+
+use crate::codec::{err, DecodeError, Reader, Writer};
+use expresso_logic::{CmpOp, Formula, Quantifier, Term, Valuation};
+use expresso_monitor_lang::{BinOp, Expr, LowerError, Stmt, Type, UnOp};
+use expresso_smt::{SatResult, SolverError, TranslateError};
+use expresso_vcgen::WpError;
+
+// ---------------------------------------------------------------------------
+// Terms and formulas
+// ---------------------------------------------------------------------------
+
+pub fn write_term(w: &mut Writer, term: &Term) {
+    match term {
+        Term::Int(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        Term::Var(name) => {
+            w.u8(1);
+            w.str(name);
+        }
+        Term::Add(parts) => {
+            w.u8(2);
+            w.seq(parts.len());
+            parts.iter().for_each(|p| write_term(w, p));
+        }
+        Term::Sub(a, b) => {
+            w.u8(3);
+            write_term(w, a);
+            write_term(w, b);
+        }
+        Term::Neg(a) => {
+            w.u8(4);
+            write_term(w, a);
+        }
+        Term::Mul(a, b) => {
+            w.u8(5);
+            write_term(w, a);
+            write_term(w, b);
+        }
+        Term::Select(array, index) => {
+            w.u8(6);
+            w.str(array);
+            write_term(w, index);
+        }
+    }
+}
+
+pub fn read_term(r: &mut Reader) -> Result<Term, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Term::Int(r.i64()?),
+        1 => Term::Var(r.str()?),
+        2 => {
+            let n = r.seq()?;
+            Term::Add((0..n).map(|_| read_term(r)).collect::<Result<_, _>>()?)
+        }
+        3 => Term::Sub(Box::new(read_term(r)?), Box::new(read_term(r)?)),
+        4 => Term::Neg(Box::new(read_term(r)?)),
+        5 => Term::Mul(Box::new(read_term(r)?), Box::new(read_term(r)?)),
+        6 => Term::Select(r.str()?, Box::new(read_term(r)?)),
+        other => return err(format!("invalid term tag {other}")),
+    })
+}
+
+fn write_cmp_op(w: &mut Writer, op: CmpOp) {
+    w.u8(match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    });
+}
+
+fn read_cmp_op(r: &mut Reader) -> Result<CmpOp, DecodeError> {
+    Ok(match r.u8()? {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        other => return err(format!("invalid comparison tag {other}")),
+    })
+}
+
+pub fn write_formula(w: &mut Writer, formula: &Formula) {
+    match formula {
+        Formula::True => w.u8(0),
+        Formula::False => w.u8(1),
+        Formula::BoolVar(name) => {
+            w.u8(2);
+            w.str(name);
+        }
+        Formula::Cmp(op, lhs, rhs) => {
+            w.u8(3);
+            write_cmp_op(w, *op);
+            write_term(w, lhs);
+            write_term(w, rhs);
+        }
+        Formula::Divides(d, t) => {
+            w.u8(4);
+            w.u64(*d);
+            write_term(w, t);
+        }
+        Formula::Not(inner) => {
+            w.u8(5);
+            write_formula(w, inner);
+        }
+        Formula::And(parts) => {
+            w.u8(6);
+            w.seq(parts.len());
+            parts.iter().for_each(|p| write_formula(w, p));
+        }
+        Formula::Or(parts) => {
+            w.u8(7);
+            w.seq(parts.len());
+            parts.iter().for_each(|p| write_formula(w, p));
+        }
+        Formula::Implies(p, q) => {
+            w.u8(8);
+            write_formula(w, p);
+            write_formula(w, q);
+        }
+        Formula::Iff(p, q) => {
+            w.u8(9);
+            write_formula(w, p);
+            write_formula(w, q);
+        }
+        Formula::Quant(q, vars, body) => {
+            w.u8(10);
+            w.u8(match q {
+                Quantifier::Forall => 0,
+                Quantifier::Exists => 1,
+            });
+            w.seq(vars.len());
+            vars.iter().for_each(|v| w.str(v));
+            write_formula(w, body);
+        }
+    }
+}
+
+pub fn read_formula(r: &mut Reader) -> Result<Formula, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Formula::True,
+        1 => Formula::False,
+        2 => Formula::BoolVar(r.str()?),
+        3 => Formula::Cmp(read_cmp_op(r)?, read_term(r)?, read_term(r)?),
+        4 => Formula::Divides(r.u64()?, read_term(r)?),
+        5 => Formula::Not(Box::new(read_formula(r)?)),
+        6 => {
+            let n = r.seq()?;
+            Formula::And((0..n).map(|_| read_formula(r)).collect::<Result<_, _>>()?)
+        }
+        7 => {
+            let n = r.seq()?;
+            Formula::Or((0..n).map(|_| read_formula(r)).collect::<Result<_, _>>()?)
+        }
+        8 => Formula::Implies(Box::new(read_formula(r)?), Box::new(read_formula(r)?)),
+        9 => Formula::Iff(Box::new(read_formula(r)?), Box::new(read_formula(r)?)),
+        10 => {
+            let q = match r.u8()? {
+                0 => Quantifier::Forall,
+                1 => Quantifier::Exists,
+                other => return err(format!("invalid quantifier tag {other}")),
+            };
+            let n = r.seq()?;
+            let vars = (0..n).map(|_| r.str()).collect::<Result<_, _>>()?;
+            Formula::Quant(q, vars, Box::new(read_formula(r)?))
+        }
+        other => return err(format!("invalid formula tag {other}")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Statements and expressions (WP-store keys)
+// ---------------------------------------------------------------------------
+
+fn write_type(w: &mut Writer, ty: Type) {
+    w.u8(match ty {
+        Type::Int => 0,
+        Type::Bool => 1,
+        Type::IntArray => 2,
+    });
+}
+
+fn read_type(r: &mut Reader) -> Result<Type, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Type::Int,
+        1 => Type::Bool,
+        2 => Type::IntArray,
+        other => return err(format!("invalid type tag {other}")),
+    })
+}
+
+pub fn write_opt_type(w: &mut Writer, ty: Option<Type>) {
+    match ty {
+        None => w.u8(0),
+        Some(ty) => {
+            w.u8(1);
+            write_type(w, ty);
+        }
+    }
+}
+
+pub fn read_opt_type(r: &mut Reader) -> Result<Option<Type>, DecodeError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(read_type(r)?),
+        other => return err(format!("invalid option tag {other}")),
+    })
+}
+
+fn write_un_op(w: &mut Writer, op: UnOp) {
+    w.u8(match op {
+        UnOp::Neg => 0,
+        UnOp::Not => 1,
+    });
+}
+
+fn read_un_op(r: &mut Reader) -> Result<UnOp, DecodeError> {
+    Ok(match r.u8()? {
+        0 => UnOp::Neg,
+        1 => UnOp::Not,
+        other => return err(format!("invalid unary-op tag {other}")),
+    })
+}
+
+fn write_bin_op(w: &mut Writer, op: BinOp) {
+    w.u8(match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Rem => 3,
+        BinOp::Eq => 4,
+        BinOp::Ne => 5,
+        BinOp::Lt => 6,
+        BinOp::Le => 7,
+        BinOp::Gt => 8,
+        BinOp::Ge => 9,
+        BinOp::And => 10,
+        BinOp::Or => 11,
+    });
+}
+
+fn read_bin_op(r: &mut Reader) -> Result<BinOp, DecodeError> {
+    Ok(match r.u8()? {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Rem,
+        4 => BinOp::Eq,
+        5 => BinOp::Ne,
+        6 => BinOp::Lt,
+        7 => BinOp::Le,
+        8 => BinOp::Gt,
+        9 => BinOp::Ge,
+        10 => BinOp::And,
+        11 => BinOp::Or,
+        other => return err(format!("invalid binary-op tag {other}")),
+    })
+}
+
+pub fn write_expr(w: &mut Writer, expr: &Expr) {
+    match expr {
+        Expr::Int(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        Expr::Bool(v) => {
+            w.u8(1);
+            w.bool(*v);
+        }
+        Expr::Var(name) => {
+            w.u8(2);
+            w.str(name);
+        }
+        Expr::Index(array, index) => {
+            w.u8(3);
+            w.str(array);
+            write_expr(w, index);
+        }
+        Expr::Unary(op, inner) => {
+            w.u8(4);
+            write_un_op(w, *op);
+            write_expr(w, inner);
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            w.u8(5);
+            write_bin_op(w, *op);
+            write_expr(w, lhs);
+            write_expr(w, rhs);
+        }
+    }
+}
+
+pub fn read_expr(r: &mut Reader) -> Result<Expr, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Expr::Int(r.i64()?),
+        1 => Expr::Bool(r.bool()?),
+        2 => Expr::Var(r.str()?),
+        3 => Expr::Index(r.str()?, Box::new(read_expr(r)?)),
+        4 => Expr::Unary(read_un_op(r)?, Box::new(read_expr(r)?)),
+        5 => Expr::Binary(
+            read_bin_op(r)?,
+            Box::new(read_expr(r)?),
+            Box::new(read_expr(r)?),
+        ),
+        other => return err(format!("invalid expression tag {other}")),
+    })
+}
+
+pub fn write_stmt(w: &mut Writer, stmt: &Stmt) {
+    match stmt {
+        Stmt::Skip => w.u8(0),
+        Stmt::Seq(parts) => {
+            w.u8(1);
+            w.seq(parts.len());
+            parts.iter().for_each(|s| write_stmt(w, s));
+        }
+        Stmt::Assign(name, expr) => {
+            w.u8(2);
+            w.str(name);
+            write_expr(w, expr);
+        }
+        Stmt::ArrayAssign(name, index, value) => {
+            w.u8(3);
+            w.str(name);
+            write_expr(w, index);
+            write_expr(w, value);
+        }
+        Stmt::Local(name, ty, init) => {
+            w.u8(4);
+            w.str(name);
+            write_type(w, *ty);
+            write_expr(w, init);
+        }
+        Stmt::If(cond, then_branch, else_branch) => {
+            w.u8(5);
+            write_expr(w, cond);
+            write_stmt(w, then_branch);
+            write_stmt(w, else_branch);
+        }
+        Stmt::While(cond, body) => {
+            w.u8(6);
+            write_expr(w, cond);
+            write_stmt(w, body);
+        }
+    }
+}
+
+pub fn read_stmt(r: &mut Reader) -> Result<Stmt, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Stmt::Skip,
+        1 => {
+            let n = r.seq()?;
+            Stmt::Seq((0..n).map(|_| read_stmt(r)).collect::<Result<_, _>>()?)
+        }
+        2 => Stmt::Assign(r.str()?, read_expr(r)?),
+        3 => Stmt::ArrayAssign(r.str()?, read_expr(r)?, read_expr(r)?),
+        4 => Stmt::Local(r.str()?, read_type(r)?, read_expr(r)?),
+        5 => Stmt::If(
+            read_expr(r)?,
+            Box::new(read_stmt(r)?),
+            Box::new(read_stmt(r)?),
+        ),
+        6 => Stmt::While(read_expr(r)?, Box::new(read_stmt(r)?)),
+        other => return err(format!("invalid statement tag {other}")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cached values: verdicts, models and error enums
+// ---------------------------------------------------------------------------
+
+pub fn write_valuation(w: &mut Writer, v: &Valuation) {
+    // Sort each map so the encoding of a valuation is deterministic.
+    let mut ints: Vec<_> = v.ints().collect();
+    ints.sort();
+    w.seq(ints.len());
+    for (name, value) in ints {
+        w.str(name);
+        w.i64(*value);
+    }
+    let mut bools: Vec<_> = v.bools().collect();
+    bools.sort();
+    w.seq(bools.len());
+    for (name, value) in bools {
+        w.str(name);
+        w.bool(*value);
+    }
+    let mut arrays: Vec<_> = v.arrays().collect();
+    arrays.sort();
+    w.seq(arrays.len());
+    for (name, values) in arrays {
+        w.str(name);
+        w.seq(values.len());
+        values.iter().for_each(|&x| w.i64(x));
+    }
+}
+
+pub fn read_valuation(r: &mut Reader) -> Result<Valuation, DecodeError> {
+    let mut v = Valuation::new();
+    for _ in 0..r.seq()? {
+        let name = r.str()?;
+        let value = r.i64()?;
+        v.set_int(name, value);
+    }
+    for _ in 0..r.seq()? {
+        let name = r.str()?;
+        let value = r.bool()?;
+        v.set_bool(name, value);
+    }
+    for _ in 0..r.seq()? {
+        let name = r.str()?;
+        let n = r.seq()?;
+        let values = (0..n).map(|_| r.i64()).collect::<Result<_, _>>()?;
+        v.set_array(name, values);
+    }
+    Ok(v)
+}
+
+pub fn write_sat_result(w: &mut Writer, result: &SatResult) {
+    match result {
+        SatResult::Sat(model) => {
+            w.u8(0);
+            match model {
+                None => w.u8(0),
+                Some(v) => {
+                    w.u8(1);
+                    write_valuation(w, v);
+                }
+            }
+        }
+        SatResult::Unsat => w.u8(1),
+        SatResult::Unknown(e) => {
+            w.u8(2);
+            write_solver_error(w, e);
+        }
+    }
+}
+
+pub fn read_sat_result(r: &mut Reader) -> Result<SatResult, DecodeError> {
+    Ok(match r.u8()? {
+        0 => SatResult::Sat(match r.u8()? {
+            0 => None,
+            1 => Some(read_valuation(r)?),
+            other => return err(format!("invalid option tag {other}")),
+        }),
+        1 => SatResult::Unsat,
+        2 => SatResult::Unknown(read_solver_error(r)?),
+        other => return err(format!("invalid sat-result tag {other}")),
+    })
+}
+
+fn write_solver_error(w: &mut Writer, e: &SolverError) {
+    match e {
+        SolverError::OutsideFragment(m) => {
+            w.u8(0);
+            w.str(m);
+        }
+        SolverError::ResourceLimit(m) => {
+            w.u8(1);
+            w.str(m);
+        }
+    }
+}
+
+fn read_solver_error(r: &mut Reader) -> Result<SolverError, DecodeError> {
+    Ok(match r.u8()? {
+        0 => SolverError::OutsideFragment(r.str()?),
+        1 => SolverError::ResourceLimit(r.str()?),
+        other => return err(format!("invalid solver-error tag {other}")),
+    })
+}
+
+pub fn write_translate_error(w: &mut Writer, e: &TranslateError) {
+    match e {
+        TranslateError::NonLinear(m) => {
+            w.u8(0);
+            w.str(m);
+        }
+        TranslateError::ArrayRead(name) => {
+            w.u8(1);
+            w.str(name);
+        }
+    }
+}
+
+pub fn read_translate_error(r: &mut Reader) -> Result<TranslateError, DecodeError> {
+    Ok(match r.u8()? {
+        0 => TranslateError::NonLinear(r.str()?),
+        1 => TranslateError::ArrayRead(r.str()?),
+        other => return err(format!("invalid translate-error tag {other}")),
+    })
+}
+
+pub fn write_wp_error(w: &mut Writer, e: &WpError) {
+    match e {
+        WpError::ArrayWrite(name) => {
+            w.u8(0);
+            w.str(name);
+        }
+        WpError::Lower(inner) => {
+            w.u8(1);
+            match inner {
+                LowerError::SortMismatch(m) => {
+                    w.u8(0);
+                    w.str(m);
+                }
+                LowerError::Unsupported(m) => {
+                    w.u8(1);
+                    w.str(m);
+                }
+                LowerError::Undeclared(m) => {
+                    w.u8(2);
+                    w.str(m);
+                }
+            }
+        }
+    }
+}
+
+pub fn read_wp_error(r: &mut Reader) -> Result<WpError, DecodeError> {
+    Ok(match r.u8()? {
+        0 => WpError::ArrayWrite(r.str()?),
+        1 => WpError::Lower(match r.u8()? {
+            0 => LowerError::SortMismatch(r.str()?),
+            1 => LowerError::Unsupported(r.str()?),
+            2 => LowerError::Undeclared(r.str()?),
+            other => return err(format!("invalid lower-error tag {other}")),
+        }),
+        other => return err(format!("invalid wp-error tag {other}")),
+    })
+}

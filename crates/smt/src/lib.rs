@@ -55,4 +55,6 @@ pub mod sat;
 pub mod solver;
 
 pub use linear::{LinExpr, TranslateError};
-pub use solver::{SatResult, Solver, SolverConfig, SolverError, SolverStats, ValidityResult};
+pub use solver::{
+    SatResult, Solver, SolverConfig, SolverError, SolverStats, TheoryVerdict, ValidityResult,
+};

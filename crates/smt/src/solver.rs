@@ -73,6 +73,11 @@ pub struct SolverStats {
     /// the identical-query races the per-shard in-flight guard deduplicates
     /// under suite-level concurrency. Always 0 for a single-threaded solver.
     pub deduped_races: usize,
+    /// Memo hits (across all three tables) served by entries seeded from a
+    /// persisted artifact of an earlier process (see [`Solver::seed_sat_cache`]
+    /// and friends) — the warm-start reuse `expresso-persist` buys. Always 0
+    /// for a cold-started solver.
+    pub disk_hits: usize,
     /// Quantifier eliminations answered from the memo cache.
     pub qe_cache_hits: usize,
     /// Quantifier eliminations that had to be computed and were then cached.
@@ -135,6 +140,7 @@ impl SolverStats {
                 .cross_analysis_hits
                 .saturating_sub(earlier.cross_analysis_hits),
             deduped_races: self.deduped_races.saturating_sub(earlier.deduped_races),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             qe_cache_hits: self.qe_cache_hits.saturating_sub(earlier.qe_cache_hits),
             qe_cache_misses: self.qe_cache_misses.saturating_sub(earlier.qe_cache_misses),
             theory_cache_hits: self
@@ -234,6 +240,7 @@ struct StatsCells {
     cache_misses: AtomicUsize,
     cross_analysis_hits: AtomicUsize,
     deduped_races: AtomicUsize,
+    disk_hits: AtomicUsize,
     qe_cache_hits: AtomicUsize,
     qe_cache_misses: AtomicUsize,
     theory_cache_hits: AtomicUsize,
@@ -255,6 +262,7 @@ impl StatsCells {
             cache_misses: load(&self.cache_misses),
             cross_analysis_hits: load(&self.cross_analysis_hits),
             deduped_races: load(&self.deduped_races),
+            disk_hits: load(&self.disk_hits),
             qe_cache_hits: load(&self.qe_cache_hits),
             qe_cache_misses: load(&self.qe_cache_misses),
             theory_cache_hits: load(&self.theory_cache_hits),
@@ -272,11 +280,22 @@ fn bump(counter: &AtomicUsize) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
+/// One memoized value plus its provenance: the analysis epoch it was inserted
+/// in (cross-analysis accounting) and whether it was seeded from a persisted
+/// artifact of an earlier process rather than computed here (disk-hit
+/// accounting).
+#[derive(Debug, Clone)]
+struct CacheEntry<V> {
+    value: V,
+    epoch: u32,
+    from_disk: bool,
+}
+
 /// One stripe of a [`ShardedCache`]: the memo map plus the keys whose values
 /// are being computed right now by some thread.
 #[derive(Debug)]
 struct ShardState<K, V> {
-    map: HashMap<K, (V, u32)>,
+    map: HashMap<K, CacheEntry<V>>,
     inflight: HashSet<K>,
 }
 
@@ -316,6 +335,8 @@ enum Lookup<'c, K: Hash + Eq + Clone, V: Clone> {
         /// Whether this thread waited for a racing computation of the same
         /// key instead of recomputing it.
         deduped: bool,
+        /// Whether the entry was seeded from a persisted artifact.
+        from_disk: bool,
     },
     /// The key is cold and now registered in-flight: the caller must compute
     /// the value and call [`InFlight::complete`].
@@ -337,7 +358,14 @@ impl<K: Hash + Eq + Clone, V: Clone> InFlight<'_, K, V> {
         let shard = self.cache.shard(&key);
         let mut state = shard.state.lock().unwrap();
         state.inflight.remove(&key);
-        state.map.insert(key, (value, epoch));
+        state.map.insert(
+            key,
+            CacheEntry {
+                value,
+                epoch,
+                from_disk: false,
+            },
+        );
         shard.ready.notify_all();
     }
 }
@@ -387,11 +415,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         let mut state = shard.state.lock().unwrap();
         let mut deduped = false;
         loop {
-            if let Some((value, entry_epoch)) = state.map.get(key) {
+            if let Some(entry) = state.map.get(key) {
                 return Lookup::Hit {
-                    value: value.clone(),
-                    cross_epoch: *entry_epoch != epoch,
+                    value: entry.value.clone(),
+                    cross_epoch: entry.epoch != epoch,
                     deduped,
+                    from_disk: entry.from_disk,
                 };
             }
             if state.inflight.contains(key) {
@@ -417,7 +446,50 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             .unwrap()
             .map
             .get(key)
-            .map(|(v, _)| v.clone())
+            .map(|entry| entry.value.clone())
+    }
+
+    /// Snapshot of every memoized `(key, value)` pair, in shard order
+    /// (in-flight computations are not waited for). The persistence layer
+    /// serializes this; callers wanting a deterministic artifact sort the
+    /// result themselves.
+    fn export(&self) -> Vec<(K, V)> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                let state = shard.state.lock().unwrap();
+                state
+                    .map
+                    .iter()
+                    .map(|(k, entry)| (k.clone(), entry.value.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Inserts externally computed entries, marked as disk-seeded for the
+    /// [`SolverStats::disk_hits`] accounting. Keys already present (or
+    /// in-flight) are left untouched: a live computation is never clobbered
+    /// by stale artifact data. Returns the number of entries inserted.
+    fn seed(&self, entries: Vec<(K, V)>, epoch: u32) -> usize {
+        let mut inserted = 0;
+        for (key, value) in entries {
+            let shard = self.shard(&key);
+            let mut state = shard.state.lock().unwrap();
+            if state.map.contains_key(&key) || state.inflight.contains(&key) {
+                continue;
+            }
+            state.map.insert(
+                key,
+                CacheEntry {
+                    value,
+                    epoch,
+                    from_disk: true,
+                },
+            );
+            inserted += 1;
+        }
+        inserted
     }
 }
 
@@ -500,7 +572,7 @@ impl Solver {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    fn record_hit(&self, hit_counter: &AtomicUsize, cross_epoch: bool, deduped: bool) {
+    fn record_hit(&self, hit_counter: &AtomicUsize, cross_epoch: bool, deduped: bool, disk: bool) {
         bump(hit_counter);
         if cross_epoch {
             bump(&self.stats.cross_analysis_hits);
@@ -508,6 +580,70 @@ impl Solver {
         if deduped {
             bump(&self.stats.deduped_races);
         }
+        if disk {
+            bump(&self.stats.disk_hits);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence hooks (`expresso-persist`)
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the satisfiability memo table as `(normalized query id,
+    /// verdict)` pairs, for serialization by the persistence layer.
+    pub fn export_sat_cache(&self) -> Vec<(FormulaId, SatResult)> {
+        self.cache.export()
+    }
+
+    /// Snapshot of the quantifier-elimination memo table as `(normalized
+    /// input id, result)` pairs.
+    pub fn export_qe_cache(&self) -> Vec<(FormulaId, Result<FormulaId, TranslateError>)> {
+        self.qe_cache.export()
+    }
+
+    /// Snapshot of the theory-verdict memo table as `(sorted literal set,
+    /// verdict)` pairs.
+    pub fn export_theory_cache(&self) -> Vec<(Vec<(FormulaId, bool)>, TheoryVerdict)> {
+        self.theory_cache.export()
+    }
+
+    /// Seeds the satisfiability memo table with entries re-interned from a
+    /// persisted artifact. Keys must be the exact ids the warm run's own
+    /// normalization would produce — the persistence layer guarantees this by
+    /// serializing post-normalization formula trees and re-interning them
+    /// through this solver's arena. Existing entries win over seeded ones.
+    /// Hits on seeded entries count into [`SolverStats::disk_hits`]. No-op
+    /// (returning 0) when the cache is disabled.
+    pub fn seed_sat_cache(&self, entries: Vec<(FormulaId, SatResult)>) -> usize {
+        if !self.config.enable_cache {
+            return 0;
+        }
+        self.cache.seed(entries, self.current_epoch())
+    }
+
+    /// Seeds the quantifier-elimination memo table; see
+    /// [`Solver::seed_sat_cache`] for the key contract.
+    pub fn seed_qe_cache(
+        &self,
+        entries: Vec<(FormulaId, Result<FormulaId, TranslateError>)>,
+    ) -> usize {
+        if !self.config.enable_cache {
+            return 0;
+        }
+        self.qe_cache.seed(entries, self.current_epoch())
+    }
+
+    /// Seeds the theory-verdict memo table; keys are the sorted, deduplicated
+    /// `(atom id, polarity)` sets the DPLL(T) loop builds. See
+    /// [`Solver::seed_sat_cache`] for the key contract.
+    pub fn seed_theory_cache(
+        &self,
+        entries: Vec<(Vec<(FormulaId, bool)>, TheoryVerdict)>,
+    ) -> usize {
+        if !self.config.enable_cache {
+            return 0;
+        }
+        self.theory_cache.seed(entries, self.current_epoch())
     }
 
     /// Eliminates all quantifiers from `formula`.
@@ -549,8 +685,9 @@ impl Solver {
                     value,
                     cross_epoch,
                     deduped,
+                    from_disk,
                 } => {
-                    self.record_hit(&self.stats.qe_cache_hits, cross_epoch, deduped);
+                    self.record_hit(&self.stats.qe_cache_hits, cross_epoch, deduped, from_disk);
                     return value;
                 }
                 Lookup::Compute(registration) => Some(registration),
@@ -594,8 +731,9 @@ impl Solver {
                     value,
                     cross_epoch,
                     deduped,
+                    from_disk,
                 } => {
-                    self.record_hit(&self.stats.cache_hits, cross_epoch, deduped);
+                    self.record_hit(&self.stats.cache_hits, cross_epoch, deduped, from_disk);
                     return value;
                 }
                 Lookup::Compute(registration) => Some(registration),
@@ -889,8 +1027,14 @@ impl Solver {
                     value,
                     cross_epoch,
                     deduped,
+                    from_disk,
                 } => {
-                    self.record_hit(&self.stats.theory_cache_hits, cross_epoch, deduped);
+                    self.record_hit(
+                        &self.stats.theory_cache_hits,
+                        cross_epoch,
+                        deduped,
+                        from_disk,
+                    );
                     return value;
                 }
                 Lookup::Compute(registration) => Some(registration),
@@ -1134,13 +1278,20 @@ struct TheoryLit {
     atom: Formula,
 }
 
-#[derive(Debug, Clone)]
-enum TheoryVerdict {
+/// Verdict of a theory-consistency check over a conjunction of literals.
+///
+/// Public because the persistence layer serializes the theory memo table;
+/// the attached ids are only meaningful in the arena that minted them (the
+/// artifact stores formula trees instead and re-interns on load).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TheoryVerdict {
+    /// The literal set has an integer model.
     Consistent,
     /// Theory-inconsistent; carries the minimal inconsistent core as
     /// `(atom id, assigned polarity)` pairs when a Fourier–Motzkin
     /// certificate produced one (`None` for Cooper-derived conflicts).
     Inconsistent(Option<Vec<(FormulaId, bool)>>),
+    /// The check left the decidable fragment or exceeded a budget.
     Unknown(String),
 }
 

@@ -1,0 +1,202 @@
+//! Seeded generation of service-scale monitor corpora.
+//!
+//! The 16 hand-written benchmarks exercise every analysis feature but are too
+//! few to measure persistence at realistic scale. This module mass-produces
+//! *variants* of those templates: each variant renames the monitor, then
+//! grafts in a fresh state variable and two conditional critical regions
+//! whose guard bound and step are drawn from a seeded [`Lcg`]. The grafted
+//! CCRs pair with every original CCR during placement and enlarge the
+//! invariant search, so each variant is a genuinely distinct analysis
+//! problem: its formulas, WP keys and solver queries differ from every other
+//! variant's (the injected identifiers embed the variant index, so even equal
+//! bounds never collide in the fingerprinted caches).
+//!
+//! Equal `(size, seed)` specs yield byte-identical corpora, which is what
+//! lets a *warm* `reproduce persist` run regenerate exactly the corpus the
+//! *cold* run persisted and hit its artifact on every monitor.
+
+use crate::benchmarks;
+use expresso_logic::Lcg;
+use expresso_monitor_lang::{parse_monitor, Monitor};
+
+/// What corpus to generate; equal specs generate identical corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Number of monitors.
+    pub size: usize,
+    /// Seed of the variant parameter stream.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            size: 500,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One generated monitor: a named, self-contained source text.
+#[derive(Debug, Clone)]
+pub struct CorpusMonitor {
+    /// Variant name (template monitor name plus variant index).
+    pub name: String,
+    /// Name of the benchmark template the variant derives from.
+    pub template: &'static str,
+    /// Complete monitor source.
+    pub source: String,
+}
+
+impl CorpusMonitor {
+    /// Parses the variant's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated source is malformed — the generator's tests
+    /// parse every variant, so this only fires on a generator bug.
+    pub fn monitor(&self) -> Monitor {
+        parse_monitor(&self.source).expect("generated corpus source parses")
+    }
+}
+
+/// Generates `spec.size` monitor variants, cycling over all benchmark
+/// templates in suite order. Deterministic in `spec`.
+pub fn generate(spec: &CorpusSpec) -> Vec<CorpusMonitor> {
+    let templates = benchmarks::all();
+    let mut rng = Lcg::new(spec.seed);
+    (0..spec.size)
+        .map(|i| {
+            let template = &templates[i % templates.len()];
+            // Guard bound and increment step of the grafted CCR pair; the
+            // ranges keep abduction's difference-bound search engaged without
+            // blowing up any single variant.
+            let bound = 2 + rng.below(24) as i64;
+            let step = 1 + rng.below(3) as i64;
+            CorpusMonitor {
+                name: format!("{}V{i}", monitor_ident(template.source)),
+                template: template.name,
+                source: variant_source(template.source, i, bound, step),
+            }
+        })
+        .collect()
+}
+
+/// Appends a self-contained "dirty probe" field and CCR to `source`, right
+/// before the monitor's closing brace. The probe is valid in any monitor (it
+/// touches no existing state), yet it changes the monitor's CCR set and every
+/// placement pair — the minimal realistic "developer edited one monitor"
+/// mutation the incremental-invalidation harness replays.
+pub fn mutate_source(source: &str) -> String {
+    splice_before_close(
+        source,
+        "\n    int dirtyProbe = 0;\n    atomic void bumpDirtyProbe() { waituntil (dirtyProbe < 1) { dirtyProbe++; } }\n",
+    )
+}
+
+/// The identifier following the `monitor` keyword.
+fn monitor_ident(source: &str) -> &str {
+    let rest = source
+        .split_once("monitor ")
+        .expect("template declares a monitor")
+        .1;
+    let end = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+fn splice_before_close(source: &str, addition: &str) -> String {
+    let close = source
+        .rfind('}')
+        .expect("monitor source has a closing brace");
+    let mut out = String::with_capacity(source.len() + addition.len());
+    out.push_str(&source[..close]);
+    out.push_str(addition);
+    out.push_str(&source[close..]);
+    out
+}
+
+fn variant_source(template: &str, index: usize, bound: i64, step: i64) -> String {
+    // Rename the monitor so every variant is self-describing in reports.
+    let ident = monitor_ident(template);
+    let renamed = template.replacen(
+        &format!("monitor {ident}"),
+        &format!("monitor {ident}V{index}"),
+        1,
+    );
+    // Graft a bounded counter and its drain: `advance` blocks until the
+    // counter is under the variant's bound, `drain` until it is over it.
+    // The pair is a miniature producer/consumer whose guards mention only
+    // the grafted variable, so the variant parses and checks no matter what
+    // state the template declares.
+    let addition = format!(
+        "\n    int gauge{index} = 0;\n    \
+         atomic void advance{index}() {{ waituntil (gauge{index} < {bound}) {{ gauge{index} = gauge{index} + {step}; }} }}\n    \
+         atomic void drain{index}() {{ waituntil (gauge{index} >= {bound}) {{ gauge{index} = 0; }} }}\n",
+    );
+    splice_before_close(&renamed, &addition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expresso_monitor_lang::check_monitor;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CorpusSpec { size: 40, seed: 7 };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.source, y.source);
+        }
+        let c = generate(&CorpusSpec { seed: 8, ..spec });
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.source != y.source),
+            "different seeds must change some variant"
+        );
+    }
+
+    #[test]
+    fn every_variant_parses_and_checks() {
+        // One full cycle over all templates plus change: every graft site
+        // and every drawn parameter shape must produce a well-formed monitor.
+        let corpus = generate(&CorpusSpec {
+            size: 2 * benchmarks::all().len() + 3,
+            seed: 0xC0FFEE,
+        });
+        for variant in &corpus {
+            let monitor = variant.monitor();
+            check_monitor(&monitor)
+                .unwrap_or_else(|e| panic!("variant {} fails checking: {e:?}", variant.name));
+            assert!(monitor.name.contains('V'), "variant must be renamed");
+        }
+    }
+
+    #[test]
+    fn variants_are_distinct_analysis_problems() {
+        let corpus = generate(&CorpusSpec { size: 50, seed: 1 });
+        let mut sources: Vec<&str> = corpus.iter().map(|v| v.source.as_str()).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert_eq!(sources.len(), corpus.len(), "no two variants may coincide");
+    }
+
+    #[test]
+    fn mutation_adds_one_ccr_and_keeps_the_monitor_valid() {
+        let variant = &generate(&CorpusSpec { size: 1, seed: 2 })[0];
+        let mutated = mutate_source(&variant.source);
+        assert_ne!(mutated, variant.source);
+        let before = variant.monitor();
+        let after = parse_monitor(&mutated).expect("mutated source parses");
+        check_monitor(&after).expect("mutated monitor checks");
+        assert_eq!(
+            after.methods.len(),
+            before.methods.len() + 1,
+            "mutation grafts exactly one method"
+        );
+    }
+}

@@ -16,11 +16,13 @@
 //! harnesses as the original 14.
 
 pub mod benchmarks;
+pub mod corpusgen;
 pub mod loadmix;
 pub mod workloads;
 
 pub use benchmarks::{
     all, autosynch_benchmarks, extended_benchmarks, github_benchmarks, Benchmark, BenchmarkGroup,
 };
+pub use corpusgen::{generate, mutate_source, CorpusMonitor, CorpusSpec};
 pub use loadmix::{SessionScript, SessionSpec};
 pub use workloads::scaled_thread_counts;

@@ -47,9 +47,27 @@ use std::sync::{Arc, Mutex};
 
 const WP_CACHE_SHARDS: usize = 16;
 
+/// The session id recorded on entries seeded from a persisted artifact of an
+/// earlier process ([`WpStore::seed_entries`]). Real sessions count up from
+/// 0, so the marker never collides in practice; a hit on a disk-seeded entry
+/// is therefore always attributed as cross-monitor *and* counted into
+/// [`WpCacheStats::disk_hits`].
+const DISK_SESSION: u32 = u32::MAX;
+
 /// A memoized result plus the id of the analysis session that inserted it
 /// (which funds the cross-monitor reuse accounting).
 type WpEntry = (Result<FormulaId, WpError>, u32);
+
+/// One exported store entry, in the process-independent key shape the
+/// persistence layer serializes: `(fingerprint, statement, post-id, result)`.
+/// The two [`FormulaId`]s are only meaningful in the arena the store was
+/// filled against; `expresso-persist` swaps them for formula trees on disk.
+pub type WpExportEntry = (
+    LoweringFingerprint,
+    Stmt,
+    FormulaId,
+    Result<FormulaId, WpError>,
+);
 
 /// One stripe of the store: lowering fingerprint → statement → (post-id →
 /// entry). The statement level lets lookups borrow the caller's `&Stmt`
@@ -99,6 +117,13 @@ pub struct WpCacheStats {
     /// the cross-monitor reuse a suite-wide store buys. Always 0 for a
     /// private per-analysis store.
     pub cross_monitor_hits: usize,
+    /// Hits served by an entry seeded from a persisted artifact of an earlier
+    /// process ([`WpStore::seed_entries`]) — the warm-start reuse
+    /// `expresso-persist` buys. Disk hits are also counted as cross-monitor
+    /// hits (the inserting "session" is never the current one), so this is a
+    /// refinement of `cross_monitor_hits`, not a separate population. Always
+    /// 0 for a cold-started store.
+    pub disk_hits: usize,
 }
 
 impl WpCacheStats {
@@ -118,6 +143,7 @@ struct WpCounters {
     hits: AtomicUsize,
     misses: AtomicUsize,
     cross_monitor_hits: AtomicUsize,
+    disk_hits: AtomicUsize,
 }
 
 impl WpCounters {
@@ -126,14 +152,18 @@ impl WpCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             cross_monitor_hits: self.cross_monitor_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
     }
 
-    fn record(&self, hit: bool, cross: bool) {
+    fn record(&self, hit: bool, cross: bool, disk: bool) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
             if cross {
                 self.cross_monitor_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            if disk {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
             }
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -234,6 +264,70 @@ impl WpStore {
             .or_default()
             .insert(post, entry);
     }
+
+    // ------------------------------------------------------------------
+    // Persistence hooks (`expresso-persist`)
+    // ------------------------------------------------------------------
+
+    /// Snapshot of every memoized entry (whoever inserted it), in shard
+    /// order, for serialization by the persistence layer. Callers wanting a
+    /// deterministic artifact sort the result themselves.
+    pub fn export_entries(&self) -> Vec<WpExportEntry> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap();
+            for (fingerprint, by_stmt) in shard.iter() {
+                for (stmt, by_post) in by_stmt {
+                    for (&post, (result, _session)) in by_post {
+                        out.push((Arc::clone(fingerprint), stmt.clone(), post, result.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Seeds the store with entries re-interned from a persisted artifact,
+    /// marked with the reserved disk session id so hits on them count as
+    /// cross-monitor reuse *and* into [`WpCacheStats::disk_hits`]. Existing
+    /// entries win over seeded ones. Returns the number of entries inserted;
+    /// no-op (returning 0) when the store is disabled.
+    pub fn seed_entries(&self, entries: Vec<WpExportEntry>) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        let mut inserted = 0;
+        for (fingerprint, stmt, post, result) in entries {
+            let mut shard = self.shard(&fingerprint, &stmt).lock().unwrap();
+            let by_post = shard
+                .entry(fingerprint)
+                .or_default()
+                .entry(stmt)
+                .or_default();
+            if by_post.contains_key(&post) {
+                continue;
+            }
+            by_post.insert(post, (result, DISK_SESSION));
+            inserted += 1;
+        }
+        inserted
+    }
+
+    /// Total number of memoized entries currently in the store.
+    pub fn entry_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .flat_map(|by_stmt| by_stmt.values())
+                    .map(|by_post| by_post.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
 }
 
 /// A per-analysis session over a [`WpStore`]; this is the handle the
@@ -313,13 +407,14 @@ impl WpCache {
         }
         if let Some((cached, inserted_by)) = self.store.lookup(fingerprint, stmt, post) {
             let cross = inserted_by != self.analysis;
-            self.counters.record(true, cross);
-            self.store.counters.record(true, cross);
+            let disk = inserted_by == DISK_SESSION;
+            self.counters.record(true, cross, disk);
+            self.store.counters.record(true, cross, disk);
             return cached;
         }
         let result = compute();
-        self.counters.record(false, false);
-        self.store.counters.record(false, false);
+        self.counters.record(false, false, false);
+        self.store.counters.record(false, false, false);
         self.store
             .insert(fingerprint, stmt, post, (result.clone(), self.analysis));
         result

@@ -11,6 +11,8 @@ pub mod cache;
 pub mod hoare;
 pub mod wp;
 
-pub use cache::{lowering_fingerprint, LoweringFingerprint, WpCache, WpCacheStats, WpStore};
+pub use cache::{
+    lowering_fingerprint, LoweringFingerprint, WpCache, WpCacheStats, WpExportEntry, WpStore,
+};
 pub use hoare::{HoareTriple, TripleStatus, VcGen};
 pub use wp::{wp, wp_id, WpError};

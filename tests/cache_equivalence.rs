@@ -8,6 +8,7 @@
 
 use expresso_repro::core::{AbductionExecutor, Expresso, ExpressoConfig, SharedAnalysisContext};
 use expresso_repro::suite::all;
+use expresso_repro::suite::corpusgen::{generate, mutate_source, CorpusSpec};
 
 fn config(cache: bool, parallel: bool) -> ExpressoConfig {
     ExpressoConfig {
@@ -326,4 +327,252 @@ fn cached_run_reports_a_nonzero_hit_rate() {
     let outcome = Expresso::new().analyze(&rw.monitor()).unwrap();
     assert!(outcome.stats.solver.cache_hits > 0);
     assert!(outcome.stats.solver.cache_hit_rate() > 0.0);
+}
+
+// -------------------------------------------------------------------------
+// Persistent warm starts: the on-disk artifact is a pure optimisation too.
+// -------------------------------------------------------------------------
+
+/// A unique scratch cache directory, removed and recreated per call.
+fn scratch_cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-cache-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn persistent_config(dir: &std::path::Path) -> ExpressoConfig {
+    ExpressoConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..ExpressoConfig::default()
+    }
+}
+
+#[test]
+fn warm_start_from_artifact_is_bit_identical_and_served_from_disk() {
+    // A generated corpus spanning every template, analysed cold into an
+    // empty cache directory, persisted, then re-analysed by a fresh context
+    // (fresh arena — the on-disk trees must re-intern): the warm run must
+    // reproduce every outcome, candidate count and placement counter
+    // bit-for-bit, and must actually be served from disk.
+    let dir = scratch_cache_dir("warm");
+    let corpus = generate(&CorpusSpec { size: 18, seed: 11 });
+    let monitors: Vec<_> = corpus.iter().map(|v| v.monitor()).collect();
+    let config = persistent_config(&dir);
+    let pipeline = Expresso::with_config(config.clone());
+
+    let cold_context = SharedAnalysisContext::new(&config);
+    assert!(
+        cold_context.warm_start().is_none(),
+        "first run must be cold"
+    );
+    let cold: Vec<_> = pipeline
+        .analyze_suite(&cold_context, &monitors)
+        .into_iter()
+        .map(|o| o.expect("cold corpus analysis succeeds"))
+        .collect();
+    let saved = cold_context
+        .persist()
+        .expect("saving the artifact")
+        .expect("cache directory configured");
+    assert!(
+        saved.wp > 0 && saved.sat > 0,
+        "artifact must carry entries: {saved:?}"
+    );
+
+    let warm_context = SharedAnalysisContext::new(&config);
+    let seeded = warm_context
+        .warm_start()
+        .expect("second context must warm-start from the artifact");
+    assert_eq!(seeded.sat, saved.sat, "every saved sat entry must seed");
+    assert_eq!(seeded.wp, saved.wp, "every saved wp entry must seed");
+    let warm: Vec<_> = pipeline
+        .analyze_suite(&warm_context, &monitors)
+        .into_iter()
+        .map(|o| o.expect("warm corpus analysis succeeds"))
+        .collect();
+
+    for ((c, w), v) in cold.iter().zip(&warm).zip(&corpus) {
+        assert_eq!(c.explicit, w.explicit, "{}: explicit diverged", v.name);
+        assert_eq!(c.invariant, w.invariant, "{}: invariant diverged", v.name);
+        assert_eq!(
+            c.stats.invariant_candidates, w.stats.invariant_candidates,
+            "{}: candidate counts diverged",
+            v.name
+        );
+        assert_eq!(
+            c.stats.invariant_conjuncts, w.stats.invariant_conjuncts,
+            "{}: conjunct counts diverged",
+            v.name
+        );
+        assert_eq!(
+            c.report.decisions, w.report.decisions,
+            "{}: decisions",
+            v.name
+        );
+        assert_eq!(
+            c.report.pairs_considered, w.report.pairs_considered,
+            "{}: pairs_considered",
+            v.name
+        );
+        assert_eq!(
+            c.report.triples_checked, w.report.triples_checked,
+            "{}: triples_checked",
+            v.name
+        );
+        assert_eq!(c.report.skipped, w.report.skipped, "{}: skipped", v.name);
+        assert_eq!(
+            w.stats.wp_cache.misses, 0,
+            "{}: warm run recomputed a weakest precondition",
+            v.name
+        );
+    }
+    // Disk-hit floors: every monitor asks at least one WP and one solver
+    // query, and warm all of them come from the artifact.
+    assert!(
+        warm_context.wp_stats().disk_hits >= corpus.len(),
+        "warm WP disk hits below one per monitor: {:?}",
+        warm_context.wp_stats()
+    );
+    assert!(
+        warm_context.stats().disk_hits >= corpus.len(),
+        "warm solver disk hits below one per monitor: {:?}",
+        warm_context.stats()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resaving_a_warm_context_loses_no_entry_and_keeps_warm_starting() {
+    // persist → load → analyse → persist must be (at least) monotone: the
+    // re-saved artifact contains every entry of the first one. Exact byte
+    // equality is deliberately NOT required — placement sorts its triple
+    // batches by cached validity and short-circuits, so a warm run may ask a
+    // few equivalence queries the cold run skipped (extra entries, never
+    // changed outcomes). Losing an entry, though, means seeding mis-keyed
+    // and the warm run silently recomputed: that is the regression this
+    // pins. A third context seeded from the re-saved artifact must keep
+    // producing the identical outcomes.
+    let dir = scratch_cache_dir("monotone");
+    let corpus = generate(&CorpusSpec { size: 8, seed: 3 });
+    let monitors: Vec<_> = corpus.iter().map(|v| v.monitor()).collect();
+    let config = persistent_config(&dir);
+    let pipeline = Expresso::with_config(config.clone());
+
+    let cold_context = SharedAnalysisContext::new(&config);
+    let cold: Vec<_> = pipeline
+        .analyze_suite(&cold_context, &monitors)
+        .into_iter()
+        .map(|o| o.expect("cold analysis succeeds"))
+        .collect();
+    cold_context.persist().unwrap().unwrap();
+    let first = match expresso_repro::persist::load(&dir) {
+        expresso_repro::persist::LoadResult::Loaded(a) => a,
+        other => panic!("expected a loadable artifact, got {other:?}"),
+    };
+
+    let warm_context = SharedAnalysisContext::new(&config);
+    assert!(warm_context.warm_start().is_some());
+    for outcome in pipeline.analyze_suite(&warm_context, &monitors) {
+        outcome.expect("warm analysis succeeds");
+    }
+    warm_context.persist().unwrap().unwrap();
+    let second = match expresso_repro::persist::load(&dir) {
+        expresso_repro::persist::LoadResult::Loaded(a) => a,
+        other => panic!("expected a loadable artifact, got {other:?}"),
+    };
+
+    assert!(
+        first.sat.iter().all(|e| second.sat.contains(e)),
+        "a sat entry vanished on re-save"
+    );
+    assert!(
+        first.qe.iter().all(|e| second.qe.contains(e)),
+        "a qe entry vanished on re-save"
+    );
+    assert!(
+        first.theory.iter().all(|e| second.theory.contains(e)),
+        "a theory entry vanished on re-save"
+    );
+    assert!(
+        first.wp.iter().all(|e| second.wp.contains(e)),
+        "a wp entry vanished on re-save"
+    );
+
+    let third_context = SharedAnalysisContext::new(&config);
+    assert!(third_context.warm_start().is_some());
+    let third: Vec<_> = pipeline
+        .analyze_suite(&third_context, &monitors)
+        .into_iter()
+        .map(|o| o.expect("third-generation analysis succeeds"))
+        .collect();
+    for ((c, t), v) in cold.iter().zip(&third).zip(&corpus) {
+        assert_eq!(c.explicit, t.explicit, "{}: explicit drifted", v.name);
+        assert_eq!(c.invariant, t.invariant, "{}: invariant drifted", v.name);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mutating_one_monitor_reanalyzes_exactly_that_monitor() {
+    // The incremental-invalidation pin: after a one-monitor edit, the
+    // warm-started suite recomputes weakest preconditions for the mutated
+    // monitor only — content-addressing must not spill invalidation across
+    // monitor boundaries, and the untouched monitors must keep their cold
+    // outcomes.
+    let dir = scratch_cache_dir("dirty");
+    let corpus = generate(&CorpusSpec { size: 12, seed: 5 });
+    let monitors: Vec<_> = corpus.iter().map(|v| v.monitor()).collect();
+    let config = persistent_config(&dir);
+    let pipeline = Expresso::with_config(config.clone());
+
+    let cold_context = SharedAnalysisContext::new(&config);
+    let cold: Vec<_> = pipeline
+        .analyze_suite(&cold_context, &monitors)
+        .into_iter()
+        .map(|o| o.expect("cold analysis succeeds"))
+        .collect();
+    cold_context.persist().unwrap().unwrap();
+
+    const MUTATED: usize = 4;
+    let mut dirty_monitors = monitors.clone();
+    dirty_monitors[MUTATED] =
+        expresso_repro::monitor_lang::parse_monitor(&mutate_source(&corpus[MUTATED].source))
+            .expect("mutated source parses");
+
+    let dirty_context = SharedAnalysisContext::new(&config);
+    assert!(dirty_context.warm_start().is_some());
+    let dirty: Vec<_> = pipeline
+        .analyze_suite(&dirty_context, &dirty_monitors)
+        .into_iter()
+        .map(|o| o.expect("dirty analysis succeeds"))
+        .collect();
+
+    let reanalyzed: Vec<usize> = dirty
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.stats.wp_cache.misses > 0)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        reanalyzed,
+        vec![MUTATED],
+        "exactly the mutated monitor must recompute weakest preconditions"
+    );
+    for (i, (c, d)) in cold.iter().zip(&dirty).enumerate() {
+        if i == MUTATED {
+            continue;
+        }
+        assert_eq!(
+            c.explicit, d.explicit,
+            "{}: untouched monitor changed outcome after a foreign edit",
+            corpus[i].name
+        );
+        assert_eq!(c.invariant, d.invariant, "{}: invariant", corpus[i].name);
+    }
+    // The mutated monitor gained a CCR, so its placement grid must grow.
+    assert!(
+        dirty[MUTATED].report.pairs_considered > cold[MUTATED].report.pairs_considered,
+        "the mutation must enlarge the mutated monitor's pair grid"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

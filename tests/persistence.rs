@@ -1,0 +1,164 @@
+//! Robustness of the persistent warm-start cache: corrupt artifacts must
+//! degrade to a cold start (never a panic, never a wrong verdict), and
+//! concurrent writers sharing one cache directory must never produce a torn
+//! artifact.
+
+use expresso_repro::core::{Expresso, ExpressoConfig, SharedAnalysisContext};
+use expresso_repro::persist::{self, LoadResult};
+use expresso_repro::suite::corpusgen::{generate, CorpusSpec};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A unique scratch cache directory, cleared per call.
+fn scratch_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-persist-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn persistent_config(dir: &Path) -> ExpressoConfig {
+    ExpressoConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..ExpressoConfig::default()
+    }
+}
+
+/// Analyses a small corpus against `dir` and saves the artifact.
+fn populate(dir: &Path, size: usize, seed: u64) {
+    let corpus = generate(&CorpusSpec { size, seed });
+    let monitors: Vec<_> = corpus.iter().map(|v| v.monitor()).collect();
+    let config = persistent_config(dir);
+    let context = SharedAnalysisContext::new(&config);
+    for outcome in Expresso::with_config(config.clone()).analyze_suite(&context, &monitors) {
+        outcome.expect("corpus analysis succeeds");
+    }
+    context
+        .persist()
+        .expect("saving the artifact")
+        .expect("cache directory configured");
+}
+
+#[test]
+fn mangled_artifacts_cold_start_instead_of_panicking() {
+    let dir = scratch_cache_dir("mangle");
+    populate(&dir, 4, 17);
+    let path = persist::artifact_path(&dir);
+    let pristine = std::fs::read(&path).unwrap();
+    let config = persistent_config(&dir);
+    let corpus = generate(&CorpusSpec { size: 4, seed: 17 });
+    let monitor = corpus[0].monitor();
+
+    // Sanity: the pristine artifact warm-starts.
+    assert!(SharedAnalysisContext::new(&config).warm_start().is_some());
+
+    let mangles: Vec<(&str, Vec<u8>)> = vec![
+        ("truncated to 10 bytes", pristine[..10].to_vec()),
+        (
+            "truncated mid-payload",
+            pristine[..pristine.len() / 2].to_vec(),
+        ),
+        ("bit-flipped payload", {
+            let mut b = pristine.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x40;
+            b
+        }),
+        ("wrong magic", {
+            let mut b = pristine.clone();
+            b[0] = b'Y';
+            b
+        }),
+        ("future format version", {
+            let mut b = pristine.clone();
+            b[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+            b
+        }),
+        ("empty file", Vec::new()),
+        ("garbage", b"not an artifact at all".to_vec()),
+    ];
+    for (label, bytes) in mangles {
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(persist::load(&dir), LoadResult::Corrupt(_)),
+            "{label}: load must report corruption"
+        );
+        // The pipeline itself must shrug: cold start, correct analysis.
+        let context = SharedAnalysisContext::new(&config);
+        assert!(
+            context.warm_start().is_none(),
+            "{label}: a corrupt artifact must not seed anything"
+        );
+        Expresso::with_config(config.clone())
+            .analyze_with_context(&context, &monitor)
+            .unwrap_or_else(|e| panic!("{label}: analysis after corruption failed: {e}"));
+    }
+
+    // Recovery: persisting over the corrupt file heals the cache.
+    populate(&dir, 4, 17);
+    assert!(SharedAnalysisContext::new(&config).warm_start().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn absent_directory_is_a_plain_cold_start() {
+    let dir = scratch_cache_dir("absent");
+    let config = persistent_config(&dir);
+    let context = SharedAnalysisContext::new(&config);
+    assert!(context.warm_start().is_none());
+    // persist() creates the directory on demand.
+    let saved = context.persist().unwrap().unwrap();
+    assert!(saved.path.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn contexts_without_a_cache_dir_neither_load_nor_save() {
+    let context = SharedAnalysisContext::new(&ExpressoConfig::default());
+    assert!(context.cache_dir().is_none());
+    assert!(context.warm_start().is_none());
+    assert!(context.persist().unwrap().is_none());
+}
+
+/// Child-process entry point for the two-process smoke test: when the env
+/// var names a cache directory, analyse a small corpus and persist into it.
+/// Without the env var (the normal test run) this is a no-op.
+#[test]
+fn two_process_writer_helper() {
+    let Some(dir) = std::env::var_os("EXPRESSO_TEST_WRITER_DIR") else {
+        return;
+    };
+    populate(Path::new(&dir), 3, 23);
+}
+
+#[test]
+fn concurrent_writers_never_tear_the_artifact() {
+    // Two real processes race persist() into one cache directory. The
+    // temp-file-plus-rename protocol guarantees every observable artifact is
+    // a complete one (last writer wins) — so after both exit, the file must
+    // load cleanly and warm-start a fresh context.
+    let dir = scratch_cache_dir("race");
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = std::env::current_exe().unwrap();
+    let spawn = || {
+        Command::new(&exe)
+            .args(["two_process_writer_helper", "--exact", "--nocapture"])
+            .env("EXPRESSO_TEST_WRITER_DIR", &dir)
+            .spawn()
+            .expect("spawning writer process")
+    };
+    let mut a = spawn();
+    let mut b = spawn();
+    assert!(a.wait().unwrap().success(), "first writer failed");
+    assert!(b.wait().unwrap().success(), "second writer failed");
+    match persist::load(&dir) {
+        LoadResult::Loaded(artifact) => assert!(!artifact.is_empty()),
+        other => panic!("artifact after concurrent writes must load, got {other:?}"),
+    }
+    assert!(
+        SharedAnalysisContext::new(&persistent_config(&dir))
+            .warm_start()
+            .is_some(),
+        "the surviving artifact must warm-start"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
