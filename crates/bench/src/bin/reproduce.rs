@@ -49,7 +49,8 @@
 //!
 //! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
 //! (default 200) scale the saturation sweep; `REPRO_EXPLORE_THREADS` /
-//! `REPRO_EXPLORE_OPS` (defaults 3 / 2) bound the exploration workloads;
+//! `REPRO_EXPLORE_OPS` (defaults 3 / 2) bound the exploration workloads and
+//! `REPRO_EXPLORE_PREEMPTIONS` (default 5) bounds the `explore` CI gate;
 //! `REPRO_LOAD_WORKERS` / `REPRO_LOAD_SESSIONS` / `REPRO_LOAD_ROUNDS`
 //! (defaults 4 / 256 / 2) shape the load runs; `REPRO_CORPUS_SIZE` sizes
 //! the persistence corpus and `EXPRESSO_CACHE_DIR` overrides its cache
@@ -60,13 +61,15 @@ use expresso_bench::{
     Series,
 };
 use expresso_core::{Expresso, ExpressoConfig, Scheduler, SchedulerStats, SharedAnalysisContext};
-use expresso_explore::{benchmark_workload, explore, render_trace, ExploreConfig, Strategy};
+use expresso_explore::{
+    benchmark_workload, explore, render_trace, ExploreConfig, RefinedIndependence, Strategy,
+};
 use expresso_loadgen::{measure as measure_load, EngineKind, LoadConfig, LoadReport};
 use expresso_monitor_lang::check_monitor;
 use expresso_suite::{
     all, autosynch_benchmarks, github_benchmarks, scaled_thread_counts, Benchmark,
 };
-use expresso_vcgen::WpCacheStats;
+use expresso_vcgen::{refine_independence, WpCacheStats};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -647,6 +650,9 @@ struct ExploreBenchmarkProfile {
     transitions: usize,
     dedup_hits: usize,
     sleep_prunes: usize,
+    sleep_set_blocked: usize,
+    disjointness_queries: usize,
+    disjointness_cache_hits: usize,
     capped_subtrees: usize,
     divergences: usize,
     dpor_ms: f64,
@@ -672,6 +678,9 @@ struct ExplorationProfile {
     per_benchmark: Vec<ExploreBenchmarkProfile>,
     total_dpor_executions: usize,
     total_naive_executions: usize,
+    sleep_set_blocked: usize,
+    disjointness_queries: usize,
+    disjointness_cache_hits: usize,
     divergences: usize,
 }
 
@@ -682,6 +691,22 @@ impl ExplorationProfile {
             1.0
         } else {
             self.total_naive_executions as f64 / self.total_dpor_executions as f64
+        }
+    }
+
+    /// Arithmetic mean of the per-benchmark reduction factors. The
+    /// aggregate `reduction_factor` is dominated by whichever monitor has
+    /// the largest naive schedule space; the mean weights every benchmark
+    /// equally, so it is the number the explore tripwire gates on.
+    fn mean_reduction(&self) -> f64 {
+        if self.per_benchmark.is_empty() {
+            1.0
+        } else {
+            self.per_benchmark
+                .iter()
+                .map(|p| p.reduction())
+                .sum::<f64>()
+                / self.per_benchmark.len() as f64
         }
     }
 }
@@ -702,6 +727,7 @@ fn profile_exploration(
     let naive_config = ExploreConfig {
         strategy: Strategy::Naive,
         check: false,
+        independence: None,
         ..dpor_config.clone()
     };
     let mut per_benchmark = Vec::new();
@@ -713,9 +739,31 @@ fn profile_exploration(
             .unwrap_or_else(|e| panic!("{} failed analysis: {e}", benchmark.name));
         let workload = benchmark_workload(benchmark, &monitor, &table, threads, ops_per_thread)
             .unwrap_or_else(|e| panic!("{} failed workload construction: {e}", benchmark.name));
+        // Discharge the pairwise guard-disjointness / commutation conditions
+        // through the suite-wide memoizing store: computed once per monitor,
+        // served from cache (or the persisted artifact) on every later run.
+        let before = context.disjointness_stats();
+        let refined =
+            refine_independence(&monitor, &table, context.solver(), context.disjointness());
+        let after = context.disjointness_stats();
+        let independence = Arc::new(RefinedIndependence {
+            table: refined,
+            queries: after.queries - before.queries,
+            cache_hits: after.hits - before.hits,
+        });
+        let refined_config = ExploreConfig {
+            independence: Some(independence),
+            ..dpor_config.clone()
+        };
         let start = Instant::now();
-        let dpor = explore(&monitor, &table, &outcome.explicit, &workload, dpor_config)
-            .unwrap_or_else(|e| panic!("{} failed exploration: {e}", benchmark.name));
+        let dpor = explore(
+            &monitor,
+            &table,
+            &outcome.explicit,
+            &workload,
+            &refined_config,
+        )
+        .unwrap_or_else(|e| panic!("{} failed exploration: {e}", benchmark.name));
         let dpor_ms = start.elapsed().as_secs_f64() * 1e3;
         for divergence in &dpor.divergences {
             eprintln!(
@@ -747,6 +795,9 @@ fn profile_exploration(
             transitions: dpor.transitions(),
             dedup_hits: dpor.implicit.dedup_hits + dpor.explicit.dedup_hits,
             sleep_prunes: dpor.implicit.sleep_prunes + dpor.explicit.sleep_prunes,
+            sleep_set_blocked: dpor.sleep_set_blocked(),
+            disjointness_queries: dpor.disjointness_queries,
+            disjointness_cache_hits: dpor.disjointness_cache_hits,
             capped_subtrees: dpor.implicit.capped_roots + dpor.explicit.capped_roots,
             divergences: dpor.divergences.len(),
             dpor_ms,
@@ -758,6 +809,12 @@ fn profile_exploration(
         ops_per_thread,
         total_dpor_executions: per_benchmark.iter().map(|p| p.dpor_executions).sum(),
         total_naive_executions: per_benchmark.iter().map(|p| p.naive_executions).sum(),
+        sleep_set_blocked: per_benchmark.iter().map(|p| p.sleep_set_blocked).sum(),
+        disjointness_queries: per_benchmark.iter().map(|p| p.disjointness_queries).sum(),
+        disjointness_cache_hits: per_benchmark
+            .iter()
+            .map(|p| p.disjointness_cache_hits)
+            .sum(),
         divergences: per_benchmark.iter().map(|p| p.divergences).sum(),
         per_benchmark,
     }
@@ -1163,7 +1220,9 @@ fn render_json(
             out,
             "      {{\"name\": \"{}\", \"dpor_executions\": {}, \"naive_executions\": {}, \
              \"reduction\": {:.3}, \"transitions\": {}, \"dedup_hits\": {}, \
-             \"sleep_prunes\": {}, \"capped_subtrees\": {}, \"divergences\": {}, \
+             \"sleep_prunes\": {}, \"sleep_set_blocked\": {}, \
+             \"disjointness_queries\": {}, \"disjointness_cache_hits\": {}, \
+             \"capped_subtrees\": {}, \"divergences\": {}, \
              \"dpor_ms\": {:.3}, \"naive_ms\": {:.3}}}",
             p.name,
             p.dpor_executions,
@@ -1172,6 +1231,9 @@ fn render_json(
             p.transitions,
             p.dedup_hits,
             p.sleep_prunes,
+            p.sleep_set_blocked,
+            p.disjointness_queries,
+            p.disjointness_cache_hits,
             p.capped_subtrees,
             p.divergences,
             p.dpor_ms,
@@ -1187,10 +1249,16 @@ fn render_json(
         out,
         "    ],\n    \"total_dpor_executions\": {},\n    \
          \"total_naive_executions\": {},\n    \"reduction_factor\": {:.3},\n    \
+         \"mean_reduction\": {:.3},\n    \"sleep_set_blocked\": {},\n    \
+         \"disjointness_queries\": {},\n    \"disjointness_cache_hits\": {},\n    \
          \"divergences\": {}\n  }}\n}}\n",
         exploration.total_dpor_executions,
         exploration.total_naive_executions,
         exploration.reduction_factor(),
+        exploration.mean_reduction(),
+        exploration.sleep_set_blocked,
+        exploration.disjointness_queries,
+        exploration.disjointness_cache_hits,
         exploration.divergences,
     );
     out
@@ -1390,13 +1458,18 @@ fn run_json() {
     );
     println!(
         "exploration: {} monitors, {} threads x {} ops: {} DPOR executions vs {} naive \
-         ({:.2}x reduction), {} divergences",
+         ({:.2}x aggregate, {:.2}x mean reduction), {} sleep-set-blocked, \
+         {} disjointness queries + {} cache hits, {} divergences",
         exploration.per_benchmark.len(),
         exploration.threads,
         exploration.ops_per_thread,
         exploration.total_dpor_executions,
         exploration.total_naive_executions,
         exploration.reduction_factor(),
+        exploration.mean_reduction(),
+        exploration.sleep_set_blocked,
+        exploration.disjointness_queries,
+        exploration.disjointness_cache_hits,
         exploration.divergences,
     );
     let load_ops: u64 = load
@@ -1443,13 +1516,32 @@ fn run_json() {
         );
         std::process::exit(1);
     }
+    // Optimality witness: source sets + wakeup trees guarantee that no
+    // execution ever runs to completion with every enabled transition
+    // asleep. A nonzero count means the wakeup-tree bookkeeping regressed
+    // to classic (non-optimal) DPOR and is silently wasting executions.
+    if exploration.sleep_set_blocked > 0 {
+        eprintln!(
+            "error: {} execution(s) ran to completion sleep-set-blocked; \
+             Optimal DPOR must never complete a sleep-set-blocked execution",
+            exploration.sleep_set_blocked
+        );
+        std::process::exit(1);
+    }
     // A single-thread workload has exactly one schedule, so reduction is
     // impossible by construction — only enforce the tripwire when the
-    // configuration admits interleavings.
-    if explore_threads > 1 && exploration.reduction_factor() <= 1.0 {
+    // configuration admits interleavings. The floor is on the *mean* of the
+    // per-benchmark reductions: the aggregate factor is dominated by the
+    // biggest schedule space, so a mean below 3x means the refined
+    // dependence relation or the wakeup-tree machinery degenerated on a
+    // broad slice of the suite.
+    if explore_threads > 1 && exploration.mean_reduction() < 3.0 {
         eprintln!(
-            "error: DPOR explored {} executions vs {} naive — no partial-order reduction",
-            exploration.total_dpor_executions, exploration.total_naive_executions
+            "error: mean per-benchmark reduction {:.2}x is below the 3x floor \
+             ({} DPOR executions vs {} naive aggregate)",
+            exploration.mean_reduction(),
+            exploration.total_dpor_executions,
+            exploration.total_naive_executions
         );
         std::process::exit(1);
     }
@@ -1548,41 +1640,62 @@ fn representative_subset() -> Vec<Benchmark> {
 }
 
 /// The CI exploration gate: deeper bounds than the `json` sweep (one more
-/// operation per thread), kept inside the CI budget by a preemption bound,
-/// DPOR-only (no naive baseline). Exits nonzero on any divergence.
+/// operation per thread AND a deeper preemption bound — budget reclaimed by
+/// the refined dependence relation + Optimal DPOR), DPOR-only (no naive
+/// baseline). Exits nonzero on any divergence or any sleep-set-blocked
+/// execution.
 fn run_explore() {
     println!("=== Bounded schedule exploration: representative subset, preemption-bounded ===\n");
     let threads = env_usize("REPRO_EXPLORE_THREADS", 3);
     let ops = env_usize("REPRO_EXPLORE_OPS", 3);
+    let bound = env_usize("REPRO_EXPLORE_PREEMPTIONS", 5);
     let config = ExploreConfig {
-        preemption_bound: Some(4),
+        preemption_bound: Some(bound),
         scheduler: Some(Arc::clone(Scheduler::global())),
         ..ExploreConfig::default()
     };
-    let profile = profile_exploration(&representative_subset(), threads, ops, &config, false);
+    let subset = representative_subset();
+    let profile = profile_exploration(&subset, threads, ops, &config, false);
     println!(
-        "{:<28} {:>12} {:>12} {:>10} {:>8} {:>10}",
-        "Benchmark", "executions", "transitions", "dedup", "capped", "time (ms)"
+        "{:<28} {:>12} {:>12} {:>10} {:>8} {:>8} {:>10}",
+        "Benchmark", "executions", "transitions", "dedup", "capped", "ssb", "time (ms)"
     );
     for p in &profile.per_benchmark {
         println!(
-            "{:<28} {:>12} {:>12} {:>10} {:>8} {:>10.1}",
-            p.name, p.dpor_executions, p.transitions, p.dedup_hits, p.capped_subtrees, p.dpor_ms
+            "{:<28} {:>12} {:>12} {:>10} {:>8} {:>8} {:>10.1}",
+            p.name,
+            p.dpor_executions,
+            p.transitions,
+            p.dedup_hits,
+            p.capped_subtrees,
+            p.sleep_set_blocked,
+            p.dpor_ms
         );
     }
     println!(
-        "\n{} executions across {} monitors ({} threads x {} ops, preemption bound 4); \
-         {} divergences",
+        "\n{} executions across {} monitors ({} threads x {} ops, preemption bound {}); \
+         {} disjointness queries + {} cache hits; {} divergences",
         profile.total_dpor_executions,
         profile.per_benchmark.len(),
         threads,
         ops,
+        bound,
+        profile.disjointness_queries,
+        profile.disjointness_cache_hits,
         profile.divergences,
     );
     if profile.divergences > 0 {
         eprintln!(
             "error: bounded exploration found {} implicit/explicit divergence(s)",
             profile.divergences
+        );
+        std::process::exit(1);
+    }
+    if profile.sleep_set_blocked > 0 {
+        eprintln!(
+            "error: {} execution(s) ran to completion sleep-set-blocked; \
+             Optimal DPOR must never complete a sleep-set-blocked execution",
+            profile.sleep_set_blocked
         );
         std::process::exit(1);
     }

@@ -8,7 +8,7 @@ use expresso_logic::{Formula, Interner, InternerStats};
 use expresso_monitor_lang::{check_monitor, CheckError, ExplicitMonitor, Monitor, VarTable};
 use expresso_persist::{LoadResult, SaveReport, SeedReport};
 use expresso_smt::{Solver, SolverConfig, SolverStats};
-use expresso_vcgen::{WpCacheStats, WpStore};
+use expresso_vcgen::{DisjointnessStats, DisjointnessStore, WpCacheStats, WpStore};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
@@ -135,6 +135,7 @@ impl Default for ExpressoConfig {
 pub struct SharedAnalysisContext {
     solver: Arc<Solver>,
     wp_store: Arc<WpStore>,
+    disjointness: Arc<DisjointnessStore>,
     scheduler: Arc<Scheduler>,
     cache_dir: Option<PathBuf>,
     warm_start: Option<SeedReport>,
@@ -175,6 +176,7 @@ impl SharedAnalysisContext {
             Arc::new(Scheduler::with_analysis_threads(config.analysis_threads))
         };
         let wp_store = Arc::new(WpStore::new(config.wp_cache));
+        let disjointness = Arc::new(DisjointnessStore::new());
         let cache_dir = config
             .cache_dir
             .clone()
@@ -182,9 +184,12 @@ impl SharedAnalysisContext {
         let warm_start = cache_dir
             .as_deref()
             .and_then(|dir| match expresso_persist::load(dir) {
-                LoadResult::Loaded(artifact) => {
-                    Some(expresso_persist::seed(&artifact, &solver, &wp_store))
-                }
+                LoadResult::Loaded(artifact) => Some(expresso_persist::seed(
+                    &artifact,
+                    &solver,
+                    &wp_store,
+                    &disjointness,
+                )),
                 LoadResult::Absent => None,
                 LoadResult::Corrupt(reason) => {
                     eprintln!(
@@ -196,6 +201,7 @@ impl SharedAnalysisContext {
         SharedAnalysisContext {
             solver,
             wp_store,
+            disjointness,
             scheduler,
             cache_dir,
             warm_start,
@@ -225,7 +231,10 @@ impl SharedAnalysisContext {
     pub fn persist(&self) -> io::Result<Option<SaveReport>> {
         match self.cache_dir.as_deref() {
             None => Ok(None),
-            Some(dir) => expresso_persist::save(dir, &self.solver, &self.wp_store).map(Some),
+            Some(dir) => {
+                expresso_persist::save(dir, &self.solver, &self.wp_store, &self.disjointness)
+                    .map(Some)
+            }
         }
     }
 
@@ -242,6 +251,19 @@ impl SharedAnalysisContext {
     /// The suite-wide fingerprinted WP store.
     pub fn wp_store(&self) -> &Arc<WpStore> {
         &self.wp_store
+    }
+
+    /// The suite-wide CCR-pair disjointness/independence store backing the
+    /// explorer's refined dependence relation. Seeded from the warm-start
+    /// artifact and persisted alongside the other memo tables.
+    pub fn disjointness(&self) -> &Arc<DisjointnessStore> {
+        &self.disjointness
+    }
+
+    /// Cumulative disjointness-store counters (fresh computations vs verdicts
+    /// served from the store) across every refinement run so far.
+    pub fn disjointness_stats(&self) -> DisjointnessStats {
+        self.disjointness.stats()
     }
 
     /// The work-stealing pool all analyses of this context run on.

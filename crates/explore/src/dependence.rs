@@ -21,9 +21,17 @@
 //!   can notify someone) is dependent with any fire whose enabledness can
 //!   hinge on being the minimum (a fire of a blocking CCR).
 
-use expresso_monitor_lang::{ExplicitMonitor, Monitor, VarTable};
+use expresso_monitor_lang::{CcrId, ExplicitMonitor, Monitor, VarTable};
 use expresso_semantics::Event;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pairwise fire-independence verdicts from the solver-discharged
+/// refinement (`expresso_vcgen::refine_independence`), keyed on
+/// `(CcrId, CcrId)` with the smaller id first; `true` means the pair of
+/// fires was *proven* independent. The explorer takes the table as plain
+/// data so the refinement stays optional and this crate stays free of any
+/// solver dependency.
+pub type IndependenceTable = BTreeMap<(CcrId, CcrId), bool>;
 
 /// Static footprint of one `(CCR, fired)` transition shape.
 #[derive(Debug, Default, Clone)]
@@ -55,8 +63,16 @@ struct Footprint {
 pub struct Dependence {
     /// Transition shapes: `2 * ccr_count` (block and fire per CCR).
     shapes: usize,
-    /// Row-major `shapes x shapes` dependence matrix.
+    /// Row-major `shapes x shapes` dependence matrix (refinement applied).
     matrix: Vec<bool>,
+    /// The same matrix without the solver-discharged refinement. The
+    /// explorer builds wakeup-sequence *contents* from this relation: the
+    /// conservative footprint rules cover the enabling direction (a fire
+    /// that makes another guard true shares its written variables), so a
+    /// conservatively-downward-closed reordering stays executable — which
+    /// the refined relation, proven only under co-enabledness, does not
+    /// guarantee.
+    conservative: Vec<bool>,
 }
 
 /// Matrix index of an event's shape.
@@ -80,6 +96,26 @@ impl Dependence {
         table: &VarTable,
         explicit: &ExplicitMonitor,
         spurious: bool,
+    ) -> Self {
+        Dependence::with_refinement(monitor, table, explicit, spurious, None)
+    }
+
+    /// [`Dependence::new`] with a solver-discharged refinement: a fire×fire
+    /// pair the table proves independent overrides every conservative rule
+    /// (write conflicts, queue overlap, rule-2b minimum contention) — the
+    /// proof covers exactly those interactions: the bodies commute on every
+    /// shared variable and neither fire can disable the other, while the
+    /// *enabling* direction stays covered by the untouched block shapes.
+    /// Block events, and every pair the table does not prove, keep the
+    /// conservative relation. Callers must pass `None` when spurious
+    /// wake-ups are enumerated: a rule-1b re-sleep mutates the notified set
+    /// in ways the static proof does not model.
+    pub fn with_refinement(
+        monitor: &Monitor,
+        table: &VarTable,
+        explicit: &ExplicitMonitor,
+        spurious: bool,
+        refined: Option<&IndependenceTable>,
     ) -> Self {
         let guards = monitor.guards();
         let queue_of = |guard: &expresso_monitor_lang::Expr| -> Option<usize> {
@@ -135,26 +171,61 @@ impl Dependence {
                 &block[s / 2]
             }
         };
+        let proven_independent = |a: usize, b: usize| -> bool {
+            let (a_fires, b_fires) = (a % 2 == 1, b % 2 == 1);
+            if !a_fires || !b_fires {
+                return false;
+            }
+            let key = ((a / 2).min(b / 2), (a / 2).max(b / 2));
+            refined
+                .and_then(|t| t.get(&(CcrId(key.0), CcrId(key.1))))
+                .copied()
+                .unwrap_or(false)
+        };
         let shapes = 2 * monitor.ccrs.len();
         let mut matrix = vec![false; shapes * shapes];
+        let mut conservative = vec![false; shapes * shapes];
         for a in 0..shapes {
             for b in 0..shapes {
-                matrix[a * shapes + b] =
-                    footprints_dependent(footprint(a), a % 2 == 1, footprint(b), b % 2 == 1);
+                let base = footprints_dependent(footprint(a), a % 2 == 1, footprint(b), b % 2 == 1);
+                conservative[a * shapes + b] = base;
+                matrix[a * shapes + b] = base && !proven_independent(a, b);
             }
         }
-        Dependence { shapes, matrix }
+        Dependence {
+            shapes,
+            matrix,
+            conservative,
+        }
     }
 
-    /// Whether two transitions are (conservatively) dependent. Same-thread
-    /// transitions are always dependent (program order).
+    /// Whether two transitions are dependent under the (possibly refined)
+    /// relation. Same-thread transitions are always dependent (program
+    /// order).
     pub fn dependent(&self, a: Event, b: Event) -> bool {
         a.thread == b.thread || self.matrix[shape(a) * self.shapes + shape(b)]
+    }
+
+    /// Whether two transitions are dependent under the *unrefined*
+    /// footprint rules. Identical to [`Dependence::dependent`] when no
+    /// refinement table was supplied.
+    pub fn dependent_conservative(&self, a: Event, b: Event) -> bool {
+        a.thread == b.thread || self.conservative[shape(a) * self.shapes + shape(b)]
     }
 
     /// The sleep set a child configuration inherits after `executed` runs:
     /// every slept transition that is independent of it. Shared by the split
     /// phase and the DFS so the two filters cannot drift.
+    ///
+    /// Retention deliberately uses the *conservative* relation: keeping a
+    /// slept transition asleep across `executed` asserts that the two
+    /// commute from every state reached in between, and only footprint
+    /// disjointness gives that unconditionally. The refined relation is
+    /// proven under co-enabledness and may not hold once `executed` has
+    /// moved the state, so a refined-independent pair must wake up here —
+    /// otherwise a slept event can survive down a branch until it is the
+    /// only enabled continuation, starving the branch into a
+    /// sleep-set-blocked terminal.
     pub(crate) fn inherit_sleep(
         &self,
         sleep: &BTreeSet<Event>,
@@ -163,7 +234,7 @@ impl Dependence {
         sleep
             .iter()
             .copied()
-            .filter(|ev| !self.dependent(*ev, executed))
+            .filter(|ev| !self.dependent_conservative(*ev, executed))
             .collect()
     }
 }
@@ -230,6 +301,49 @@ mod tests {
         assert!(dep.dependent(block(0), fire(0, acquire)));
         // Blocking fires serialise through the notified-set minimum.
         assert!(dep.dependent(fire(0, acquire), fire(1, acquire)));
+    }
+
+    #[test]
+    fn refinement_overrides_fire_pairs_but_never_blocks() {
+        let monitor = parse_monitor(
+            r#"
+            monitor Counter {
+                int count = 0;
+                atomic void release() { count++; }
+                atomic void acquire() { waituntil (count > 0) { count--; } }
+            }
+            "#,
+        )
+        .unwrap();
+        let table = check_monitor(&monitor).unwrap();
+        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+        let release = monitor.method("release").unwrap().ccrs[0];
+        let acquire = monitor.method("acquire").unwrap().ccrs[0];
+        // A (hand-built) proof that release commutes with everything while
+        // acquire can disable a sibling acquire.
+        let mut refined = IndependenceTable::new();
+        refined.insert((release, release), true);
+        refined.insert((release, acquire), true);
+        refined.insert((acquire, acquire), false);
+        let dep = Dependence::with_refinement(&monitor, &table, &explicit, false, Some(&refined));
+        let fire = |t: usize, ccr| Event {
+            thread: t,
+            ccr,
+            fired: true,
+        };
+        let block = |t: usize| Event {
+            thread: t,
+            ccr: acquire,
+            fired: false,
+        };
+        // Proven fire pairs drop every conservative edge …
+        assert!(!dep.dependent(fire(0, release), fire(1, release)));
+        assert!(!dep.dependent(fire(0, release), fire(1, acquire)));
+        // … unproven fire pairs and every block shape keep them.
+        assert!(dep.dependent(fire(0, acquire), fire(1, acquire)));
+        assert!(dep.dependent(fire(0, release), block(1)));
+        // Same-thread program order is untouchable.
+        assert!(dep.dependent(fire(0, release), fire(0, acquire)));
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! The per-root DFS engine: sleep sets, classic DPOR backtracking,
-//! preemption bounding and fingerprint dedup over the paired steppers.
+//! The per-root DFS engine: source sets with wakeup trees (Optimal DPOR),
+//! sleep sets, preemption bounding and fingerprint dedup over the paired
+//! steppers.
 
 use crate::dependence::Dependence;
 use crate::{DirectionStats, ExploreConfig, Strategy};
 use expresso_semantics::{Event, ExecError, Stepper};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// The two semantics run in lockstep: scheduling choices are drawn from the
 /// *driver*'s enabled set; the *follower* (absent in counting-only runs)
@@ -71,24 +72,37 @@ impl Pair<'_> {
 
 /// Dedup-cache key: the paired state plus everything else that determines
 /// the subtree a deterministic DFS explores from it — the sleep set, the
-/// remaining depth and preemption budget, and (since a preemption is
-/// relative to the previously scheduled thread) which thread ran last.
+/// forced wakeup-sequence suffix the node was entered under, the remaining
+/// depth and preemption budget, and (since a preemption is relative to the
+/// previously scheduled thread) which thread ran last.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     fingerprint: (u64, u64),
     sleep: Vec<Event>,
+    forced: Vec<Event>,
     steps: usize,
     budget: Option<usize>,
     last_thread: Option<usize>,
+    /// The event that created the subtree's root. Parent-frame wakeup
+    /// insertions race against it, so replaying a cached subtree is only
+    /// exact when the incoming event matches.
+    incoming: Event,
 }
 
-/// What a fully explored subtree contributes on a dedup hit: its counters
-/// (merged so reported totals match a dedup-free run) and the set of events
-/// it executed (replayed through the DPOR update so backtrack points the cut
-/// subtree would have registered upstream are still registered).
+/// What a fully explored subtree contributes on a dedup hit: its counters,
+/// the set of events it executed, and the wakeup sequences its races
+/// scheduled at its *parent* frame. Those sequences are context-independent
+/// — their contents and the decision to schedule them are functions of the
+/// subtree and its incoming event alone (both part of the cache key) — so
+/// replaying them at another occurrence reproduces a live walk exactly,
+/// which is what keeps dedup'd execution counts identical to a dedup-free
+/// run. Races reaching *beyond* the parent frame are not relocatable, so a
+/// hit is only taken when no cached event can race with the live ancestry
+/// (the `relocatable` guard at the merge site).
 struct CacheEntry {
     summary: BTreeSet<Event>,
     stats: DirectionStats,
+    parent_inserts: Vec<Vec<Event>>,
 }
 
 /// One frame of the DFS stack: the configuration *before* a scheduling
@@ -97,10 +111,18 @@ struct Node<'a> {
     pair: Pair<'a>,
     /// The driver's enabled events, in deterministic thread order.
     enabled: Vec<Event>,
-    /// Threads DPOR has scheduled for exploration from this node.
-    backtrack: BTreeSet<usize>,
-    /// Threads already explored (or pruned) from this node.
-    done: BTreeSet<usize>,
+    /// Wakeup sequences scheduled by races found deeper in the search; each
+    /// becomes a forced branch unless the sleep set proves it redundant
+    /// first. (Under [`Strategy::Naive`] this is pre-seeded with every
+    /// enabled event, which degenerates to full enumeration.)
+    pending: VecDeque<Vec<Event>>,
+    /// Remainder of the wakeup sequence this node was entered under, imposed
+    /// on the first branch so the race reversal that scheduled the sequence
+    /// actually happens.
+    forced: Vec<Event>,
+    /// Whether the first (forced or free) branch has been taken; later
+    /// branches come only from `pending`.
+    started: bool,
     /// Events whose exploration from this node is redundant (sleep set).
     sleep: BTreeSet<Event>,
     /// Remaining preemption budget on the path to this node.
@@ -113,9 +135,14 @@ struct Node<'a> {
     sub: DirectionStats,
     /// Every event executed in the subtree rooted here.
     summary: BTreeSet<Event>,
+    /// Wakeup-sequence candidates races in this node's subtree aimed at its
+    /// parent frame (recorded before the reversibility filter, which is the
+    /// one context-dependent condition — re-evaluated on replay).
+    parent_inserts: Vec<Vec<Event>>,
 }
 
 impl<'a> Node<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         pair: Pair<'a>,
         enabled: Vec<Event>,
@@ -123,70 +150,190 @@ impl<'a> Node<'a> {
         budget: Option<usize>,
         last_thread: Option<usize>,
         key: Option<CacheKey>,
+        forced: Vec<Event>,
         dpor: bool,
     ) -> Self {
-        let mut backtrack = BTreeSet::new();
-        if dpor {
-            // Seed with the first non-sleeping choice; DPOR adds the rest on
-            // demand as dependent events turn up deeper in the search.
-            if let Some(first) = enabled.iter().find(|ev| !sleep.contains(ev)) {
-                backtrack.insert(first.thread);
-            }
+        // DPOR nodes branch on demand: one forced-or-free first branch, then
+        // only the wakeup sequences races schedule. Naive nodes enumerate
+        // every enabled event, expressed as pre-seeded singleton sequences.
+        let (pending, forced, started) = if dpor {
+            (VecDeque::new(), forced, false)
         } else {
-            backtrack.extend(enabled.iter().map(|e| e.thread));
-        }
+            (enabled.iter().map(|e| vec![*e]).collect(), Vec::new(), true)
+        };
         Node {
             pair,
             enabled,
-            backtrack,
-            done: BTreeSet::new(),
+            pending,
+            forced,
+            started,
             sleep,
             budget,
             last_thread,
             key,
             sub: DirectionStats::default(),
             summary: BTreeSet::new(),
+            parent_inserts: Vec::new(),
         }
     }
 }
 
-/// Registers the DPOR backtrack point for executing `target` after the
-/// events of `path` (`path[i]` was executed from `stack[i]`), with `extra`
-/// standing for an event conceptually executed from the top frame. Scans for
-/// the most recent dependent event: a same-thread hit means program order
-/// already serialises the pair (nothing to do); any other hit schedules
-/// `target`'s thread at the state before that event — or every enabled
-/// thread there when `target`'s thread was not enabled (the classic
-/// conservative fallback).
-fn dpor_update(
+/// Bitmask over path indices (the paths are bounded by
+/// [`ExploreConfig::max_steps`], so one or two words in practice).
+type Mask = Vec<u64>;
+
+/// Happens-before sets of one executed event, tracked under both relations.
+/// Race detection and the covered-mask skip use the refined relation (that
+/// is where the reduction comes from); wakeup-sequence *contents* are
+/// filtered by the conservative relation, whose independence preserves
+/// enabledness, so every forced reordering is actually executable — the
+/// property behind the `sleep_set_blocked == 0` optimality witness.
+#[derive(Default)]
+struct Hb {
+    refined: Mask,
+    conservative: Mask,
+}
+
+fn mask_bit(mask: &Mask, i: usize) -> bool {
+    mask.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1)
+}
+
+fn mask_set(mask: &mut Mask, i: usize) {
+    let word = i / 64;
+    if mask.len() <= word {
+        mask.resize(word + 1, 0);
+    }
+    mask[word] |= 1 << (i % 64);
+}
+
+fn mask_or(dst: &mut Mask, src: &Mask) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= *s;
+    }
+}
+
+/// Optimal-DPOR race detection for executing `event` after `path`
+/// (`path[i]` was executed from `stack[i]`; `hb[i]` is its happens-before
+/// set as a bitmask over path indices). One downward pass finds every
+/// *direct* race — a dependent `path[i]` on another thread that is not
+/// already ordered before `event` through a later dependent event — and
+/// schedules its reversal at `stack[i]` as a wakeup sequence: the events
+/// after `i` that do not happen-after `path[i]`, then `event` itself.
+/// Returns `event`'s own happens-before mask for the frame about to be
+/// pushed.
+fn register_races(
     stack: &mut [Node<'_>],
     path: &[Event],
-    extra: Option<Event>,
-    target: Event,
+    hb: &[Hb],
+    event: Event,
     dep: &Dependence,
-) {
-    let len = path.len() + usize::from(extra.is_some());
+) -> Hb {
+    let len = path.len();
+    // Accumulates hb(event): the union of hb[i] ∪ {i} over every dependent
+    // predecessor i — transitive because each hb[i] already is. `covered`
+    // tracks the refined relation (race detection); `conservative` the
+    // unrefined one (wakeup-sequence construction).
+    let mut covered: Mask = Mask::new();
+    let mut conservative: Mask = Mask::new();
     for i in (0..len).rev() {
-        let executed = if i == path.len() {
-            extra.expect("index beyond path implies extra")
-        } else {
-            path[i]
-        };
-        if !dep.dependent(executed, target) {
+        if dep.dependent_conservative(path[i], event) {
+            mask_or(&mut conservative, &hb[i].conservative);
+            mask_set(&mut conservative, i);
+        }
+        if !dep.dependent(path[i], event) {
             continue;
         }
-        if executed.thread == target.thread {
-            return;
+        // A race is only schedulable when it is *reversible*: `event`'s
+        // thread must have been schedulable at `stack[i]` at all. When it
+        // was sitting in the blocked queue there (the raced-out event is
+        // what woke it), the "reversal" is not an execution — the blocked
+        // interleavings were already covered through the block event's own
+        // races when it was executed upstream.
+        let reversible = stack[i].enabled.iter().any(|e| e.thread == event.thread);
+        if path[i].thread != event.thread && !mask_bit(&covered, i) {
+            // The reversal's content is the conservative notdep: events
+            // conservatively ordered after `path[i]` are dropped, and the
+            // conservative hb masks are transitively closed, so the
+            // sequence is causally downward-closed within the window and
+            // executes step for step from `stack[i]`.
+            let mut v: Vec<Event> = (i + 1..len)
+                .filter(|&k| !mask_bit(&hb[k].conservative, i))
+                .map(|k| path[k])
+                .collect();
+            v.push(event);
+            // Record the candidate on the frame directly above i before
+            // the reversibility filter: everything else about this
+            // insertion is a function of that frame's subtree and
+            // incoming event, while reversibility reads `stack[i]` and
+            // is re-checked when a cached copy of the subtree replays
+            // the candidate under a different parent.
+            if !stack[i + 1].parent_inserts.contains(&v) {
+                stack[i + 1].parent_inserts.push(v.clone());
+            }
+            if reversible {
+                let node = &mut stack[i];
+                if !node.pending.contains(&v) {
+                    node.pending.push_back(v);
+                }
+            }
         }
-        let pre = &mut stack[i];
-        if pre.enabled.iter().any(|e| e.thread == target.thread) {
-            pre.backtrack.insert(target.thread);
-        } else {
-            let all: Vec<usize> = pre.enabled.iter().map(|e| e.thread).collect();
-            pre.backtrack.extend(all);
-        }
-        return;
+        mask_or(&mut covered, &hb[i].refined);
+        mask_set(&mut covered, i);
     }
+    Hb {
+        refined: covered,
+        conservative,
+    }
+}
+
+/// The wakeup-sequence redundancy check ("weak initials" against the sleep
+/// set): `v` is redundant iff some slept event occurs in `v` with nothing
+/// before it in `v` dependent on it — executing `v` would then just re-walk
+/// a reordering of an already-explored subtree. The commutation argument
+/// (sliding the slept event to the front of `v`) must hold from the states
+/// actually traversed, so it uses the conservative relation; the refined
+/// one only holds under co-enabledness.
+fn redundant_by_sleep(v: &[Event], sleep: &BTreeSet<Event>, dep: &Dependence) -> bool {
+    v.iter().enumerate().any(|(m, ev)| {
+        sleep.contains(ev) && v[..m].iter().all(|u| !dep.dependent_conservative(*u, *ev))
+    })
+}
+
+/// Whether some slept transition commutes (conservatively — footprint
+/// disjointness, the unconditional relation) with *every* event any other
+/// thread can still produce. When it does, the whole subtree is covered by
+/// the sibling that ran the slept transition first: any continuation either
+/// fires it (slide it to the front — equivalent to the explored sibling) or
+/// starves into a state where it is the only enabled transition, still
+/// asleep. Optimal DPOR never enters such a subtree; this is the check that
+/// cuts it at the door instead of discovering the starvation at the leaf as
+/// a sleep-set-blocked execution.
+///
+/// Only *other* threads' residuals matter: the slept transition is its own
+/// thread's next step, so program order already keeps that thread from
+/// running ahead of it.
+fn starved_by_sleep(sleep: &BTreeSet<Event>, driver: &Stepper<'_>, dep: &Dependence) -> bool {
+    sleep.iter().any(|s| {
+        (0..driver.thread_count())
+            .filter(|&t| t != s.thread)
+            .all(|t| {
+                driver.residual_ccrs(t).into_iter().all(|ccr| {
+                    [true, false].into_iter().all(|fired| {
+                        !dep.dependent_conservative(
+                            *s,
+                            Event {
+                                thread: t,
+                                ccr,
+                                fired,
+                            },
+                        )
+                    })
+                })
+            })
+    })
 }
 
 /// Spends preemption budget for executing `event` after `last_thread`: a
@@ -245,6 +392,15 @@ pub(crate) fn explore_root<'a>(
         return Ok((stats, None));
     }
     if enabled.iter().all(|ev| sleep.contains(ev)) {
+        // A split-phase prefix whose every continuation an earlier sibling
+        // covers: cut before any work is done.
+        stats.sleep_prunes += 1;
+        return Ok((stats, None));
+    }
+    if dpor && starved_by_sleep(&sleep, &root.driver, dep) {
+        // A slept transition commutes with this root's entire residual
+        // program: every descent here would starve into a sleep-set-blocked
+        // leaf. Covered by the sibling root that ran it first.
         stats.sleep_prunes += 1;
         return Ok((stats, None));
     }
@@ -255,10 +411,13 @@ pub(crate) fn explore_root<'a>(
         budget,
         last_thread,
         None,
+        Vec::new(),
         dpor,
     )];
     // path[i] is the event executed from stack[i]; len == stack.len() - 1.
     let mut path: Vec<Event> = Vec::new();
+    // hb[i]: happens-before set of path[i], as a bitmask over path indices.
+    let mut hb: Vec<Hb> = Vec::new();
 
     loop {
         if live_execs >= cfg.max_executions_per_root {
@@ -269,33 +428,99 @@ pub(crate) fn explore_root<'a>(
             return Ok((stats, None));
         }
         let top_idx = stack.len() - 1;
-        let choice = {
-            let top = &stack[top_idx];
-            top.enabled.iter().copied().find(|ev| {
-                top.backtrack.contains(&ev.thread)
-                    && !top.done.contains(&ev.thread)
-                    && !top.sleep.contains(ev)
-            })
-        };
-        let Some(event) = choice else {
-            // Node exhausted: account sleeping choices DPOR scheduled but the
-            // sleep set proved redundant, cache the completed subtree, and
-            // fold it into the parent.
-            let mut node = stack.pop().expect("loop runs with a non-empty stack");
-            for ev in &node.enabled {
-                if node.backtrack.contains(&ev.thread)
-                    && !node.done.contains(&ev.thread)
-                    && node.sleep.contains(ev)
-                {
-                    node.sub.sleep_prunes += 1;
+
+        // Select the next branch. The first branch honours the forced wakeup
+        // suffix (falling back to a free choice when it is stale, slept or
+        // unaffordable); every later branch is a pending wakeup sequence
+        // that survives the sleep-set redundancy check.
+        let mut selection: Option<(Event, Option<usize>, Vec<Event>)> = None;
+        loop {
+            let top = &mut stack[top_idx];
+            if !top.started {
+                top.started = true;
+                let forced = std::mem::take(&mut top.forced);
+                if let Some(first) = forced.first() {
+                    let actual = top
+                        .enabled
+                        .iter()
+                        .copied()
+                        .find(|e| e.thread == first.thread)
+                        .filter(|ev| !top.sleep.contains(ev));
+                    if let Some(ev) = actual {
+                        match spend_preemption_budget(top.budget, top.last_thread, &top.enabled, ev)
+                        {
+                            Some(b) => {
+                                selection = Some((ev, b, forced[1..].to_vec()));
+                                break;
+                            }
+                            None => top.sub.preemption_prunes += 1,
+                        }
+                    }
                 }
+                for ev in top.enabled.clone() {
+                    if top.sleep.contains(&ev) {
+                        continue;
+                    }
+                    match spend_preemption_budget(top.budget, top.last_thread, &top.enabled, ev) {
+                        Some(b) => {
+                            selection = Some((ev, b, Vec::new()));
+                            break;
+                        }
+                        None => top.sub.preemption_prunes += 1,
+                    }
+                }
+                if selection.is_some() {
+                    break;
+                }
+                continue;
             }
+            let Some(v) = top.pending.pop_front() else {
+                break;
+            };
+            if dpor && redundant_by_sleep(&v, &top.sleep, dep) {
+                top.sub.sleep_prunes += 1;
+                continue;
+            }
+            let Some(ev) = top
+                .enabled
+                .iter()
+                .copied()
+                .find(|e| e.thread == v[0].thread)
+            else {
+                // The sequence's first thread is no longer schedulable in
+                // this shape (its event changed across the reordering):
+                // degrade to the conservative thread-granularity fallback.
+                for ev in top.enabled.clone() {
+                    let v = vec![ev];
+                    if !top.pending.contains(&v) {
+                        top.pending.push_back(v);
+                    }
+                }
+                continue;
+            };
+            if top.sleep.contains(&ev) {
+                top.sub.sleep_prunes += 1;
+                continue;
+            }
+            match spend_preemption_budget(top.budget, top.last_thread, &top.enabled, ev) {
+                Some(b) => {
+                    selection = Some((ev, b, v[1..].to_vec()));
+                    break;
+                }
+                None => top.sub.preemption_prunes += 1,
+            }
+        }
+        let Some((event, child_budget, forced_rest)) = selection else {
+            // Node exhausted: cache the completed subtree and fold it into
+            // the parent.
+            let mut node = stack.pop().expect("loop runs with a non-empty stack");
             if let Some(key) = node.key.take() {
                 cache.insert(
                     key,
                     CacheEntry {
                         summary: node.summary.clone(),
                         stats: node.sub.clone(),
+                        parent_inserts: node.parent_inserts.clone(),
                     },
                 );
             }
@@ -304,6 +529,7 @@ pub(crate) fn explore_root<'a>(
                 return Ok((stats, None));
             };
             let incoming = path.pop().expect("non-root frame has an incoming event");
+            hb.pop();
             parent.sub.merge(&node.sub);
             if dpor {
                 parent.sleep.insert(incoming);
@@ -312,33 +538,12 @@ pub(crate) fn explore_root<'a>(
             parent.summary.extend(node.summary.iter().copied());
             continue;
         };
-        stack[top_idx].done.insert(event.thread);
 
-        let child_budget = {
-            let top = &mut stack[top_idx];
-            match spend_preemption_budget(top.budget, top.last_thread, &top.enabled, event) {
-                Some(budget) => budget,
-                None => {
-                    top.sub.preemption_prunes += 1;
-                    // With the budget exhausted, the only affordable choice
-                    // is continuing the last-scheduled thread. DPOR may have
-                    // seeded the backtrack set with a (now pruned) preempting
-                    // thread only — schedule the free continuation so the
-                    // bound never leaves a node childless while an
-                    // affordable schedule remains.
-                    if let Some(q) = top.last_thread {
-                        if top.enabled.iter().any(|e| e.thread == q) {
-                            top.backtrack.insert(q);
-                        }
-                    }
-                    continue;
-                }
-            }
+        let event_hb = if dpor {
+            register_races(&mut stack, &path, &hb, event, dep)
+        } else {
+            Hb::default()
         };
-
-        if dpor {
-            dpor_update(&mut stack, &path, None, event, dep);
-        }
 
         let mut child_pair = stack[top_idx].pair.clone();
         match child_pair.step(event)? {
@@ -365,20 +570,37 @@ pub(crate) fn explore_root<'a>(
 
         // Terminal child states are accounted without pushing a frame.
         let terminal = if child_pair.driver.steps() >= cfg.max_steps {
-            Some((1usize, 1usize, 0usize)) // (executions, depth_capped, sleep)
+            Some((1usize, 1usize, 0usize, 0usize)) // (executions, depth_capped, blocked, starved)
         } else if child_enabled.is_empty() {
-            Some((1, 0, 0))
+            Some((1, 0, 0, 0))
         } else if child_enabled.iter().all(|ev| child_sleep.contains(ev)) {
-            // Every continuation is equivalent to an explored execution.
-            Some((0, 0, 1))
+            // Every remaining continuation is equivalent to an explored
+            // execution. How we got here decides the classification: a
+            // *block* step writes nothing and notifies nobody, so no other
+            // thread can observe it — the branch ran nothing beyond its
+            // parent's prefix and is cut as an ordinary sleep prune. A
+            // *fired* step did real work to reach a covered state, which is
+            // exactly the sleep-set-blocked waste Optimal DPOR must never
+            // produce: count it in the optimality-witness counter.
+            if event.fired {
+                Some((0, 0, 1, 0))
+            } else {
+                Some((0, 0, 0, 1))
+            }
+        } else if dpor && starved_by_sleep(&child_sleep, &child_pair.driver, dep) {
+            // A slept transition commutes with the entire residual program:
+            // the subtree can only end sleep-set-blocked, and the sibling
+            // that ran the slept transition first already covers it.
+            Some((0, 0, 0, 1))
         } else {
             None
         };
-        if let Some((execs, capped, slept)) = terminal {
+        if let Some((execs, capped, blocked, starved)) = terminal {
             let top = &mut stack[top_idx];
             top.sub.executions += execs;
             top.sub.depth_capped += capped;
-            top.sub.sleep_prunes += slept;
+            top.sub.sleep_set_blocked += blocked;
+            top.sub.sleep_prunes += starved;
             live_execs += execs;
             if dpor {
                 top.sleep.insert(event);
@@ -390,23 +612,44 @@ pub(crate) fn explore_root<'a>(
         let key = dedup.then(|| CacheKey {
             fingerprint: child_pair.fingerprint(),
             sleep: child_sleep.iter().copied().collect(),
+            forced: forced_rest.clone(),
             steps: child_pair.driver.steps(),
             budget: child_budget,
             // Which thread ran last shapes the subtree only while a
             // preemption bound is active; keying on it unconditionally would
             // needlessly split identical unbounded subtrees.
             last_thread: child_budget.and(Some(event.thread)),
+            incoming: event,
         });
-        if let Some(entry) = key.as_ref().and_then(|k| cache.get(k)) {
-            let merged_stats = entry.stats.clone();
-            let summary: Vec<Event> = entry.summary.iter().copied().collect();
-            // The cut subtree's events still owe their upstream backtrack
-            // registrations; replaying them against the current stack is a
-            // sound over-approximation (see the module docs of `lib.rs`).
-            for ev in summary.iter().copied() {
-                dpor_update(&mut stack, &path, Some(event), ev, dep);
-            }
+        let merge = key.as_ref().and_then(|k| cache.get(k)).and_then(|entry| {
+            // Exactness guard: a live walk of the subtree must register no
+            // race against any frame strictly above the current one — those
+            // reversals are not captured by the entry. The incoming event
+            // itself is part of the key, so its parent-frame races are.
+            let relocatable = entry.summary.iter().all(|ev| {
+                path.iter()
+                    .all(|p| p.thread == ev.thread || !dep.dependent(*p, *ev))
+            });
+            relocatable.then(|| {
+                (
+                    entry.stats.clone(),
+                    entry.summary.iter().copied().collect::<Vec<Event>>(),
+                    entry.parent_inserts.clone(),
+                )
+            })
+        });
+        if let Some((merged_stats, summary, inserts)) = merge {
             let top = &mut stack[top_idx];
+            // Replay the wakeup sequences the subtree scheduled at its
+            // parent frame, re-checking reversibility (the one condition
+            // that reads this frame rather than the subtree).
+            for v in inserts {
+                let target = *v.last().expect("wakeup sequences are non-empty");
+                let reversible = top.enabled.iter().any(|e| e.thread == target.thread);
+                if reversible && !top.pending.contains(&v) {
+                    top.pending.push_back(v);
+                }
+            }
             top.sub.dedup_hits += 1;
             top.sub.merge(&merged_stats);
             top.sleep.insert(event);
@@ -416,6 +659,7 @@ pub(crate) fn explore_root<'a>(
         }
 
         path.push(event);
+        hb.push(event_hb);
         stack.push(Node::new(
             child_pair,
             child_enabled,
@@ -423,6 +667,7 @@ pub(crate) fn explore_root<'a>(
             child_budget,
             Some(event.thread),
             key,
+            forced_rest,
             dpor,
         ));
     }

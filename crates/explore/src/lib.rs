@@ -15,25 +15,33 @@
 //! # Reduction
 //!
 //! Naive enumeration is factorial in the schedule length, so the DFS prunes
-//! with the classic stateless toolkit, all keyed on the conservative
-//! dependence relation of [`dependence`] (same shared variable with a write,
-//! same CCR wait queue, or contention on the notified-set minimum of rule
-//! 2b):
+//! with the stateless toolkit, all keyed on the dependence relation of
+//! [`dependence`] — conservatively "same shared variable with a write, same
+//! CCR wait queue, or contention on the notified-set minimum of rule 2b",
+//! optionally refined by a solver-discharged [`IndependenceTable`]
+//! ([`ExploreConfig::independence`]) that drops fire×fire edges proven
+//! conditionally independent (disjoint guards, or commuting bodies with
+//! mutual guard preservation):
 //!
 //! * **sleep sets** — a transition fully explored at a node is redundant in
 //!   every sibling subtree until a dependent transition executes;
-//! * **classic DPOR backtracking** — instead of trying every enabled
-//!   transition everywhere, each executed transition registers a backtrack
-//!   point at the most recent dependent transition it could reorder with;
+//! * **source sets with wakeup trees (Optimal DPOR)** — when two executed
+//!   transitions race, the reversal is recorded as a *wakeup sequence* (the
+//!   racing transition plus the interleaved events not happens-before it)
+//!   rather than a bare thread id; branching only on such sequences, and
+//!   discarding the ones the sleep set proves redundant *before* running
+//!   them, means no sleep-set-blocked execution is ever run to completion
+//!   ([`DirectionStats::sleep_set_blocked`] stays 0);
 //! * **state-fingerprint dedup** — configurations are fingerprinted
 //!   (driver and follower state, via `expresso_logic`'s deterministic
-//!   `FxHasher`); a revisited `(fingerprint, sleep set, bounds)` key merges
-//!   the cached subtree's counters and replays its DPOR registrations
-//!   instead of re-walking the subtree. Replaying the cached subtree's event
-//!   summary keeps the cut sound: any backtrack point the subtree would have
-//!   registered against the *current* path is registered conservatively
-//!   (possibly at a higher frame than a full walk would pick, which only
-//!   adds exploration).
+//!   `FxHasher`); a revisited `(fingerprint, sleep set, bounds, incoming
+//!   event)` key merges the cached subtree's counters and replays, exactly,
+//!   the wakeup sequences the subtree scheduled at its parent frame (those
+//!   are a function of the key alone). Subtrees whose races escape beyond
+//!   their parent frame are never cached, and a hit is only taken when the
+//!   cached events have no potential race with the current ancestry — so a
+//!   dedup'd run explores the same schedule set, with identical counters,
+//!   as a dedup-free run.
 //! * **preemption bounding** (optional) — schedules with more than
 //!   `preemption_bound` preemptions are cut off; unlike the above this
 //!   sacrifices completeness for depth, so it is off by default and meant
@@ -53,7 +61,7 @@
 mod dependence;
 mod dfs;
 
-pub use dependence::Dependence;
+pub use dependence::{Dependence, IndependenceTable};
 
 use dfs::{explore_root, Pair, StepOutcome};
 use expresso_core::Scheduler;
@@ -65,6 +73,23 @@ use expresso_semantics::{
 };
 use expresso_suite::Benchmark;
 use std::sync::Arc;
+
+/// A solver-refined independence table plus the cost of computing it.
+///
+/// Built once per monitor (see `expresso_vcgen::refine_independence`) and
+/// shared across exploration runs; the query counters are copied into the
+/// [`ExploreReport`] so benchmark output can attribute the analysis cost.
+#[derive(Debug, Clone, Default)]
+pub struct RefinedIndependence {
+    /// Pairwise fire×fire verdicts (`true` = proven independent), keyed on
+    /// `(smaller CcrId, larger CcrId)`.
+    pub table: IndependenceTable,
+    /// Disjointness/commutation computations that had to run (suite-wide
+    /// store misses) while building this table.
+    pub queries: usize,
+    /// Verdicts served from the suite-wide disjointness store.
+    pub cache_hits: usize,
+}
 
 /// How schedules are enumerated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +133,11 @@ pub struct ExploreConfig {
     /// sequentially on the calling thread. Counters are identical either
     /// way.
     pub scheduler: Option<Arc<Scheduler>>,
+    /// Solver-refined independence verdicts; `None` (the default) keeps the
+    /// purely conservative relation. Ignored when
+    /// [`ExploreConfig::explore_spurious`] is on — the refinement's proofs
+    /// cover the canonical wake-up discipline only.
+    pub independence: Option<Arc<RefinedIndependence>>,
 }
 
 impl Default for ExploreConfig {
@@ -122,6 +152,7 @@ impl Default for ExploreConfig {
             check: true,
             explore_spurious: false,
             scheduler: None,
+            independence: None,
         }
     }
 }
@@ -145,6 +176,11 @@ pub struct DirectionStats {
     pub preemption_prunes: usize,
     /// Subtrees answered by the state-fingerprint dedup cache.
     pub dedup_hits: usize,
+    /// Executions run to completion with every enabled transition asleep —
+    /// pure waste a DPOR explores only out of imprecision. The wakeup-tree
+    /// algorithm discards such branches before running them, so this stays
+    /// 0 under [`Strategy::Dpor`]; `reproduce` fails loudly otherwise.
+    pub sleep_set_blocked: usize,
     /// Independent subtree roots after prefix splitting.
     pub frontier_roots: usize,
     /// Subtrees that hit [`ExploreConfig::max_executions_per_root`].
@@ -160,6 +196,7 @@ impl DirectionStats {
         self.sleep_prunes += other.sleep_prunes;
         self.preemption_prunes += other.preemption_prunes;
         self.dedup_hits += other.dedup_hits;
+        self.sleep_set_blocked += other.sleep_set_blocked;
         self.frontier_roots += other.frontier_roots;
         self.capped_roots += other.capped_roots;
     }
@@ -186,6 +223,11 @@ pub struct ExploreReport {
     /// Every divergence found (at most one per direction: a direction stops
     /// at its first violation).
     pub divergences: Vec<Divergence>,
+    /// Disjointness/commutation computations run to build the independence
+    /// table this report used (0 when unrefined or fully cache-served).
+    pub disjointness_queries: usize,
+    /// Independence verdicts served from the suite-wide disjointness store.
+    pub disjointness_cache_hits: usize,
 }
 
 impl ExploreReport {
@@ -202,6 +244,12 @@ impl ExploreReport {
     /// `true` when no divergence was found.
     pub fn holds(&self) -> bool {
         self.divergences.is_empty()
+    }
+
+    /// Total sleep-set-blocked executions across both directions — the
+    /// optimality witness (0 for the wakeup-tree DPOR).
+    pub fn sleep_set_blocked(&self) -> usize {
+        self.implicit.sleep_set_blocked + self.explicit.sleep_set_blocked
     }
 }
 
@@ -256,8 +304,18 @@ pub fn explore(
     workload: &Workload,
     config: &ExploreConfig,
 ) -> Result<ExploreReport, ExecError> {
-    let dep = Dependence::new(monitor, table, explicit, config.explore_spurious);
+    let refined = if config.explore_spurious {
+        None
+    } else {
+        config.independence.as_ref().map(|r| &r.table)
+    };
+    let dep =
+        Dependence::with_refinement(monitor, table, explicit, config.explore_spurious, refined);
     let mut report = ExploreReport::default();
+    if let Some(independence) = &config.independence {
+        report.disjointness_queries = independence.queries;
+        report.disjointness_cache_hits = independence.cache_hits;
+    }
     for mode in [SemanticsMode::Implicit, SemanticsMode::Explicit] {
         let (stats, divergence) =
             explore_direction(mode, monitor, table, explicit, workload, &dep, config)?;
@@ -621,29 +679,71 @@ mod tests {
 
     #[test]
     fn dedup_changes_work_not_counters() {
-        let monitor = parse_monitor(COUNTER).unwrap();
-        let table = check_monitor(&monitor).unwrap();
-        let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
-        let w = workload(
-            &monitor,
-            &table,
-            &["acquire", "release", "acquire", "release"],
-        );
-        let with = explore(&monitor, &table, &explicit, &w, &ExploreConfig::default()).unwrap();
-        let without = explore(
-            &monitor,
-            &table,
-            &explicit,
-            &w,
-            &ExploreConfig {
-                dedup_states: false,
-                ..ExploreConfig::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(with.executions(), without.executions());
-        assert_eq!(without.implicit.dedup_hits + without.explicit.dedup_hits, 0);
-        assert!(with.implicit.dedup_hits + with.explicit.dedup_hits > 0);
+        // Two counters with disjoint footprints: the `b`-phase subtrees are
+        // reachable through either `a`-race order and have no races with the
+        // `a` ancestry, so the relocatable guard admits cache hits — and the
+        // merged counts must match a dedup-free run exactly. The fully
+        // conflicting COUNTER monitor is the negative control: every subtree
+        // races with its ancestry, so nothing merges, and counts trivially
+        // agree.
+        const SPLIT: &str = r#"
+            monitor Split {
+                int a = 0;
+                int b = 0;
+                atomic void bumpa() { a++; }
+                atomic void bumpb() { b++; }
+            }
+        "#;
+        let cases = [
+            (
+                SPLIT,
+                vec![
+                    vec!["bumpa", "bumpa"],
+                    vec!["bumpa", "bumpa"],
+                    vec!["bumpb", "bumpb"],
+                ],
+                true,
+            ),
+            (
+                COUNTER,
+                vec![
+                    vec!["acquire"],
+                    vec!["release"],
+                    vec!["acquire"],
+                    vec!["release"],
+                ],
+                false,
+            ),
+        ];
+        for (source, threads, expect_hits) in cases {
+            let monitor = parse_monitor(source).unwrap();
+            let table = check_monitor(&monitor).unwrap();
+            let explicit = ExplicitMonitor::broadcast_all(monitor.clone());
+            let w = Workload {
+                initial: initial_state(&monitor, &table, &Valuation::new()).unwrap(),
+                programs: threads
+                    .iter()
+                    .map(|calls| calls.iter().map(|m| ThreadSpec::new(*m)).collect())
+                    .collect(),
+            };
+            let with = explore(&monitor, &table, &explicit, &w, &ExploreConfig::default()).unwrap();
+            let without = explore(
+                &monitor,
+                &table,
+                &explicit,
+                &w,
+                &ExploreConfig {
+                    dedup_states: false,
+                    ..ExploreConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(with.executions(), without.executions());
+            assert_eq!(without.implicit.dedup_hits + without.explicit.dedup_hits, 0);
+            if expect_hits {
+                assert!(with.implicit.dedup_hits + with.explicit.dedup_hits > 0);
+            }
+        }
     }
 
     #[test]

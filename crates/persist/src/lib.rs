@@ -59,7 +59,7 @@ use encode::{
 use expresso_logic::Formula;
 use expresso_monitor_lang::{Stmt, Type};
 use expresso_smt::{SatResult, Solver, TheoryVerdict, TranslateError};
-use expresso_vcgen::{WpError, WpExportEntry, WpStore};
+use expresso_vcgen::{DisjointnessStore, WpError, WpExportEntry, WpStore};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -77,7 +77,10 @@ const MAGIC: &[u8; 8] = b"XPRESSOC";
 
 /// Format version; bump on any codec or layout change. A mismatch loads as
 /// [`LoadResult::Corrupt`] (cold start), never as garbage.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 added the CCR-pair disjointness section (the independence verdicts
+/// behind the explorer's refined dependence relation).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// A theory verdict in process-independent form: the inconsistent-core atoms
 /// are stored as formula trees instead of arena-local ids.
@@ -107,6 +110,28 @@ pub struct WpArtifactEntry {
     pub result: Result<Formula, WpError>,
 }
 
+/// One persisted CCR-pair independence verdict: both sides' guard trees,
+/// lowering fingerprints and body ASTs (the content-addressed key), plus the
+/// verdict. Any edit to either CCR re-keys the pair, so stale verdicts never
+/// match again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisjointnessArtifactEntry {
+    /// Lowered guard of the first CCR, as a tree.
+    pub guard_a: Formula,
+    /// Lowering fingerprint of the first CCR's body.
+    pub fingerprint_a: Vec<(String, Option<Type>)>,
+    /// Body AST of the first CCR.
+    pub body_a: Stmt,
+    /// Lowered guard of the second CCR, as a tree.
+    pub guard_b: Formula,
+    /// Lowering fingerprint of the second CCR's body.
+    pub fingerprint_b: Vec<(String, Option<Type>)>,
+    /// Body AST of the second CCR.
+    pub body_b: Stmt,
+    /// Whether the pair was proven conditionally independent.
+    pub independent: bool,
+}
+
 /// The process-independent snapshot of every memo table, as written to and
 /// read from disk.
 #[derive(Debug, Clone, Default)]
@@ -119,12 +144,15 @@ pub struct Artifact {
     pub theory: Vec<(Vec<(Formula, bool)>, TheoryVerdictData)>,
     /// WP-store entries keyed on `(fingerprint, statement, postcondition)`.
     pub wp: Vec<WpArtifactEntry>,
+    /// CCR-pair independence verdicts keyed on both sides' guard + body
+    /// content.
+    pub disjointness: Vec<DisjointnessArtifactEntry>,
 }
 
 impl Artifact {
     /// Total number of entries across every section.
     pub fn len(&self) -> usize {
-        self.sat.len() + self.qe.len() + self.theory.len() + self.wp.len()
+        self.sat.len() + self.qe.len() + self.theory.len() + self.wp.len() + self.disjointness.len()
     }
 
     /// Whether the artifact carries no entries at all.
@@ -144,6 +172,8 @@ pub struct SaveReport {
     pub theory: usize,
     /// WP-store entries written.
     pub wp: usize,
+    /// Disjointness verdicts written.
+    pub disjointness: usize,
     /// Size of the artifact file in bytes.
     pub bytes: u64,
     /// Path of the artifact file.
@@ -161,12 +191,14 @@ pub struct SeedReport {
     pub theory: usize,
     /// WP-store entries seeded.
     pub wp: usize,
+    /// Disjointness verdicts seeded.
+    pub disjointness: usize,
 }
 
 impl SeedReport {
     /// Total entries seeded across every table.
     pub fn total(&self) -> usize {
-        self.sat + self.qe + self.theory + self.wp
+        self.sat + self.qe + self.theory + self.wp + self.disjointness
     }
 }
 
@@ -174,12 +206,13 @@ impl fmt::Display for SeedReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} entries (sat {}, qe {}, theory {}, wp {})",
+            "{} entries (sat {}, qe {}, theory {}, wp {}, disjointness {})",
             self.total(),
             self.sat,
             self.qe,
             self.theory,
-            self.wp
+            self.wp,
+            self.disjointness
         )
     }
 }
@@ -200,10 +233,14 @@ pub enum LoadResult {
 // Export: memo tables → artifact (ids → trees)
 // ---------------------------------------------------------------------------
 
-/// Snapshots the solver's three memo tables and the WP store into a
-/// process-independent [`Artifact`], translating every arena-local id into
-/// its formula tree.
-pub fn export_artifact(solver: &Solver, wp_store: &WpStore) -> Artifact {
+/// Snapshots the solver's three memo tables, the WP store and the
+/// disjointness store into a process-independent [`Artifact`], translating
+/// every arena-local id into its formula tree.
+pub fn export_artifact(
+    solver: &Solver,
+    wp_store: &WpStore,
+    disjointness: &DisjointnessStore,
+) -> Artifact {
     let interner = solver.interner();
     let tree = |id| interner.formula(id);
     Artifact {
@@ -245,6 +282,21 @@ pub fn export_artifact(solver: &Solver, wp_store: &WpStore) -> Artifact {
                 result: result.map(&tree),
             })
             .collect(),
+        disjointness: disjointness
+            .export_entries()
+            .into_iter()
+            .map(
+                |(ga, fa, ba, gb, fb, bb, independent)| DisjointnessArtifactEntry {
+                    guard_a: tree(ga),
+                    fingerprint_a: fa.to_vec(),
+                    body_a: ba,
+                    guard_b: tree(gb),
+                    fingerprint_b: fb.to_vec(),
+                    body_b: bb,
+                    independent,
+                },
+            )
+            .collect(),
     }
 }
 
@@ -253,9 +305,15 @@ pub fn export_artifact(solver: &Solver, wp_store: &WpStore) -> Artifact {
 // ---------------------------------------------------------------------------
 
 /// Re-interns every artifact entry through `solver`'s arena and seeds the
-/// sharded caches and the WP store. Entries already present (a live run that
-/// got there first) are never overwritten. Returns per-table insert counts.
-pub fn seed(artifact: &Artifact, solver: &Solver, wp_store: &WpStore) -> SeedReport {
+/// sharded caches, the WP store and the disjointness store. Entries already
+/// present (a live run that got there first) are never overwritten. Returns
+/// per-table insert counts.
+pub fn seed(
+    artifact: &Artifact,
+    solver: &Solver,
+    wp_store: &WpStore,
+    disjointness: &DisjointnessStore,
+) -> SeedReport {
     let interner = solver.interner();
     let intern = |f: &Formula| interner.intern(f);
     SeedReport {
@@ -312,6 +370,23 @@ pub fn seed(artifact: &Artifact, solver: &Solver, wp_store: &WpStore) -> SeedRep
                         entry.stmt.clone(),
                         intern(&entry.post),
                         entry.result.as_ref().map(&intern).map_err(Clone::clone),
+                    )
+                })
+                .collect(),
+        ),
+        disjointness: disjointness.seed_entries(
+            artifact
+                .disjointness
+                .iter()
+                .map(|entry| {
+                    (
+                        intern(&entry.guard_a),
+                        entry.fingerprint_a.clone().into(),
+                        entry.body_a.clone(),
+                        intern(&entry.guard_b),
+                        entry.fingerprint_b.clone().into(),
+                        entry.body_b.clone(),
+                        entry.independent,
                     )
                 })
                 .collect(),
@@ -450,6 +525,32 @@ fn encode_artifact(artifact: &Artifact) -> Vec<u8> {
             .collect(),
         &mut payload,
     );
+    section(
+        artifact
+            .disjointness
+            .iter()
+            .map(|entry| {
+                let mut w = Writer::new();
+                write_formula(&mut w, &entry.guard_a);
+                w.seq(entry.fingerprint_a.len());
+                for (name, ty) in &entry.fingerprint_a {
+                    w.str(name);
+                    write_opt_type(&mut w, *ty);
+                }
+                write_stmt(&mut w, &entry.body_a);
+                write_formula(&mut w, &entry.guard_b);
+                w.seq(entry.fingerprint_b.len());
+                for (name, ty) in &entry.fingerprint_b {
+                    w.str(name);
+                    write_opt_type(&mut w, *ty);
+                }
+                write_stmt(&mut w, &entry.body_b);
+                w.bool(entry.independent);
+                w.into_bytes()
+            })
+            .collect(),
+        &mut payload,
+    );
 
     let payload = payload.into_bytes();
     let mut file = Writer::new();
@@ -529,6 +630,32 @@ fn decode_artifact(payload: &[u8]) -> Result<Artifact, DecodeError> {
             result,
         });
     }
+    for _ in 0..r.seq()? {
+        let side = |r: &mut Reader| -> Result<_, DecodeError> {
+            let guard = read_formula(r)?;
+            let n = r.seq()?;
+            let mut fingerprint = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str()?;
+                let ty = read_opt_type(r)?;
+                fingerprint.push((name, ty));
+            }
+            let body = read_stmt(r)?;
+            Ok((guard, fingerprint, body))
+        };
+        let (guard_a, fingerprint_a, body_a) = side(&mut r)?;
+        let (guard_b, fingerprint_b, body_b) = side(&mut r)?;
+        let independent = r.bool()?;
+        artifact.disjointness.push(DisjointnessArtifactEntry {
+            guard_a,
+            fingerprint_a,
+            body_a,
+            guard_b,
+            fingerprint_b,
+            body_b,
+            independent,
+        });
+    }
     if !r.is_empty() {
         return codec::err("trailing bytes after last section");
     }
@@ -565,15 +692,22 @@ pub fn save_artifact(dir: &Path, artifact: &Artifact) -> io::Result<(u64, PathBu
     }
 }
 
-/// Exports the caches of `solver` and `wp_store` and writes them to `dir`.
-pub fn save(dir: &Path, solver: &Solver, wp_store: &WpStore) -> io::Result<SaveReport> {
-    let artifact = export_artifact(solver, wp_store);
+/// Exports the caches of `solver`, `wp_store` and `disjointness` and writes
+/// them to `dir`.
+pub fn save(
+    dir: &Path,
+    solver: &Solver,
+    wp_store: &WpStore,
+    disjointness: &DisjointnessStore,
+) -> io::Result<SaveReport> {
+    let artifact = export_artifact(solver, wp_store, disjointness);
     let (bytes, path) = save_artifact(dir, &artifact)?;
     Ok(SaveReport {
         sat: artifact.sat.len(),
         qe: artifact.qe.len(),
         theory: artifact.theory.len(),
         wp: artifact.wp.len(),
+        disjointness: artifact.disjointness.len(),
         bytes,
         path,
     })
@@ -661,6 +795,21 @@ mod tests {
                     Term::Int(3),
                 )),
             }],
+            disjointness: vec![DisjointnessArtifactEntry {
+                guard_a: guard,
+                fingerprint_a: vec![("count".into(), Some(Type::Int))],
+                body_a: Stmt::Assign(
+                    "count".into(),
+                    expresso_monitor_lang::parse_expr("count + 1").unwrap(),
+                ),
+                guard_b: Formula::True,
+                fingerprint_b: vec![("count".into(), Some(Type::Int))],
+                body_b: Stmt::Assign(
+                    "count".into(),
+                    expresso_monitor_lang::parse_expr("count - 1").unwrap(),
+                ),
+                independent: true,
+            }],
         }
     }
 
@@ -677,6 +826,7 @@ mod tests {
             assert!(decoded.sat.iter().any(|(k, v)| k == key && v == verdict));
         }
         assert_eq!(decoded.wp[0], artifact.wp[0]);
+        assert_eq!(decoded.disjointness[0], artifact.disjointness[0]);
     }
 
     #[test]
@@ -772,6 +922,7 @@ mod tests {
         // counts and a served verdict.
         let cold = Solver::new();
         let store = WpStore::new(true);
+        let disjointness = DisjointnessStore::new();
         let guard = Formula::Cmp(CmpOp::Lt, Term::Var("count".into()), Term::Int(4));
         let contradiction = Formula::And(vec![
             guard.clone(),
@@ -779,12 +930,13 @@ mod tests {
         ]);
         assert!(cold.check_sat(&contradiction).is_unsat());
         assert!(cold.check_sat(&guard).is_sat());
-        let artifact = export_artifact(&cold, &store);
+        let artifact = export_artifact(&cold, &store, &disjointness);
         assert!(!artifact.sat.is_empty());
 
         let warm = Solver::new();
         let warm_store = WpStore::new(true);
-        let report = seed(&artifact, &warm, &warm_store);
+        let warm_disjointness = DisjointnessStore::new();
+        let report = seed(&artifact, &warm, &warm_store, &warm_disjointness);
         assert_eq!(report.sat, artifact.sat.len());
         assert!(warm.check_sat(&contradiction).is_unsat());
         assert!(

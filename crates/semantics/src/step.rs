@@ -27,7 +27,7 @@
 use crate::trace::{eval_guard, exec_body, Entry, Event, ExecError, ThreadSpec, Trace};
 use expresso_logic::{FxHasher, Valuation};
 use expresso_monitor_lang::{
-    ExplicitMonitor, Interpreter, Monitor, NotificationKind, SignalCondition, VarTable,
+    CcrId, ExplicitMonitor, Interpreter, Monitor, NotificationKind, SignalCondition, VarTable,
 };
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
@@ -234,6 +234,31 @@ impl<'a> Stepper<'a> {
             .method(&self.threads[t].method)
             .expect("validated in the constructor");
         Some((t, method.ccrs[self.ccr_idx[t]]))
+    }
+
+    /// Every CCR thread `t` has yet to execute, in program order: the rest
+    /// of the current call's method followed by the methods of all later
+    /// calls. Empty when the thread has finished. Lets an explorer reason
+    /// about the thread's entire residual footprint (e.g. to prove a slept
+    /// transition commutes with everything the thread can still do).
+    pub fn residual_ccrs(&self, t: usize) -> Vec<CcrId> {
+        let mut out = Vec::new();
+        if self.thread_finished(t) {
+            return out;
+        }
+        let current = self
+            .monitor
+            .method(&self.threads[t].method)
+            .expect("validated in the constructor");
+        out.extend_from_slice(&current.ccrs[self.ccr_idx[t]..]);
+        for spec in &self.programs[t][self.call_idx[t] + 1..] {
+            let method = self
+                .monitor
+                .method(&spec.method)
+                .expect("validated in the constructor");
+            out.extend_from_slice(&method.ccrs);
+        }
+        out
     }
 
     /// Enumerates every event the transition relation permits from the

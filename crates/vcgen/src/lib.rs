@@ -9,10 +9,15 @@
 
 pub mod cache;
 pub mod hoare;
+pub mod independence;
 pub mod wp;
 
 pub use cache::{
     lowering_fingerprint, LoweringFingerprint, WpCache, WpCacheStats, WpExportEntry, WpStore,
 };
 pub use hoare::{HoareTriple, TripleStatus, VcGen};
+pub use independence::{
+    refine_independence, DisjointnessExportEntry, DisjointnessStats, DisjointnessStore,
+    IndependenceTable,
+};
 pub use wp::{wp, wp_id, WpError};

@@ -513,6 +513,65 @@ fn resaving_a_warm_context_loses_no_entry_and_keeps_warm_starting() {
 }
 
 #[test]
+fn warm_start_serves_every_disjointness_verdict_from_disk() {
+    // The queue-disjointness refinement is persisted alongside the solver
+    // caches (artifact v2): building the independence tables for the whole
+    // benchmark suite against a warm-started context must issue *zero* fresh
+    // disjointness computations — every fire×fire verdict comes back from
+    // the store seeded off disk — and must reproduce the cold tables
+    // bit-for-bit.
+    use expresso_repro::monitor_lang::check_monitor;
+    use expresso_repro::vcgen::refine_independence;
+
+    let dir = scratch_cache_dir("disjoint");
+    let benchmarks = all();
+    let monitors: Vec<_> = benchmarks.iter().map(|b| b.monitor()).collect();
+    let tables: Vec<_> = monitors
+        .iter()
+        .map(|m| check_monitor(m).expect("suite monitors check"))
+        .collect();
+    let config = persistent_config(&dir);
+
+    let cold_context = SharedAnalysisContext::new(&config);
+    let cold: Vec<_> = monitors
+        .iter()
+        .zip(&tables)
+        .map(|(m, t)| refine_independence(m, t, cold_context.solver(), cold_context.disjointness()))
+        .collect();
+    let cold_stats = cold_context.disjointness_stats();
+    assert!(
+        cold_stats.queries > 0,
+        "cold run must compute disjointness verdicts: {cold_stats:?}"
+    );
+    cold_context.persist().unwrap().unwrap();
+
+    let warm_context = SharedAnalysisContext::new(&config);
+    assert!(
+        warm_context.warm_start().is_some(),
+        "second context must warm-start from the artifact"
+    );
+    let warm: Vec<_> = monitors
+        .iter()
+        .zip(&tables)
+        .map(|(m, t)| refine_independence(m, t, warm_context.solver(), warm_context.disjointness()))
+        .collect();
+    let warm_stats = warm_context.disjointness_stats();
+    assert_eq!(
+        warm_stats.queries, 0,
+        "warm run recomputed a disjointness verdict: {warm_stats:?}"
+    );
+    assert!(
+        warm_stats.hits >= cold_stats.queries,
+        "warm run must serve at least the cold query volume from the store: \
+         cold {cold_stats:?} vs warm {warm_stats:?}"
+    );
+    for ((c, w), b) in cold.iter().zip(&warm).zip(&benchmarks) {
+        assert_eq!(c, w, "{}: independence table diverged warm", b.name);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn mutating_one_monitor_reanalyzes_exactly_that_monitor() {
     // The incremental-invalidation pin: after a one-monitor edit, the
     // warm-started suite recomputes weakest preconditions for the mutated
