@@ -11,6 +11,7 @@
 //! cargo run --release -p expresso-bench --bin reproduce -- explore
 //! cargo run --release -p expresso-bench --bin reproduce -- load
 //! cargo run --release -p expresso-bench --bin reproduce -- persist
+//! cargo run --release -p expresso-bench --bin reproduce -- trace
 //! cargo run --release -p expresso-bench --bin reproduce -- summary
 //! cargo run --release -p expresso-bench --bin reproduce -- all
 //! ```
@@ -47,6 +48,14 @@
 //! from disk, bit-identical to the cold run, and the mutation re-analyses
 //! exactly one monitor.
 //!
+//! `trace` is the observability gate: the representative subset run end to
+//! end with span recording on, the Chrome trace written to `EXPRESSO_TRACE`
+//! (default `expresso-trace.json`) and validated from disk — well-formed
+//! JSON, balanced nesting, spans from every instrumented subsystem, ≥80%
+//! wall-time coverage. `json` additionally writes an `observability`
+//! section (per-phase attribution, span coverage, unified metrics snapshot)
+//! and tripwires on coverage below 80%.
+//!
 //! Environment variables `REPRO_MAX_THREADS` (default 16) and `REPRO_OPS`
 //! (default 200) scale the saturation sweep; `REPRO_EXPLORE_THREADS` /
 //! `REPRO_EXPLORE_OPS` (defaults 3 / 2) bound the exploration workloads and
@@ -60,7 +69,9 @@ use expresso_bench::{
     analysis_time, analyze, format_figure, geometric_speedup, measure_benchmark, Measurement,
     Series,
 };
-use expresso_core::{Expresso, ExpressoConfig, Scheduler, SchedulerStats, SharedAnalysisContext};
+use expresso_core::{
+    to_java, Expresso, ExpressoConfig, Scheduler, SchedulerStats, SharedAnalysisContext, TRACE_ENV,
+};
 use expresso_explore::{
     benchmark_workload, explore, render_trace, ExploreConfig, RefinedIndependence, Strategy,
 };
@@ -71,6 +82,7 @@ use expresso_suite::{
 };
 use expresso_vcgen::{refine_independence, WpCacheStats};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -1018,6 +1030,86 @@ fn enforce_load_tripwires(profile: &RuntimeLoadProfile) {
     );
 }
 
+/// One instrumented pass over the whole suite with span recording on: the
+/// `observability` section's per-phase wall-time attribution, span-coverage
+/// ratio and unified metrics snapshot. Runs *after* every timed profiling
+/// pass so the perf numbers (and the >3x regression guard) keep measuring
+/// the tracing-disabled path.
+struct ObservabilityProfile {
+    /// Wall time of the instrumented suite pass (the root span's duration).
+    wall_ms: f64,
+    /// Span/instant records flushed by the pass.
+    span_count: usize,
+    /// Threads that recorded at least one span.
+    thread_count: usize,
+    /// Fraction of the root span's wall time covered by named child spans.
+    coverage: f64,
+    /// Inclusive wall time and count per span name, descending.
+    phases: Vec<expresso_obs::PhaseAttribution>,
+    /// Unified metrics snapshot (solver, arena, WP store, disjointness,
+    /// scheduler) taken right after the instrumented pass.
+    metrics_json: String,
+    /// Whether spans were already being recorded during the *timed* profiling
+    /// passes (true only when `EXPRESSO_TRACE` is set for this run, in which
+    /// case the perf numbers include the enabled-mode overhead).
+    traced_during_profiling: bool,
+}
+
+fn profile_observability(traced_during_profiling: bool) -> ObservabilityProfile {
+    let was_enabled = expresso_obs::enabled();
+    let _ = expresso_obs::drain();
+    expresso_obs::set_enabled(true);
+
+    let pipeline = Expresso::new();
+    let context = SharedAnalysisContext::new(pipeline.config());
+    let registry = context.metrics_registry();
+    let root = expresso_obs::SpanGuard::enter("bench.observed_suite");
+    {
+        let _span = expresso_obs::span!("bench.analysis");
+        let monitors: Vec<_> = all().iter().map(|b| b.monitor()).collect();
+        for outcome in pipeline.analyze_suite(&context, &monitors) {
+            outcome.expect("suite analysis succeeds");
+        }
+    }
+    drop(root);
+    expresso_obs::set_enabled(was_enabled);
+    let traces = expresso_obs::drain();
+
+    let wall_ms = traces
+        .iter()
+        .flat_map(|t| t.records.iter())
+        .filter(|r| r.name == "bench.observed_suite")
+        .map(|r| (r.end_ns - r.start_ns) as f64 / 1e6)
+        .fold(0.0, f64::max);
+    let span_count = traces.iter().map(|t| t.records.len()).sum();
+    let coverage = expresso_obs::span_coverage(&traces, "bench.observed_suite").unwrap_or(0.0);
+    let phases = expresso_obs::attribute_phases(&traces);
+    let metrics_json = registry.snapshot().to_json(2);
+
+    // When this run is itself being traced, the instrumented pass is the
+    // natural payload for the artifact — write it out instead of dropping
+    // the drained spans on the floor.
+    if let Some(path) = std::env::var_os(TRACE_ENV).map(PathBuf::from) {
+        match expresso_obs::write_chrome_trace(&path, &traces) {
+            Ok(()) => println!("observability: wrote Chrome trace to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    ObservabilityProfile {
+        wall_ms,
+        span_count,
+        thread_count: traces.len(),
+        coverage,
+        phases,
+        metrics_json,
+        traced_during_profiling,
+    }
+}
+
 /// Serialises the profiles by hand (the workspace is dependency-free, so no
 /// serde): a stable, diffable JSON document tracked across PRs.
 fn render_json(
@@ -1027,6 +1119,7 @@ fn render_json(
     load: &RuntimeLoadProfile,
     persistence: &PersistenceProfile,
     exploration: &ExplorationProfile,
+    observability: &ObservabilityProfile,
 ) -> String {
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
     let total_uncached: f64 = profiles.iter().map(|p| p.uncached_ms).sum();
@@ -1251,7 +1344,7 @@ fn render_json(
          \"total_naive_executions\": {},\n    \"reduction_factor\": {:.3},\n    \
          \"mean_reduction\": {:.3},\n    \"sleep_set_blocked\": {},\n    \
          \"disjointness_queries\": {},\n    \"disjointness_cache_hits\": {},\n    \
-         \"divergences\": {}\n  }}\n}}\n",
+         \"divergences\": {}\n  }},\n",
         exploration.total_dpor_executions,
         exploration.total_naive_executions,
         exploration.reduction_factor(),
@@ -1260,6 +1353,36 @@ fn render_json(
         exploration.disjointness_queries,
         exploration.disjointness_cache_hits,
         exploration.divergences,
+    );
+    let _ = write!(
+        out,
+        "  \"observability\": {{\n    \"traced_during_profiling\": {},\n    \
+         \"instrumented_wall_ms\": {:.3},\n    \"span_count\": {},\n    \
+         \"thread_count\": {},\n    \"span_coverage\": {:.4},\n    \"phases\": [\n",
+        observability.traced_during_profiling,
+        observability.wall_ms,
+        observability.span_count,
+        observability.thread_count,
+        observability.coverage,
+    );
+    for (i, phase) in observability.phases.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"phase\": \"{}\", \"total_ms\": {:.3}, \"count\": {}}}",
+            phase.name,
+            phase.total_ns as f64 / 1e6,
+            phase.count,
+        );
+        out.push_str(if i + 1 < observability.phases.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = write!(
+        out,
+        "    ],\n    \"metrics\": {}\n  }}\n}}\n",
+        observability.metrics_json,
     );
     out
 }
@@ -1399,6 +1522,10 @@ fn run_json() {
         true,
     );
     let persistence = profile_persistence();
+    // The instrumented pass runs last so every timed profile above measured
+    // the tracing-disabled path (unless the caller exported EXPRESSO_TRACE,
+    // which we record in the artifact).
+    let observability = profile_observability(std::env::var_os(TRACE_ENV).is_some());
     let json = render_json(
         &profiles,
         &shared,
@@ -1406,6 +1533,7 @@ fn run_json() {
         &load,
         &persistence,
         &exploration,
+        &observability,
     );
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     let total_cached: f64 = profiles.iter().map(|p| p.cached_ms).sum();
@@ -1495,6 +1623,14 @@ fn run_json() {
         persistence.warm_speedup,
         persistence.solver_disk_hits + persistence.wp_disk_hits,
         persistence.dirty_reanalyzed,
+    );
+    println!(
+        "observability: instrumented suite pass {:.1} ms, {} spans on {} threads, \
+         {:.1}% of wall time attributed to named phases",
+        observability.wall_ms,
+        observability.span_count,
+        observability.thread_count,
+        observability.coverage * 100.0,
     );
     // Persistence tripwires: warm must be served from disk, bit-identical
     // and surgically invalidated.
@@ -1597,6 +1733,18 @@ fn run_json() {
         eprintln!(
             "error: suite run reported zero WP-cache hits; the (body, post) \
              memo layer is not sharing work"
+        );
+        std::process::exit(1);
+    }
+    // Observability tripwire: the span taxonomy must attribute at least 80%
+    // of the instrumented pass's wall time — less means a whole phase lost
+    // its instrumentation (or a guard is being dropped early) and the trace
+    // artifact has silently gone blind.
+    if observability.coverage < 0.8 {
+        eprintln!(
+            "error: span coverage {:.1}% of the instrumented suite pass is below the \
+             80% floor; a pipeline phase lost its span instrumentation",
+            observability.coverage * 100.0
         );
         std::process::exit(1);
     }
@@ -1717,6 +1865,158 @@ fn run_load_gate() {
     enforce_load_tripwires(&profile);
 }
 
+/// The tracing CI gate: runs the representative subset end to end — parse +
+/// analysis, codegen, a small bounded exploration, persistence save/load —
+/// with span recording on, writes the Chrome trace artifact and validates
+/// it from disk: well-formed JSON, balanced laminar nesting with monotone
+/// per-thread timestamps, at least one span from each instrumented
+/// subsystem, and ≥80% of the gate's wall time attributed to named spans.
+/// Exits nonzero on any violation so CI catches instrumentation rot.
+fn run_trace() {
+    println!("=== Trace gate: representative subset with span recording on ===\n");
+    let trace_path = std::env::var_os(TRACE_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("expresso-trace.json"));
+    // A scratch cache directory so the persistence phase (seed + save + load)
+    // runs deterministically regardless of the user's environment.
+    let scratch = std::env::temp_dir().join(format!("expresso-trace-gate-{}", std::process::id()));
+    let config = ExpressoConfig {
+        cache_dir: Some(scratch.clone()),
+        trace_path: Some(trace_path.clone()),
+        ..ExpressoConfig::default()
+    };
+    let pipeline = Expresso::with_config(config.clone());
+    // Constructing the context with a trace path enables span recording.
+    let context = SharedAnalysisContext::new(&config);
+    let subset = representative_subset();
+
+    let root = expresso_obs::SpanGuard::enter("bench.trace_gate");
+    let outcomes: Vec<expresso_core::AnalysisOutcome> = {
+        let _span = expresso_obs::span!("bench.analysis");
+        let monitors: Vec<_> = subset.iter().map(|b| b.monitor()).collect();
+        pipeline
+            .analyze_suite(&context, &monitors)
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| o.unwrap_or_else(|e| panic!("{} failed analysis: {e}", subset[i].name)))
+            .collect()
+    };
+    {
+        let _span = expresso_obs::span!("bench.codegen");
+        for outcome in &outcomes {
+            assert!(
+                !to_java(&outcome.explicit).is_empty(),
+                "codegen produced an empty translation"
+            );
+        }
+    }
+    {
+        let _span = expresso_obs::span!("bench.explore");
+        for (benchmark, outcome) in subset.iter().zip(&outcomes).take(2) {
+            let monitor = benchmark.monitor();
+            let table = check_monitor(&monitor).expect("benchmark checks");
+            let workload = benchmark_workload(benchmark, &monitor, &table, 2, 1)
+                .unwrap_or_else(|e| panic!("{} failed workload construction: {e}", benchmark.name));
+            let refined =
+                refine_independence(&monitor, &table, context.solver(), context.disjointness());
+            let explore_config = ExploreConfig {
+                independence: Some(Arc::new(RefinedIndependence {
+                    table: refined,
+                    queries: 0,
+                    cache_hits: 0,
+                })),
+                scheduler: Some(Arc::clone(Scheduler::global())),
+                ..ExploreConfig::default()
+            };
+            let result = explore(
+                &monitor,
+                &table,
+                &outcome.explicit,
+                &workload,
+                &explore_config,
+            )
+            .unwrap_or_else(|e| panic!("{} failed exploration: {e}", benchmark.name));
+            assert!(
+                result.divergences.is_empty(),
+                "{} diverged under the trace gate",
+                benchmark.name
+            );
+        }
+    }
+    {
+        let _span = expresso_obs::span!("bench.persist");
+        context
+            .persist()
+            .expect("persisting trace-gate caches")
+            .expect("the trace gate configures a cache directory");
+        match expresso_persist::load(&scratch) {
+            expresso_persist::LoadResult::Loaded(_) => {}
+            other => panic!("trace-gate artifact failed to round-trip: {other:?}"),
+        }
+    }
+    drop(root);
+
+    expresso_obs::set_enabled(false);
+    let (written, records) = context
+        .write_trace()
+        .expect("writing the Chrome trace artifact")
+        .expect("the trace gate configures a trace path");
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("wrote {} ({records} records)", written.display());
+
+    // Validate the artifact exactly as a consumer would: re-read it from
+    // disk and check it with the exporter's own parser.
+    let text = std::fs::read_to_string(&written)
+        .unwrap_or_else(|e| panic!("cannot re-read {}: {e}", written.display()));
+    let events = match expresso_obs::parse_chrome_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: trace artifact is not well-formed Chrome trace JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = expresso_obs::check_nesting(&events) {
+        eprintln!("error: trace spans are not properly nested: {e}");
+        std::process::exit(1);
+    }
+    let mut subsystems: Vec<&str> = events.iter().map(|e| e.cat.as_str()).collect();
+    subsystems.sort_unstable();
+    subsystems.dedup();
+    for required in ["smt", "vcgen", "core", "explore"] {
+        if !subsystems.contains(&required) {
+            eprintln!(
+                "error: trace artifact has no span from the `{required}` subsystem \
+                 (saw: {subsystems:?}); its instrumentation went dark"
+            );
+            std::process::exit(1);
+        }
+    }
+    if subsystems.len() < 5 {
+        eprintln!(
+            "error: trace artifact covers only {} subsystems ({subsystems:?}); \
+             expected at least 5",
+            subsystems.len()
+        );
+        std::process::exit(1);
+    }
+    let coverage = expresso_obs::trace_coverage(&events, "bench.trace_gate").unwrap_or(0.0);
+    if coverage < 0.8 {
+        eprintln!(
+            "error: named spans cover only {:.1}% of the trace gate's wall time \
+             (floor: 80%)",
+            coverage * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "trace gate: {} events across {} subsystems, nesting balanced, \
+         {:.1}% of wall time covered",
+        events.len(),
+        subsystems.len(),
+        coverage * 100.0
+    );
+}
+
 fn summarise(measurements: &[Measurement]) {
     let vs_autosynch = geometric_speedup(measurements, Series::Expresso, Series::AutoSynch);
     let vs_explicit = geometric_speedup(measurements, Series::Expresso, Series::Explicit);
@@ -1741,6 +2041,7 @@ fn main() {
         "explore" => run_explore(),
         "load" => run_load_gate(),
         "persist" => run_persist(),
+        "trace" => run_trace(),
         "suite" => {
             // Quick mode: only the scheduler-suite comparison, for iterating
             // on pool behaviour without the full per-benchmark profiling.
@@ -1775,7 +2076,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown mode `{other}`; expected fig8 | fig9 | table1 | json | suite | \
-                 explore | load | persist | summary | all"
+                 explore | load | persist | trace | summary | all"
             );
             std::process::exit(2);
         }

@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 
 /// Renders an explicit-signal monitor as Java-like source text.
 pub fn to_java(explicit: &ExplicitMonitor) -> String {
+    let _span = expresso_obs::span!("core.codegen", "{}", explicit.monitor.name);
     let monitor = &explicit.monitor;
     let mut out = String::new();
     let mut condition_names: HashMap<String, String> = HashMap::new();

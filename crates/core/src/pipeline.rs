@@ -20,6 +20,13 @@ use std::time::{Duration, Instant};
 /// means persistence is off — the pre-persistence in-process behaviour.
 pub const CACHE_DIR_ENV: &str = "EXPRESSO_CACHE_DIR";
 
+/// Environment variable naming a Chrome trace-event output file, consulted
+/// when [`ExpressoConfig::trace_path`] is `None`. With a path in effect,
+/// span recording is switched on when the [`SharedAnalysisContext`] is
+/// constructed, and [`SharedAnalysisContext::write_trace`] drains the
+/// recorded spans into a Perfetto-loadable artifact at that path.
+pub const TRACE_ENV: &str = "EXPRESSO_TRACE";
+
 /// Which [`Executor`] abduction's candidate-subset waves are dispatched on
 /// (see [`ExpressoConfig::abduction_executor`]). Results are bit-identical
 /// across both choices; only wall-clock time and pool counters differ.
@@ -88,6 +95,15 @@ pub struct ExpressoConfig {
     /// and WP caches from the on-disk artifact before the first analysis,
     /// and [`SharedAnalysisContext::persist`] writes the tables back.
     pub cache_dir: Option<PathBuf>,
+    /// Chrome trace-event output file. `None` (the default) consults the
+    /// `EXPRESSO_TRACE` environment variable; when that is unset too, span
+    /// recording stays off and the instrumentation costs one relaxed atomic
+    /// load per span site. With a path in effect,
+    /// [`SharedAnalysisContext::new`] enables recording and
+    /// [`SharedAnalysisContext::write_trace`] writes the Perfetto-loadable
+    /// artifact. Tracing never changes analysis results or counters (pinned
+    /// by the equivalence tests).
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for ExpressoConfig {
@@ -103,6 +119,7 @@ impl Default for ExpressoConfig {
             analysis_threads: 0,
             abduction_executor: AbductionExecutor::Pool,
             cache_dir: None,
+            trace_path: None,
         }
     }
 }
@@ -138,6 +155,7 @@ pub struct SharedAnalysisContext {
     disjointness: Arc<DisjointnessStore>,
     scheduler: Arc<Scheduler>,
     cache_dir: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
     warm_start: Option<SeedReport>,
 }
 
@@ -181,6 +199,13 @@ impl SharedAnalysisContext {
             .cache_dir
             .clone()
             .or_else(|| std::env::var_os(CACHE_DIR_ENV).map(PathBuf::from));
+        let trace_path = config
+            .trace_path
+            .clone()
+            .or_else(|| std::env::var_os(TRACE_ENV).map(PathBuf::from));
+        if trace_path.is_some() {
+            expresso_obs::set_enabled(true);
+        }
         let warm_start = cache_dir
             .as_deref()
             .and_then(|dir| match expresso_persist::load(dir) {
@@ -192,8 +217,9 @@ impl SharedAnalysisContext {
                 )),
                 LoadResult::Absent => None,
                 LoadResult::Corrupt(reason) => {
-                    eprintln!(
-                        "expresso: ignoring unusable warm-start cache, starting cold: {reason}"
+                    expresso_obs::log!(
+                        expresso_obs::Level::Warn,
+                        "ignoring unusable warm-start cache, starting cold: {reason}"
                     );
                     None
                 }
@@ -204,8 +230,53 @@ impl SharedAnalysisContext {
             disjointness,
             scheduler,
             cache_dir,
+            trace_path,
             warm_start,
         }
+    }
+
+    /// The Chrome-trace output path in effect for this context, if any
+    /// ([`ExpressoConfig::trace_path`], else the `EXPRESSO_TRACE` environment
+    /// variable).
+    pub fn trace_path(&self) -> Option<&std::path::Path> {
+        self.trace_path.as_deref()
+    }
+
+    /// Drains every span recorded so far (all threads, process-wide) and
+    /// writes them to the context's trace path as Chrome trace-event JSON.
+    /// Returns `None` when no trace path is in effect; otherwise the path
+    /// written and the number of span records flushed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the artifact.
+    pub fn write_trace(&self) -> io::Result<Option<(PathBuf, usize)>> {
+        let Some(path) = self.trace_path.as_deref() else {
+            return Ok(None);
+        };
+        let traces = expresso_obs::drain();
+        let spans = traces.iter().map(|t| t.records.len()).sum();
+        expresso_obs::write_chrome_trace(path, &traces)?;
+        Ok(Some((path.to_path_buf(), spans)))
+    }
+
+    /// A [`expresso_obs::MetricsRegistry`] with every one of this context's
+    /// subsystems pre-registered: solver, arena, WP store, disjointness
+    /// store and scheduler. Snapshots read live values, so one registry
+    /// built up front can be sampled before, during and after analyses.
+    pub fn metrics_registry(&self) -> expresso_obs::MetricsRegistry {
+        let registry = expresso_obs::MetricsRegistry::new();
+        let solver = Arc::clone(&self.solver);
+        registry.register("smt.solver", move || solver.stats().metrics());
+        let interner = Arc::clone(self.solver.interner());
+        registry.register("logic.interner", move || interner.stats().metrics());
+        let wp_store = Arc::clone(&self.wp_store);
+        registry.register("vcgen.wp_store", move || wp_store.stats().metrics());
+        let disjointness = Arc::clone(&self.disjointness);
+        registry.register("vcgen.disjointness", move || disjointness.stats().metrics());
+        let scheduler = Arc::clone(&self.scheduler);
+        registry.register("core.scheduler", move || scheduler.stats().metrics());
+        registry
     }
 
     /// The warm-start cache directory in effect for this context, if any.
@@ -352,6 +423,24 @@ pub struct AnalysisStats {
     pub scheduler: SchedulerStats,
 }
 
+impl AnalysisStats {
+    /// Adapt the per-analysis timing and counters into a metric group for
+    /// [`expresso_obs::MetricsRegistry`] (the nested subsystem snapshots have
+    /// their own groups — see
+    /// [`SharedAnalysisContext::metrics_registry`]).
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        vec![
+            Metric::gauge("invariant_ms", self.invariant_time.as_secs_f64() * 1e3),
+            Metric::gauge("placement_ms", self.placement_time.as_secs_f64() * 1e3),
+            Metric::gauge("total_ms", self.total_time.as_secs_f64() * 1e3),
+            Metric::counter("triples_checked", self.triples_checked as u64),
+            Metric::counter("invariant_candidates", self.invariant_candidates as u64),
+            Metric::counter("invariant_conjuncts", self.invariant_conjuncts as u64),
+        ]
+    }
+}
+
 /// The result of analysing a monitor.
 #[derive(Debug, Clone)]
 pub struct AnalysisOutcome {
@@ -480,8 +569,12 @@ impl Expresso {
         context: &SharedAnalysisContext,
         monitor: &Monitor,
     ) -> Result<AnalysisOutcome, ExpressoError> {
+        let _analyze_span = expresso_obs::span!("core.analyze", "{}", monitor.name);
         let start = Instant::now();
-        let table = check_monitor(monitor).map_err(ExpressoError::Check)?;
+        let table = {
+            let _span = expresso_obs::span!("core.check");
+            check_monitor(monitor).map_err(ExpressoError::Check)?
+        };
         let solver = context.solver();
         solver.begin_analysis_epoch();
         let stats_before = solver.stats();
@@ -493,6 +586,7 @@ impl Expresso {
 
         let invariant_start = Instant::now();
         let (invariant, candidates, conjuncts) = if self.config.infer_invariant {
+            let _span = expresso_obs::span!("core.invariant", "{}", monitor.name);
             let abduction = AbductionConfig {
                 executor: self.abduction_executor(context),
                 wp_cache: Some(Arc::clone(&wp_cache)),
@@ -506,6 +600,7 @@ impl Expresso {
         let invariant_time = invariant_start.elapsed();
 
         let placement_start = Instant::now();
+        let placement_span = expresso_obs::span!("core.placement", "{}", monitor.name);
         let (explicit, report) = place_signals_with(
             monitor,
             &table,
@@ -518,6 +613,7 @@ impl Expresso {
                 scheduler: Some(Arc::clone(context.scheduler())),
             },
         );
+        drop(placement_span);
         let placement_time = placement_start.elapsed();
 
         let stats = AnalysisStats {

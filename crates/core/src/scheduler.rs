@@ -82,6 +82,19 @@ pub struct SchedulerStats {
 }
 
 impl SchedulerStats {
+    /// Adapt into a metric group for [`expresso_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        vec![
+            Metric::counter("workers", self.workers as u64),
+            Metric::counter("tasks_executed", self.tasks_executed as u64),
+            Metric::counter("steals", self.steals as u64),
+            Metric::counter("injector_pops", self.injector_pops as u64),
+            Metric::counter("helper_executed", self.helper_executed as u64),
+            Metric::counter("abduction_tasks", self.abduction_tasks as u64),
+        ]
+    }
+
     /// Field-wise accumulation of another snapshot (or delta) into this one,
     /// e.g. to sum the per-pass deltas of several profiled suite runs. The
     /// worker count and per-worker vector adopt the wider of the two.
@@ -491,6 +504,7 @@ impl Shared {
         } else {
             c.helper_executed.fetch_add(1, Ordering::Relaxed);
         }
+        let _span = expresso_obs::span!("sched.task");
         job();
     }
 }

@@ -373,6 +373,7 @@ pub(crate) fn explore_root<'a>(
     dep: &Dependence,
     cfg: &ExploreConfig,
 ) -> RootOutcome {
+    let _span = expresso_obs::span!("explore.subtree");
     let dpor = cfg.strategy == Strategy::Dpor;
     let dedup = dpor && cfg.dedup_states;
     let mut cache: HashMap<CacheKey, CacheEntry> = HashMap::new();

@@ -188,6 +188,24 @@ pub struct DirectionStats {
 }
 
 impl DirectionStats {
+    /// Adapt into a metric group for [`expresso_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        vec![
+            Metric::counter("executions", self.executions as u64),
+            Metric::counter("transitions", self.transitions as u64),
+            Metric::counter("depth_capped", self.depth_capped as u64),
+            Metric::counter("sleep_prunes", self.sleep_prunes as u64),
+            Metric::counter("preemption_prunes", self.preemption_prunes as u64),
+            Metric::counter("dedup_hits", self.dedup_hits as u64),
+            Metric::counter("sleep_set_blocked", self.sleep_set_blocked as u64),
+            Metric::counter("frontier_roots", self.frontier_roots as u64),
+            Metric::counter("capped_roots", self.capped_roots as u64),
+        ]
+    }
+}
+
+impl DirectionStats {
     /// Field-wise accumulation of a subtree's counters.
     pub fn merge(&mut self, other: &DirectionStats) {
         self.executions += other.executions;
@@ -304,6 +322,7 @@ pub fn explore(
     workload: &Workload,
     config: &ExploreConfig,
 ) -> Result<ExploreReport, ExecError> {
+    let _span = expresso_obs::span!("explore.run", "{}", monitor.name);
     let refined = if config.explore_spurious {
         None
     } else {

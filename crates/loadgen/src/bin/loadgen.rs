@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--benchmark NAME] [--engine implicit|static|targeted|all]
 //!         [--workers N] [--sessions N] [--rounds N] [--seed N]
-//!         [--pace-ns N]
+//!         [--pace-ns N] [--trace PATH]
 //! ```
 //!
 //! With `--pace-ns 0` (the default) the run is a closed loop and the latency
@@ -15,17 +15,19 @@
 use expresso_core::Expresso;
 use expresso_loadgen::{measure, EngineKind, LoadConfig, LoadReport};
 use expresso_suite::benchmarks::all;
+use std::path::PathBuf;
 
 struct Options {
     benchmark: Option<String>,
     engines: Vec<EngineKind>,
     config: LoadConfig,
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--benchmark NAME] [--engine implicit|static|targeted|all] \
-         [--workers N] [--sessions N] [--rounds N] [--seed N] [--pace-ns N]"
+         [--workers N] [--sessions N] [--rounds N] [--seed N] [--pace-ns N] [--trace PATH]"
     );
     std::process::exit(2)
 }
@@ -35,6 +37,7 @@ fn parse_options() -> Options {
         benchmark: None,
         engines: EngineKind::all().to_vec(),
         config: LoadConfig::closed_loop(4, 1024, 2, 42),
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -62,6 +65,7 @@ fn parse_options() -> Options {
             "--rounds" => options.config.rounds = parse_number(&flag, &value()) as usize,
             "--seed" => options.config.seed = parse_number(&flag, &value()),
             "--pace-ns" => options.config.pacing_nanos = parse_number(&flag, &value()),
+            "--trace" => options.trace = Some(PathBuf::from(value())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -114,12 +118,19 @@ fn print_report(name: &str, report: &LoadReport) {
         report.elided_notifications,
     );
     if report.call_errors > 0 {
-        eprintln!("warning: {name}: {} calls failed", report.call_errors);
+        expresso_obs::log!(
+            expresso_obs::Level::Warn,
+            "{name}: {} calls failed",
+            report.call_errors
+        );
     }
 }
 
 fn main() {
     let options = parse_options();
+    if options.trace.is_some() {
+        expresso_obs::set_enabled(true);
+    }
     let benchmarks: Vec<_> = all()
         .into_iter()
         .filter(|b| {
@@ -165,6 +176,7 @@ fn main() {
         "avoided",
         "elided"
     );
+    let mut reports: Vec<(String, LoadReport)> = Vec::new();
     for benchmark in &benchmarks {
         let explicit = match Expresso::new().analyze(&benchmark.monitor()) {
             Ok(outcome) => outcome.explicit,
@@ -176,6 +188,22 @@ fn main() {
         for &kind in &options.engines {
             let report = measure(benchmark, &explicit, kind, &options.config);
             print_report(benchmark.name, &report);
+            reports.push((benchmark.name.to_string(), report));
         }
+    }
+    // The quantile table (and every other column) is also available through
+    // the unified metrics snapshot; print it when the run is being traced so
+    // the artifact and the numbers land together.
+    if let Some(path) = &options.trace {
+        let snapshot = expresso_loadgen::metrics_registry(reports).snapshot();
+        println!("metrics = {}", snapshot.to_json(0));
+        expresso_obs::set_enabled(false);
+        let traces = expresso_obs::drain();
+        if let Err(e) = expresso_obs::write_chrome_trace(path, &traces) {
+            eprintln!("failed to write trace {path:?}: {e}");
+            std::process::exit(1);
+        }
+        let spans: usize = traces.iter().map(|t| t.records.len()).sum();
+        println!("trace = {} ({spans} records)", path.display());
     }
 }

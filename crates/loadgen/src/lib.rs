@@ -160,6 +160,46 @@ impl LoadReport {
             self.operations as f64 / secs
         }
     }
+
+    /// Adapt into a metric group for [`expresso_obs::MetricsRegistry`],
+    /// including the latency quantile table (microsecond gauges) that used
+    /// to be reachable only through the raw [`Histogram`].
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        let us = |nanos: f64| nanos / 1e3;
+        vec![
+            Metric::counter("workers", self.workers as u64),
+            Metric::counter("sessions", self.sessions),
+            Metric::counter("operations", self.operations),
+            Metric::counter("call_errors", self.call_errors),
+            Metric::counter("wakeups", self.wakeups as u64),
+            Metric::counter("predicate_evaluations", self.predicate_evaluations as u64),
+            Metric::counter("avoided_wakeups", self.avoided_wakeups as u64),
+            Metric::counter("elided_notifications", self.elided_notifications as u64),
+            Metric::gauge("elapsed_ms", self.elapsed.as_secs_f64() * 1e3),
+            Metric::gauge("ops_per_sec", self.ops_per_sec()),
+            Metric::gauge("latency_mean_us", us(self.latency.mean())),
+            Metric::gauge("latency_p50_us", us(self.latency.p50() as f64)),
+            Metric::gauge("latency_p90_us", us(self.latency.quantile(0.90) as f64)),
+            Metric::gauge("latency_p99_us", us(self.latency.p99() as f64)),
+            Metric::gauge("latency_p999_us", us(self.latency.p999() as f64)),
+            Metric::gauge("latency_max_us", us(self.latency.max() as f64)),
+        ]
+    }
+}
+
+/// A [`expresso_obs::MetricsRegistry`] with one `loadgen.<benchmark>.<engine>`
+/// group per completed report — the snapshot surface the CLI and harnesses
+/// read quantiles through.
+pub fn metrics_registry(
+    reports: impl IntoIterator<Item = (String, LoadReport)>,
+) -> expresso_obs::MetricsRegistry {
+    let registry = expresso_obs::MetricsRegistry::new();
+    for (benchmark, report) in reports {
+        let group = format!("loadgen.{benchmark}.{}", report.engine.label());
+        registry.register(group, move || report.metrics());
+    }
+    registry
 }
 
 /// Builds the runtime a load run drives: the benchmark's constructor is
@@ -267,6 +307,7 @@ fn run_worker(
     sessions: u64,
     tally: &mut WorkerTally,
 ) {
+    let _span = expresso_obs::span!("loadgen.worker", "worker {worker}/{workers}");
     let run_start = Instant::now();
     let mut session = worker as u64;
     while session < sessions {

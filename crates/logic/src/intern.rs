@@ -209,6 +209,19 @@ pub struct InternerStats {
     pub lock_contentions: usize,
 }
 
+impl InternerStats {
+    /// Adapt into a metric group for [`expresso_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        vec![
+            Metric::counter("formula_nodes", self.formula_nodes as u64),
+            Metric::counter("term_nodes", self.term_nodes as u64),
+            Metric::counter("shard_count", self.shard_count as u64),
+            Metric::counter("lock_contentions", self.lock_contentions as u64),
+        ]
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Lock-free-read append-only node store
 // ---------------------------------------------------------------------------

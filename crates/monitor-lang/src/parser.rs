@@ -57,6 +57,7 @@ impl From<LexError> for ParseError {
 /// assert_eq!(monitor.methods.len(), 1);
 /// ```
 pub fn parse_monitor(source: &str) -> Result<Monitor, ParseError> {
+    let _span = expresso_obs::span!("parse.monitor");
     let tokens = tokenize(source)?;
     let mut parser = Parser { tokens, pos: 0 };
     let monitor = parser.monitor()?;

@@ -1,0 +1,105 @@
+//! Observability for the Expresso stack: span tracing, Chrome-trace export,
+//! a unified metrics registry, and leveled logging. Everything here is
+//! std-only and dependency-free so every other crate in the workspace can
+//! depend on it without cycles.
+//!
+//! # Spans
+//!
+//! A span is an RAII guard around a named unit of work:
+//!
+//! ```
+//! {
+//!     let _span = expresso_obs::span!("smt.sat");
+//!     // ... work ...
+//! } // recorded on drop
+//! ```
+//!
+//! Recording is off by default. When disabled, [`span!`] costs a single
+//! relaxed atomic load and never evaluates its format arguments; analysis
+//! outcomes and every counter are bit-identical with tracing compiled in but
+//! off (pinned by `tests/cache_equivalence.rs`). When enabled
+//! ([`set_enabled`], or automatically when `EXPRESSO_TRACE` /
+//! `ExpressoConfig::trace_path` names an output file), each span appends one
+//! record to a per-thread buffer — no cross-thread contention on the hot
+//! path — and [`drain`] flushes all buffers at once.
+//!
+//! # Chrome trace export
+//!
+//! [`write_chrome_trace`] renders drained spans as Chrome trace-event JSON
+//! (one lane per thread, named after the worker), loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! # Metrics
+//!
+//! [`MetricsRegistry`] unifies the per-subsystem `*Stats` structs: each
+//! subsystem registers a closure producing named counters/gauges, and
+//! [`MetricsRegistry::snapshot`] reads them all into one [`Snapshot`].
+//!
+//! # Logging
+//!
+//! [`log!`] is a leveled stderr logger gated by `EXPRESSO_LOG`
+//! (`error|warn|info|debug`, default `warn`), with a capture hook for tests.
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use log::{set_capture, set_max_level, CaptureBuffer, Level};
+pub use metrics::{Metric, MetricGroup, MetricValue, MetricsRegistry, Snapshot};
+pub use recorder::{
+    drain, enabled, now_ns, record_instant, set_enabled, RecordKind, SpanGuard, SpanRecord,
+    ThreadTrace,
+};
+pub use trace::{
+    attribute_phases, check_nesting, chrome_trace_json, parse_chrome_trace, span_coverage,
+    trace_coverage, write_chrome_trace, PhaseAttribution, TraceEvent,
+};
+
+/// Open a named span, returning an RAII guard that records the span when
+/// dropped. With extra arguments, formats a detail string — evaluated only
+/// when tracing is enabled:
+///
+/// ```
+/// let monitor = "BoundedBuffer";
+/// let _span = expresso_obs::span!("core.analyze", "{monitor}");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $($arg:tt)+) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter_with($name, ::std::format!($($arg)+))
+        } else {
+            $crate::SpanGuard::inactive()
+        }
+    };
+}
+
+/// Record a zero-duration instant event (a point-in-time marker, e.g. a
+/// wakeup on the runtime hot path). A no-op unless tracing is enabled.
+#[macro_export]
+macro_rules! instant {
+    ($name:expr) => {
+        $crate::record_instant($name)
+    };
+}
+
+/// Leveled logging gated by `EXPRESSO_LOG` (default: `warn`). Format
+/// arguments are only evaluated when the level is enabled.
+///
+/// ```
+/// use expresso_obs::Level;
+/// expresso_obs::log!(Level::Warn, "ignoring corrupt artifact: {}", "reason");
+/// ```
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $($arg:tt)+) => {
+        if $crate::log::level_enabled($level) {
+            $crate::log::emit($level, ::std::format_args!($($arg)+));
+        }
+    };
+}

@@ -1,0 +1,146 @@
+//! Leveled diagnostics, replacing the workspace's ad-hoc `eprintln!` calls.
+//!
+//! The max level comes from `EXPRESSO_LOG` (`error|warn|info|debug`, default
+//! `warn`), read once on first use; tests override it with
+//! [`set_max_level`] and intercept output with [`set_capture`]. Use via the
+//! [`crate::log!`] macro, which skips formatting entirely when the level is
+//! disabled.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Diagnostic severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_env(value: &str) -> Option<Level> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Environment variable controlling the max level.
+pub const LOG_ENV: &str = "EXPRESSO_LOG";
+
+const UNINIT: u8 = u8::MAX;
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    if raw != UNINIT {
+        return level_from_u8(raw);
+    }
+    let level = std::env::var(LOG_ENV)
+        .ok()
+        .as_deref()
+        .and_then(Level::from_env)
+        .unwrap_or(Level::Warn);
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    level
+}
+
+fn level_from_u8(raw: u8) -> Level {
+    match raw {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Override the max level (wins over `EXPRESSO_LOG`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Would a message at `level` be emitted?
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// A shared buffer of captured `(level, message)` pairs, for tests.
+pub type CaptureBuffer = Arc<Mutex<Vec<(Level, String)>>>;
+
+static CAPTURE: Mutex<Option<CaptureBuffer>> = Mutex::new(None);
+
+/// Redirect emitted diagnostics into `buffer` instead of stderr (pass `None`
+/// to restore stderr). Process-wide; tests using it serialize themselves.
+pub fn set_capture(buffer: Option<CaptureBuffer>) {
+    *CAPTURE.lock().unwrap() = buffer;
+}
+
+/// Emit a diagnostic. Called by the [`crate::log!`] macro after the level
+/// check; prefer the macro.
+pub fn emit(level: Level, args: fmt::Arguments<'_>) {
+    let message = args.to_string();
+    let capture = CAPTURE.lock().unwrap();
+    match &*capture {
+        Some(buffer) => buffer.lock().unwrap().push((level, message)),
+        None => eprintln!("expresso[{}]: {message}", level.label()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_gating_and_capture_hook() {
+        let buffer: CaptureBuffer = Arc::new(Mutex::new(Vec::new()));
+        set_capture(Some(Arc::clone(&buffer)));
+        set_max_level(Level::Warn);
+
+        crate::log!(Level::Error, "e {}", 1);
+        crate::log!(Level::Warn, "w");
+        crate::log!(Level::Info, "suppressed");
+        crate::log!(Level::Debug, "suppressed");
+
+        set_max_level(Level::Debug);
+        crate::log!(Level::Debug, "d");
+
+        set_capture(None);
+        set_max_level(Level::Warn);
+
+        let captured = buffer.lock().unwrap().clone();
+        assert_eq!(
+            captured,
+            vec![
+                (Level::Error, "e 1".to_string()),
+                (Level::Warn, "w".to_string()),
+                (Level::Debug, "d".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn env_values_parse() {
+        assert_eq!(Level::from_env("ERROR"), Some(Level::Error));
+        assert_eq!(Level::from_env(" warn "), Some(Level::Warn));
+        assert_eq!(Level::from_env("warning"), Some(Level::Warn));
+        assert_eq!(Level::from_env("info"), Some(Level::Info));
+        assert_eq!(Level::from_env("debug"), Some(Level::Debug));
+        assert_eq!(Level::from_env("bogus"), None);
+    }
+}

@@ -314,6 +314,7 @@ pub fn seed(
     wp_store: &WpStore,
     disjointness: &DisjointnessStore,
 ) -> SeedReport {
+    let _span = expresso_obs::span!("persist.seed");
     let interner = solver.interner();
     let intern = |f: &Formula| interner.intern(f);
     SeedReport {
@@ -700,8 +701,18 @@ pub fn save(
     wp_store: &WpStore,
     disjointness: &DisjointnessStore,
 ) -> io::Result<SaveReport> {
+    let _span = expresso_obs::span!("persist.save");
     let artifact = export_artifact(solver, wp_store, disjointness);
     let (bytes, path) = save_artifact(dir, &artifact)?;
+    expresso_obs::log!(
+        expresso_obs::Level::Debug,
+        "saved warm-start artifact to {path:?}: {bytes} bytes ({} sat, {} qe, {} theory, {} wp, {} disjointness entries)",
+        artifact.sat.len(),
+        artifact.qe.len(),
+        artifact.theory.len(),
+        artifact.wp.len(),
+        artifact.disjointness.len()
+    );
     Ok(SaveReport {
         sat: artifact.sat.len(),
         qe: artifact.qe.len(),
@@ -720,10 +731,17 @@ pub fn save(
 /// passes the header checks but trips a decoder — comes back as
 /// [`LoadResult::Corrupt`] rather than a panic or a silently wrong entry.
 pub fn load(dir: &Path) -> LoadResult {
+    let _span = expresso_obs::span!("persist.load");
     let path = artifact_path(dir);
     let bytes = match fs::read(&path) {
         Ok(bytes) => bytes,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadResult::Absent,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            expresso_obs::log!(
+                expresso_obs::Level::Debug,
+                "no warm-start artifact at {path:?}, starting cold"
+            );
+            return LoadResult::Absent;
+        }
         Err(e) => return LoadResult::Corrupt(format!("unreadable artifact {path:?}: {e}")),
     };
     let header_len = MAGIC.len() + 4 + 8;

@@ -403,6 +403,7 @@ impl ExplicitRuntime {
             self.shared
                 .elided_notifications
                 .fetch_add(1, Ordering::Relaxed);
+            expresso_obs::instant!("runtime.elide");
             return;
         }
         let static_would_wake = match notification.kind {
@@ -421,6 +422,7 @@ impl ExplicitRuntime {
                 if self.eval_guard(interp, &waiter.guard, state, &waiter.locals) {
                     waiter.ready.store(true, Ordering::SeqCst);
                     waiter.condvar.notify_one();
+                    expresso_obs::instant!("runtime.wakeup");
                     woken += 1;
                     if notification.kind == NotificationKind::Signal {
                         break;
@@ -445,12 +447,14 @@ impl ExplicitRuntime {
         match notification.kind {
             NotificationKind::Signal => {
                 slot.condvar.notify_one();
+                expresso_obs::instant!("runtime.wakeup");
             }
             NotificationKind::Broadcast => {
                 // Coalesce the storm: wake one waiter now and let the cascade
                 // baton pass the signal on while the guard stays true.
                 slot.cascade.store(true, Ordering::SeqCst);
                 slot.condvar.notify_one();
+                expresso_obs::instant!("runtime.cascade");
                 self.shared
                     .avoided_wakeups
                     .fetch_add(static_would_wake - 1, Ordering::Relaxed);

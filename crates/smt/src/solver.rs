@@ -125,6 +125,34 @@ impl SolverStats {
         }
     }
 
+    /// Adapt into a metric group for [`expresso_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        vec![
+            Metric::counter("sat_queries", self.sat_queries as u64),
+            Metric::counter("validity_queries", self.validity_queries as u64),
+            Metric::counter("cache_hits", self.cache_hits as u64),
+            Metric::counter("cache_misses", self.cache_misses as u64),
+            Metric::counter("cross_analysis_hits", self.cross_analysis_hits as u64),
+            Metric::counter("deduped_races", self.deduped_races as u64),
+            Metric::counter("disk_hits", self.disk_hits as u64),
+            Metric::counter("qe_cache_hits", self.qe_cache_hits as u64),
+            Metric::counter("qe_cache_misses", self.qe_cache_misses as u64),
+            Metric::counter("theory_cache_hits", self.theory_cache_hits as u64),
+            Metric::counter("theory_cache_misses", self.theory_cache_misses as u64),
+            Metric::counter("sat_solver_calls", self.sat_solver_calls as u64),
+            Metric::counter("theory_checks", self.theory_checks as u64),
+            Metric::counter(
+                "quantifier_eliminations",
+                self.quantifier_eliminations as u64,
+            ),
+            Metric::counter("fm_fast_conflicts", self.fm_fast_conflicts as u64),
+            Metric::counter("abstracted_queries", self.abstracted_queries as u64),
+            Metric::gauge("cache_hit_rate", self.cache_hit_rate()),
+            Metric::gauge("cross_analysis_hit_rate", self.cross_analysis_hit_rate()),
+        ]
+    }
+
     /// Field-wise difference `self - earlier` (saturating), used to attribute
     /// a shared solver's counters to the single analysis that ran in between
     /// two snapshots.
@@ -696,6 +724,7 @@ impl Solver {
             None
         };
         bump(&self.stats.quantifier_eliminations);
+        let _span = expresso_obs::span!("smt.qe");
         let result = cooper::eliminate_quantifiers_id(&self.interner, norm);
         if let Some(registration) = registration {
             bump(&self.stats.qe_cache_misses);
@@ -751,6 +780,7 @@ impl Solver {
 
     /// Solves a normalized query (cache miss path).
     fn solve_uncached(&self, norm: FormulaId) -> SatResult {
+        let _span = expresso_obs::span!("smt.sat");
         // Quantifier elimination stays on ids end to end; quantifier-free
         // subtrees are never reconstructed.
         let qf_id = if self.interner.has_quantifier(norm) {
@@ -1051,6 +1081,7 @@ impl Solver {
     }
 
     fn theory_consistent_uncached(&self, literals: &[TheoryLit]) -> TheoryVerdict {
+        let _span = expresso_obs::span!("smt.theory");
         // Fast path: rational relaxation via Fourier–Motzkin. Constraints are
         // kept grouped per literal so an infeasible system can be shrunk to a
         // minimal core for blocking.

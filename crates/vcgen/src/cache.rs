@@ -136,6 +136,18 @@ impl WpCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Adapt into a metric group for [`expresso_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        vec![
+            Metric::counter("hits", self.hits as u64),
+            Metric::counter("misses", self.misses as u64),
+            Metric::counter("cross_monitor_hits", self.cross_monitor_hits as u64),
+            Metric::counter("disk_hits", self.disk_hits as u64),
+            Metric::gauge("hit_rate", self.hit_rate()),
+        ]
+    }
 }
 
 #[derive(Debug, Default)]
@@ -386,6 +398,7 @@ impl WpCache {
         compute: impl FnOnce() -> Result<FormulaId, WpError>,
     ) -> Result<FormulaId, WpError> {
         if !self.store.enabled {
+            let _span = expresso_obs::span!("vcgen.wp");
             return compute();
         }
         self.get_or_compute_fingerprinted(&lowering_fingerprint(stmt, table), stmt, post, compute)
@@ -403,6 +416,7 @@ impl WpCache {
         compute: impl FnOnce() -> Result<FormulaId, WpError>,
     ) -> Result<FormulaId, WpError> {
         if !self.store.enabled {
+            let _span = expresso_obs::span!("vcgen.wp");
             return compute();
         }
         if let Some((cached, inserted_by)) = self.store.lookup(fingerprint, stmt, post) {
@@ -412,7 +426,10 @@ impl WpCache {
             self.store.counters.record(true, cross, disk);
             return cached;
         }
-        let result = compute();
+        let result = {
+            let _span = expresso_obs::span!("vcgen.wp");
+            compute()
+        };
         self.counters.record(false, false, false);
         self.store.counters.record(false, false, false);
         self.store

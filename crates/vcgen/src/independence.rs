@@ -82,6 +82,17 @@ pub struct DisjointnessStats {
     pub hits: usize,
 }
 
+impl DisjointnessStats {
+    /// Adapt into a metric group for [`expresso_obs::MetricsRegistry`].
+    pub fn metrics(&self) -> Vec<expresso_obs::Metric> {
+        use expresso_obs::Metric;
+        vec![
+            Metric::counter("queries", self.queries as u64),
+            Metric::counter("hits", self.hits as u64),
+        ]
+    }
+}
+
 /// The suite-wide memo table of pair-independence verdicts. One store is
 /// only ever valid for **one formula arena** (keys hold interned guard
 /// ids); `SharedAnalysisContext` owns one next to its arena.
@@ -170,6 +181,7 @@ pub fn refine_independence(
     solver: &Solver,
     store: &DisjointnessStore,
 ) -> IndependenceTable {
+    let _span = expresso_obs::span!("vcgen.refine", "{}", monitor.name);
     let vc = VcGen::new(monitor, table, solver);
     let ccrs: Vec<&Ccr> = monitor.all_ccrs().collect();
     let mut out = IndependenceTable::new();

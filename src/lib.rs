@@ -14,6 +14,7 @@ pub use expresso_explore as explore;
 pub use expresso_loadgen as loadgen;
 pub use expresso_logic as logic;
 pub use expresso_monitor_lang as monitor_lang;
+pub use expresso_obs as obs;
 pub use expresso_persist as persist;
 pub use expresso_runtime as runtime;
 pub use expresso_semantics as semantics;

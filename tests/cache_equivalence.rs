@@ -572,6 +572,73 @@ fn warm_start_serves_every_disjointness_verdict_from_disk() {
 }
 
 #[test]
+fn span_recording_cannot_change_results_and_disabled_mode_records_nothing() {
+    // The span recorder is observation only: a fully sequential run (so every
+    // counter is deterministic) with recording globally enabled must be
+    // bit-identical — outcomes, invariants, placement and cache counters —
+    // to the same run with recording off, and the disabled run must leave
+    // zero records behind (the hot-path guard is a single relaxed load).
+    use expresso_repro::obs;
+
+    let sequential = ExpressoConfig {
+        parallel_analysis: false,
+        analysis_threads: 1,
+        ..ExpressoConfig::default()
+    };
+    let run = |name: &str| {
+        let monitor = all()
+            .into_iter()
+            .find(|b| b.name == "ReadersWriters")
+            .expect("suite contains the readers-writers benchmark")
+            .monitor();
+        Expresso::with_config(sequential.clone())
+            .analyze(&monitor)
+            .unwrap_or_else(|e| panic!("{name} run failed: {e}"))
+    };
+
+    obs::set_enabled(false);
+    let _ = obs::drain();
+    let off = run("recording-off");
+    assert_eq!(
+        obs::drain().iter().map(|t| t.records.len()).sum::<usize>(),
+        0,
+        "disabled-mode analysis must record zero spans"
+    );
+
+    obs::set_enabled(true);
+    let on = run("recording-on");
+    obs::set_enabled(false);
+    let recorded: usize = obs::drain().iter().map(|t| t.records.len()).sum();
+    assert!(
+        recorded > 0,
+        "enabled-mode analysis must record pipeline spans"
+    );
+
+    assert_eq!(off.explicit, on.explicit, "explicit diverged under tracing");
+    assert_eq!(
+        off.invariant, on.invariant,
+        "invariant diverged under tracing"
+    );
+    assert_eq!(off.report.decisions, on.report.decisions);
+    assert_eq!(off.report.pairs_considered, on.report.pairs_considered);
+    assert_eq!(off.report.triples_checked, on.report.triples_checked);
+    assert_eq!(off.report.skipped, on.report.skipped);
+    assert_eq!(
+        off.report.triples_per_pair().to_bits(),
+        on.report.triples_per_pair().to_bits()
+    );
+    assert_eq!(off.stats.solver.cache_hits, on.stats.solver.cache_hits);
+    assert_eq!(off.stats.solver.cache_misses, on.stats.solver.cache_misses);
+    assert_eq!(off.stats.wp_cache.hits, on.stats.wp_cache.hits);
+    assert_eq!(off.stats.wp_cache.misses, on.stats.wp_cache.misses);
+    assert_eq!(
+        off.stats.invariant_candidates,
+        on.stats.invariant_candidates
+    );
+    assert_eq!(off.stats.invariant_conjuncts, on.stats.invariant_conjuncts);
+}
+
+#[test]
 fn mutating_one_monitor_reanalyzes_exactly_that_monitor() {
     // The incremental-invalidation pin: after a one-monitor edit, the
     // warm-started suite recomputes weakest preconditions for the mutated
